@@ -1,0 +1,61 @@
+//! Criterion bench: the mechanism ablations (pipelining, serde,
+//! object store, language warm-up).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scriptflow_core::{Calibration, Experiment};
+use scriptflow_simcluster::SimDuration;
+use scriptflow_study::ablate;
+use scriptflow_tasks::dice::{self, DiceParams};
+use scriptflow_tasks::kge::{self, KgeParams};
+use std::hint::black_box;
+
+fn pipelining(c: &mut Criterion) {
+    let on = Calibration::paper();
+    let mut off = Calibration::paper();
+    off.wf_pipelining = false;
+    let mut g = c.benchmark_group("ablate_pipelining_dice");
+    g.sample_size(10);
+    g.bench_function("on", |b| {
+        b.iter(|| dice::workflow::run_workflow(black_box(&DiceParams::new(50, 1)), &on).unwrap())
+    });
+    g.bench_function("off", |b| {
+        b.iter(|| dice::workflow::run_workflow(black_box(&DiceParams::new(50, 1)), &off).unwrap())
+    });
+    g.finish();
+}
+
+fn serde(c: &mut Criterion) {
+    let on = Calibration::paper();
+    let mut off = Calibration::paper();
+    off.wf_serde_per_tuple = SimDuration::ZERO;
+    let mut g = c.benchmark_group("ablate_serde_kge");
+    g.sample_size(10);
+    g.bench_function("charged", |b| {
+        b.iter(|| {
+            kge::workflow::run_workflow(black_box(&KgeParams::new(6_800, 1).with_fusion(3)), &on)
+                .unwrap()
+        })
+    });
+    g.bench_function("free", |b| {
+        b.iter(|| {
+            kge::workflow::run_workflow(black_box(&KgeParams::new(6_800, 1).with_fusion(3)), &off)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn full_ablation_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_suite");
+    g.sample_size(10);
+    g.bench_function("object_store", |b| {
+        b.iter(|| black_box(ablate::ObjectStoreAblation.run()))
+    });
+    g.bench_function("language_sweep", |b| {
+        b.iter(|| black_box(ablate::LanguageSweep.run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pipelining, serde, full_ablation_suite);
+criterion_main!(benches);

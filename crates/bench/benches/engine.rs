@@ -1,0 +1,75 @@
+//! Criterion bench: raw engine overheads — the live (real OS threads)
+//! executor vs the simulated executor on identical workflows, plus DES
+//! event throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scriptflow_datakit::{Batch, DataType, Schema, Value};
+use scriptflow_simcluster::ClusterSpec;
+use scriptflow_workflow::ops::{FilterOp, ScanOp, SinkOp};
+use scriptflow_workflow::{
+    EngineConfig, LiveExecutor, PartitionStrategy, SimExecutor, Workflow, WorkflowBuilder,
+};
+use std::hint::black_box;
+
+fn pipeline(n: i64, workers: usize) -> Workflow {
+    let schema = Schema::of(&[("id", DataType::Int)]);
+    let batch = Batch::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    let mut b = WorkflowBuilder::new();
+    let scan = b.add(Arc::new(ScanOp::new("scan", batch)), workers);
+    let f1 = b.add(
+        Arc::new(FilterOp::new("mod3", |t| Ok(t.get_int("id")? % 3 != 0))),
+        workers,
+    );
+    let f2 = b.add(
+        Arc::new(FilterOp::new("mod5", |t| Ok(t.get_int("id")? % 5 != 0))),
+        workers,
+    );
+    let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+    b.connect(scan, f1, 0, PartitionStrategy::RoundRobin);
+    b.connect(f1, f2, 0, PartitionStrategy::RoundRobin);
+    b.connect(f2, sink, 0, PartitionStrategy::Single);
+    b.build().unwrap()
+}
+
+fn sim_vs_live(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_executors");
+    g.sample_size(20);
+    for n in [10_000i64, 100_000] {
+        g.bench_with_input(BenchmarkId::new("simulated", n), &n, |b, &n| {
+            let cfg = EngineConfig {
+                cluster: ClusterSpec::single_node(4),
+                ..EngineConfig::default()
+            };
+            b.iter(|| {
+                let wf = pipeline(n, 2);
+                black_box(SimExecutor::new(cfg.clone()).run(&wf).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("live_threads", n), &n, |b, &n| {
+            b.iter(|| {
+                let wf = pipeline(n, 2);
+                black_box(LiveExecutor::new(1024).run(&wf).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn live_worker_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_live_workers");
+    g.sample_size(20);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let wf = pipeline(50_000, w);
+                black_box(LiveExecutor::new(1024).run(&wf).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sim_vs_live, live_worker_scaling);
+criterion_main!(benches);

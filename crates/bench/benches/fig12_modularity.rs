@@ -1,0 +1,45 @@
+//! Criterion bench: the Fig. 12 modularity experiments — LoC counting
+//! (12a) and the KGE fusion-level sweep (12b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scriptflow_core::Calibration;
+use scriptflow_tasks::kge::{self, KgeParams};
+use scriptflow_tasks::listing;
+use std::hint::black_box;
+
+fn fig12a_loc(c: &mut Criterion) {
+    c.bench_function("fig12a_loc_counting", |b| {
+        b.iter(|| {
+            let total = listing::count_loc(&listing::dice_script_listing())
+                + listing::count_loc(&listing::dice_workflow_listing())
+                + listing::count_loc(&listing::wef_script_listing())
+                + listing::count_loc(&listing::wef_workflow_listing())
+                + listing::count_loc(&listing::gotta_script_listing())
+                + listing::count_loc(&listing::gotta_workflow_listing())
+                + listing::count_loc(&listing::kge_script_listing())
+                + listing::count_loc(&listing::kge_workflow_listing());
+            black_box(total)
+        })
+    });
+}
+
+fn fig12b_fusion(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let mut g = c.benchmark_group("fig12b_kge_fusion");
+    g.sample_size(10);
+    for fusion in 1..=6usize {
+        g.bench_with_input(BenchmarkId::from_parameter(fusion), &fusion, |b, &f| {
+            b.iter(|| {
+                kge::workflow::run_workflow(
+                    black_box(&KgeParams::new(6_800, 1).with_fusion(f)),
+                    &cal,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig12a_loc, fig12b_fusion);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: the Table I language-efficiency experiment — the
+//! KGE workflow with Python vs Scala join operators at both scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scriptflow_core::Calibration;
+use scriptflow_simcluster::Language;
+use scriptflow_tasks::kge::{self, KgeParams};
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let mut g = c.benchmark_group("table1_language");
+    g.sample_size(10);
+    for products in [6_800usize, 68_000] {
+        g.bench_with_input(
+            BenchmarkId::new("python_join", products),
+            &products,
+            |b, &n| {
+                b.iter(|| {
+                    kge::workflow::run_workflow(
+                        black_box(&KgeParams::new(n, 1).with_fusion(3).with_pandas_join()),
+                        &cal,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("scala_join", products),
+            &products,
+            |b, &n| {
+                b.iter(|| {
+                    kge::workflow::run_workflow(
+                        black_box(
+                            &KgeParams::new(n, 1)
+                                .with_fusion(3)
+                                .with_join_language(Language::Scala),
+                        ),
+                        &cal,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

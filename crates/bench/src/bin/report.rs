@@ -1,0 +1,12 @@
+//! Print the generated markdown experiment report (the live counterpart
+//! of EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p scriptflow-bench --bin report > report.md
+//! ```
+
+use scriptflow_study::{registry, report};
+
+fn main() {
+    print!("{}", report::generate_markdown(&registry()));
+}

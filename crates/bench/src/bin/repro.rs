@@ -1,0 +1,70 @@
+//! Regenerate every table and figure of the paper, side by side with the
+//! paper's reference numbers.
+//!
+//! ```text
+//! cargo run --release -p scriptflow-bench --bin repro            # everything
+//! cargo run --release -p scriptflow-bench --bin repro fig13a    # one artifact
+//! cargo run --release -p scriptflow-bench --bin repro --ablations
+//! cargo run --release -p scriptflow-bench --bin repro --csv     # + artifacts/*.csv
+//! ```
+
+use scriptflow_bench::render_side_by_side;
+use scriptflow_study::{ablation_registry, conclusions, registry};
+use scriptflow_core::Calibration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_ablations = args.iter().any(|a| a == "--ablations");
+    let want_csv = args.iter().any(|a| a == "--csv");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if want_csv {
+        let _ = std::fs::create_dir_all("artifacts");
+    }
+
+    let reg = registry();
+    for e in reg.experiments() {
+        let meta = e.meta();
+        if !filter.is_empty() && !filter.iter().any(|f| meta.id == f.as_str()) {
+            continue;
+        }
+        let measured = e.run();
+        let paper = e.paper_reference();
+        println!("{}", render_side_by_side(&meta, &measured, &paper));
+        if want_csv {
+            if let scriptflow_core::Artifact::Figure(fig) = &measured {
+                let path = format!("artifacts/{}.csv", meta.id);
+                if let Err(err) = std::fs::write(&path, fig.to_csv()) {
+                    eprintln!("could not write {path}: {err}");
+                } else {
+                    println!("wrote {path}");
+                }
+            }
+        }
+    }
+
+    if filter.is_empty() {
+        println!("\n#################### §VI CONCLUSIONS ####################\n");
+        let claims = conclusions::evaluate(&Calibration::paper());
+        println!("{}", conclusions::as_table(&claims));
+    }
+
+    if want_ablations || filter.iter().any(|f| f.starts_with("ablate")) {
+        println!("\n######################## ABLATIONS ########################\n");
+        for e in ablation_registry().experiments() {
+            let meta = e.meta();
+            if !filter.is_empty()
+                && !want_ablations
+                && !filter.iter().any(|f| meta.id == f.as_str())
+            {
+                continue;
+            }
+            let measured = e.run();
+            println!(
+                "================================================================\n\
+                 {} — {}\n{}\n\n{measured}",
+                meta.id, meta.paper_artifact, meta.description
+            );
+        }
+    }
+}

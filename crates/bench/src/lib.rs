@@ -1,0 +1,47 @@
+//! # scriptflow-bench
+//!
+//! Benchmark harness. Two entry points:
+//!
+//! * `cargo run --release -p scriptflow-bench --bin repro` — regenerates
+//!   **every table and figure** of the paper (Fig. 12a/b, Table I,
+//!   Fig. 13a–d, Fig. 14a–c) plus the mechanism ablations, printing each
+//!   measured artifact next to the paper's reference numbers.
+//! * `cargo bench` — Criterion benches, one target per experiment family,
+//!   measuring the wall-clock cost of regenerating each artifact (the
+//!   simulated experiments are deterministic, so Criterion tracks harness
+//!   performance regressions rather than cluster noise), plus a live
+//!   threaded-engine micro-benchmark.
+
+#![warn(missing_docs)]
+
+use scriptflow_core::{Artifact, ExperimentMeta};
+
+/// Render one experiment's measured-vs-paper pair as a text block.
+pub fn render_side_by_side(meta: &ExperimentMeta, measured: &Artifact, paper: &Artifact) -> String {
+    format!(
+        "================================================================\n\
+         {} — {}\n{}\n\n--- measured ---\n{measured}\n--- paper ---\n{paper}\n",
+        meta.id, meta.paper_artifact, meta.description
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_core::Table;
+
+    #[test]
+    fn render_includes_both_sides() {
+        let meta = ExperimentMeta {
+            id: "x",
+            paper_artifact: "Fig. 0",
+            description: "d",
+        };
+        let a = Artifact::Table(Table::new("A", &["h"]));
+        let b = Artifact::Table(Table::new("B", &["h"]));
+        let text = render_side_by_side(&meta, &a, &b);
+        assert!(text.contains("--- measured ---"));
+        assert!(text.contains("--- paper ---"));
+        assert!(text.contains('A') && text.contains('B'));
+    }
+}

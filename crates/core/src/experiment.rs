@@ -1,0 +1,129 @@
+//! Experiment registry: each experiment regenerates one paper artifact.
+
+use std::fmt;
+
+use crate::report::{Figure, Table};
+
+/// What an experiment produces: a table or a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// A table (the paper's Table I).
+    Table(Table),
+    /// A figure (the paper's Figs. 12–14).
+    Figure(Figure),
+}
+
+impl fmt::Display for Artifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Artifact::Table(t) => t.fmt(f),
+            Artifact::Figure(g) => g.fmt(f),
+        }
+    }
+}
+
+/// Static description of an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentMeta {
+    /// Stable identifier, e.g. `"fig13a"`.
+    pub id: &'static str,
+    /// The paper artifact it reproduces.
+    pub paper_artifact: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// A runnable experiment.
+pub trait Experiment {
+    /// Static metadata.
+    fn meta(&self) -> ExperimentMeta;
+
+    /// Run (deterministically) and produce the artifact.
+    fn run(&self) -> Artifact;
+
+    /// The paper's own numbers for the same artifact, for side-by-side
+    /// reporting in EXPERIMENTS.md.
+    fn paper_reference(&self) -> Artifact;
+}
+
+/// An ordered collection of experiments.
+#[derive(Default)]
+pub struct Registry {
+    experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register an experiment.
+    pub fn register(&mut self, e: Box<dyn Experiment>) {
+        self.experiments.push(e);
+    }
+
+    /// All experiments in registration order.
+    pub fn experiments(&self) -> &[Box<dyn Experiment>] {
+        &self.experiments
+    }
+
+    /// Find by id.
+    pub fn by_id(&self, id: &str) -> Option<&dyn Experiment> {
+        self.experiments
+            .iter()
+            .find(|e| e.meta().id == id)
+            .map(Box::as_ref)
+    }
+
+    /// Run every experiment, returning `(meta, measured, reference)`.
+    pub fn run_all(&self) -> Vec<(ExperimentMeta, Artifact, Artifact)> {
+        self.experiments
+            .iter()
+            .map(|e| (e.meta(), e.run(), e.paper_reference()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Series;
+
+    struct Dummy;
+    impl Experiment for Dummy {
+        fn meta(&self) -> ExperimentMeta {
+            ExperimentMeta {
+                id: "dummy",
+                paper_artifact: "Fig. 0",
+                description: "a test experiment",
+            }
+        }
+        fn run(&self) -> Artifact {
+            let mut f = Figure::new("dummy", "t", "x", "y");
+            f.push_series(Series::new("s", vec![(1.0, 2.0)]));
+            Artifact::Figure(f)
+        }
+        fn paper_reference(&self) -> Artifact {
+            self.run()
+        }
+    }
+
+    #[test]
+    fn registry_lookup_and_run() {
+        let mut r = Registry::new();
+        r.register(Box::new(Dummy));
+        assert!(r.by_id("dummy").is_some());
+        assert!(r.by_id("nope").is_none());
+        let all = r.run_all();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0.id, "dummy");
+        assert_eq!(all[0].1, all[0].2);
+    }
+
+    #[test]
+    fn artifact_display() {
+        let t = Table::new("T", &["a"]);
+        assert!(Artifact::Table(t).to_string().contains('T'));
+    }
+}

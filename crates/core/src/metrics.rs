@@ -1,0 +1,96 @@
+//! The paper's performance metrics (§IV-B).
+
+use scriptflow_simcluster::SimTime;
+
+use crate::paradigm::Paradigm;
+
+/// The four metrics the paper reports for every run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionMetrics {
+    /// Total execution time in (virtual) seconds.
+    pub total_seconds: f64,
+    /// Number of parallel processes used.
+    pub parallel_processes: usize,
+    /// Lines of code of the implementation.
+    pub lines_of_code: usize,
+    /// Number of operators / logically separable subtasks.
+    pub operator_count: usize,
+}
+
+impl ExecutionMetrics {
+    /// Metrics with only a time measurement (the other fields default to
+    /// the degenerate single-process, unknown-size values).
+    pub fn from_time(makespan: SimTime) -> Self {
+        ExecutionMetrics {
+            total_seconds: makespan.as_secs_f64(),
+            parallel_processes: 1,
+            lines_of_code: 0,
+            operator_count: 1,
+        }
+    }
+}
+
+/// One comparable run: a task under a paradigm at some configuration.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Task name (`DICE`, `WEF`, `GOTTA`, `KGE`).
+    pub task: String,
+    /// Which paradigm executed.
+    pub paradigm: Paradigm,
+    /// Human-readable configuration (e.g. `"200 pairs, 4 workers"`).
+    pub config: String,
+    /// The measurements.
+    pub metrics: ExecutionMetrics,
+}
+
+impl RunReport {
+    /// Speedup of `self` relative to `other` (how many times faster self
+    /// finished). > 1 means self won.
+    pub fn speedup_vs(&self, other: &RunReport) -> f64 {
+        other.metrics.total_seconds / self.metrics.total_seconds
+    }
+
+    /// The paper's "% slower" phrasing: how much slower `other` is than
+    /// `self`, as a percentage (the paper writes "Texera took X seconds
+    /// (N% slower)" meaning the *other* system was N% slower than the
+    /// winner).
+    pub fn percent_slower(&self, other: &RunReport) -> f64 {
+        (other.metrics.total_seconds / self.metrics.total_seconds - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_simcluster::SimTime;
+
+    fn report(paradigm: Paradigm, secs: f64) -> RunReport {
+        RunReport {
+            task: "KGE".into(),
+            paradigm,
+            config: "test".into(),
+            metrics: ExecutionMetrics {
+                total_seconds: secs,
+                parallel_processes: 1,
+                lines_of_code: 100,
+                operator_count: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn speedup_math() {
+        let fast = report(Paradigm::Workflow, 50.0);
+        let slow = report(Paradigm::Script, 100.0);
+        assert_eq!(fast.speedup_vs(&slow), 2.0);
+        assert_eq!(fast.percent_slower(&slow), 100.0);
+        assert_eq!(slow.percent_slower(&fast), -50.0);
+    }
+
+    #[test]
+    fn from_time() {
+        let m = ExecutionMetrics::from_time(SimTime::from_micros(2_500_000));
+        assert_eq!(m.total_seconds, 2.5);
+        assert_eq!(m.parallel_processes, 1);
+    }
+}

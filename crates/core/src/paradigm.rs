@@ -1,0 +1,48 @@
+//! The two platform paradigms under comparison.
+
+use std::fmt;
+
+/// Which paradigm produced a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Paradigm {
+    /// Code-based scripts: Jupyter Notebook + Ray in the paper; the
+    /// `scriptflow-notebook` + `scriptflow-raysim` engines here.
+    Script,
+    /// GUI-based workflows: Texera in the paper; the
+    /// `scriptflow-workflow` engine here.
+    Workflow,
+}
+
+impl Paradigm {
+    /// Both paradigms, script first (the paper's column order).
+    pub const BOTH: [Paradigm; 2] = [Paradigm::Script, Paradigm::Workflow];
+
+    /// The representative system the paper used for this paradigm.
+    pub fn paper_system(&self) -> &'static str {
+        match self {
+            Paradigm::Script => "Jupyter Notebook",
+            Paradigm::Workflow => "Texera",
+        }
+    }
+}
+
+impl fmt::Display for Paradigm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Paradigm::Script => f.write_str("script"),
+            Paradigm::Workflow => f.write_str("workflow"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming() {
+        assert_eq!(Paradigm::Script.to_string(), "script");
+        assert_eq!(Paradigm::Workflow.paper_system(), "Texera");
+        assert_eq!(Paradigm::BOTH.len(), 2);
+    }
+}

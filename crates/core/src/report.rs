@@ -1,0 +1,228 @@
+//! Paper-style tables and figures, rendered as text.
+
+use std::fmt;
+
+/// A table like the paper's Table I: headers plus string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// One line series of a figure: `(x, y)` points with a label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"Jupyter Notebook"`).
+    pub label: String,
+    /// Data points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A series from points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+}
+
+/// A figure like the paper's Fig. 13: several series over a shared axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Identifier (`"fig13a"`).
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Axis labels.
+    pub x_label: String,
+    /// Axis labels.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// An empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Look up a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Export the figure as CSV: one `x` column plus one column per
+    /// series (empty cells where a series lacks the x).
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        xs.dedup();
+        let mut out = String::from(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        for x in xs {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                if let Some(y) = s.y_at(x) {
+                    out.push_str(&format!("{y}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — {}", self.id, self.title)?;
+        writeln!(f, "  x: {}, y: {}", self.x_label, self.y_label)?;
+        for s in &self.series {
+            write!(f, "  {:<24}", s.label)?;
+            for (x, y) in &s.points {
+                write!(f, " ({x:.6}, {y:.6})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("TABLE I: times", &["config", "6.8K", "68K"]);
+        t.push_row(vec!["Scala".into(), "98.67".into(), "1159.82".into()]);
+        t.push_row(vec!["Python".into(), "126.28".into(), "1170.57".into()]);
+        let text = t.to_string();
+        assert!(text.contains("TABLE I"));
+        assert!(text.contains("| Scala "));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let s = Series::new("JN", vec![(10.0, 14.71), (200.0, 239.54)]);
+        assert_eq!(s.y_at(10.0), Some(14.71));
+        assert_eq!(s.y_at(11.0), None);
+    }
+
+    #[test]
+    fn figure_csv_aligns_series_by_x() {
+        let mut fig = Figure::new("f", "t", "n", "seconds");
+        fig.push_series(Series::new("a", vec![(1.0, 10.0), (2.0, 20.0)]));
+        fig.push_series(Series::new("b", vec![(2.0, 7.0)]));
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,7");
+    }
+
+    #[test]
+    fn figure_roundtrip() {
+        let mut fig = Figure::new("fig13a", "DICE scaling", "pairs", "seconds");
+        fig.push_series(Series::new("JN", vec![(10.0, 14.7)]));
+        fig.push_series(Series::new("Texera", vec![(10.0, 10.7)]));
+        assert!(fig.series_by_label("Texera").is_some());
+        assert!(fig.to_string().contains("fig13a"));
+    }
+}

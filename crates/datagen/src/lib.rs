@@ -1,0 +1,33 @@
+//! # scriptflow-datagen
+//!
+//! Seeded synthetic datasets with the shape of the paper's four task
+//! inputs. The originals (MACCROBAT clinical reports, human-labelled
+//! wildfire tweets, FSQA corpora, Amazon product/user knowledge graphs)
+//! are gated or proprietary; these generators produce structurally
+//! equivalent data that exercises the identical code paths:
+//!
+//! * [`maccrobat`] — clinical case reports with entity (`T<i>`) and event
+//!   (`E<i>`) annotation files whose character offsets really index into
+//!   the report text (Fig. 3 of the paper).
+//! * [`wildfire`] — tweets labelled with one to four climate framings
+//!   (§II-B).
+//! * [`fsqa`] — paragraphs with cloze questions and gold answers drawn
+//!   from the passage (§II-C).
+//! * [`amazon`] — a product catalogue with stock state, a user purchase
+//!   relation, and entity names for reverse lookup (§II-D).
+//!
+//! Every generator takes an explicit seed and is deterministic.
+
+#![warn(missing_docs)]
+
+pub mod amazon;
+pub mod brat;
+pub mod fsqa;
+pub mod maccrobat;
+pub mod wildfire;
+
+pub use amazon::{AmazonCatalog, Product};
+pub use brat::{parse_ann_file, parse_report, BratError};
+pub use fsqa::{FsqaDataset, FsqaExample};
+pub use maccrobat::{Annotation, AnnotationKind, CaseReport, MaccrobatDataset};
+pub use wildfire::{Tweet, WildfireDataset, FRAMINGS};

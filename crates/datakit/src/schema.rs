@@ -1,0 +1,250 @@
+//! Named, typed column descriptors.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{DataError, DataResult};
+use crate::value::DataType;
+
+/// One column: a name and a declared type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    name: String,
+    dtype: DataType,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.dtype)
+    }
+}
+
+/// Shared, immutable schema handle.
+///
+/// Schemas are reference-counted because every [`crate::Tuple`] points at
+/// its schema; cloning a tuple must not clone column metadata.
+pub type SchemaRef = Arc<Schema>;
+
+/// An ordered collection of uniquely named [`Field`]s.
+///
+/// The workflow engine propagates schemas through the DAG at build time
+/// (Texera's explicit data edges); the notebook engine checks them lazily
+/// at run time (Jupyter's implicit kernel state). Both use this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> DataResult<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name() == f.name()) {
+                return Err(DataError::DuplicateColumn {
+                    column: f.name().to_owned(),
+                });
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Convenience constructor from `(name, dtype)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate names; intended for statically known schemas.
+    pub fn of(cols: &[(&str, DataType)]) -> SchemaRef {
+        let fields = cols
+            .iter()
+            .map(|(n, t)| Field::new(*n, *t))
+            .collect::<Vec<_>>();
+        Arc::new(Schema::new(fields).expect("static schema must not have duplicate columns"))
+    }
+
+    /// The empty schema.
+    pub fn empty() -> SchemaRef {
+        Arc::new(Schema { fields: Vec::new() })
+    }
+
+    /// All fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of the column called `name`.
+    pub fn index_of(&self, name: &str) -> DataResult<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name() == name)
+            .ok_or_else(|| DataError::UnknownColumn {
+                column: name.to_owned(),
+                schema: self.to_string(),
+            })
+    }
+
+    /// The field called `name`.
+    pub fn field(&self, name: &str) -> DataResult<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// True if a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name() == name)
+    }
+
+    /// Project to the named columns (in the given order).
+    pub fn project(&self, names: &[&str]) -> DataResult<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            fields.push(self.field(n)?.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Concatenate two schemas, disambiguating right-side duplicates with a
+    /// suffix — the behaviour of both Pandas' `merge` and Texera's join
+    /// operator when key names collide.
+    pub fn join(&self, right: &Schema, dup_suffix: &str) -> DataResult<Schema> {
+        let mut fields = self.fields.clone();
+        for f in right.fields() {
+            if self.contains(f.name()) {
+                let renamed = format!("{}{}", f.name(), dup_suffix);
+                if self.contains(&renamed) || right.contains(&renamed) {
+                    return Err(DataError::DuplicateColumn { column: renamed });
+                }
+                fields.push(Field::new(renamed, f.dtype()));
+            } else {
+                fields.push(f.clone());
+            }
+        }
+        Schema::new(fields)
+    }
+
+    /// Append one field, rejecting name collisions.
+    pub fn with_field(&self, field: Field) -> DataResult<Schema> {
+        if self.contains(field.name()) {
+            return Err(DataError::DuplicateColumn {
+                column: field.name().to_owned(),
+            });
+        }
+        let mut fields = self.fields.clone();
+        fields.push(field);
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateColumn { column: "a".into() });
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = abc();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("zz").is_err());
+        assert_eq!(s.field("c").unwrap().dtype(), DataType::Float);
+        assert!(s.contains("a"));
+        assert!(!s.contains("z"));
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn project_keeps_requested_order() {
+        let s = abc();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.fields()[0].name(), "c");
+        assert_eq!(p.fields()[1].name(), "a");
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let left = abc();
+        let right = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("d", DataType::Str),
+        ])
+        .unwrap();
+        let j = left.join(&right, "_r").unwrap();
+        let names: Vec<_> = j.fields().iter().map(|f| f.name().to_owned()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "a_r", "d"]);
+    }
+
+    #[test]
+    fn join_rejects_unresolvable_collision() {
+        let left = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a_r", DataType::Int),
+        ])
+        .unwrap();
+        let right = Schema::new(vec![Field::new("a", DataType::Int)]).unwrap();
+        assert!(left.join(&right, "_r").is_err());
+    }
+
+    #[test]
+    fn with_field_appends() {
+        let s = abc().with_field(Field::new("d", DataType::Bool)).unwrap();
+        assert_eq!(s.arity(), 4);
+        assert!(abc().with_field(Field::new("a", DataType::Bool)).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(abc().to_string(), "a: Int, b: Str, c: Float");
+    }
+}

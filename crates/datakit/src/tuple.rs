@@ -1,0 +1,274 @@
+//! A single row bound to a shared schema.
+
+use std::fmt;
+
+use crate::error::{DataError, DataResult};
+use crate::schema::SchemaRef;
+use crate::value::Value;
+
+/// One row: a schema handle plus one [`Value`] per column.
+///
+/// Tuples are the unit of data the workflow engine pushes along DAG edges
+/// and the unit the paper's Fig. 9 counts per operator. Cloning a tuple
+/// clones values but shares the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    schema: SchemaRef,
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple, validating arity and per-column types.
+    pub fn new(schema: SchemaRef, values: Vec<Value>) -> DataResult<Self> {
+        if values.len() != schema.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: schema.arity(),
+                actual: values.len(),
+            });
+        }
+        for (field, value) in schema.fields().iter().zip(&values) {
+            if !value.conforms_to(field.dtype()) {
+                return Err(DataError::TypeMismatch {
+                    column: field.name().to_owned(),
+                    expected: field.dtype().to_string(),
+                    actual: value.dtype().to_string(),
+                });
+            }
+        }
+        Ok(Tuple { schema, values })
+    }
+
+    /// Build without validation. Used on hot paths where the producer has
+    /// already proven conformance (e.g. operators whose output schema was
+    /// checked at DAG-build time).
+    pub fn new_unchecked(schema: SchemaRef, values: Vec<Value>) -> Self {
+        debug_assert_eq!(values.len(), schema.arity());
+        Tuple { schema, values }
+    }
+
+    /// Schema handle.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// All values in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the value vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Value at column index.
+    pub fn at(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Value of the named column.
+    pub fn get(&self, name: &str) -> DataResult<&Value> {
+        Ok(&self.values[self.schema.index_of(name)?])
+    }
+
+    /// String value of the named column (error if absent; `None` if null,
+    /// `Some` otherwise — callers that require a string use `?` twice).
+    pub fn get_str(&self, name: &str) -> DataResult<&str> {
+        let v = self.get(name)?;
+        v.as_str().ok_or_else(|| DataError::TypeMismatch {
+            column: name.to_owned(),
+            expected: "Str".into(),
+            actual: v.dtype().to_string(),
+        })
+    }
+
+    /// Integer value of the named column.
+    pub fn get_int(&self, name: &str) -> DataResult<i64> {
+        let v = self.get(name)?;
+        v.as_int().ok_or_else(|| DataError::TypeMismatch {
+            column: name.to_owned(),
+            expected: "Int".into(),
+            actual: v.dtype().to_string(),
+        })
+    }
+
+    /// Float value of the named column (integers widen).
+    pub fn get_float(&self, name: &str) -> DataResult<f64> {
+        let v = self.get(name)?;
+        v.as_float().ok_or_else(|| DataError::TypeMismatch {
+            column: name.to_owned(),
+            expected: "Float".into(),
+            actual: v.dtype().to_string(),
+        })
+    }
+
+    /// Deterministic wire size of the whole tuple, used for serde/network
+    /// cost accounting.
+    pub fn encoded_len(&self) -> usize {
+        self.values.iter().map(Value::encoded_len).sum()
+    }
+
+    /// Concatenate with another tuple under a pre-computed joined schema.
+    pub fn concat(&self, other: &Tuple, joined: SchemaRef) -> DataResult<Tuple> {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(joined, values)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Incremental tuple construction against a schema, by column name.
+///
+/// Any column left unset becomes [`Value::Null`].
+pub struct TupleBuilder {
+    schema: SchemaRef,
+    values: Vec<Value>,
+}
+
+impl TupleBuilder {
+    /// Start building a tuple for `schema` with all columns null.
+    pub fn new(schema: SchemaRef) -> Self {
+        let values = vec![Value::Null; schema.arity()];
+        TupleBuilder { schema, values }
+    }
+
+    /// Set the named column.
+    pub fn set(mut self, name: &str, value: impl Into<Value>) -> DataResult<Self> {
+        let idx = self.schema.index_of(name)?;
+        self.values[idx] = value.into();
+        Ok(self)
+    }
+
+    /// Finish, validating types.
+    pub fn build(self) -> DataResult<Tuple> {
+        Tuple::new(self.schema, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("score", DataType::Float),
+        ])
+    }
+
+    fn t() -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![Value::Int(7), Value::Str("ada".into()), Value::Float(0.5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_arity() {
+        let err = Tuple::new(schema(), vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            }
+        );
+    }
+
+    #[test]
+    fn validates_types() {
+        let err = Tuple::new(
+            schema(),
+            vec![Value::Str("x".into()), Value::Str("y".into()), Value::Null],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { column, .. } if column == "id"));
+    }
+
+    #[test]
+    fn null_is_allowed_anywhere() {
+        let tup = Tuple::new(schema(), vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        assert!(tup.at(0).is_null());
+    }
+
+    #[test]
+    fn typed_getters() {
+        let tup = t();
+        assert_eq!(tup.get_int("id").unwrap(), 7);
+        assert_eq!(tup.get_str("name").unwrap(), "ada");
+        assert_eq!(tup.get_float("score").unwrap(), 0.5);
+        assert!(tup.get_int("name").is_err());
+        assert!(tup.get("missing").is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let s = Schema::of(&[("x", DataType::Float)]);
+        // Int stored in a Float column is a type error at construction...
+        assert!(Tuple::new(s.clone(), vec![Value::Int(3)]).is_err());
+        // ...but get_float widens Int columns.
+        let s2 = Schema::of(&[("x", DataType::Int)]);
+        let tup = Tuple::new(s2, vec![Value::Int(3)]).unwrap();
+        assert_eq!(tup.get_float("x").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn encoded_len_sums_values() {
+        let tup = t();
+        assert_eq!(
+            tup.encoded_len(),
+            Value::Int(7).encoded_len()
+                + Value::Str("ada".into()).encoded_len()
+                + Value::Float(0.5).encoded_len()
+        );
+    }
+
+    #[test]
+    fn concat_under_joined_schema() {
+        let left = t();
+        let rs = Schema::of(&[("tag", DataType::Str)]);
+        let right = Tuple::new(rs.clone(), vec![Value::Str("x".into())]).unwrap();
+        let joined = std::sync::Arc::new(left.schema().join(&rs, "_r").unwrap());
+        let c = left.concat(&right, joined).unwrap();
+        assert_eq!(c.values().len(), 4);
+        assert_eq!(c.get_str("tag").unwrap(), "x");
+    }
+
+    #[test]
+    fn builder_defaults_to_null() {
+        let tup = TupleBuilder::new(schema())
+            .set("id", 1i64)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(tup.get("name").unwrap().is_null());
+        assert_eq!(tup.get_int("id").unwrap(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_column() {
+        assert!(TupleBuilder::new(schema()).set("nope", 1i64).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(t().to_string(), "(7, ada, 0.5)");
+    }
+}

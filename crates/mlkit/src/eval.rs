@@ -1,0 +1,91 @@
+//! Evaluation metrics.
+
+/// Fraction of predictions equal to their gold label.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy<T: PartialEq>(pred: &[T], gold: &[T]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "prediction/gold length mismatch");
+    assert!(!pred.is_empty(), "cannot score an empty set");
+    let correct = pred.iter().zip(gold).filter(|(p, g)| p == g).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Binary F1 over boolean predictions.
+///
+/// Returns 0 when there are no predicted or no actual positives.
+pub fn f1_binary(pred: &[bool], gold: &[bool]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "prediction/gold length mismatch");
+    let tp = pred.iter().zip(gold).filter(|(p, g)| **p && **g).count() as f64;
+    let fp = pred.iter().zip(gold).filter(|(p, g)| **p && !**g).count() as f64;
+    let fne = pred.iter().zip(gold).filter(|(p, g)| !**p && **g).count() as f64;
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fne);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Exact-match rate for QA: case-insensitive token equality.
+pub fn exact_match(pred: &[String], gold: &[String]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "prediction/gold length mismatch");
+    assert!(!pred.is_empty(), "cannot score an empty set");
+    let hits = pred
+        .iter()
+        .zip(gold)
+        .filter(|(p, g)| p.trim().eq_ignore_ascii_case(g.trim()))
+        .count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Hits@k for ranking: 1 if the gold id appears in the top-k list.
+pub fn hits_at_k(ranked: &[i64], gold: i64, k: usize) -> bool {
+    ranked.iter().take(k).any(|&id| id == gold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[true], &[true]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_check() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn f1_perfect_and_degenerate() {
+        assert_eq!(f1_binary(&[true, false], &[true, false]), 1.0);
+        assert_eq!(f1_binary(&[false, false], &[true, false]), 0.0);
+        assert_eq!(f1_binary(&[true, true], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn f1_mixed() {
+        // tp=1, fp=1, fn=1 → p=0.5, r=0.5 → f1=0.5
+        let f1 = f1_binary(&[true, true, false], &[true, false, true]);
+        assert!((f1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_match_is_case_insensitive() {
+        let pred = vec!["Fever".to_owned(), "cough ".to_owned(), "x".to_owned()];
+        let gold = vec!["fever".to_owned(), "cough".to_owned(), "y".to_owned()];
+        assert!((exact_match(&pred, &gold) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hits_at_k_cutoff() {
+        let ranked = vec![5, 3, 9, 1];
+        assert!(hits_at_k(&ranked, 9, 3));
+        assert!(!hits_at_k(&ranked, 1, 3));
+        assert!(hits_at_k(&ranked, 1, 4));
+    }
+}

@@ -1,0 +1,115 @@
+//! TF-IDF vectorization.
+
+use std::collections::HashMap;
+
+use crate::sparse::SparseVector;
+use crate::text::{tokenize, Vocabulary};
+
+/// A fitted TF-IDF vectorizer (scikit-learn style fit/transform).
+#[derive(Debug, Clone)]
+pub struct TfIdfVectorizer {
+    vocab: Vocabulary,
+    idf: Vec<f32>,
+}
+
+impl TfIdfVectorizer {
+    /// Fit on a corpus: builds the vocabulary and smooth IDF weights
+    /// (`ln((1+N)/(1+df)) + 1`).
+    pub fn fit<'a>(docs: impl IntoIterator<Item = &'a str> + Clone) -> Self {
+        let vocab = Vocabulary::fit(docs.clone());
+        let mut df = vec![0u32; vocab.len()];
+        let mut n_docs = 0u32;
+        for doc in docs {
+            n_docs += 1;
+            let mut seen: Vec<u32> = vocab.encode(doc);
+            seen.sort_unstable();
+            seen.dedup();
+            for id in seen {
+                df[id as usize] += 1;
+            }
+        }
+        let idf = df
+            .iter()
+            .map(|&d| ((1.0 + n_docs as f32) / (1.0 + d as f32)).ln() + 1.0)
+            .collect();
+        TfIdfVectorizer { vocab, idf }
+    }
+
+    /// Vocabulary size (feature dimensionality).
+    pub fn dim(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The fitted vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Transform one document into an L2-normalized TF-IDF vector.
+    /// Out-of-vocabulary tokens are dropped.
+    pub fn transform(&self, doc: &str) -> SparseVector {
+        let mut tf: HashMap<u32, f32> = HashMap::new();
+        for tok in tokenize(doc) {
+            if let Some(id) = self.vocab.id(&tok) {
+                *tf.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let pairs = tf
+            .into_iter()
+            .map(|(id, count)| (id, count * self.idf[id as usize]))
+            .collect();
+        let mut v = SparseVector::from_pairs(pairs);
+        v.l2_normalize();
+        v
+    }
+
+    /// Transform a whole corpus.
+    pub fn transform_all<'a>(&self, docs: impl IntoIterator<Item = &'a str>) -> Vec<SparseVector> {
+        docs.into_iter().map(|d| self.transform(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: [&str; 3] = [
+        "wildfire smoke covers the city",
+        "climate change drives wildfire risk",
+        "the city breathes smoke",
+    ];
+
+    #[test]
+    fn fit_builds_vocab_and_idf() {
+        let v = TfIdfVectorizer::fit(CORPUS);
+        assert!(v.dim() >= 8);
+        // "the" appears in 2 docs, "climate" in 1: rarer gets higher IDF.
+        let the_id = v.vocabulary().id("the").unwrap() as usize;
+        let climate_id = v.vocabulary().id("climate").unwrap() as usize;
+        assert!(v.idf[climate_id] > v.idf[the_id]);
+    }
+
+    #[test]
+    fn transform_is_normalized() {
+        let v = TfIdfVectorizer::fit(CORPUS);
+        let x = v.transform("wildfire smoke in the city");
+        assert!((x.norm() - 1.0).abs() < 1e-5);
+        assert!(x.nnz() >= 3);
+    }
+
+    #[test]
+    fn similar_docs_score_higher() {
+        let v = TfIdfVectorizer::fit(CORPUS);
+        let a = v.transform("wildfire smoke covers the city");
+        let b = v.transform("smoke covers the city tonight");
+        let c = v.transform("climate change risk");
+        assert!(a.dot(&b) > a.dot(&c));
+    }
+
+    #[test]
+    fn oov_only_doc_is_zero_vector() {
+        let v = TfIdfVectorizer::fit(CORPUS);
+        let x = v.transform("zzz qqq");
+        assert_eq!(x.nnz(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Heavyweight-model stand-ins: cost descriptors + a real extractive
+//! answerer.
+//!
+//! The paper's GOTTA task runs a fine-tuned BART (1.59 GB) and its KGE
+//! task loads a 375 MB embedding model (§IV-E). We cannot ship those, so
+//! each heavyweight model is split into:
+//!
+//! * a [`ModelProfile`] carrying the virtual size and per-item compute
+//!   the timing experiments charge, and
+//! * a *real* lightweight implementation producing actual outputs — the
+//!   [`ClozeAnswerer`] answers cloze questions extractively from the
+//!   passage, which exercises the same code path (batched forward pass
+//!   over prepared inputs) with verifiable results.
+
+use scriptflow_simcluster::SimDuration;
+
+use crate::text::tokenize;
+
+/// Virtual size/compute descriptor of a heavyweight model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelProfile {
+    /// Serialized size in bytes (what the object store charges).
+    pub bytes: u64,
+    /// CPU work per input item, calibrated in Python-time.
+    pub work_per_item: SimDuration,
+    /// One-time load/initialization work.
+    pub load_work: SimDuration,
+}
+
+impl ModelProfile {
+    /// The paper's GOTTA BART model: 1.59 GB, heavyweight generation.
+    pub fn gotta_bart() -> Self {
+        ModelProfile {
+            bytes: 1_590_000_000,
+            work_per_item: SimDuration::from_millis(5_300),
+            load_work: SimDuration::from_secs(18),
+        }
+    }
+
+    /// The paper's KGE model: 375 MB embedding table + scorer.
+    pub fn kge_model() -> Self {
+        ModelProfile {
+            bytes: 375_000_000,
+            work_per_item: SimDuration::from_micros(900),
+            load_work: SimDuration::from_secs(4),
+        }
+    }
+
+    /// WEF's BERT fine-tune: work is per (example × epoch).
+    pub fn wef_bert() -> Self {
+        ModelProfile {
+            bytes: 440_000_000,
+            work_per_item: SimDuration::from_millis(530),
+            load_work: SimDuration::from_secs(6),
+        }
+    }
+}
+
+/// A cloze question: a statement with one masked span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClozeQuestion {
+    /// The text with `[MASK]` where the answer belongs.
+    pub masked: String,
+    /// Gold answer (for evaluation).
+    pub answer: String,
+}
+
+/// The real model behind GOTTA's inference path: answers cloze questions
+/// by scoring candidate spans from the passage against the question
+/// context.
+///
+/// For each candidate token in the passage, the score is the number of
+/// question context tokens that appear adjacent to the candidate in the
+/// passage (a tiny pointer-network, deterministic and testable).
+#[derive(Debug, Clone, Default)]
+pub struct ClozeAnswerer;
+
+impl ClozeAnswerer {
+    /// A fresh answerer.
+    pub fn new() -> Self {
+        ClozeAnswerer
+    }
+
+    /// Answer one cloze question from a passage: returns the passage
+    /// token that best fills the `[MASK]`.
+    pub fn answer(&self, passage: &str, masked_question: &str) -> String {
+        let passage_tokens = tokenize(passage);
+        if passage_tokens.is_empty() {
+            return String::new();
+        }
+        // Context = question tokens around the mask.
+        let context: Vec<String> = masked_question
+            .split_whitespace()
+            .filter(|w| !w.contains("[MASK]"))
+            .flat_map(tokenize)
+            .collect();
+        let window = 3usize;
+        let mut best: (i64, usize) = (i64::MIN, 0);
+        for (i, _cand) in passage_tokens.iter().enumerate() {
+            // Skip candidates that already appear in the question context —
+            // the mask replaces *new* information.
+            if context.contains(&passage_tokens[i]) {
+                continue;
+            }
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(passage_tokens.len());
+            let mut score = 0i64;
+            for (j, tok) in passage_tokens[lo..hi].iter().enumerate() {
+                if lo + j != i && context.contains(tok) {
+                    score += 1;
+                }
+            }
+            if score > best.0 {
+                best = (score, i);
+            }
+        }
+        passage_tokens[best.1].clone()
+    }
+
+    /// Answer a batch of questions against one passage.
+    pub fn answer_batch(&self, passage: &str, questions: &[ClozeQuestion]) -> Vec<String> {
+        questions
+            .iter()
+            .map(|q| self.answer(passage, &q.masked))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PASSAGE: &str =
+        "The patient was a 34 yr old man who presented with complaints of fever and a chronic cough.";
+
+    #[test]
+    fn profiles_match_paper_sizes() {
+        assert_eq!(ModelProfile::gotta_bart().bytes, 1_590_000_000);
+        assert_eq!(ModelProfile::kge_model().bytes, 375_000_000);
+    }
+
+    #[test]
+    fn extractive_answer_finds_masked_token() {
+        let m = ClozeAnswerer::new();
+        let ans = m.answer(PASSAGE, "the patient presented with complaints of [MASK] and a cough");
+        assert_eq!(ans, "fever");
+    }
+
+    #[test]
+    fn answer_is_from_passage() {
+        let m = ClozeAnswerer::new();
+        let ans = m.answer(PASSAGE, "the patient was a 34 yr old [MASK] who presented");
+        assert!(tokenize(PASSAGE).contains(&ans));
+        assert_eq!(ans, "man");
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let m = ClozeAnswerer::new();
+        let qs = vec![
+            ClozeQuestion {
+                masked: "complaints of [MASK] and a cough".into(),
+                answer: "fever".into(),
+            },
+            ClozeQuestion {
+                masked: "a chronic [MASK]".into(),
+                answer: "cough".into(),
+            },
+        ];
+        let batch = m.answer_batch(PASSAGE, &qs);
+        assert_eq!(batch[0], m.answer(PASSAGE, &qs[0].masked));
+        assert_eq!(batch[1], m.answer(PASSAGE, &qs[1].masked));
+    }
+
+    #[test]
+    fn empty_passage_is_safe() {
+        let m = ClozeAnswerer::new();
+        assert_eq!(m.answer("", "[MASK]"), "");
+    }
+}

@@ -1,0 +1,174 @@
+//! The kernel: shared mutable state + embedded Ray runtime.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scriptflow_raysim::{RayConfig, RayRuntime};
+use scriptflow_simcluster::{ClusterSpec, SimDuration, SimTime};
+
+use crate::cell::CellError;
+
+/// The notebook kernel: a bag of named variables (Python's globals) and
+/// the distributed runtime cells use to scale out.
+///
+/// Variables are type-erased, like Python objects; typed access downcasts
+/// and reports a cell-friendly error on mismatch.
+pub struct Kernel {
+    vars: HashMap<String, Arc<dyn Any + Send + Sync>>,
+    ray: RayRuntime,
+    execution_count: u64,
+}
+
+impl Kernel {
+    /// A kernel whose Ray runtime runs on `cluster` with `config`.
+    pub fn new(cluster: &ClusterSpec, config: RayConfig) -> Self {
+        Kernel {
+            vars: HashMap::new(),
+            ray: RayRuntime::new(cluster, config).expect("valid kernel config"),
+            execution_count: 0,
+        }
+    }
+
+    /// A kernel on the paper's cluster with 1 Ray CPU (the baseline
+    /// worker configuration of §IV-A).
+    pub fn paper_default() -> Self {
+        Self::new(&ClusterSpec::paper_cluster(), RayConfig::default())
+    }
+
+    /// Bind a variable.
+    pub fn set<T: Send + Sync + 'static>(&mut self, name: impl Into<String>, value: T) {
+        self.vars.insert(name.into(), Arc::new(value));
+    }
+
+    /// Read a variable with its concrete type.
+    pub fn get<T: Send + Sync + 'static>(&self, name: &str) -> Result<Arc<T>, CellError> {
+        let any = self
+            .vars
+            .get(name)
+            .ok_or_else(|| CellError::undefined_variable(name))?
+            .clone();
+        any.downcast::<T>()
+            .map_err(|_| CellError::type_error(name, std::any::type_name::<T>()))
+    }
+
+    /// True if a variable is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// Remove a variable (Python's `del`).
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.vars.remove(name).is_some()
+    }
+
+    /// Names of all bound variables, sorted (deterministic introspection).
+    pub fn var_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.vars.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The embedded distributed runtime.
+    pub fn ray(&mut self) -> &mut RayRuntime {
+        &mut self.ray
+    }
+
+    /// Current virtual time of the driver process.
+    pub fn now(&self) -> SimTime {
+        self.ray.now()
+    }
+
+    /// Charge local (in-driver) compute time to the clock.
+    pub fn advance(&mut self, work: SimDuration) {
+        self.ray.advance(work);
+    }
+
+    /// Next execution-counter value (the `In [n]:` label).
+    pub(crate) fn next_execution_count(&mut self) -> u64 {
+        self.execution_count += 1;
+        self.execution_count
+    }
+
+    /// Executions so far.
+    pub fn execution_count(&self) -> u64 {
+        self.execution_count
+    }
+
+    /// "Restart kernel": drop every variable binding (the execution
+    /// counter keeps counting, like Jupyter's restart-without-clearing
+    /// the notebook document).
+    pub fn restart(&mut self) {
+        self.vars.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(&ClusterSpec::single_node(2), RayConfig::with_cpus(2))
+    }
+
+    #[test]
+    fn typed_variable_roundtrip() {
+        let mut k = kernel();
+        k.set("xs", vec![1i64, 2, 3]);
+        let xs = k.get::<Vec<i64>>("xs").unwrap();
+        assert_eq!(*xs, vec![1, 2, 3]);
+        assert!(k.contains("xs"));
+        assert!(!k.contains("ys"));
+    }
+
+    #[test]
+    fn undefined_variable_error() {
+        let k = kernel();
+        let err = k.get::<i64>("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn type_error_names_expected_type() {
+        let mut k = kernel();
+        k.set("x", 1i64);
+        let err = k.get::<String>("x").unwrap_err();
+        assert!(err.to_string().contains("String"), "{err}");
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut k = kernel();
+        k.set("x", 1i64);
+        k.set("x", 2i64);
+        assert_eq!(*k.get::<i64>("x").unwrap(), 2);
+        assert!(k.remove("x"));
+        assert!(!k.remove("x"));
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut k = kernel();
+        let t0 = k.now();
+        k.advance(SimDuration::from_secs(1));
+        assert_eq!(k.now().since(t0).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn restart_clears_variables_but_not_counter() {
+        let mut k = kernel();
+        k.set("x", 1i64);
+        let _ = k.next_execution_count();
+        k.restart();
+        assert!(!k.contains("x"));
+        assert_eq!(k.execution_count(), 1);
+    }
+
+    #[test]
+    fn var_names_sorted() {
+        let mut k = kernel();
+        k.set("b", 1i64);
+        k.set("a", 1i64);
+        assert_eq!(k.var_names(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

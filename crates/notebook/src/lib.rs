@@ -1,0 +1,37 @@
+//! # scriptflow-notebook
+//!
+//! The script paradigm engine — a from-scratch analogue of Jupyter
+//! Notebook (§I, Fig. 1 of the paper).
+//!
+//! A [`Notebook`] is an ordered list of [`Cell`]s. Each cell carries a
+//! pseudo-Python source listing (the basis of the paper's lines-of-code
+//! metric, Fig. 12a) and a Rust closure that mutates the shared
+//! [`Kernel`] state. The engine reproduces the paradigm properties the
+//! paper analyses:
+//!
+//! * **Implicit shared state** — cells communicate through kernel
+//!   variables, not explicit edges (§III-A "the state stored in the
+//!   kernel being used by different cells implicitly").
+//! * **Arbitrary execution order** — `run_cell` executes any cell at any
+//!   time; the execution counter records the order actually used, and
+//!   [`lineage`] reconstructs the *data* dependencies after the fact to
+//!   flag order violations (the paper's Fig. 8 hazard).
+//! * **Cell-level error traces** — failures carry the cell index, name,
+//!   and execution count ([`CellError`]), the script paradigm's
+//!   counterpart to operator-level errors.
+//! * **Distribution via Ray** — the kernel embeds a
+//!   [`scriptflow_raysim::RayRuntime`]; cells scale out with explicit
+//!   `parallel_map` stages and pay object-store costs, exactly as the
+//!   paper's Ray-cluster implementations did.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod kernel;
+pub mod lineage;
+pub mod render;
+
+pub use cell::{Cell, CellError, CellOutcome, Notebook};
+pub use kernel::Kernel;
+pub use lineage::{LineageGraph, LineageIssue};
+pub use render::render;

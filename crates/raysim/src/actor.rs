@@ -1,0 +1,222 @@
+//! Ray-style actors: stateful pinned workers.
+//!
+//! An actor is a worker process holding state between calls — the idiom
+//! Ray users reach for to avoid exactly the pathology the paper measured
+//! in GOTTA (§IV-E): instead of every task `get`ting the 1.59 GB model
+//! from the object store, an actor loads it **once** and serves calls.
+//! The `ablate-actors` extension experiment quantifies that fix.
+//!
+//! Calls on one actor serialize (a single process); calls on different
+//! actors overlap. State mutation is real (`FnOnce(&mut S)`).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use scriptflow_simcluster::{SimDuration, SimTime};
+
+use crate::error::{RayError, RayResult};
+
+/// Typed handle to an actor.
+pub struct ActorRef<S> {
+    id: u64,
+    _marker: PhantomData<fn() -> S>,
+}
+
+impl<S> Clone for ActorRef<S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S> Copy for ActorRef<S> {}
+impl<S> std::fmt::Debug for ActorRef<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActorRef({})", self.id)
+    }
+}
+
+struct ActorSlot {
+    state: Box<dyn Any + Send>,
+    busy_until: SimTime,
+    calls: u64,
+}
+
+/// The actor registry a runtime owns.
+#[derive(Default)]
+pub struct ActorPool {
+    slots: HashMap<u64, ActorSlot>,
+    next_id: u64,
+}
+
+impl ActorPool {
+    /// Create an actor at `now`: ships `state_bytes` to a fresh worker
+    /// process and runs `startup` initialization. Returns the handle and
+    /// the time the actor becomes ready.
+    pub fn create<S: Send + 'static>(
+        &mut self,
+        now: SimTime,
+        state: S,
+        state_bytes: u64,
+        startup: SimDuration,
+    ) -> (ActorRef<S>, SimTime) {
+        let id = self.next_id;
+        self.next_id += 1;
+        // One-time ship at ~2 GB/s effective serialization bandwidth.
+        let ship = SimDuration::from_secs_f64(state_bytes as f64 / 2e9);
+        let ready = now + ship + startup;
+        self.slots.insert(
+            id,
+            ActorSlot {
+                state: Box::new(state),
+                busy_until: ready,
+                calls: 0,
+            },
+        );
+        (
+            ActorRef {
+                id,
+                _marker: PhantomData,
+            },
+            ready,
+        )
+    }
+
+    /// Invoke `f` on the actor's state with declared `work`; the call is
+    /// queued behind earlier calls (actors are serial). `now` is the
+    /// submission time; returns the result and the completion time.
+    pub fn call<S: Send + 'static, R>(
+        &mut self,
+        now: SimTime,
+        actor: ActorRef<S>,
+        work: SimDuration,
+        f: impl FnOnce(&mut S) -> RayResult<R>,
+    ) -> RayResult<(R, SimTime)> {
+        let slot = self
+            .slots
+            .get_mut(&actor.id)
+            .ok_or(RayError::ObjectMissing { id: actor.id })?;
+        let state = slot
+            .state
+            .downcast_mut::<S>()
+            .ok_or(RayError::ObjectTypeMismatch {
+                id: actor.id,
+                expected: std::any::type_name::<S>(),
+            })?;
+        let start = slot.busy_until.max(now);
+        let finish = start + work;
+        slot.busy_until = finish;
+        slot.calls += 1;
+        let out = f(state)?;
+        Ok((out, finish))
+    }
+
+    /// Terminate an actor, freeing its worker.
+    pub fn kill<S>(&mut self, actor: ActorRef<S>) -> RayResult<()> {
+        self.slots
+            .remove(&actor.id)
+            .map(|_| ())
+            .ok_or(RayError::ObjectMissing { id: actor.id })
+    }
+
+    /// Number of calls an actor has served.
+    pub fn call_count<S>(&self, actor: ActorRef<S>) -> Option<u64> {
+        self.slots.get(&actor.id).map(|s| s.calls)
+    }
+
+    /// Live actors.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no actors are alive.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn actor_holds_state_across_calls() {
+        let mut pool = ActorPool::default();
+        let (counter, ready) = pool.create(SimTime::ZERO, 0u64, 0, d(100));
+        assert_eq!(ready, t(100));
+        let (v1, _) = pool
+            .call(ready, counter, d(10), |s| {
+                *s += 1;
+                Ok(*s)
+            })
+            .unwrap();
+        let (v2, _) = pool
+            .call(ready, counter, d(10), |s| {
+                *s += 1;
+                Ok(*s)
+            })
+            .unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(pool.call_count(counter), Some(2));
+    }
+
+    #[test]
+    fn calls_serialize_on_one_actor() {
+        let mut pool = ActorPool::default();
+        let (a, ready) = pool.create(SimTime::ZERO, (), 0, d(0));
+        let (_, f1) = pool.call(ready, a, d(100), |_| Ok(())).unwrap();
+        // Submitted at the same time, but queued behind the first call.
+        let (_, f2) = pool.call(ready, a, d(100), |_| Ok(())).unwrap();
+        assert_eq!(f1, t(100));
+        assert_eq!(f2, t(200));
+    }
+
+    #[test]
+    fn different_actors_overlap() {
+        let mut pool = ActorPool::default();
+        let (a, _) = pool.create(SimTime::ZERO, (), 0, d(0));
+        let (b, _) = pool.create(SimTime::ZERO, (), 0, d(0));
+        let (_, fa) = pool.call(SimTime::ZERO, a, d(100), |_| Ok(())).unwrap();
+        let (_, fb) = pool.call(SimTime::ZERO, b, d(100), |_| Ok(())).unwrap();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn state_ship_cost_scales() {
+        let mut pool = ActorPool::default();
+        let (_big, ready) = pool.create(SimTime::ZERO, (), 2_000_000_000, d(0));
+        assert_eq!(ready.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn kill_and_missing_actor() {
+        let mut pool = ActorPool::default();
+        let (a, _) = pool.create(SimTime::ZERO, 7i64, 0, d(0));
+        assert_eq!(pool.len(), 1);
+        pool.kill(a).unwrap();
+        assert!(pool.is_empty());
+        assert!(pool.call(SimTime::ZERO, a, d(1), |_| Ok(())).is_err());
+        assert!(pool.kill(a).is_err());
+    }
+
+    #[test]
+    fn wrong_state_type_is_detected() {
+        let mut pool = ActorPool::default();
+        let (a, _) = pool.create(SimTime::ZERO, 7i64, 0, d(0));
+        let forged: ActorRef<String> = ActorRef {
+            id: 0,
+            _marker: PhantomData,
+        };
+        let _ = a;
+        let err = pool
+            .call(SimTime::ZERO, forged, d(1), |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, RayError::ObjectTypeMismatch { .. }));
+    }
+}

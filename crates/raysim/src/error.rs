@@ -1,0 +1,66 @@
+//! Errors of the Ray-like runtime.
+
+use std::fmt;
+
+/// Result alias for runtime operations.
+pub type RayResult<T> = Result<T, RayError>;
+
+/// Errors raised by the distributed runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RayError {
+    /// A referenced object is not (or no longer) in the store.
+    ObjectMissing {
+        /// The raw object/actor id.
+        id: u64,
+    },
+    /// A referenced object exists but has a different type.
+    ObjectTypeMismatch {
+        /// The raw object/actor id.
+        id: u64,
+        /// The type the caller expected.
+        expected: &'static str,
+    },
+    /// A task's user code failed.
+    TaskFailed {
+        /// The failing task's name.
+        task: String,
+        /// The failure message.
+        message: String,
+    },
+    /// Invalid configuration (e.g. zero CPUs).
+    BadConfig(String),
+}
+
+impl fmt::Display for RayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RayError::ObjectMissing { id } => write!(f, "object {id} not found in object store"),
+            RayError::ObjectTypeMismatch { id, expected } => {
+                write!(f, "object {id} is not of type {expected}")
+            }
+            RayError::TaskFailed { task, message } => write!(f, "task `{task}` failed: {message}"),
+            RayError::BadConfig(msg) => write!(f, "bad Ray configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            RayError::ObjectMissing { id: 3 }.to_string(),
+            "object 3 not found in object store"
+        );
+        assert!(RayError::TaskFailed {
+            task: "t".into(),
+            message: "oops".into()
+        }
+        .to_string()
+        .contains("oops"));
+    }
+}

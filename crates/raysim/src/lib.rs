@@ -1,0 +1,41 @@
+//! # scriptflow-raysim
+//!
+//! A Ray-like distributed runtime — the substrate the paper's script
+//! paradigm uses to scale beyond one process (§IV-A "Ray-cluster").
+//!
+//! The pieces the experiments depend on, reproduced from scratch:
+//!
+//! * **Typed object store** ([`store::TypedStore`], [`ObjRef`]) — a
+//!   plasma-style shared store holding *real* Rust values behind type-safe
+//!   references, with every `put`/`get` charged by the
+//!   [`scriptflow_simcluster::ObjectStoreModel`] cost model. This is the
+//!   mechanism behind GOTTA's 1.59 GB model penalty (§IV-E).
+//! * **Task scheduler** ([`runtime::RayRuntime`]) — `parallel_map`
+//!   submits tasks that declare `num_cpus`; the scheduler packs them onto
+//!   a CPU pool sized by the Ray configuration (the paper's "number of
+//!   workers" knob is exactly Ray's total CPU count, §IV-A).
+//! * **Stage barriers** — the script paradigm's `ray.get(futures)` idiom:
+//!   the driver blocks until all tasks of a stage finish before launching
+//!   the next stage. No pipelining across stages, by construction.
+//! * **`num_cpus` pinning** — tasks run their kernels at exactly their
+//!   reserved CPU count; a PyTorch-style malleable kernel inside a
+//!   1-CPU Ray task stays at 1 CPU, while the same kernel outside Ray may
+//!   spread (the GOTTA asymmetry).
+//!
+//! Execution is deterministic virtual time: task closures really run (on
+//! the calling thread), while durations come from the declared cost
+//! model.
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod error;
+pub mod runtime;
+pub mod store;
+pub mod task;
+
+pub use actor::{ActorPool, ActorRef};
+pub use error::{RayError, RayResult};
+pub use runtime::{RayConfig, RayMetrics, RayRuntime};
+pub use store::{ObjRef, TypedStore};
+pub use task::{RayTask, TaskData};

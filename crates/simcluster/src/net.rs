@@ -1,0 +1,95 @@
+//! Network transfer cost model.
+
+use crate::time::SimDuration;
+
+/// Latency + bandwidth model for transfers between machines.
+///
+/// Used for Texera's controller→worker model broadcast and for shipping
+/// batches between operators placed on different machines. Intra-machine
+/// transfers pay only a memcpy cost (see [`NetworkModel::local_copy`]).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// One-way message latency.
+    pub latency: SimDuration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Intra-machine memory bandwidth in bytes per second.
+    pub memcpy_bytes_per_sec: f64,
+}
+
+impl Default for NetworkModel {
+    /// Defaults approximating the paper's GCP cluster: ~10 Gbit/s links,
+    /// 250 µs latency, ~8 GB/s memcpy.
+    fn default() -> Self {
+        NetworkModel {
+            latency: SimDuration::from_micros(250),
+            bandwidth_bytes_per_sec: 1.25e9,
+            memcpy_bytes_per_sec: 8e9,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Time to move `bytes` between two machines.
+    pub fn transfer(&self, bytes: usize) -> SimDuration {
+        self.latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
+
+    /// Time to copy `bytes` within one machine.
+    pub fn local_copy(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.memcpy_bytes_per_sec)
+    }
+
+    /// Time to broadcast `bytes` from one node to `receivers` nodes over a
+    /// shared uplink (serialized sends — the simple model Texera's
+    /// controller uses for model distribution).
+    pub fn broadcast(&self, bytes: usize, receivers: usize) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for _ in 0..receivers {
+            total += self.transfer(bytes);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let net = NetworkModel::default();
+        let small = net.transfer(1_000);
+        let large = net.transfer(1_000_000);
+        assert!(large > small);
+        // Latency floor applies even to tiny messages.
+        assert!(small >= net.latency);
+    }
+
+    #[test]
+    fn transfer_math() {
+        let net = NetworkModel {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bytes_per_sec: 1e6, // 1 MB/s
+            memcpy_bytes_per_sec: 1e9,
+        };
+        // 500_000 bytes at 1MB/s = 0.5s + 100µs latency.
+        assert_eq!(net.transfer(500_000).as_micros(), 500_100);
+        assert_eq!(net.local_copy(1_000_000).as_micros(), 1_000);
+    }
+
+    #[test]
+    fn broadcast_serializes_sends() {
+        let net = NetworkModel::default();
+        let one = net.transfer(10_000);
+        let four = net.broadcast(10_000, 4);
+        assert_eq!(four.as_micros(), one.as_micros() * 4);
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let net = NetworkModel::default();
+        assert_eq!(net.transfer(0), net.latency);
+        assert_eq!(net.local_copy(0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,132 @@
+//! Machine and cluster specifications.
+
+use crate::cpu::CpuPool;
+use crate::net::NetworkModel;
+use crate::store::{ObjectStoreModel, StoreConfig};
+use crate::time::SimDuration;
+
+/// Hardware of one virtual machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Virtual CPU count.
+    pub vcpus: usize,
+    /// RAM in bytes.
+    pub ram_bytes: u64,
+    /// Disk in bytes.
+    pub disk_bytes: u64,
+}
+
+impl MachineSpec {
+    /// The paper's GCP node: 8 vCPUs, 64 GB RAM, 100 GB HDD.
+    pub fn gcp_paper_node() -> Self {
+        MachineSpec {
+            vcpus: 8,
+            ram_bytes: 64 * 1024 * 1024 * 1024,
+            disk_bytes: 100 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A fresh CPU pool for this machine.
+    pub fn cpu_pool(&self) -> CpuPool {
+        CpuPool::new(self.vcpus)
+    }
+}
+
+/// A cluster: one controller/head node plus worker nodes, a network, and
+/// object-store configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The controller (Texera) / head (Ray) node.
+    pub head: MachineSpec,
+    /// Worker nodes.
+    pub workers: Vec<MachineSpec>,
+    /// Inter-machine network model.
+    pub network: NetworkModel,
+    /// Object-store cost configuration (Ray-side).
+    pub store: StoreConfig,
+    /// Fixed job submission overhead (GUI submit / CLI submit to head).
+    pub submit_overhead: SimDuration,
+}
+
+impl ClusterSpec {
+    /// The paper's setup: 1 head + 4 workers, each 8 vCPU / 64 GB.
+    pub fn paper_cluster() -> Self {
+        ClusterSpec {
+            head: MachineSpec::gcp_paper_node(),
+            workers: vec![MachineSpec::gcp_paper_node(); 4],
+            network: NetworkModel::default(),
+            store: StoreConfig::default(),
+            submit_overhead: SimDuration::from_millis(400),
+        }
+    }
+
+    /// A single-machine "cluster" for laptop-scale examples and tests.
+    pub fn single_node(vcpus: usize) -> Self {
+        let node = MachineSpec {
+            vcpus,
+            ram_bytes: 16 * 1024 * 1024 * 1024,
+            disk_bytes: 100 * 1024 * 1024 * 1024,
+        };
+        ClusterSpec {
+            head: node,
+            workers: vec![node],
+            network: NetworkModel::default(),
+            store: StoreConfig::default(),
+            submit_overhead: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Number of worker machines.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total worker vCPUs across the cluster.
+    pub fn total_worker_vcpus(&self) -> usize {
+        self.workers.iter().map(|m| m.vcpus).sum()
+    }
+
+    /// Fresh CPU pools for all worker machines.
+    pub fn worker_cpu_pools(&self) -> Vec<CpuPool> {
+        self.workers.iter().map(MachineSpec::cpu_pool).collect()
+    }
+
+    /// A fresh object store sized by this spec.
+    pub fn object_store(&self) -> ObjectStoreModel {
+        ObjectStoreModel::new(self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_section_iv_a() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.worker_count(), 4);
+        assert_eq!(c.head.vcpus, 8);
+        assert_eq!(c.head.ram_bytes, 64 * 1024 * 1024 * 1024);
+        for w in &c.workers {
+            assert_eq!(w.vcpus, 8);
+        }
+        assert_eq!(c.total_worker_vcpus(), 32);
+    }
+
+    #[test]
+    fn cpu_pools_match_machines() {
+        let c = ClusterSpec::paper_cluster();
+        let pools = c.worker_cpu_pools();
+        assert_eq!(pools.len(), 4);
+        for p in pools {
+            assert_eq!(p.capacity(), 8);
+        }
+    }
+
+    #[test]
+    fn single_node_has_one_worker() {
+        let c = ClusterSpec::single_node(4);
+        assert_eq!(c.worker_count(), 1);
+        assert_eq!(c.total_worker_vcpus(), 4);
+    }
+}

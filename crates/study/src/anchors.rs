@@ -1,0 +1,75 @@
+//! The paper's reported numbers (§IV), used as references in every
+//! experiment's side-by-side output and in the shape assertions.
+
+/// Fig. 12a: lines of code per task — `(task, notebook, texera)`.
+pub const FIG12A_LOC: [(&str, usize, usize); 4] = [
+    ("DICE", 377, 215),
+    ("WEF", 68, 62),
+    ("GOTTA", 120, 105),
+    ("KGE", 128, 134),
+];
+
+/// Fig. 12b: KGE seconds at 6.8k products by operator count — the three
+/// values the paper quotes.
+pub const FIG12B_POINTS: [(f64, f64); 3] = [(1.0, 138.97), (5.0, 114.05), (6.0, 115.143)];
+
+/// Table I: KGE seconds — `(products, scala, python)`.
+pub const TABLE1: [(usize, f64, f64); 2] =
+    [(6_800, 98.67, 126.28), (68_000, 1_159.82, 1_170.57)];
+
+/// Fig. 13a: DICE seconds by file pairs — `(pairs, notebook, texera)`.
+pub const FIG13A: [(usize, f64, f64); 2] = [(10, 14.71, 10.73), (200, 239.54, 107.83)];
+
+/// Fig. 13b: WEF seconds by tweets — `(tweets, notebook, texera)`.
+pub const FIG13B: [(usize, f64, f64); 3] = [
+    (200, 1_285.82, 1_264.93),
+    (300, 1_922.86, 1_896.01),
+    (400, 2_587.94, 2_525.96),
+];
+
+/// Fig. 13c: KGE seconds by products — `(products, notebook, texera)`.
+pub const FIG13C: [(usize, f64, f64); 2] = [(6_800, 90.69, 135.85), (68_000, 975.46, 1_350.50)];
+
+/// Fig. 13d: GOTTA seconds by paragraphs — `(paragraphs, notebook,
+/// texera)`.
+pub const FIG13D: [(usize, f64, f64); 3] = [
+    (1, 163.22, 64.14),
+    (4, 463.96, 149.45),
+    (16, 1_389.93, 460.13),
+];
+
+/// Fig. 14a: DICE seconds at 200 pairs by workers — `(workers, notebook,
+/// texera)`.
+pub const FIG14A: [(usize, f64, f64); 3] = [
+    (1, 239.54, 107.82),
+    (2, 148.04, 87.13),
+    (4, 85.65, 57.21),
+];
+
+/// Fig. 14b: GOTTA seconds at 4 paragraphs by workers.
+pub const FIG14B: [(usize, f64, f64); 3] = [
+    (1, 463.96, 149.45),
+    (2, 234.68, 104.16),
+    (4, 139.66, 83.37),
+];
+
+/// Fig. 14c: KGE seconds at 68k products by workers.
+pub const FIG14C: [(usize, f64, f64); 3] = [
+    (1, 975.46, 1_350.50),
+    (2, 459.46, 618.39),
+    (4, 273.89, 383.58),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_internally_consistent() {
+        // Fig. 13 and Fig. 14 share their 1-worker / largest-size points.
+        assert_eq!(FIG13A[1].1, FIG14A[0].1);
+        assert_eq!(FIG13C[1].1, FIG14C[0].1);
+        assert_eq!(FIG13D[1].1, FIG14B[0].1);
+        assert_eq!(FIG13D[1].2, FIG14B[0].2);
+    }
+}

@@ -1,0 +1,133 @@
+//! The paper's §VI conclusions, recomputed from live runs.
+//!
+//! §VI makes four empirical claims; this module measures each one on the
+//! calibrated task implementations and reports pass/fail, so the
+//! reproduction's headline story is itself a tested artifact.
+
+use scriptflow_core::{Calibration, Table};
+use scriptflow_tasks::dice::{self, DiceParams};
+use scriptflow_tasks::gotta::{self, GottaParams};
+use scriptflow_tasks::kge::{self, KgeParams};
+use scriptflow_tasks::wef::{self, WefParams};
+
+/// One verified claim.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// The paper's wording (abridged).
+    pub statement: &'static str,
+    /// The evidence measured here.
+    pub evidence: String,
+    /// Whether the reproduction supports it.
+    pub holds: bool,
+}
+
+/// Evaluate every §VI claim. Uses laptop-scale inputs; all virtual-time.
+pub fn evaluate(cal: &Calibration) -> Vec<Claim> {
+    let mut claims = Vec::new();
+
+    // Claim 1: "in settings with low computational resources, Texera
+    // performs well" — at 1 worker, Texera wins DICE and GOTTA outright.
+    {
+        let dice_s = dice::script::run_script(&DiceParams::new(50, 1), cal)
+            .expect("dice script")
+            .seconds();
+        let dice_w = dice::workflow::run_workflow(&DiceParams::new(50, 1), cal)
+            .expect("dice workflow")
+            .seconds();
+        let gotta_s = gotta::script::run_script(&GottaParams::new(4, 1), cal)
+            .expect("gotta script")
+            .seconds();
+        let gotta_w = gotta::workflow::run_workflow(&GottaParams::new(4, 1), cal)
+            .expect("gotta workflow")
+            .seconds();
+        claims.push(Claim {
+            statement: "With low resources (1 worker), Texera performs well",
+            evidence: format!(
+                "DICE {dice_w:.1}s vs {dice_s:.1}s; GOTTA {gotta_w:.1}s vs {gotta_s:.1}s"
+            ),
+            holds: dice_w < dice_s && gotta_w < gotta_s,
+        });
+    }
+
+    // Claim 2: "Jupyter Notebook achieves large relative performance
+    // improvements as more computational resources are used" — the
+    // script's 1→4-worker speedup exceeds Texera's on DICE and GOTTA.
+    {
+        let speedup = |one: f64, four: f64| one / four;
+        let ds1 = dice::script::run_script(&DiceParams::new(50, 1), cal).expect("run").seconds();
+        let ds4 = dice::script::run_script(&DiceParams::new(50, 4), cal).expect("run").seconds();
+        let dw1 = dice::workflow::run_workflow(&DiceParams::new(50, 1), cal).expect("run").seconds();
+        let dw4 = dice::workflow::run_workflow(&DiceParams::new(50, 4), cal).expect("run").seconds();
+        let script_gain = speedup(ds1, ds4);
+        let workflow_gain = speedup(dw1, dw4);
+        claims.push(Claim {
+            statement: "The notebook gains more, relatively, from added workers",
+            evidence: format!(
+                "DICE 1→4 workers: script {script_gain:.2}x vs workflow {workflow_gain:.2}x"
+            ),
+            holds: script_gain > workflow_gain,
+        });
+    }
+
+    // Claim 3: "Texera users achieve similar or improved performance"
+    // on training (WEF within a few percent).
+    {
+        let s = wef::script::run_script(&WefParams::new(100), cal).expect("run").seconds();
+        let w = wef::workflow::run_workflow(&WefParams::new(100), cal).expect("run").seconds();
+        let gap = (s - w).abs() / s;
+        claims.push(Claim {
+            statement: "Training performance is similar across paradigms",
+            evidence: format!("WEF @100 tweets: script {s:.1}s vs workflow {w:.1}s ({:.1}% gap)", gap * 100.0),
+            holds: gap < 0.05,
+        });
+    }
+
+    // Claim 4: "in some cases [Texera] outperforms, in others the
+    // notebook does" — the KGE counterexample must also reproduce.
+    {
+        let s = kge::script::run_script(&KgeParams::new(6_800, 1), cal).expect("run").seconds();
+        let w = kge::workflow::run_workflow(&KgeParams::new(6_800, 1).with_fusion(3), cal)
+            .expect("run")
+            .seconds();
+        claims.push(Claim {
+            statement: "Neither paradigm dominates: the notebook wins KGE",
+            evidence: format!("KGE @6.8k: script {s:.1}s vs workflow {w:.1}s"),
+            holds: s < w,
+        });
+    }
+
+    claims
+}
+
+/// Render the claims as a table.
+pub fn as_table(claims: &[Claim]) -> Table {
+    let mut t = Table::new(
+        "§VI conclusions, recomputed",
+        &["claim", "evidence", "holds"],
+    );
+    for c in claims {
+        t.push_row(vec![
+            c.statement.to_owned(),
+            c.evidence.clone(),
+            if c.holds { "✓" } else { "✗" }.to_owned(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_section_vi_claim_holds() {
+        let claims = evaluate(&Calibration::paper());
+        assert_eq!(claims.len(), 4);
+        for c in &claims {
+            assert!(c.holds, "claim failed: {} ({})", c.statement, c.evidence);
+        }
+        let table = as_table(&claims);
+        assert_eq!(table.rows.len(), 4);
+        assert!(table.to_string().contains('✓'));
+    }
+}

@@ -1,0 +1,80 @@
+//! # scriptflow-study
+//!
+//! The concrete experiment suite: one module per paper artifact, plus
+//! ablations for the design choices DESIGN.md calls out.
+//!
+//! Every experiment implements [`scriptflow_core::Experiment`]: it runs
+//! deterministically against the calibrated task implementations and
+//! returns the same table/figure the paper printed, side-by-side with
+//! the paper's own numbers ([`anchors`]).
+//!
+//! `registry()` assembles the full suite in paper order; the bench crate
+//! and the `repro` binary drive it.
+
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod anchors;
+pub mod conclusions;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod report;
+pub mod sensitivity;
+pub mod table1;
+
+use scriptflow_core::Registry;
+
+/// Label used for the script paradigm series (the paper's legend).
+pub const SCRIPT_LABEL: &str = "Jupyter Notebook";
+/// Label used for the workflow paradigm series.
+pub const WORKFLOW_LABEL: &str = "Texera";
+
+/// The full experiment suite, in the paper's order.
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(fig12::Fig12a));
+    r.register(Box::new(fig12::Fig12b));
+    r.register(Box::new(table1::Table1));
+    r.register(Box::new(fig13::Fig13a));
+    r.register(Box::new(fig13::Fig13b));
+    r.register(Box::new(fig13::Fig13c));
+    r.register(Box::new(fig13::Fig13d));
+    r.register(Box::new(fig14::Fig14a));
+    r.register(Box::new(fig14::Fig14b));
+    r.register(Box::new(fig14::Fig14c));
+    r
+}
+
+/// The ablation suite (not paper artifacts; they explain them).
+pub fn ablation_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(ablate::PipeliningAblation));
+    r.register(Box::new(ablate::SerdeAblation));
+    r.register(Box::new(ablate::ObjectStoreAblation));
+    r.register(Box::new(ablate::LanguageSweep));
+    r.register(Box::new(ablate::ActorExtension));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_ten_paper_artifacts() {
+        let r = registry();
+        assert_eq!(r.experiments().len(), 10);
+        for id in [
+            "fig12a", "fig12b", "table1", "fig13a", "fig13b", "fig13c", "fig13d", "fig14a",
+            "fig14b", "fig14c",
+        ] {
+            assert!(r.by_id(id).is_some(), "missing experiment {id}");
+        }
+    }
+
+    #[test]
+    fn ablation_registry_is_populated() {
+        assert_eq!(ablation_registry().experiments().len(), 5);
+    }
+}

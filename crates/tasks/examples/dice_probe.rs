@@ -1,0 +1,20 @@
+use scriptflow_core::Calibration;
+use scriptflow_tasks::dice::{script::run_script, workflow::run_workflow, DiceParams};
+
+fn main() {
+    let cal = Calibration::paper();
+    println!("Fig13a (paper JN: 10->14.71, 200->239.54; Tex: 10->10.73, 200->107.83)");
+    for pairs in [10, 25, 50, 100, 200] {
+        let p = DiceParams::new(pairs, 1);
+        let s = run_script(&p, &cal).unwrap().seconds();
+        let w = run_workflow(&p, &cal).unwrap().seconds();
+        println!("  pairs={pairs:<4} script={s:8.2} workflow={w:8.2}");
+    }
+    println!("Fig14a @200 pairs (paper JN: 239.54/148.04/85.65; Tex: 107.82/87.13/57.21)");
+    for workers in [1, 2, 4] {
+        let p = DiceParams::new(200, workers);
+        let s = run_script(&p, &cal).unwrap().seconds();
+        let w = run_workflow(&p, &cal).unwrap().seconds();
+        println!("  workers={workers} script={s:8.2} workflow={w:8.2}");
+    }
+}

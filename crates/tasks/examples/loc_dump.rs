@@ -1,0 +1,11 @@
+fn main() {
+    use scriptflow_tasks::listing::*;
+    for (t, s, w) in [
+        ("DICE", dice_script_listing(), dice_workflow_listing()),
+        ("WEF", wef_script_listing(), wef_workflow_listing()),
+        ("GOTTA", gotta_script_listing(), gotta_workflow_listing()),
+        ("KGE", kge_script_listing(), kge_workflow_listing()),
+    ] {
+        println!("{t}: script {} workflow {}", count_loc(&s), count_loc(&w));
+    }
+}

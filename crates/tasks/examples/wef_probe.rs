@@ -1,0 +1,12 @@
+use scriptflow_core::Calibration;
+use scriptflow_tasks::wef::{script::run_script, workflow::run_workflow, WefParams};
+fn main() {
+    let cal = Calibration::paper();
+    println!("Fig13b (paper JN: 1285.82/1922.86/2587.94; Tex: 1264.93/1896.01/2525.96)");
+    for n in [200, 300, 400] {
+        let p = WefParams::new(n);
+        let s = run_script(&p, &cal).unwrap().seconds();
+        let w = run_workflow(&p, &cal).unwrap().seconds();
+        println!("  tweets={n} script={s:9.2} workflow={w:9.2}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared result types for task runs.
+
+use scriptflow_core::{ExecutionMetrics, Paradigm, RunReport};
+use scriptflow_simcluster::SimTime;
+
+/// One task execution: the comparable report plus the real output.
+#[derive(Debug, Clone)]
+pub struct TaskRun {
+    /// The paper-style measurement record.
+    pub report: RunReport,
+    /// Sorted fingerprint of the task's real output rows. Two paradigm
+    /// implementations of the same task on the same input must produce
+    /// identical fingerprints.
+    pub output: Vec<String>,
+}
+
+impl TaskRun {
+    /// Assemble a run record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        task: &str,
+        paradigm: Paradigm,
+        config: String,
+        makespan: SimTime,
+        parallel_processes: usize,
+        lines_of_code: usize,
+        operator_count: usize,
+        mut output: Vec<String>,
+    ) -> Self {
+        output.sort_unstable();
+        TaskRun {
+            report: RunReport {
+                task: task.to_owned(),
+                paradigm,
+                config,
+                metrics: ExecutionMetrics {
+                    total_seconds: makespan.as_secs_f64(),
+                    parallel_processes,
+                    lines_of_code,
+                    operator_count,
+                },
+            },
+            output,
+        }
+    }
+
+    /// Virtual seconds the run took.
+    pub fn seconds(&self) -> f64 {
+        self.report.metrics.total_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_sorted() {
+        let run = TaskRun::new(
+            "T",
+            Paradigm::Script,
+            "c".into(),
+            SimTime::from_micros(1_000_000),
+            1,
+            10,
+            1,
+            vec!["b".into(), "a".into()],
+        );
+        assert_eq!(run.output, vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(run.seconds(), 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # scriptflow-tasks
+//!
+//! The paper's four data-science tasks (§II), each implemented **twice**:
+//! once as a notebook script scaled out with the Ray-like runtime, and
+//! once as a workflow DAG on the pipelined engine. Both implementations
+//! of a task perform the *same real computation* and return a sortable
+//! output fingerprint, so the test suite can assert paradigm
+//! equivalence; their virtual execution times diverge exactly the way
+//! the paper measured.
+//!
+//! | Task | Paper role | Module |
+//! |------|-----------|--------|
+//! | DICE | data wrangling (MACCROBAT → MACCROBAT-EE) | [`dice`] |
+//! | WEF | model training (4 binary framing heads) | [`wef`] |
+//! | GOTTA | one-step inference (cloze QA forward pass) | [`gotta`] |
+//! | KGE | multi-step inference (filter→join→score→rank→lookup) | [`kge`] |
+//!
+//! [`common::TaskRun`] packages each run's [`scriptflow_core::RunReport`]
+//! with the output fingerprint. [`listing`] generates the pseudo-Python /
+//! workflow-config listings behind the paper's lines-of-code metric
+//! (Fig. 12a).
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod dice;
+pub mod gotta;
+pub mod kge;
+pub mod listing;
+pub mod wef;
+
+pub use common::TaskRun;

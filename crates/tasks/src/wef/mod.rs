@@ -1,0 +1,105 @@
+//! Task 2 — WEF model training (§II-B).
+//!
+//! Multi-label classification of wildfire tweets into four climate
+//! framings by fine-tuning four binary models, one per framing (Fig. 5).
+//! The real substrate is [`scriptflow_mlkit::MultiLabelModel`] (TF-IDF +
+//! SGD logistic regression); the virtual-time cost model charges what
+//! four BERT fine-tuning runs would.
+//!
+//! The paper runs WEF with **no parallelism** under either paradigm
+//! (§IV-E: "Since WEF did not use a distributed training algorithm, each
+//! paradigm was executing it with no parallelism"), so both
+//! implementations here are single-worker; they differ only in fixed
+//! overheads and feeding efficiency, which is why Fig. 13b shows them
+//! within 1–3% of each other.
+
+pub mod script;
+pub mod workflow;
+
+use scriptflow_datagen::wildfire::{WildfireDataset, FRAMINGS};
+use scriptflow_mlkit::logreg::TrainConfig;
+use scriptflow_mlkit::MultiLabelModel;
+
+/// Parameters of one WEF run.
+#[derive(Debug, Clone)]
+pub struct WefParams {
+    /// Number of labelled tweets to train on.
+    pub tweets: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl WefParams {
+    /// A run over `tweets` tweets.
+    pub fn new(tweets: usize) -> Self {
+        WefParams {
+            tweets,
+            seed: 0x3EF,
+        }
+    }
+
+    /// Generate the input dataset.
+    pub fn dataset(&self) -> WildfireDataset {
+        WildfireDataset::generate(self.tweets, self.seed)
+    }
+
+    /// Human-readable config string.
+    pub fn config_string(&self) -> String {
+        format!("{} tweets", self.tweets)
+    }
+}
+
+/// The real training + inference both paradigms execute: fit the
+/// four-head ensemble and predict on the training tweets.
+pub fn train_and_predict(dataset: &WildfireDataset) -> Vec<String> {
+    let labels: Vec<&str> = FRAMINGS.to_vec();
+    let pairs = dataset.training_pairs();
+    let model = MultiLabelModel::fit(&labels, &pairs, TrainConfig::default());
+    dataset
+        .tweets
+        .iter()
+        .map(|t| {
+            let mut pred = model.predict(&t.text);
+            pred.sort_unstable();
+            format!("id={}|pred={}", t.id, pred.join(","))
+        })
+        .collect()
+}
+
+/// Training-set subset accuracy (all labels exactly right), used as a
+/// sanity check that the real model actually learns.
+pub fn subset_accuracy(dataset: &WildfireDataset, predictions: &[String]) -> f64 {
+    let mut correct = 0usize;
+    for (tweet, pred_row) in dataset.tweets.iter().zip(predictions) {
+        let mut gold = tweet.framings.clone();
+        gold.sort_unstable();
+        let want = format!("id={}|pred={}", tweet.id, gold.join(","));
+        if *pred_row == want {
+            correct += 1;
+        }
+    }
+    correct as f64 / dataset.tweets.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_learns_the_framings() {
+        let params = WefParams::new(200);
+        let ds = params.dataset();
+        let preds = train_and_predict(&ds);
+        // predictions are sorted later by TaskRun; here check raw order.
+        let acc = subset_accuracy(&ds, &preds);
+        assert!(acc > 0.6, "subset accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let params = WefParams::new(100);
+        let a = train_and_predict(&params.dataset());
+        let b = train_and_predict(&params.dataset());
+        assert_eq!(a, b);
+    }
+}

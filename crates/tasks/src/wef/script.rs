@@ -1,0 +1,120 @@
+//! WEF under the script paradigm: a sequential fine-tuning notebook.
+
+use std::sync::Arc;
+
+use scriptflow_core::{Calibration, Paradigm};
+use scriptflow_datagen::wildfire::{WildfireDataset, FRAMINGS};
+use scriptflow_notebook::{Cell, CellError, Kernel, Notebook};
+use scriptflow_raysim::RayConfig;
+use scriptflow_simcluster::ClusterSpec;
+
+use super::{train_and_predict, WefParams};
+use crate::common::TaskRun;
+use crate::listing;
+
+/// Run WEF as a notebook: load tweets, fine-tune the four heads one
+/// after another, evaluate.
+pub fn run_script(params: &WefParams, cal: &Calibration) -> Result<TaskRun, CellError> {
+    let dataset = Arc::new(params.dataset());
+    let mut kernel = Kernel::new(&ClusterSpec::paper_cluster(), RayConfig::with_cpus(1));
+
+    let mut nb = Notebook::new("wef");
+    // Cell 1: load + tokenize.
+    {
+        let ds = dataset.clone();
+        nb.push(
+            Cell::new("load", listing::wef_script_listing(), move |k| {
+                k.set("tweets", ds.clone());
+                Ok(())
+            })
+            .writes(&["tweets"]),
+        );
+    }
+    // Cells 2..5: one fine-tuning run per framing, strictly sequential
+    // (the script loops over heads; there is no parallelism).
+    for framing in FRAMINGS {
+        let per_epoch = cal.wef_work_per_tweet_epoch;
+        let epochs = cal.wef_epochs as u64;
+        let load = cal.wef_model_load;
+        let n = params.tweets as u64;
+        nb.push(
+            Cell::new(
+                format!("train_{framing}"),
+                format!("model_{framing} = finetune(tweets, '{framing}')"),
+                move |k| {
+                    k.advance(load);
+                    k.advance(per_epoch * n * epochs);
+                    Ok(())
+                },
+            )
+            .reads(&["tweets"])
+            .writes(&[&format!("model_{framing}")]),
+        );
+    }
+    // Cell 6: predict + evaluate (the real computation happens here; all
+    // four heads train inside the shared mlkit call so outputs are
+    // identical across paradigms).
+    {
+        let ds = dataset.clone();
+        nb.push(
+            Cell::new("evaluate", "scores = evaluate(models, tweets)", move |k| {
+                let rows = train_and_predict(&ds);
+                k.set("predictions", rows);
+                Ok(())
+            })
+            .reads(&["tweets"])
+            .writes(&["predictions"]),
+        );
+    }
+
+    nb.run_all(&mut kernel)?;
+    let output = (*kernel.get::<Vec<String>>("predictions")?).clone();
+    let loc = listing::count_loc(&listing::wef_script_listing());
+    let cells = nb.len();
+    Ok(TaskRun::new(
+        "WEF",
+        Paradigm::Script,
+        params.config_string(),
+        kernel.now(),
+        1,
+        loc,
+        cells,
+        output,
+    ))
+}
+
+/// Convenience: the dataset a run used (for evaluation in examples).
+pub fn dataset_of(params: &WefParams) -> WildfireDataset {
+    params.dataset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_time_matches_fig13b_anchor() {
+        // Paper: 1285.82 s at 200 tweets.
+        let run = run_script(&WefParams::new(200), &Calibration::paper()).unwrap();
+        let secs = run.seconds();
+        assert!((1230.0..1340.0).contains(&secs), "WEF@200 = {secs}");
+    }
+
+    #[test]
+    fn linear_scaling() {
+        let cal = Calibration::paper();
+        let a = run_script(&WefParams::new(200), &cal).unwrap().seconds();
+        let b = run_script(&WefParams::new(400), &cal).unwrap().seconds();
+        let ratio = b / a;
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn output_present_and_sorted() {
+        let run = run_script(&WefParams::new(50), &Calibration::paper()).unwrap();
+        assert_eq!(run.output.len(), 50);
+        let mut sorted = run.output.clone();
+        sorted.sort_unstable();
+        assert_eq!(run.output, sorted);
+    }
+}

@@ -1,0 +1,191 @@
+//! Virtual-cost profiles and engine configuration.
+
+use scriptflow_simcluster::{ClusterSpec, LanguageTable, SimDuration};
+
+/// Per-operator virtual costs, calibrated in "Python time" — the
+/// language table scales them for other languages.
+#[derive(Debug, Clone)]
+pub struct CostProfile {
+    /// One-time setup per worker instance (open files, load models,
+    /// allocate state).
+    pub setup: SimDuration,
+    /// CPU time per input tuple.
+    pub per_tuple: SimDuration,
+    /// Per-port overrides of `per_tuple` (port index, cost). Multi-port
+    /// operators like a join often pay differently for build vs probe
+    /// tuples.
+    pub per_tuple_ports: Vec<(usize, SimDuration)>,
+    /// Fixed overhead per batch (dispatch, framing).
+    pub per_batch: SimDuration,
+    /// If true, per-tuple work is *malleable*: it may spread over the idle
+    /// CPUs of the worker's machine (PyTorch-style internal parallelism,
+    /// which Texera leaves unrestricted — §IV-A "worker configuration").
+    pub malleable: bool,
+    /// Utilization exponent for malleable work: a kernel on `c` CPUs runs
+    /// at `c^u` effective parallelism (single-process kernels cannot
+    /// saturate a whole machine; u < 1 models the efficiency loss).
+    pub malleable_utilization: f64,
+    /// Place every worker of this operator on the same machine (model /
+    /// data locality — large-model operators avoid re-shipping the
+    /// checkpoint). Colocated malleable workers share the machine's CPUs.
+    pub colocate: bool,
+    /// Extra per-tuple cost paid by each worker's first
+    /// [`CostProfile::warmup_tuples`] tuples (interpreter/vectorization
+    /// warm-up before steady-state throughput).
+    pub warmup_extra: SimDuration,
+    /// How many tuples the warm-up penalty applies to.
+    pub warmup_tuples: u64,
+    /// Input port the warm-up applies to (a join warms up on its probe
+    /// port, not while building).
+    pub warmup_port: usize,
+}
+
+impl Default for CostProfile {
+    /// A cheap relational operator: ~2 µs per tuple, negligible setup.
+    fn default() -> Self {
+        CostProfile {
+            setup: SimDuration::from_micros(500),
+            per_tuple: SimDuration::from_micros(2),
+            per_tuple_ports: Vec::new(),
+            per_batch: SimDuration::from_micros(50),
+            malleable: false,
+            malleable_utilization: 1.0,
+            colocate: false,
+            warmup_extra: SimDuration::ZERO,
+            warmup_tuples: 0,
+            warmup_port: 0,
+        }
+    }
+}
+
+impl CostProfile {
+    /// Convenience: a profile with the given per-tuple cost in µs.
+    pub fn per_tuple_micros(us: u64) -> Self {
+        CostProfile {
+            per_tuple: SimDuration::from_micros(us),
+            ..CostProfile::default()
+        }
+    }
+
+    /// Builder-style setter for the setup cost.
+    pub fn with_setup(mut self, setup: SimDuration) -> Self {
+        self.setup = setup;
+        self
+    }
+
+    /// Builder-style setter for malleability.
+    pub fn with_malleable(mut self, malleable: bool) -> Self {
+        self.malleable = malleable;
+        self
+    }
+
+    /// Builder-style per-port override of the per-tuple cost.
+    pub fn with_port_cost(mut self, port: usize, per_tuple: SimDuration) -> Self {
+        self.per_tuple_ports.push((port, per_tuple));
+        self
+    }
+
+    /// The per-tuple cost effective on `port`.
+    pub fn per_tuple_on(&self, port: usize) -> SimDuration {
+        self.per_tuple_ports
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map(|(_, d)| *d)
+            .unwrap_or(self.per_tuple)
+    }
+}
+
+/// Engine-level knobs of the simulated workflow executor.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The cluster the workflow runs on.
+    pub cluster: ClusterSpec,
+    /// Language cost table.
+    pub languages: LanguageTable,
+    /// Tuples per batch on edges (Texera auto-tunes this; the engine
+    /// exposes it as a config so experiments can sweep it).
+    pub batch_size: usize,
+    /// Serialization cost per byte crossing an operator boundary, in
+    /// seconds (charged on top of language boundary costs). This is the
+    /// "runtime overhead" of §III-D.
+    pub serde_secs_per_byte: f64,
+    /// Fixed (de)serialization cost per tuple at each operator boundary,
+    /// charged as *throughput* work on the consuming worker (Python
+    /// object pickling dominates Texera's per-tuple overhead; byte-
+    /// proportional costs alone underestimate it).
+    pub serde_per_tuple: scriptflow_simcluster::SimDuration,
+    /// When false, every edge becomes blocking: downstream operators only
+    /// start after upstream completion. Ablation knob isolating the
+    /// pipelining benefit the paper credits for Fig. 13a.
+    pub pipelining: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cluster: ClusterSpec::paper_cluster(),
+            languages: LanguageTable::default(),
+            batch_size: 400,
+            serde_secs_per_byte: 4e-9,
+            serde_per_tuple: SimDuration::from_micros(2),
+            pipelining: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with pipelining disabled (ablation).
+    pub fn without_pipelining(mut self) -> Self {
+        self.pipelining = false;
+        self
+    }
+
+    /// Config with serde boundary costs disabled (ablation).
+    pub fn without_serde_cost(mut self) -> Self {
+        self.serde_secs_per_byte = 0.0;
+        self.serde_per_tuple = SimDuration::ZERO;
+        self
+    }
+
+    /// Serde cost for `bytes` crossing one edge.
+    pub fn serde_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * self.serde_secs_per_byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_cheap() {
+        let p = CostProfile::default();
+        assert!(p.per_tuple < SimDuration::from_millis(1));
+        assert!(!p.malleable);
+    }
+
+    #[test]
+    fn builders() {
+        let p = CostProfile::per_tuple_micros(10)
+            .with_setup(SimDuration::from_secs(1))
+            .with_malleable(true);
+        assert_eq!(p.per_tuple, SimDuration::from_micros(10));
+        assert_eq!(p.setup, SimDuration::from_secs(1));
+        assert!(p.malleable);
+    }
+
+    #[test]
+    fn serde_cost_scales() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.serde_cost(1_000_000) > cfg.serde_cost(1_000));
+        let off = EngineConfig::default().without_serde_cost();
+        assert_eq!(off.serde_cost(1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ablation_toggles() {
+        let cfg = EngineConfig::default().without_pipelining();
+        assert!(!cfg.pipelining);
+        assert!(EngineConfig::default().pipelining);
+    }
+}

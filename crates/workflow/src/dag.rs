@@ -1,0 +1,451 @@
+//! Workflow DAG construction and validation.
+//!
+//! This is the GUI paradigm's defining structure: users *must* connect
+//! operators with explicit links that represent the flow of data
+//! (§III-A). The builder rejects malformed graphs and propagates schemas
+//! along edges at build time, so data-shape errors surface before any
+//! tuple moves — in contrast to the notebook engine, which discovers them
+//! mid-run inside a cell.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use scriptflow_datakit::SchemaRef;
+
+use crate::operator::{OperatorFactory, WorkflowError, WorkflowResult};
+use crate::partition::PartitionStrategy;
+
+/// Identifier of an operator node within one workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// Identifier of an edge within one workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+/// One operator node: a factory plus its configured parallelism.
+pub struct OpNode {
+    /// Factory creating worker instances and describing the operator.
+    pub factory: Arc<dyn OperatorFactory>,
+    /// Number of worker instances (Texera's per-operator worker count).
+    pub parallelism: usize,
+}
+
+/// One edge: `from`'s output feeds `to`'s input port `to_port`.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Producing operator.
+    pub from: OpId,
+    /// Consuming operator.
+    pub to: OpId,
+    /// Input port on the consumer.
+    pub to_port: usize,
+    /// How tuples are spread over the consumer's workers.
+    pub partition: PartitionStrategy,
+}
+
+/// A validated workflow: operators, edges, propagated schemas, and a
+/// topological order.
+pub struct Workflow {
+    ops: Vec<OpNode>,
+    edges: Vec<Edge>,
+    schemas: Vec<SchemaRef>,
+    topo: Vec<OpId>,
+}
+
+impl std::fmt::Debug for Workflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workflow")
+            .field(
+                "ops",
+                &self
+                    .ops
+                    .iter()
+                    .map(|n| format!("{} x{}", n.factory.name(), n.parallelism))
+                    .collect::<Vec<_>>(),
+            )
+            .field("edges", &self.edges.len())
+            .finish()
+    }
+}
+
+impl Workflow {
+    /// All operator nodes, indexed by [`OpId`].
+    pub fn ops(&self) -> &[OpNode] {
+        &self.ops
+    }
+
+    /// One operator node.
+    pub fn op(&self, id: OpId) -> &OpNode {
+        &self.ops[id.0]
+    }
+
+    /// All edges, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The propagated output schema of an operator.
+    pub fn schema(&self, id: OpId) -> &SchemaRef {
+        &self.schemas[id.0]
+    }
+
+    /// Operators in a valid execution order.
+    pub fn topo_order(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// Edges entering `op`, sorted by input port.
+    pub fn in_edges(&self, op: OpId) -> Vec<(EdgeId, &Edge)> {
+        let mut v: Vec<(EdgeId, &Edge)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.to == op)
+            .map(|(i, e)| (EdgeId(i), e))
+            .collect();
+        v.sort_by_key(|(_, e)| e.to_port);
+        v
+    }
+
+    /// Edges leaving `op`.
+    pub fn out_edges(&self, op: OpId) -> Vec<(EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == op)
+            .map(|(i, e)| (EdgeId(i), e))
+            .collect()
+    }
+
+    /// Source operators (no input ports).
+    pub fn sources(&self) -> Vec<OpId> {
+        (0..self.ops.len())
+            .map(OpId)
+            .filter(|id| self.op(*id).factory.input_ports() == 0)
+            .collect()
+    }
+
+    /// Sink operators (no outgoing edges).
+    pub fn sinks(&self) -> Vec<OpId> {
+        (0..self.ops.len())
+            .map(OpId)
+            .filter(|id| self.out_edges(*id).is_empty())
+            .collect()
+    }
+
+    /// Number of operators — the paper's "number of operators" metric.
+    pub fn operator_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total worker instances across operators — the paper's "number of
+    /// parallel processes" metric for the workflow paradigm.
+    pub fn total_workers(&self) -> usize {
+        self.ops.iter().map(|n| n.parallelism).sum()
+    }
+
+    /// Look up an operator id by display name.
+    pub fn op_by_name(&self, name: &str) -> Option<OpId> {
+        (0..self.ops.len())
+            .map(OpId)
+            .find(|id| self.op(*id).factory.name() == name)
+    }
+}
+
+/// Incremental workflow construction.
+#[derive(Default)]
+pub struct WorkflowBuilder {
+    ops: Vec<OpNode>,
+    edges: Vec<Edge>,
+}
+
+impl WorkflowBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        WorkflowBuilder::default()
+    }
+
+    /// Add an operator with the given parallelism; returns its id.
+    pub fn add(&mut self, factory: Arc<dyn OperatorFactory>, parallelism: usize) -> OpId {
+        assert!(parallelism > 0, "parallelism must be positive");
+        let id = OpId(self.ops.len());
+        self.ops.push(OpNode {
+            factory,
+            parallelism,
+        });
+        id
+    }
+
+    /// Connect `from`'s output to `to`'s input port `to_port`.
+    pub fn connect(
+        &mut self,
+        from: OpId,
+        to: OpId,
+        to_port: usize,
+        partition: PartitionStrategy,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            from,
+            to,
+            to_port,
+            partition,
+        });
+        id
+    }
+
+    /// Validate the graph and propagate schemas; returns the immutable
+    /// workflow or the first structural error found.
+    pub fn build(self) -> WorkflowResult<Workflow> {
+        let n = self.ops.len();
+        if n == 0 {
+            return Err(WorkflowError::InvalidDag("workflow has no operators".into()));
+        }
+
+        // Unique operator names (the GUI addresses operators by name).
+        let mut names = HashSet::new();
+        for node in &self.ops {
+            if !names.insert(node.factory.name().to_owned()) {
+                return Err(WorkflowError::InvalidDag(format!(
+                    "duplicate operator name `{}`",
+                    node.factory.name()
+                )));
+            }
+        }
+
+        // Edge endpoints and ports must exist; each input port gets
+        // exactly one incoming edge; sources take none.
+        for e in &self.edges {
+            if e.from.0 >= n || e.to.0 >= n {
+                return Err(WorkflowError::InvalidDag(format!(
+                    "edge references missing operator ({:?} -> {:?})",
+                    e.from, e.to
+                )));
+            }
+            let ports = self.ops[e.to.0].factory.input_ports();
+            if e.to_port >= ports {
+                return Err(WorkflowError::InvalidDag(format!(
+                    "operator `{}` has {} input port(s); edge targets port {}",
+                    self.ops[e.to.0].factory.name(),
+                    ports,
+                    e.to_port
+                )));
+            }
+        }
+        for (i, node) in self.ops.iter().enumerate() {
+            let ports = node.factory.input_ports();
+            for port in 0..ports {
+                let count = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.to == OpId(i) && e.to_port == port)
+                    .count();
+                if count != 1 {
+                    return Err(WorkflowError::InvalidDag(format!(
+                        "operator `{}` input port {port} has {count} incoming edges (need exactly 1)",
+                        node.factory.name()
+                    )));
+                }
+            }
+            if ports == 0 {
+                if self.edges.iter().any(|e| e.to == OpId(i)) {
+                    return Err(WorkflowError::InvalidDag(format!(
+                        "source operator `{}` cannot take inputs",
+                        node.factory.name()
+                    )));
+                }
+                if node.factory.source_partitions(1).is_none() {
+                    return Err(WorkflowError::InvalidDag(format!(
+                        "operator `{}` has no input ports but produces no source data",
+                        node.factory.name()
+                    )));
+                }
+            }
+        }
+
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        // Deterministic order: process lowest id first.
+        queue.sort_unstable();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo.push(OpId(u));
+            let mut next: Vec<usize> = Vec::new();
+            for e in &self.edges {
+                if e.from.0 == u {
+                    indegree[e.to.0] -= 1;
+                    if indegree[e.to.0] == 0 {
+                        next.push(e.to.0);
+                    }
+                }
+            }
+            next.sort_unstable();
+            queue.extend(next);
+        }
+        if topo.len() != n {
+            return Err(WorkflowError::InvalidDag(
+                "workflow contains a cycle".into(),
+            ));
+        }
+
+        // Schema propagation in topological order.
+        let mut schemas: Vec<Option<SchemaRef>> = vec![None; n];
+        for &op in &topo {
+            let node = &self.ops[op.0];
+            let ports = node.factory.input_ports();
+            let mut inputs: Vec<SchemaRef> = Vec::with_capacity(ports);
+            for port in 0..ports {
+                let e = self
+                    .edges
+                    .iter()
+                    .find(|e| e.to == op && e.to_port == port)
+                    .expect("validated above");
+                inputs.push(
+                    schemas[e.from.0]
+                        .clone()
+                        .expect("topological order guarantees upstream schema"),
+                );
+            }
+            let out = node.factory.output_schema(&inputs)?;
+            schemas[op.0] = Some(Arc::new(out));
+        }
+
+        Ok(Workflow {
+            ops: self.ops,
+            edges: self.edges,
+            schemas: schemas.into_iter().map(|s| s.expect("all set")).collect(),
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{FilterOp, ScanOp, SinkOp};
+    use scriptflow_datakit::{Batch, DataType, Schema, Value};
+
+    fn scan(name: &str, n: i64) -> Arc<dyn OperatorFactory> {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let rows = (0..n).map(|i| vec![Value::Int(i)]).collect();
+        Arc::new(ScanOp::new(name, Batch::from_rows(schema, rows).unwrap()))
+    }
+
+    fn filter(name: &str) -> Arc<dyn OperatorFactory> {
+        Arc::new(FilterOp::new(name, |t| {
+            Ok(t.get_int("id").map(|v| v % 2 == 0).unwrap_or(false))
+        }))
+    }
+
+    #[test]
+    fn linear_workflow_builds() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.add(scan("scan", 10), 1);
+        let f = b.add(filter("filter"), 2);
+        let k = b.add(Arc::new(SinkOp::new("sink")), 1);
+        b.connect(s, f, 0, PartitionStrategy::RoundRobin);
+        b.connect(f, k, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        assert_eq!(wf.operator_count(), 3);
+        assert_eq!(wf.total_workers(), 4);
+        assert_eq!(wf.topo_order(), &[s, f, k]);
+        assert_eq!(wf.sources(), vec![s]);
+        assert_eq!(wf.sinks(), vec![k]);
+        assert_eq!(wf.schema(f).to_string(), "id: Int");
+        assert_eq!(wf.op_by_name("filter"), Some(f));
+        assert_eq!(wf.op_by_name("nope"), None);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            WorkflowBuilder::new().build(),
+            Err(WorkflowError::InvalidDag(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = WorkflowBuilder::new();
+        b.add(scan("x", 1), 1);
+        b.add(scan("x", 1), 1);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("duplicate operator name"));
+    }
+
+    #[test]
+    fn rejects_unconnected_port() {
+        let mut b = WorkflowBuilder::new();
+        b.add(scan("s", 1), 1);
+        b.add(filter("f"), 1); // port 0 never connected
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("0 incoming edges"));
+    }
+
+    #[test]
+    fn rejects_double_connected_port() {
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.add(scan("s1", 1), 1);
+        let s2 = b.add(scan("s2", 1), 1);
+        let f = b.add(filter("f"), 1);
+        b.connect(s1, f, 0, PartitionStrategy::RoundRobin);
+        b.connect(s2, f, 0, PartitionStrategy::RoundRobin);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("2 incoming edges"));
+    }
+
+    #[test]
+    fn rejects_bad_port_index() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.add(scan("s", 1), 1);
+        let f = b.add(filter("f"), 1);
+        b.connect(s, f, 5, PartitionStrategy::RoundRobin);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("port 5"));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = WorkflowBuilder::new();
+        let f1 = b.add(filter("f1"), 1);
+        let f2 = b.add(filter("f2"), 1);
+        b.connect(f1, f2, 0, PartitionStrategy::RoundRobin);
+        b.connect(f2, f1, 0, PartitionStrategy::RoundRobin);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_edge_into_source() {
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.add(scan("s1", 1), 1);
+        let s2 = b.add(scan("s2", 1), 1);
+        b.connect(s1, s2, 0, PartitionStrategy::RoundRobin);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn fan_out_is_allowed() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.add(scan("s", 4), 1);
+        let f1 = b.add(filter("f1"), 1);
+        let f2 = b.add(filter("f2"), 1);
+        let k1 = b.add(Arc::new(SinkOp::new("k1")), 1);
+        let k2 = b.add(Arc::new(SinkOp::new("k2")), 1);
+        b.connect(s, f1, 0, PartitionStrategy::RoundRobin);
+        b.connect(s, f2, 0, PartitionStrategy::RoundRobin);
+        b.connect(f1, k1, 0, PartitionStrategy::Single);
+        b.connect(f2, k2, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        assert_eq!(wf.out_edges(s).len(), 2);
+        assert_eq!(wf.sinks().len(), 2);
+    }
+}

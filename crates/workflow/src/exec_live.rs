@@ -1,0 +1,416 @@
+//! Live executor: runs a workflow on real OS threads.
+//!
+//! Where [`crate::exec_sim`] models time, this executor spends it: every
+//! operator worker is a thread, edges are crossbeam channels, and the
+//! result is measured in wall-clock. It exists for two reasons:
+//!
+//! 1. **Correctness cross-check** — both executors must produce identical
+//!    data outputs for any workflow (the integration suite asserts this).
+//! 2. **Engine-overhead benchmarking** — Criterion benches drive it to
+//!    measure the real cost of the pipelined architecture on the host.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use scriptflow_datakit::Tuple;
+use scriptflow_simcluster::{SimDuration, SimTime};
+
+use crate::dag::{OpId, Workflow};
+use crate::metrics::{OperatorMetrics, OperatorState, RunMetrics};
+use crate::operator::{OutputCollector, WorkflowError, WorkflowResult};
+
+/// Message flowing along a channel between two workers.
+enum Msg {
+    /// Data tuples for an input port.
+    Batch { port: usize, tuples: Vec<Tuple> },
+    /// The sending worker is done with this edge.
+    Eos { port: usize },
+}
+
+/// Result of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveRunResult {
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Instrumentation counters (`makespan` mirrors `elapsed`).
+    pub metrics: RunMetrics,
+}
+
+/// The real-thread workflow executor.
+pub struct LiveExecutor {
+    batch_size: usize,
+}
+
+impl Default for LiveExecutor {
+    fn default() -> Self {
+        LiveExecutor { batch_size: 256 }
+    }
+}
+
+impl LiveExecutor {
+    /// Executor with the given edge batch size.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        LiveExecutor { batch_size }
+    }
+
+    /// Execute `wf` on OS threads; blocks until completion.
+    pub fn run(&self, wf: &Workflow) -> WorkflowResult<LiveRunResult> {
+        let start = Instant::now();
+
+        // Channel per (op, worker): all upstream workers share one sender.
+        let mut txs: Vec<Vec<Sender<Msg>>> = Vec::new();
+        let mut rxs: Vec<Vec<Option<Receiver<Msg>>>> = Vec::new();
+        for node in wf.ops() {
+            let mut t = Vec::new();
+            let mut r = Vec::new();
+            for _ in 0..node.parallelism {
+                let (tx, rx) = unbounded::<Msg>();
+                t.push(tx);
+                r.push(Some(rx));
+            }
+            txs.push(t);
+            rxs.push(r);
+        }
+
+        let error: Arc<Mutex<Option<WorkflowError>>> = Arc::new(Mutex::new(None));
+        let in_counts: Vec<AtomicU64> = wf.ops().iter().map(|_| AtomicU64::new(0)).collect();
+        let out_counts: Vec<AtomicU64> = wf.ops().iter().map(|_| AtomicU64::new(0)).collect();
+
+        crossbeam::thread::scope(|scope| {
+            for (i, node) in wf.ops().iter().enumerate() {
+                let op = OpId(i);
+                // Downstream senders per out-edge: (to_port, strategy,
+                // senders to each downstream worker).
+                let downstream: Vec<_> = wf
+                    .out_edges(op)
+                    .into_iter()
+                    .map(|(_, e)| (e.to_port, e.partition.clone(), txs[e.to.0].clone()))
+                    .collect();
+                // Expected EOS per port = sum of upstream parallelism.
+                let ports = node.factory.input_ports();
+                let mut expected_eos = vec![0usize; ports.max(1)];
+                for (_, e) in wf.in_edges(op) {
+                    expected_eos[e.to_port] += wf.op(e.from).parallelism;
+                }
+                let blocking = node.factory.blocking_ports();
+
+                #[allow(clippy::needless_range_loop)]
+                for local in 0..node.parallelism {
+                    let rx = rxs[i][local].take();
+                    let factory = node.factory.as_ref();
+                    let downstream = downstream.clone();
+                    let expected_eos = expected_eos.clone();
+                    let blocking = blocking.clone();
+                    let error = error.clone();
+                    let in_counts = &in_counts;
+                    let out_counts = &out_counts;
+                    let batch_size = self.batch_size;
+                    let parallelism = node.parallelism;
+
+                    scope.spawn(move |_| {
+                        let mut instance = factory.create();
+                        let mut seqs = vec![0u64; downstream.len()];
+                        let mut collector = OutputCollector::new();
+                        let fail = |e: WorkflowError, error: &Mutex<Option<WorkflowError>>| {
+                            let mut g = error.lock();
+                            if g.is_none() {
+                                *g = Some(e);
+                            }
+                        };
+
+                        // Forward helper: route + send collector contents.
+                        let forward = |tuples: Vec<Tuple>,
+                                       seqs: &mut [u64],
+                                       error: &Mutex<Option<WorkflowError>>| {
+                            out_counts[i].fetch_add(tuples.len() as u64, Ordering::Relaxed);
+                            for (d, (to_port, strategy, senders)) in downstream.iter().enumerate()
+                            {
+                                let mut routed: Vec<Vec<Tuple>> =
+                                    vec![Vec::new(); senders.len()];
+                                for t in &tuples {
+                                    match strategy.route(t, seqs[d], senders.len()) {
+                                        Ok(ws) => {
+                                            for w in ws {
+                                                routed[w].push(t.clone());
+                                            }
+                                        }
+                                        Err(e) => {
+                                            fail(e, error);
+                                            return;
+                                        }
+                                    }
+                                    seqs[d] += 1;
+                                }
+                                for (w, chunk) in routed.into_iter().enumerate() {
+                                    for part in chunk.chunks(batch_size) {
+                                        // A closed channel means the consumer
+                                        // died after an error; stop quietly.
+                                        let _ = senders[w].send(Msg::Batch {
+                                            port: *to_port,
+                                            tuples: part.to_vec(),
+                                        });
+                                    }
+                                }
+                            }
+                        };
+
+                        if factory.input_ports() == 0 {
+                            // Source worker: emit own partition.
+                            let parts = factory
+                                .source_partitions(parallelism)
+                                .expect("validated at build time");
+                            let mine = parts.into_iter().nth(local).unwrap_or_default();
+                            out_counts[i].fetch_add(0, Ordering::Relaxed);
+                            for chunk in mine.chunks(batch_size) {
+                                forward(chunk.to_vec(), &mut seqs, &error);
+                            }
+                        } else if let Some(rx) = rx {
+                            let mut eos_remaining = expected_eos.clone();
+                            let mut port_done = vec![false; eos_remaining.len()];
+                            let mut held: Vec<Msg> = Vec::new();
+                            let gate_open = |done: &[bool]| {
+                                blocking.iter().all(|&p| done[p])
+                            };
+                            let mut pending: std::collections::VecDeque<Msg> =
+                                Default::default();
+                            'recv: loop {
+                                let msg = if let Some(m) = pending.pop_front() {
+                                    m
+                                } else {
+                                    match rx.recv() {
+                                        Ok(m) => m,
+                                        Err(_) => break 'recv,
+                                    }
+                                };
+                                let msg_port = match &msg {
+                                    Msg::Batch { port, .. } | Msg::Eos { port } => *port,
+                                };
+                                if !gate_open(&port_done) && !blocking.contains(&msg_port) {
+                                    held.push(msg);
+                                    continue;
+                                }
+                                match msg {
+                                    Msg::Batch { port, tuples } => {
+                                        in_counts[i]
+                                            .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+                                        for t in tuples {
+                                            if let Err(e) =
+                                                instance.on_tuple(t, port, &mut collector)
+                                            {
+                                                fail(e, &error);
+                                                break 'recv;
+                                            }
+                                        }
+                                        if !collector.is_empty() {
+                                            forward(collector.take(), &mut seqs, &error);
+                                        }
+                                    }
+                                    Msg::Eos { port } => {
+                                        eos_remaining[port] =
+                                            eos_remaining[port].saturating_sub(1);
+                                        if eos_remaining[port] == 0 && !port_done[port] {
+                                            port_done[port] = true;
+                                            if let Err(e) = instance
+                                                .on_port_complete(port, &mut collector)
+                                            {
+                                                fail(e, &error);
+                                                break 'recv;
+                                            }
+                                            if !collector.is_empty() {
+                                                forward(collector.take(), &mut seqs, &error);
+                                            }
+                                            if gate_open(&port_done) && !held.is_empty() {
+                                                for m in held.drain(..) {
+                                                    pending.push_back(m);
+                                                }
+                                            }
+                                        }
+                                        if port_done.iter().all(|d| *d) && pending.is_empty() {
+                                            break 'recv;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+
+                        // Tell every downstream worker this producer is done.
+                        for (to_port, _, senders) in &downstream {
+                            for s in senders {
+                                let _ = s.send(Msg::Eos { port: *to_port });
+                            }
+                        }
+                        // Dropping our senders lets consumers drain and exit.
+                    });
+                }
+            }
+            // Drop the scope-owned senders so sinks see disconnect once all
+            // producers exit.
+            drop(txs);
+        })
+        .expect("a workflow worker thread panicked");
+
+        if let Some(e) = error.lock().take() {
+            return Err(e);
+        }
+
+        let elapsed = start.elapsed();
+        let makespan = SimTime::ZERO
+            + SimDuration::from_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        let operators: Vec<OperatorMetrics> = wf
+            .ops()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let mut m = OperatorMetrics::new(
+                    n.factory.name(),
+                    n.factory.language(),
+                    n.parallelism,
+                );
+                m.input_tuples = in_counts[i].load(Ordering::Relaxed);
+                m.output_tuples = out_counts[i].load(Ordering::Relaxed);
+                m.state = OperatorState::Completed;
+                m
+            })
+            .collect();
+        Ok(LiveRunResult {
+            elapsed,
+            metrics: RunMetrics {
+                makespan,
+                operators,
+                total_workers: wf.total_workers(),
+                events: 0,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::EngineConfig;
+    use crate::dag::WorkflowBuilder;
+    use crate::exec_sim::SimExecutor;
+    use crate::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
+    use crate::partition::PartitionStrategy;
+    use scriptflow_datakit::{Batch, DataType, Schema, Value};
+    use scriptflow_simcluster::ClusterSpec;
+
+    fn int_batch(n: i64) -> Batch {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        Batch::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap()
+    }
+
+    fn build_filter_wf(n: i64, sink_handle: &mut Option<crate::ops::SinkHandle>) -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(n))), 2);
+        let filt = b.add(
+            Arc::new(FilterOp::new("mod7", |t| Ok(t.get_int("id")? % 7 == 0))),
+            3,
+        );
+        let sink_op = SinkOp::new("sink");
+        *sink_handle = Some(sink_op.handle());
+        let sink = b.add(Arc::new(sink_op), 1);
+        b.connect(scan, filt, 0, PartitionStrategy::RoundRobin);
+        b.connect(filt, sink, 0, PartitionStrategy::Single);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn live_run_produces_correct_results() {
+        let mut handle = None;
+        let wf = build_filter_wf(700, &mut handle);
+        let res = LiveExecutor::default().run(&wf).unwrap();
+        let handle = handle.unwrap();
+        assert_eq!(handle.len(), 100);
+        assert_eq!(res.metrics.by_name("mod7").unwrap().input_tuples, 700);
+        assert_eq!(res.metrics.by_name("mod7").unwrap().output_tuples, 100);
+    }
+
+    #[test]
+    fn live_matches_sim_outputs() {
+        let mut live_handle = None;
+        let wf_live = build_filter_wf(500, &mut live_handle);
+        LiveExecutor::default().run(&wf_live).unwrap();
+
+        let mut sim_handle = None;
+        let wf_sim = build_filter_wf(500, &mut sim_handle);
+        let cfg = EngineConfig {
+            cluster: ClusterSpec::single_node(4),
+            ..EngineConfig::default()
+        };
+        SimExecutor::new(cfg).run(&wf_sim).unwrap();
+
+        let mut a: Vec<String> = live_handle
+            .unwrap()
+            .results()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        let mut b: Vec<String> = sim_handle
+            .unwrap()
+            .results()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn live_join_blocks_probe_until_build_done() {
+        let build_schema = Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]);
+        let build = Batch::from_rows(
+            build_schema,
+            (0..10i64)
+                .map(|k| vec![Value::Int(k), Value::Str(format!("t{k}"))])
+                .collect(),
+        )
+        .unwrap();
+        let probe_schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+        let probe = Batch::from_rows(
+            probe_schema,
+            (0..200i64)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 20)])
+                .collect(),
+        )
+        .unwrap();
+        let mut b = WorkflowBuilder::new();
+        let bs = b.add(Arc::new(ScanOp::new("build", build)), 1);
+        let ps = b.add(Arc::new(ScanOp::new("probe", probe)), 2);
+        let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), 2);
+        let sink_op = SinkOp::new("sink");
+        let handle = sink_op.handle();
+        let sink = b.add(Arc::new(sink_op), 1);
+        b.connect(bs, join, 0, PartitionStrategy::Hash(vec!["k".into()]));
+        b.connect(ps, join, 1, PartitionStrategy::Hash(vec!["k".into()]));
+        b.connect(join, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        LiveExecutor::new(16).run(&wf).unwrap();
+        // ids with k in 0..10 match: half of 200.
+        assert_eq!(handle.len(), 100);
+    }
+
+    #[test]
+    fn live_error_surfaces_and_terminates() {
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(50))), 1);
+        let bad = b.add(
+            Arc::new(FilterOp::new("bad", |t| {
+                t.get_int("missing")?;
+                Ok(true)
+            })),
+            2,
+        );
+        let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+        b.connect(scan, bad, 0, PartitionStrategy::RoundRobin);
+        b.connect(bad, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        let err = LiveExecutor::default().run(&wf).unwrap_err();
+        assert!(err.to_string().contains("bad"));
+    }
+}

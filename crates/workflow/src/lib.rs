@@ -1,0 +1,51 @@
+//! # scriptflow-workflow
+//!
+//! The GUI-based workflow paradigm engine — a from-scratch analogue of
+//! Texera (§I, Fig. 2 of the paper).
+//!
+//! A workflow is a directed acyclic graph of **operators** connected by
+//! explicit **edges** that carry tuples. The engine provides what the
+//! paper measures:
+//!
+//! * **Explicit data lineage** — edges declare data flow; the DAG is
+//!   validated and schemas are propagated at build time
+//!   ([`dag::Workflow`]).
+//! * **Pipelined execution** — operators process different tuples at the
+//!   same time; batches stream along edges without stage barriers
+//!   ([`exec_sim::SimExecutor`], and [`exec_live::LiveExecutor`] for real
+//!   OS threads).
+//! * **Operator-level parallelism** — each operator runs `parallelism`
+//!   worker instances with hash/round-robin/broadcast partitioning
+//!   ([`partition::PartitionStrategy`]).
+//! * **Multi-language operators** — each operator declares its
+//!   implementation [`Language`]; the engine charges cross-language
+//!   boundary and per-language compute costs (§III-C, Table I).
+//! * **Per-operator progress** — input/output tuple counts and
+//!   color-coded operator states, rendered as ASCII and JSON "GUI"
+//!   documents (Fig. 9; [`gui`]).
+//!
+//! [`Language`]: scriptflow_simcluster::Language
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dag;
+pub mod exec_live;
+pub mod exec_sim;
+pub mod gui;
+pub mod metrics;
+pub mod operator;
+pub mod ops;
+pub mod partition;
+pub mod spec;
+pub mod trace;
+
+pub use cost::{CostProfile, EngineConfig};
+pub use dag::{EdgeId, OpId, Workflow, WorkflowBuilder};
+pub use exec_live::LiveExecutor;
+pub use exec_sim::{SimExecutor, SimRunResult};
+pub use metrics::{OperatorMetrics, OperatorState, RunMetrics};
+pub use operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+pub use partition::PartitionStrategy;
+pub use spec::SpecWorkflow;
+pub use trace::{OperatorSnapshot, ProgressTrace};

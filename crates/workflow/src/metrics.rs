@@ -1,0 +1,149 @@
+//! Execution instrumentation: operator states and tuple counts.
+//!
+//! Texera's GUI "utilizes different colors to visually represent the
+//! status of each operator … and provides information about the amount of
+//! data being processed by each operator" (§III-A). These types are that
+//! information; [`crate::gui`] renders them.
+
+use scriptflow_simcluster::{Language, SimDuration, SimTime};
+
+
+/// Lifecycle state of an operator, as displayed in the GUI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorState {
+    /// Workers created, no data processed yet.
+    Initializing,
+    /// At least one worker has processed data.
+    Running,
+    /// Execution paused by the user.
+    Paused,
+    /// All workers finished.
+    Completed,
+    /// A worker hit an error; the error is reported at this operator.
+    Failed,
+}
+
+impl OperatorState {
+    /// The GUI colour conventionally associated with the state.
+    pub fn color(&self) -> &'static str {
+        match self {
+            OperatorState::Initializing => "gray",
+            OperatorState::Running => "blue",
+            OperatorState::Paused => "yellow",
+            OperatorState::Completed => "green",
+            OperatorState::Failed => "red",
+        }
+    }
+}
+
+/// Per-operator runtime counters (the two numbers on every box in the
+/// paper's Fig. 9: input tuples and output tuples).
+#[derive(Debug, Clone)]
+pub struct OperatorMetrics {
+    /// Operator display name.
+    pub name: String,
+    /// Implementation language.
+    pub language: Language,
+    /// Configured worker count.
+    pub workers: usize,
+    /// Tuples received across all workers.
+    pub input_tuples: u64,
+    /// Tuples emitted across all workers.
+    pub output_tuples: u64,
+    /// Summed busy time across workers.
+    pub busy: SimDuration,
+    /// Current lifecycle state.
+    pub state: OperatorState,
+}
+
+impl OperatorMetrics {
+    /// Fraction of the makespan this operator's workers were busy, summed
+    /// across workers and normalized (1.0 = every worker busy the whole
+    /// run).
+    pub fn utilization(&self, makespan: SimTime) -> f64 {
+        let denom = makespan.as_secs_f64() * self.workers.max(1) as f64;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / denom
+    }
+
+    /// Fresh counters for an operator.
+    pub fn new(name: impl Into<String>, language: Language, workers: usize) -> Self {
+        OperatorMetrics {
+            name: name.into(),
+            language,
+            workers,
+            input_tuples: 0,
+            output_tuples: 0,
+            busy: SimDuration::ZERO,
+            state: OperatorState::Initializing,
+        }
+    }
+}
+
+/// Whole-run metrics returned by the executors.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Virtual end-to-end time (submission to final result).
+    pub makespan: SimTime,
+    /// Per-operator counters, indexed by [`crate::OpId`].
+    pub operators: Vec<OperatorMetrics>,
+    /// Total parallel worker processes used (the paper's parallelism
+    /// metric).
+    pub total_workers: usize,
+    /// DES events processed (simulated executor only; 0 for live runs).
+    pub events: u64,
+}
+
+impl RunMetrics {
+    /// Total tuples that reached any sink operator.
+    pub fn sink_tuples(&self) -> u64 {
+        self.operators
+            .iter()
+            .filter(|m| m.output_tuples == 0 && m.input_tuples > 0)
+            .map(|m| m.input_tuples)
+            .sum()
+    }
+
+    /// Look up an operator's metrics by name.
+    pub fn by_name(&self, name: &str) -> Option<&OperatorMetrics> {
+        self.operators.iter().find(|m| m.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_colors() {
+        assert_eq!(OperatorState::Running.color(), "blue");
+        assert_eq!(OperatorState::Completed.color(), "green");
+        assert_eq!(OperatorState::Failed.color(), "red");
+    }
+
+    #[test]
+    fn utilization_normalizes_by_workers_and_makespan() {
+        let mut m = OperatorMetrics::new("op", Language::Python, 2);
+        m.busy = SimDuration::from_secs(5);
+        let u = m.utilization(SimTime::from_micros(10_000_000));
+        assert!((u - 0.25).abs() < 1e-9, "{u}");
+        assert_eq!(m.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn metrics_lookup() {
+        let m = RunMetrics {
+            makespan: SimTime::from_micros(10),
+            operators: vec![
+                OperatorMetrics::new("scan", Language::Python, 2),
+                OperatorMetrics::new("sink", Language::Python, 1),
+            ],
+            total_workers: 3,
+            events: 42,
+        };
+        assert!(m.by_name("scan").is_some());
+        assert!(m.by_name("zzz").is_none());
+    }
+}

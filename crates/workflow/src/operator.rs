@@ -1,0 +1,230 @@
+//! The operator abstraction: the basic building block of workflows.
+
+use std::fmt;
+
+use scriptflow_datakit::{DataError, Schema, SchemaRef, Tuple};
+use scriptflow_simcluster::Language;
+
+use crate::cost::CostProfile;
+
+/// Result alias for workflow operations.
+pub type WorkflowResult<T> = Result<T, WorkflowError>;
+
+/// Errors raised while building or executing a workflow.
+///
+/// Execution errors are reported **at the operator level** (§III-A of the
+/// paper): the failing operator's name travels with the error so the GUI
+/// can highlight exactly one box, unlike the notebook's cell-level stack
+/// traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// The DAG is malformed (cycle, dangling edge, port mismatch...).
+    InvalidDag(String),
+    /// Schema propagation failed at an operator.
+    SchemaError {
+        /// The operator the error is reported at (§III-A).
+        operator: String,
+        /// The underlying schema problem.
+        error: DataError,
+    },
+    /// An operator failed while processing data.
+    OperatorFailed {
+        /// The operator the error is reported at.
+        operator: String,
+        /// The failure message.
+        message: String,
+    },
+    /// A data-layer error escaped an operator at runtime.
+    DataError {
+        /// The operator the error is reported at.
+        operator: String,
+        /// The underlying data problem.
+        error: DataError,
+    },
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::InvalidDag(msg) => write!(f, "invalid workflow: {msg}"),
+            WorkflowError::SchemaError { operator, error } => {
+                write!(f, "schema error at operator `{operator}`: {error}")
+            }
+            WorkflowError::OperatorFailed { operator, message } => {
+                write!(f, "operator `{operator}` failed: {message}")
+            }
+            WorkflowError::DataError { operator, error } => {
+                write!(f, "data error at operator `{operator}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl WorkflowError {
+    /// Attach an operator name to a bare data error.
+    pub fn from_data(operator: &str, error: DataError) -> Self {
+        WorkflowError::DataError {
+            operator: operator.to_owned(),
+            error,
+        }
+    }
+}
+
+/// Collects tuples an operator emits while handling input.
+///
+/// Output is port-less: an operator has exactly one output stream which
+/// the DAG may fan out to several downstream edges (Texera's model).
+#[derive(Debug, Default)]
+pub struct OutputCollector {
+    tuples: Vec<Tuple>,
+}
+
+impl OutputCollector {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        OutputCollector { tuples: Vec::new() }
+    }
+
+    /// Emit one tuple downstream.
+    pub fn emit(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+    }
+
+    /// Emit many tuples downstream.
+    pub fn emit_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        self.tuples.extend(tuples);
+    }
+
+    /// Number of tuples collected so far.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Drain the collected tuples.
+    pub fn take(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut self.tuples)
+    }
+}
+
+/// One operator instance: the per-worker processing state.
+///
+/// Each of an operator's `parallelism` workers gets its **own instance**
+/// (created by [`OperatorFactory::create`]), mirroring how Texera deploys
+/// one executor per worker. State such as a join's hash table is
+/// therefore per-worker; correctness across workers is the partitioning
+/// strategy's job.
+pub trait Operator: Send {
+    /// Process one input tuple arriving on `port`.
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()>;
+
+    /// All input on `port` has been delivered. Blocking operators (e.g. a
+    /// hash join's build side, an aggregate) flush state here.
+    fn on_port_complete(&mut self, _port: usize, _out: &mut OutputCollector) -> WorkflowResult<()> {
+        Ok(())
+    }
+}
+
+/// Static description + instance factory for an operator.
+///
+/// This is what a DAG node holds: everything the builder needs to
+/// validate the graph and everything the executors need to spawn worker
+/// instances and charge costs.
+pub trait OperatorFactory: Send + Sync {
+    /// Display name (unique within a workflow; shown in the GUI).
+    fn name(&self) -> &str;
+
+    /// Number of input ports (0 for sources).
+    fn input_ports(&self) -> usize;
+
+    /// Output schema given the input schemas (one per port). Called once
+    /// at build time; errors abort workflow construction — the workflow
+    /// paradigm's early, explicit schema checking.
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema>;
+
+    /// Ports that must be fully consumed before later ports are processed
+    /// (e.g. a hash join blocks its probe port until the build port
+    /// finishes). Ports listed here are drained in ascending order before
+    /// any non-listed port.
+    fn blocking_ports(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Implementation language (drives compute multipliers and
+    /// cross-language boundary costs).
+    fn language(&self) -> Language {
+        Language::Python
+    }
+
+    /// Virtual-cost profile for the simulator.
+    fn cost(&self) -> CostProfile {
+        CostProfile::default()
+    }
+
+    /// Create one worker instance.
+    fn create(&self) -> Box<dyn Operator>;
+
+    /// For source operators: the tuples this source produces, already
+    /// partitioned across `workers`. Non-sources return `None`.
+    fn source_partitions(&self, _workers: usize) -> Option<Vec<Vec<Tuple>>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_datakit::{DataType, Value};
+
+    #[test]
+    fn collector_accumulates_and_drains() {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let mut out = OutputCollector::new();
+        assert!(out.is_empty());
+        out.emit(Tuple::new(schema.clone(), vec![Value::Int(1)]).unwrap());
+        out.emit_all(vec![
+            Tuple::new(schema.clone(), vec![Value::Int(2)]).unwrap(),
+            Tuple::new(schema, vec![Value::Int(3)]).unwrap(),
+        ]);
+        assert_eq!(out.len(), 3);
+        let drained = out.take();
+        assert_eq!(drained.len(), 3);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn error_display_names_operator() {
+        let e = WorkflowError::OperatorFailed {
+            operator: "Sentiment Analysis".into(),
+            message: "model blew up".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "operator `Sentiment Analysis` failed: model blew up"
+        );
+    }
+
+    #[test]
+    fn from_data_wraps() {
+        let e = WorkflowError::from_data(
+            "Filter",
+            DataError::UnknownColumn {
+                column: "x".into(),
+                schema: "a: Int".into(),
+            },
+        );
+        assert!(e.to_string().contains("Filter"));
+        assert!(e.to_string().contains("unknown column"));
+    }
+}

@@ -1,0 +1,405 @@
+//! Grouped aggregation operator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scriptflow_datakit::{DataType, Field, HashKey, Schema, SchemaRef, Tuple, Value};
+use scriptflow_simcluster::Language;
+
+use crate::cost::CostProfile;
+use crate::operator::{
+    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
+
+/// One aggregation over a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFn {
+    /// Row count (column-independent), output column named by the string.
+    Count(String),
+    /// Sum of a numeric column; output `sum_<col>`.
+    Sum(String),
+    /// Mean of a numeric column; output `avg_<col>`.
+    Avg(String),
+    /// Minimum of a numeric column; output `min_<col>`.
+    Min(String),
+    /// Maximum of a numeric column; output `max_<col>`.
+    Max(String),
+}
+
+impl AggFn {
+    fn output_field(&self) -> Field {
+        match self {
+            AggFn::Count(name) => Field::new(name.clone(), DataType::Int),
+            AggFn::Sum(c) => Field::new(format!("sum_{c}"), DataType::Float),
+            AggFn::Avg(c) => Field::new(format!("avg_{c}"), DataType::Float),
+            AggFn::Min(c) => Field::new(format!("min_{c}"), DataType::Float),
+            AggFn::Max(c) => Field::new(format!("max_{c}"), DataType::Float),
+        }
+    }
+
+    fn input_column(&self) -> Option<&str> {
+        match self {
+            AggFn::Count(_) => None,
+            AggFn::Sum(c) | AggFn::Avg(c) | AggFn::Min(c) | AggFn::Max(c) => Some(c),
+        }
+    }
+}
+
+/// Running state of one aggregation within one group.
+#[derive(Debug, Clone)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn update(&mut self, x: Option<f64>) {
+        self.count += 1;
+        if let Some(x) = x {
+            self.sum += x;
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+    }
+
+    fn finish(&self, agg: &AggFn) -> Value {
+        match agg {
+            AggFn::Count(_) => Value::Int(self.count as i64),
+            AggFn::Sum(_) => Value::Float(self.sum),
+            AggFn::Avg(_) => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFn::Min(_) => {
+                if self.min.is_finite() {
+                    Value::Float(self.min)
+                } else {
+                    Value::Null
+                }
+            }
+            AggFn::Max(_) => {
+                if self.max.is_finite() {
+                    Value::Float(self.max)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+/// Group-by + aggregations; emits one tuple per group when its input
+/// completes (a blocking operator).
+///
+/// With parallelism > 1, the input edge must hash-partition on the group
+/// columns so each group lands wholly on one worker.
+pub struct AggregateOp {
+    name: String,
+    group_by: Vec<String>,
+    aggs: Vec<AggFn>,
+    cost: CostProfile,
+    language: Language,
+}
+
+impl AggregateOp {
+    /// Aggregate `aggs` grouped by `group_by` (may be empty for a global
+    /// aggregate).
+    pub fn new(name: impl Into<String>, group_by: &[&str], aggs: Vec<AggFn>) -> Self {
+        assert!(!aggs.is_empty(), "aggregate needs at least one aggregation");
+        AggregateOp {
+            name: name.into(),
+            group_by: group_by.iter().map(|s| (*s).to_owned()).collect(),
+            aggs,
+            cost: CostProfile::per_tuple_micros(2),
+            language: Language::Python,
+        }
+    }
+
+    /// Override the cost profile.
+    pub fn with_cost(mut self, cost: CostProfile) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the implementation language.
+    pub fn with_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+}
+
+struct AggregateInstance {
+    name: String,
+    group_by: Vec<String>,
+    aggs: Vec<AggFn>,
+    // Derived from the first input tuple's schema (blocking operators
+    // see data before they emit, so this is always available in time).
+    out_schema: Option<SchemaRef>,
+    // Group key -> (representative group values, per-agg state). Insertion
+    // order preserved for deterministic output.
+    groups: HashMap<HashKey, (Vec<Value>, Vec<AggState>)>,
+    order: Vec<HashKey>,
+}
+
+impl Operator for AggregateInstance {
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        _port: usize,
+        _out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        if self.out_schema.is_none() {
+            let derived = self
+                .derive_schema(tuple.schema())
+                .map_err(|e| WorkflowError::SchemaError {
+                    operator: self.name.clone(),
+                    error: e,
+                })?;
+            self.out_schema = Some(Arc::new(derived));
+        }
+        let cols: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
+        let key = if cols.is_empty() {
+            HashKey::Null
+        } else {
+            HashKey::from_tuple(&tuple, &cols)
+                .map_err(|e| WorkflowError::from_data(&self.name, e))?
+        };
+        if !self.groups.contains_key(&key) {
+            let mut rep = Vec::with_capacity(cols.len());
+            for c in &cols {
+                rep.push(
+                    tuple
+                        .get(c)
+                        .map_err(|e| WorkflowError::from_data(&self.name, e))?
+                        .clone(),
+                );
+            }
+            self.groups.insert(
+                key.clone(),
+                (rep, self.aggs.iter().map(|_| AggState::new()).collect()),
+            );
+            self.order.push(key.clone());
+        }
+        let (_, states) = self.groups.get_mut(&key).expect("inserted above");
+        for (agg, state) in self.aggs.iter().zip(states.iter_mut()) {
+            let x = match agg.input_column() {
+                Some(c) => tuple
+                    .get(c)
+                    .map_err(|e| WorkflowError::from_data(&self.name, e))?
+                    .as_float(),
+                None => None,
+            };
+            state.update(x);
+        }
+        Ok(())
+    }
+
+    fn on_port_complete(&mut self, _port: usize, out: &mut OutputCollector) -> WorkflowResult<()> {
+        let schema = match &self.out_schema {
+            Some(s) => s.clone(),
+            // No input tuples: nothing to emit (and no schema to emit it
+            // under).
+            None => return Ok(()),
+        };
+        for key in &self.order {
+            let (rep, states) = &self.groups[key];
+            let mut values = rep.clone();
+            for (agg, state) in self.aggs.iter().zip(states) {
+                values.push(state.finish(agg));
+            }
+            out.emit(Tuple::new_unchecked(schema.clone(), values));
+        }
+        self.groups.clear();
+        self.order.clear();
+        Ok(())
+    }
+}
+
+impl AggregateInstance {
+    fn derive_schema(
+        &self,
+        input: &SchemaRef,
+    ) -> Result<Schema, scriptflow_datakit::DataError> {
+        let mut fields = Vec::with_capacity(self.group_by.len() + self.aggs.len());
+        for g in &self.group_by {
+            fields.push(input.field(g)?.clone());
+        }
+        for a in &self.aggs {
+            fields.push(a.output_field());
+        }
+        Schema::new(fields)
+    }
+}
+
+impl OperatorFactory for AggregateOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> usize {
+        1
+    }
+
+    fn blocking_ports(&self) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        let input = &inputs[0];
+        let mut fields = Vec::with_capacity(self.group_by.len() + self.aggs.len());
+        for g in &self.group_by {
+            fields.push(
+                input
+                    .field(g)
+                    .map_err(|e| WorkflowError::SchemaError {
+                        operator: self.name.clone(),
+                        error: e,
+                    })?
+                    .clone(),
+            );
+        }
+        for a in &self.aggs {
+            if let Some(c) = a.input_column() {
+                input.index_of(c).map_err(|e| WorkflowError::SchemaError {
+                    operator: self.name.clone(),
+                    error: e,
+                })?;
+            }
+            fields.push(a.output_field());
+        }
+        Schema::new(fields).map_err(|e| WorkflowError::SchemaError {
+            operator: self.name.clone(),
+            error: e,
+        })
+    }
+
+    fn language(&self) -> Language {
+        self.language
+    }
+
+    fn cost(&self) -> CostProfile {
+        self.cost.clone()
+    }
+
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(AggregateInstance {
+            name: self.name.clone(),
+            group_by: self.group_by.clone(),
+            aggs: self.aggs.clone(),
+            out_schema: None,
+            groups: HashMap::new(),
+            order: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(cat: &str, x: f64) -> Tuple {
+        Tuple::new(
+            Schema::of(&[("cat", DataType::Str), ("x", DataType::Float)]),
+            vec![Value::Str(cat.into()), Value::Float(x)],
+        )
+        .unwrap()
+    }
+
+    fn agg_all() -> AggregateOp {
+        AggregateOp::new(
+            "agg",
+            &["cat"],
+            vec![
+                AggFn::Count("n".into()),
+                AggFn::Sum("x".into()),
+                AggFn::Avg("x".into()),
+                AggFn::Min("x".into()),
+                AggFn::Max("x".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let op = agg_all();
+        let mut inst = op.create();
+        let mut out = OutputCollector::new();
+        for (c, x) in [("a", 1.0), ("b", 10.0), ("a", 3.0), ("a", 2.0)] {
+            inst.on_tuple(tuple(c, x), 0, &mut out).unwrap();
+        }
+        assert!(out.is_empty(), "blocking op must not emit early");
+        inst.on_port_complete(0, &mut out).unwrap();
+        let rows = out.take();
+        assert_eq!(rows.len(), 2);
+        let a = rows.iter().find(|t| t.get_str("cat").unwrap() == "a").unwrap();
+        assert_eq!(a.get_int("n").unwrap(), 3);
+        assert_eq!(a.get_float("sum_x").unwrap(), 6.0);
+        assert_eq!(a.get_float("avg_x").unwrap(), 2.0);
+        assert_eq!(a.get_float("min_x").unwrap(), 1.0);
+        assert_eq!(a.get_float("max_x").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn global_aggregate_no_group() {
+        let op = AggregateOp::new("agg", &[], vec![AggFn::Count("n".into())]);
+        let mut inst = op.create();
+        let mut out = OutputCollector::new();
+        for i in 0..5 {
+            inst.on_tuple(tuple("x", i as f64), 0, &mut out).unwrap();
+        }
+        inst.on_port_complete(0, &mut out).unwrap();
+        let rows = out.take();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get_int("n").unwrap(), 5);
+    }
+
+    #[test]
+    fn output_schema_shape() {
+        let op = agg_all();
+        let s = op
+            .output_schema(&[Schema::of(&[
+                ("cat", DataType::Str),
+                ("x", DataType::Float),
+            ])])
+            .unwrap();
+        assert_eq!(
+            s.to_string(),
+            "cat: Str, n: Int, sum_x: Float, avg_x: Float, min_x: Float, max_x: Float"
+        );
+    }
+
+    #[test]
+    fn schema_validates_columns() {
+        let op = AggregateOp::new("agg", &["missing"], vec![AggFn::Count("n".into())]);
+        assert!(op
+            .output_schema(&[Schema::of(&[("cat", DataType::Str)])])
+            .is_err());
+        let op2 = AggregateOp::new("agg", &[], vec![AggFn::Sum("missing".into())]);
+        assert!(op2
+            .output_schema(&[Schema::of(&[("cat", DataType::Str)])])
+            .is_err());
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        let op = agg_all();
+        let mut inst = op.create();
+        let mut out = OutputCollector::new();
+        inst.on_port_complete(0, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}

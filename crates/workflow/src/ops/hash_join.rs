@@ -1,0 +1,301 @@
+//! Hash join operator: build on port 0, probe on port 1.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scriptflow_datakit::{HashKey, Schema, SchemaRef, Tuple, Value};
+use scriptflow_simcluster::Language;
+
+use crate::cost::CostProfile;
+use crate::operator::{
+    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
+
+/// Join semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Emit only matching pairs.
+    Inner,
+    /// Emit every probe tuple; unmatched build columns become null.
+    LeftOuter,
+}
+
+/// Hash join: port 0 (build) is consumed fully into an in-memory hash
+/// table, then port 1 (probe) streams through.
+///
+/// This is the operator whose Python↔Scala swap drives Table I of the
+/// paper. With parallelism > 1, both inputs must be hash-partitioned on
+/// the join keys (or the build side broadcast).
+pub struct HashJoinOp {
+    name: String,
+    build_keys: Vec<String>,
+    probe_keys: Vec<String>,
+    join_type: JoinType,
+    cost: CostProfile,
+    language: Language,
+}
+
+impl HashJoinOp {
+    /// An inner join matching `probe_keys` (port 1) to `build_keys`
+    /// (port 0).
+    pub fn new(name: impl Into<String>, probe_keys: &[&str], build_keys: &[&str]) -> Self {
+        assert_eq!(
+            probe_keys.len(),
+            build_keys.len(),
+            "join key lists must have equal length"
+        );
+        assert!(!probe_keys.is_empty(), "join needs at least one key");
+        HashJoinOp {
+            name: name.into(),
+            build_keys: build_keys.iter().map(|s| (*s).to_owned()).collect(),
+            probe_keys: probe_keys.iter().map(|s| (*s).to_owned()).collect(),
+            join_type: JoinType::Inner,
+            // Hash probe + tuple concat: ~3 µs per probe tuple in Python.
+            cost: CostProfile::per_tuple_micros(3),
+            language: Language::Python,
+        }
+    }
+
+    /// Change the join semantics.
+    pub fn with_join_type(mut self, join_type: JoinType) -> Self {
+        self.join_type = join_type;
+        self
+    }
+
+    /// Override the cost profile.
+    pub fn with_cost(mut self, cost: CostProfile) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the implementation language (the Table I knob).
+    pub fn with_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+}
+
+struct HashJoinInstance {
+    name: String,
+    build_keys: Vec<String>,
+    probe_keys: Vec<String>,
+    join_type: JoinType,
+    table: HashMap<HashKey, Vec<Tuple>>,
+    out_schema: Option<SchemaRef>,
+}
+
+impl HashJoinInstance {
+    fn key_of(&self, tuple: &Tuple, cols: &[String]) -> WorkflowResult<HashKey> {
+        let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+        HashKey::from_tuple(tuple, &names).map_err(|e| WorkflowError::from_data(&self.name, e))
+    }
+}
+
+impl Operator for HashJoinInstance {
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        match port {
+            0 => {
+                let key = self.key_of(&tuple, &self.build_keys.clone())?;
+                self.table.entry(key).or_default().push(tuple);
+                Ok(())
+            }
+            1 => {
+                if self.out_schema.is_none() {
+                    // Derive the joined schema lazily from the first probe
+                    // tuple + any build tuple (the executor checked it at
+                    // build time; this is the instance-local copy).
+                    let build_schema = self
+                        .table
+                        .values()
+                        .next()
+                        .and_then(|v| v.first())
+                        .map(|t| (**t.schema()).clone());
+                    let joined = match build_schema {
+                        Some(bs) => tuple
+                            .schema()
+                            .join(&bs, "_r")
+                            .map_err(|e| WorkflowError::from_data(&self.name, e))?,
+                        // Empty build side: schema only matters for
+                        // LeftOuter nulls; synthesize probe-only schema.
+                        None => (**tuple.schema()).clone(),
+                    };
+                    self.out_schema = Some(Arc::new(joined));
+                }
+                let key = self.key_of(&tuple, &self.probe_keys.clone())?;
+                let schema = self.out_schema.clone().expect("set above");
+                match self.table.get(&key) {
+                    Some(matches) => {
+                        for m in matches {
+                            let mut values =
+                                Vec::with_capacity(tuple.values().len() + m.values().len());
+                            values.extend_from_slice(tuple.values());
+                            values.extend_from_slice(m.values());
+                            out.emit(Tuple::new_unchecked(schema.clone(), values));
+                        }
+                    }
+                    None if self.join_type == JoinType::LeftOuter => {
+                        let mut values = Vec::with_capacity(schema.arity());
+                        values.extend_from_slice(tuple.values());
+                        values.extend(std::iter::repeat_n(
+                            Value::Null,
+                            schema.arity() - tuple.values().len(),
+                        ));
+                        out.emit(Tuple::new_unchecked(schema, values));
+                    }
+                    None => {}
+                }
+                Ok(())
+            }
+            other => Err(WorkflowError::OperatorFailed {
+                operator: self.name.clone(),
+                message: format!("join has ports 0 and 1, got {other}"),
+            }),
+        }
+    }
+}
+
+impl OperatorFactory for HashJoinOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> usize {
+        2
+    }
+
+    fn blocking_ports(&self) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        let build = &inputs[0];
+        let probe = &inputs[1];
+        for (cols, schema, side) in [
+            (&self.build_keys, build, "build"),
+            (&self.probe_keys, probe, "probe"),
+        ] {
+            for c in cols {
+                schema.index_of(c).map_err(|e| WorkflowError::SchemaError {
+                    operator: format!("{} ({side} side)", self.name),
+                    error: e,
+                })?;
+            }
+        }
+        probe.join(build, "_r").map_err(|e| WorkflowError::SchemaError {
+            operator: self.name.clone(),
+            error: e,
+        })
+    }
+
+    fn language(&self) -> Language {
+        self.language
+    }
+
+    fn cost(&self) -> CostProfile {
+        self.cost.clone()
+    }
+
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(HashJoinInstance {
+            name: self.name.clone(),
+            build_keys: self.build_keys.clone(),
+            probe_keys: self.probe_keys.clone(),
+            join_type: self.join_type,
+            table: HashMap::new(),
+            out_schema: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_datakit::DataType;
+
+    fn build_tuple(k: i64, tag: &str) -> Tuple {
+        Tuple::new(
+            Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]),
+            vec![Value::Int(k), Value::Str(tag.into())],
+        )
+        .unwrap()
+    }
+
+    fn probe_tuple(id: i64, k: i64) -> Tuple {
+        Tuple::new(
+            Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]),
+            vec![Value::Int(id), Value::Int(k)],
+        )
+        .unwrap()
+    }
+
+    fn run_join(join_type: JoinType) -> Vec<Tuple> {
+        let j = HashJoinOp::new("j", &["k"], &["k"]).with_join_type(join_type);
+        let mut inst = j.create();
+        let mut out = OutputCollector::new();
+        for (k, tag) in [(1, "a"), (2, "b"), (1, "c")] {
+            inst.on_tuple(build_tuple(k, tag), 0, &mut out).unwrap();
+        }
+        inst.on_port_complete(0, &mut out).unwrap();
+        for (id, k) in [(10, 1), (20, 2), (30, 9)] {
+            inst.on_tuple(probe_tuple(id, k), 1, &mut out).unwrap();
+        }
+        inst.on_port_complete(1, &mut out).unwrap();
+        out.take()
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let rows = run_join(JoinType::Inner);
+        // probe k=1 matches two build rows, k=2 one, k=9 none.
+        assert_eq!(rows.len(), 3);
+        let tags: Vec<&str> = rows.iter().map(|t| t.get_str("tag").unwrap()).collect();
+        assert!(tags.contains(&"a") && tags.contains(&"b") && tags.contains(&"c"));
+    }
+
+    #[test]
+    fn left_outer_pads_nulls() {
+        let rows = run_join(JoinType::LeftOuter);
+        assert_eq!(rows.len(), 4);
+        let unmatched: Vec<&Tuple> = rows
+            .iter()
+            .filter(|t| t.get_int("id").unwrap() == 30)
+            .collect();
+        assert_eq!(unmatched.len(), 1);
+        assert!(unmatched[0].get("tag").unwrap().is_null());
+        assert!(unmatched[0].get("k_r").unwrap().is_null());
+    }
+
+    #[test]
+    fn output_schema_renames_duplicates() {
+        let j = HashJoinOp::new("j", &["k"], &["k"]);
+        let build = Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]);
+        let probe = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+        let s = j.output_schema(&[build, probe]).unwrap();
+        assert_eq!(s.to_string(), "id: Int, k: Int, k_r: Int, tag: Str");
+    }
+
+    #[test]
+    fn output_schema_validates_keys() {
+        let j = HashJoinOp::new("j", &["nope"], &["k"]);
+        let build = Schema::of(&[("k", DataType::Int)]);
+        let probe = Schema::of(&[("id", DataType::Int)]);
+        assert!(j.output_schema(&[build, probe]).is_err());
+    }
+
+    #[test]
+    fn build_port_is_blocking() {
+        let j = HashJoinOp::new("j", &["k"], &["k"]);
+        assert_eq!(j.blocking_ports(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_key_lists_panic() {
+        HashJoinOp::new("j", &["a", "b"], &["k"]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Built-in operator library.
+//!
+//! Texera ships a broad palette of off-the-shelf operators "ranging from
+//! simple filtering and projection to visualization" (§I); this module is
+//! the analogue. Every factory supports `with_cost`, `with_language`, and
+//! `with_parallel_hint` style configuration so tasks can model the exact
+//! operator mix the paper used.
+
+mod aggregate;
+mod hash_join;
+mod io;
+mod relational;
+mod scan;
+mod sink;
+mod sort;
+mod udf;
+mod union;
+
+pub use aggregate::{AggFn, AggregateOp};
+pub use hash_join::{HashJoinOp, JoinType};
+pub use io::{csv_scan, jsonl_scan, TextFormat, TextSinkHandle, TextSinkOp};
+pub use relational::{DistinctOp, FilterOp, LimitOp, ProjectOp};
+pub use scan::ScanOp;
+pub use sink::{SinkHandle, SinkOp};
+pub use sort::{SortOp, SortOrder};
+pub use udf::{StatefulUdfOp, UdfOp};
+pub use union::UnionOp;

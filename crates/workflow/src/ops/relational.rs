@@ -1,0 +1,396 @@
+//! Simple relational operators: filter, project, limit, distinct.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use scriptflow_datakit::{DataResult, HashKey, Schema, SchemaRef, Tuple};
+use scriptflow_simcluster::Language;
+
+use crate::cost::CostProfile;
+use crate::operator::{
+    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
+
+type Predicate = Arc<dyn Fn(&Tuple) -> DataResult<bool> + Send + Sync>;
+
+/// Keep tuples matching a predicate.
+pub struct FilterOp {
+    name: String,
+    predicate: Predicate,
+    cost: CostProfile,
+    language: Language,
+}
+
+impl FilterOp {
+    /// A filter with the given predicate.
+    pub fn new(
+        name: impl Into<String>,
+        predicate: impl Fn(&Tuple) -> DataResult<bool> + Send + Sync + 'static,
+    ) -> Self {
+        FilterOp {
+            name: name.into(),
+            predicate: Arc::new(predicate),
+            cost: CostProfile::default(),
+            language: Language::Python,
+        }
+    }
+
+    /// Override the cost profile.
+    pub fn with_cost(mut self, cost: CostProfile) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the implementation language.
+    pub fn with_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+}
+
+struct FilterInstance {
+    name: String,
+    predicate: Predicate,
+}
+
+impl Operator for FilterInstance {
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        _port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        let keep =
+            (self.predicate)(&tuple).map_err(|e| WorkflowError::from_data(&self.name, e))?;
+        if keep {
+            out.emit(tuple);
+        }
+        Ok(())
+    }
+}
+
+impl OperatorFactory for FilterOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_ports(&self) -> usize {
+        1
+    }
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        Ok((*inputs[0]).clone())
+    }
+    fn language(&self) -> Language {
+        self.language
+    }
+    fn cost(&self) -> CostProfile {
+        self.cost.clone()
+    }
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(FilterInstance {
+            name: self.name.clone(),
+            predicate: self.predicate.clone(),
+        })
+    }
+}
+
+/// Keep only the named columns.
+pub struct ProjectOp {
+    name: String,
+    columns: Vec<String>,
+    cost: CostProfile,
+    language: Language,
+}
+
+impl ProjectOp {
+    /// Project to `columns`, in the given order.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        ProjectOp {
+            name: name.into(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            cost: CostProfile::per_tuple_micros(1),
+            language: Language::Python,
+        }
+    }
+
+    /// Override the cost profile.
+    pub fn with_cost(mut self, cost: CostProfile) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the implementation language.
+    pub fn with_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+}
+
+struct ProjectInstance {
+    name: String,
+    indices: Option<Vec<usize>>,
+    columns: Vec<String>,
+    out_schema: Option<SchemaRef>,
+}
+
+impl Operator for ProjectInstance {
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        _port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        if self.indices.is_none() {
+            let mut idx = Vec::with_capacity(self.columns.len());
+            for c in &self.columns {
+                idx.push(
+                    tuple
+                        .schema()
+                        .index_of(c)
+                        .map_err(|e| WorkflowError::from_data(&self.name, e))?,
+                );
+            }
+            let projected = tuple
+                .schema()
+                .project(&self.columns.iter().map(String::as_str).collect::<Vec<_>>())
+                .map_err(|e| WorkflowError::from_data(&self.name, e))?;
+            self.indices = Some(idx);
+            self.out_schema = Some(Arc::new(projected));
+        }
+        let indices = self.indices.as_ref().expect("initialized above");
+        let schema = self.out_schema.clone().expect("initialized above");
+        let values = indices.iter().map(|&i| tuple.at(i).clone()).collect();
+        out.emit(Tuple::new_unchecked(schema, values));
+        Ok(())
+    }
+}
+
+impl OperatorFactory for ProjectOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_ports(&self) -> usize {
+        1
+    }
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        inputs[0].project(&cols).map_err(|e| WorkflowError::SchemaError {
+            operator: self.name.clone(),
+            error: e,
+        })
+    }
+    fn language(&self) -> Language {
+        self.language
+    }
+    fn cost(&self) -> CostProfile {
+        self.cost.clone()
+    }
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(ProjectInstance {
+            name: self.name.clone(),
+            indices: None,
+            columns: self.columns.clone(),
+            out_schema: None,
+        })
+    }
+}
+
+/// Pass at most `n` tuples (per workflow — use parallelism 1).
+pub struct LimitOp {
+    name: String,
+    n: usize,
+}
+
+impl LimitOp {
+    /// Limit to `n` tuples.
+    pub fn new(name: impl Into<String>, n: usize) -> Self {
+        LimitOp {
+            name: name.into(),
+            n,
+        }
+    }
+}
+
+struct LimitInstance {
+    remaining: usize,
+}
+
+impl Operator for LimitInstance {
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        _port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            out.emit(tuple);
+        }
+        Ok(())
+    }
+}
+
+impl OperatorFactory for LimitOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_ports(&self) -> usize {
+        1
+    }
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        Ok((*inputs[0]).clone())
+    }
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(LimitInstance { remaining: self.n })
+    }
+}
+
+/// Drop duplicate tuples, keyed by the named columns (or the whole tuple's
+/// display form when keyed columns are unhashable).
+pub struct DistinctOp {
+    name: String,
+    columns: Vec<String>,
+}
+
+impl DistinctOp {
+    /// Distinct on `columns`. Use with hash partitioning on the same
+    /// columns when parallelism > 1.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        DistinctOp {
+            name: name.into(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+struct DistinctInstance {
+    name: String,
+    columns: Vec<String>,
+    seen: HashSet<HashKey>,
+}
+
+impl Operator for DistinctInstance {
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        _port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        let key = HashKey::from_tuple(&tuple, &cols)
+            .map_err(|e| WorkflowError::from_data(&self.name, e))?;
+        if self.seen.insert(key) {
+            out.emit(tuple);
+        }
+        Ok(())
+    }
+}
+
+impl OperatorFactory for DistinctOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_ports(&self) -> usize {
+        1
+    }
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        // Validate the key columns exist.
+        for c in &self.columns {
+            inputs[0].index_of(c).map_err(|e| WorkflowError::SchemaError {
+                operator: self.name.clone(),
+                error: e,
+            })?;
+        }
+        Ok((*inputs[0]).clone())
+    }
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(DistinctInstance {
+            name: self.name.clone(),
+            columns: self.columns.clone(),
+            seen: HashSet::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_datakit::{DataType, Value};
+
+    fn tuple(id: i64) -> Tuple {
+        Tuple::new(Schema::of(&[("id", DataType::Int)]), vec![Value::Int(id)]).unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let f = FilterOp::new("f", |t| Ok(t.get_int("id")? > 2));
+        let mut inst = f.create();
+        let mut out = OutputCollector::new();
+        for i in 0..5 {
+            inst.on_tuple(tuple(i), 0, &mut out).unwrap();
+        }
+        let kept = out.take();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].get_int("id").unwrap(), 3);
+    }
+
+    #[test]
+    fn filter_propagates_predicate_error() {
+        let f = FilterOp::new("f", |t| Ok(t.get_int("missing")? > 0));
+        let mut inst = f.create();
+        let mut out = OutputCollector::new();
+        let err = inst.on_tuple(tuple(1), 0, &mut out).unwrap_err();
+        assert!(err.to_string().contains("`f`"));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let p = ProjectOp::new("p", &["b", "a"]);
+        let out_schema = p.output_schema(std::slice::from_ref(&schema)).unwrap();
+        assert_eq!(out_schema.to_string(), "b: Str, a: Int");
+        let mut inst = p.create();
+        let mut out = OutputCollector::new();
+        let t = Tuple::new(schema, vec![Value::Int(1), Value::Str("x".into())]).unwrap();
+        inst.on_tuple(t, 0, &mut out).unwrap();
+        let got = out.take();
+        assert_eq!(got[0].get_str("b").unwrap(), "x");
+        assert_eq!(got[0].values()[1], Value::Int(1));
+    }
+
+    #[test]
+    fn project_unknown_column_fails_at_schema_time() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let p = ProjectOp::new("p", &["zzz"]);
+        assert!(p.output_schema(&[schema]).is_err());
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let l = LimitOp::new("l", 2);
+        let mut inst = l.create();
+        let mut out = OutputCollector::new();
+        for i in 0..5 {
+            inst.on_tuple(tuple(i), 0, &mut out).unwrap();
+        }
+        assert_eq!(out.take().len(), 2);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let d = DistinctOp::new("d", &["id"]);
+        let mut inst = d.create();
+        let mut out = OutputCollector::new();
+        for id in [1, 2, 1, 3, 2, 1] {
+            inst.on_tuple(tuple(id), 0, &mut out).unwrap();
+        }
+        assert_eq!(out.take().len(), 3);
+    }
+
+    #[test]
+    fn distinct_validates_columns() {
+        let d = DistinctOp::new("d", &["nope"]);
+        assert!(d
+            .output_schema(&[Schema::of(&[("id", DataType::Int)])])
+            .is_err());
+    }
+}

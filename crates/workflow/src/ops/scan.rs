@@ -1,0 +1,151 @@
+//! Source operator: emits a pre-materialized batch.
+
+use scriptflow_datakit::{Batch, Schema, SchemaRef, Tuple};
+use scriptflow_simcluster::Language;
+
+use crate::cost::CostProfile;
+use crate::operator::{
+    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
+
+/// A source operator producing the tuples of a batch.
+///
+/// With parallelism *k*, the batch is round-robin split across the *k*
+/// source workers, which then feed the pipeline concurrently (Texera's
+/// parallel scan).
+pub struct ScanOp {
+    name: String,
+    batch: Batch,
+    cost: CostProfile,
+    language: Language,
+}
+
+impl ScanOp {
+    /// A scan over `batch`.
+    pub fn new(name: impl Into<String>, batch: Batch) -> Self {
+        ScanOp {
+            name: name.into(),
+            batch,
+            // Reading + parsing a record is pricier than probing a hash
+            // table; default to 4 µs per tuple.
+            cost: CostProfile::per_tuple_micros(4),
+            language: Language::Python,
+        }
+    }
+
+    /// Override the cost profile.
+    pub fn with_cost(mut self, cost: CostProfile) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the implementation language.
+    pub fn with_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+
+    /// Number of tuples this scan produces.
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// True if the scan produces nothing.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+}
+
+/// Sources never receive tuples; the executor pulls their data through
+/// [`OperatorFactory::source_partitions`] instead.
+struct ScanInstance;
+
+impl Operator for ScanInstance {
+    fn on_tuple(
+        &mut self,
+        _tuple: Tuple,
+        _port: usize,
+        _out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        Err(WorkflowError::OperatorFailed {
+            operator: "<scan>".into(),
+            message: "source operators do not accept input".into(),
+        })
+    }
+}
+
+impl OperatorFactory for ScanOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> usize {
+        0
+    }
+
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        debug_assert!(inputs.is_empty());
+        Ok((**self.batch.schema()).clone())
+    }
+
+    fn language(&self) -> Language {
+        self.language
+    }
+
+    fn cost(&self) -> CostProfile {
+        self.cost.clone()
+    }
+
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(ScanInstance)
+    }
+
+    fn source_partitions(&self, workers: usize) -> Option<Vec<Vec<Tuple>>> {
+        let mut parts: Vec<Vec<Tuple>> = (0..workers.max(1)).map(|_| Vec::new()).collect();
+        for (i, t) in self.batch.tuples().iter().enumerate() {
+            parts[i % workers.max(1)].push(t.clone());
+        }
+        Some(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_datakit::{DataType, Value};
+
+    fn scan(n: i64) -> ScanOp {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let rows = (0..n).map(|i| vec![Value::Int(i)]).collect();
+        ScanOp::new("scan", Batch::from_rows(schema, rows).unwrap())
+    }
+
+    #[test]
+    fn partitions_cover_all_tuples() {
+        let s = scan(10);
+        let parts = s.source_partitions(3).unwrap();
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        // Round-robin: first partition gets ceil(10/3) = 4.
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 3);
+    }
+
+    #[test]
+    fn schema_comes_from_batch() {
+        let s = scan(1);
+        assert_eq!(s.output_schema(&[]).unwrap().to_string(), "id: Int");
+        assert_eq!(s.input_ports(), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn instance_rejects_input() {
+        let s = scan(1);
+        let mut inst = s.create();
+        let t = s.source_partitions(1).unwrap()[0][0].clone();
+        let mut out = OutputCollector::new();
+        assert!(inst.on_tuple(t, 0, &mut out).is_err());
+    }
+}

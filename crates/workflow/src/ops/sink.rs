@@ -1,0 +1,136 @@
+//! Sink operator: collects workflow results.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use scriptflow_datakit::{Schema, SchemaRef, Tuple};
+
+use crate::cost::CostProfile;
+use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowResult};
+
+/// Terminal operator gathering result tuples (Texera's "View Results").
+///
+/// The factory owns shared storage; every worker instance appends into
+/// it, so results survive the executor and are retrievable afterwards via
+/// [`SinkOp::results`]. A `parking_lot` mutex keeps this safe for the
+/// live multi-threaded executor; the simulated executor is single-
+/// threaded and pays no contention.
+pub struct SinkOp {
+    name: String,
+    results: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl SinkOp {
+    /// A new sink.
+    pub fn new(name: impl Into<String>) -> Self {
+        SinkOp {
+            name: name.into(),
+            results: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Handle to the collected results (shared with all instances).
+    pub fn handle(&self) -> SinkHandle {
+        SinkHandle {
+            results: self.results.clone(),
+        }
+    }
+
+    /// Snapshot of the tuples collected so far.
+    pub fn results(&self) -> Vec<Tuple> {
+        self.results.lock().clone()
+    }
+}
+
+/// Cloneable handle to a sink's collected results.
+#[derive(Clone)]
+pub struct SinkHandle {
+    results: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl SinkHandle {
+    /// Snapshot of the tuples collected so far.
+    pub fn results(&self) -> Vec<Tuple> {
+        self.results.lock().clone()
+    }
+
+    /// Number of tuples collected so far.
+    pub fn len(&self) -> usize {
+        self.results.lock().len()
+    }
+
+    /// True if nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.results.lock().is_empty()
+    }
+
+    /// Clear collected tuples (for re-running a workflow object).
+    pub fn clear(&self) {
+        self.results.lock().clear();
+    }
+}
+
+struct SinkInstance {
+    results: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl Operator for SinkInstance {
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        _port: usize,
+        _out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        self.results.lock().push(tuple);
+        Ok(())
+    }
+}
+
+impl OperatorFactory for SinkOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> usize {
+        1
+    }
+
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        Ok((*inputs[0]).clone())
+    }
+
+    fn cost(&self) -> CostProfile {
+        // Appending a row to the results view is ~free.
+        CostProfile::per_tuple_micros(1)
+    }
+
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(SinkInstance {
+            results: self.results.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_datakit::{DataType, Value};
+
+    #[test]
+    fn instances_share_result_storage() {
+        let sink = SinkOp::new("sink");
+        let handle = sink.handle();
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let mut a = sink.create();
+        let mut b = sink.create();
+        let mut out = OutputCollector::new();
+        a.on_tuple(Tuple::new(schema.clone(), vec![Value::Int(1)]).unwrap(), 0, &mut out)
+            .unwrap();
+        b.on_tuple(Tuple::new(schema, vec![Value::Int(2)]).unwrap(), 0, &mut out)
+            .unwrap();
+        assert_eq!(handle.len(), 2);
+        assert_eq!(sink.results().len(), 2);
+        handle.clear();
+        assert!(handle.is_empty());
+    }
+}

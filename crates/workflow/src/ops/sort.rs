@@ -1,0 +1,247 @@
+//! Sort operator (blocking).
+
+use std::cmp::Ordering;
+
+use scriptflow_datakit::{Schema, SchemaRef, Tuple, Value};
+use scriptflow_simcluster::Language;
+
+use crate::cost::CostProfile;
+use crate::operator::{
+    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
+
+/// Sort direction for one key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest first.
+    Ascending,
+    /// Largest first.
+    Descending,
+}
+
+/// Blocking sort on one or more key columns.
+///
+/// Use parallelism 1 (or partition so that per-worker order is
+/// sufficient): each worker sorts only the tuples it receives.
+pub struct SortOp {
+    name: String,
+    keys: Vec<(String, SortOrder)>,
+    cost: CostProfile,
+    language: Language,
+}
+
+impl SortOp {
+    /// Sort by `keys`, applied in order.
+    pub fn new(name: impl Into<String>, keys: &[(&str, SortOrder)]) -> Self {
+        assert!(!keys.is_empty(), "sort needs at least one key");
+        SortOp {
+            name: name.into(),
+            keys: keys.iter().map(|(c, o)| ((*c).to_owned(), *o)).collect(),
+            cost: CostProfile::per_tuple_micros(3),
+            language: Language::Python,
+        }
+    }
+
+    /// Override the cost profile.
+    pub fn with_cost(mut self, cost: CostProfile) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the implementation language.
+    pub fn with_language(mut self, language: Language) -> Self {
+        self.language = language;
+        self
+    }
+}
+
+fn compare_values(a: &Value, b: &Value) -> Ordering {
+    use Value::*;
+    match (a, b) {
+        (Null, Null) => Ordering::Equal,
+        (Null, _) => Ordering::Less,
+        (_, Null) => Ordering::Greater,
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Float(x), Float(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Int(x), Float(y)) => (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Float(x), Int(y)) => x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal),
+        (Str(x), Str(y)) => x.cmp(y),
+        // Mixed/unordered types: stable but arbitrary (by type tag).
+        _ => format!("{a}").cmp(&format!("{b}")),
+    }
+}
+
+struct SortInstance {
+    name: String,
+    keys: Vec<(String, SortOrder)>,
+    buffer: Vec<Tuple>,
+}
+
+impl Operator for SortInstance {
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        _port: usize,
+        _out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        // Validate key columns exist up front (operator-level error).
+        for (k, _) in &self.keys {
+            tuple
+                .get(k)
+                .map_err(|e| WorkflowError::from_data(&self.name, e))?;
+        }
+        self.buffer.push(tuple);
+        Ok(())
+    }
+
+    fn on_port_complete(&mut self, _port: usize, out: &mut OutputCollector) -> WorkflowResult<()> {
+        let keys = self.keys.clone();
+        self.buffer.sort_by(|a, b| {
+            for (k, order) in &keys {
+                let av = a.get(k).expect("validated on ingest");
+                let bv = b.get(k).expect("validated on ingest");
+                let mut ord = compare_values(av, bv);
+                if *order == SortOrder::Descending {
+                    ord = ord.reverse();
+                }
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        out.emit_all(self.buffer.drain(..));
+        Ok(())
+    }
+}
+
+impl OperatorFactory for SortOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_ports(&self) -> usize {
+        1
+    }
+    fn blocking_ports(&self) -> Vec<usize> {
+        vec![0]
+    }
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        for (k, _) in &self.keys {
+            inputs[0].index_of(k).map_err(|e| WorkflowError::SchemaError {
+                operator: self.name.clone(),
+                error: e,
+            })?;
+        }
+        Ok((*inputs[0]).clone())
+    }
+    fn language(&self) -> Language {
+        self.language
+    }
+    fn cost(&self) -> CostProfile {
+        self.cost.clone()
+    }
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(SortInstance {
+            name: self.name.clone(),
+            keys: self.keys.clone(),
+            buffer: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_datakit::DataType;
+
+    fn tuple(a: i64, b: &str) -> Tuple {
+        Tuple::new(
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]),
+            vec![Value::Int(a), Value::Str(b.into())],
+        )
+        .unwrap()
+    }
+
+    fn run_sort(op: &SortOp, rows: Vec<Tuple>) -> Vec<Tuple> {
+        let mut inst = op.create();
+        let mut out = OutputCollector::new();
+        for t in rows {
+            inst.on_tuple(t, 0, &mut out).unwrap();
+        }
+        assert!(out.is_empty(), "sort must be blocking");
+        inst.on_port_complete(0, &mut out).unwrap();
+        out.take()
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let op = SortOp::new("s", &[("a", SortOrder::Ascending)]);
+        let got = run_sort(&op, vec![tuple(3, "x"), tuple(1, "y"), tuple(2, "z")]);
+        let keys: Vec<i64> = got.iter().map(|t| t.get_int("a").unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn compound_keys_with_direction() {
+        let op = SortOp::new(
+            "s",
+            &[("b", SortOrder::Ascending), ("a", SortOrder::Descending)],
+        );
+        let got = run_sort(
+            &op,
+            vec![tuple(1, "x"), tuple(3, "x"), tuple(2, "y"), tuple(9, "x")],
+        );
+        let pairs: Vec<(String, i64)> = got
+            .iter()
+            .map(|t| (t.get_str("b").unwrap().to_owned(), t.get_int("a").unwrap()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("x".into(), 9),
+                ("x".into(), 3),
+                ("x".into(), 1),
+                ("y".into(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let null_row = Tuple::new(schema, vec![Value::Null, Value::Str("n".into())]).unwrap();
+        let op = SortOp::new("s", &[("a", SortOrder::Ascending)]);
+        let got = run_sort(&op, vec![tuple(1, "x"), null_row]);
+        assert!(got[0].get("a").unwrap().is_null());
+    }
+
+    #[test]
+    fn missing_key_is_operator_error() {
+        let op = SortOp::new("s", &[("zzz", SortOrder::Ascending)]);
+        let mut inst = op.create();
+        let mut out = OutputCollector::new();
+        let err = inst.on_tuple(tuple(1, "x"), 0, &mut out).unwrap_err();
+        assert!(err.to_string().contains("`s`"));
+        // And the builder catches it at schema time too.
+        assert!(op
+            .output_schema(&[Schema::of(&[("a", DataType::Int)])])
+            .is_err());
+    }
+
+    #[test]
+    fn value_comparison_total_enough() {
+        assert_eq!(
+            compare_values(&Value::Int(2), &Value::Float(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            compare_values(&Value::Float(1.5), &Value::Int(2)),
+            Ordering::Less
+        );
+        assert_eq!(
+            compare_values(&Value::Bool(false), &Value::Bool(true)),
+            Ordering::Less
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Tuple partitioning across an operator's parallel workers.
+
+use scriptflow_datakit::{HashKey, Tuple};
+
+use crate::operator::{WorkflowError, WorkflowResult};
+
+/// How tuples flowing along an edge are distributed among the downstream
+/// operator's workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Cycle through workers — the default for stateless operators.
+    RoundRobin,
+    /// Route by hash of the named columns — required upstream of stateful
+    /// keyed operators (joins, group-bys) running with parallelism > 1.
+    Hash(Vec<String>),
+    /// Copy every tuple to every worker (e.g. broadcasting a small
+    /// dimension table to all join workers).
+    Broadcast,
+    /// Send everything to worker 0 (forces a single-instance operator).
+    Single,
+}
+
+impl PartitionStrategy {
+    /// Route `tuple` (the `seq`-th on this edge) to worker indices.
+    ///
+    /// Returns one index for all strategies except `Broadcast`, which
+    /// returns all of `0..workers`.
+    pub fn route(&self, tuple: &Tuple, seq: u64, workers: usize) -> WorkflowResult<Vec<usize>> {
+        debug_assert!(workers > 0);
+        Ok(match self {
+            PartitionStrategy::RoundRobin => vec![(seq % workers as u64) as usize],
+            PartitionStrategy::Hash(cols) => {
+                let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                let key = HashKey::from_tuple(tuple, &names).map_err(|e| {
+                    WorkflowError::DataError {
+                        operator: "<partitioner>".into(),
+                        error: e,
+                    }
+                })?;
+                vec![key.bucket(workers)]
+            }
+            PartitionStrategy::Broadcast => (0..workers).collect(),
+            PartitionStrategy::Single => vec![0],
+        })
+    }
+
+    /// Human-readable label for GUI rendering.
+    pub fn label(&self) -> String {
+        match self {
+            PartitionStrategy::RoundRobin => "round-robin".into(),
+            PartitionStrategy::Hash(cols) => format!("hash({})", cols.join(", ")),
+            PartitionStrategy::Broadcast => "broadcast".into(),
+            PartitionStrategy::Single => "single".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scriptflow_datakit::{DataType, Schema, Value};
+
+    fn tuple(id: i64) -> Tuple {
+        Tuple::new(
+            Schema::of(&[("id", DataType::Int)]),
+            vec![Value::Int(id)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let s = PartitionStrategy::RoundRobin;
+        let routes: Vec<usize> = (0..6)
+            .map(|i| s.route(&tuple(0), i, 3).unwrap()[0])
+            .collect();
+        assert_eq!(routes, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_key_stable() {
+        let s = PartitionStrategy::Hash(vec!["id".into()]);
+        for id in 0..50 {
+            let a = s.route(&tuple(id), 0, 4).unwrap();
+            let b = s.route(&tuple(id), 99, 4).unwrap();
+            assert_eq!(a, b, "same key must route identically regardless of seq");
+        }
+    }
+
+    #[test]
+    fn hash_unknown_column_errors() {
+        let s = PartitionStrategy::Hash(vec!["nope".into()]);
+        assert!(s.route(&tuple(1), 0, 2).is_err());
+    }
+
+    #[test]
+    fn broadcast_hits_every_worker() {
+        let s = PartitionStrategy::Broadcast;
+        assert_eq!(s.route(&tuple(1), 0, 4).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_pins_worker_zero() {
+        let s = PartitionStrategy::Single;
+        for seq in 0..5 {
+            assert_eq!(s.route(&tuple(7), seq, 4).unwrap(), vec![0]);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            PartitionStrategy::Hash(vec!["a".into(), "b".into()]).label(),
+            "hash(a, b)"
+        );
+        assert_eq!(PartitionStrategy::RoundRobin.label(), "round-robin");
+    }
+}

@@ -1,0 +1,534 @@
+//! Declarative workflow specifications: build an executable DAG from a
+//! JSON document.
+//!
+//! Texera persists workflows as JSON documents that its GUI edits; this
+//! module is that wire format's executable half. It covers the
+//! declarative operator palette (scans over inline data, comparison
+//! filters, projections, joins, aggregates, sorts, unions, limits,
+//! distinct, sinks) — UDF operators carry code and cannot be expressed
+//! declaratively.
+//!
+//! ```text
+//! {
+//!   "operators": [
+//!     {"id": "src", "type": "InlineScan", "workers": 2,
+//!      "schema": [["id", "Int"], ["city", "Str"]],
+//!      "rows": [[1, "berlin"], [2, "tokyo"]]},
+//!     {"id": "big", "type": "Filter",
+//!      "predicate": {"column": "id", "op": ">=", "value": 2}},
+//!     {"id": "out", "type": "Sink"}
+//!   ],
+//!   "links": [
+//!     {"from": "src", "to": "big", "port": 0, "partition": "round-robin"},
+//!     {"from": "big", "to": "out", "port": 0, "partition": "single"}
+//!   ]
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scriptflow_datakit::codec::Json;
+use scriptflow_datakit::{Batch, DataType, Field, Schema, SchemaRef, Value};
+
+use crate::dag::{Workflow, WorkflowBuilder};
+use crate::operator::{WorkflowError, WorkflowResult};
+use crate::ops::{
+    AggFn, AggregateOp, DistinctOp, FilterOp, HashJoinOp, LimitOp, ProjectOp, ScanOp, SinkHandle,
+    SinkOp, SortOp, SortOrder, UnionOp,
+};
+use crate::partition::PartitionStrategy;
+
+/// A workflow built from a spec, with handles to its sinks by id.
+pub struct SpecWorkflow {
+    /// The executable DAG.
+    pub workflow: Workflow,
+    /// Result handles for every `Sink` operator, keyed by operator id.
+    pub sinks: HashMap<String, SinkHandle>,
+}
+
+/// Parse and build a workflow from JSON text.
+pub fn parse(text: &str) -> WorkflowResult<SpecWorkflow> {
+    let doc = Json::parse(text).map_err(|e| WorkflowError::InvalidDag(format!("bad JSON: {e}")))?;
+    build(&doc)
+}
+
+/// Build a workflow from a parsed JSON document.
+pub fn build(doc: &Json) -> WorkflowResult<SpecWorkflow> {
+    let operators = get_array(doc, "operators")?;
+    let links = get_array(doc, "links")?;
+
+    let mut builder = WorkflowBuilder::new();
+    let mut ids = HashMap::new();
+    let mut sinks = HashMap::new();
+
+    for op in operators {
+        let id = get_str(op, "id")?;
+        let ty = get_str(op, "type")?;
+        let workers = get_int(op, "workers").unwrap_or(1).max(1) as usize;
+        let op_id = match ty {
+            "InlineScan" => {
+                let schema = parse_schema(op)?;
+                let rows = parse_rows(op, &schema)?;
+                builder.add(Arc::new(ScanOp::new(id, rows)), workers)
+            }
+            "Filter" => {
+                let pred = parse_predicate(field(op, "predicate").ok_or_else(|| {
+                    bad(format!("operator `{id}`: Filter needs a predicate"))
+                })?)?;
+                builder.add(Arc::new(FilterOp::new(id, pred)), workers)
+            }
+            "Projection" => {
+                let columns = get_string_array(op, "columns")?;
+                let refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+                builder.add(Arc::new(ProjectOp::new(id, &refs)), workers)
+            }
+            "HashJoin" => {
+                let probe = get_string_array(op, "probe")?;
+                let build_keys = get_string_array(op, "build")?;
+                let p: Vec<&str> = probe.iter().map(String::as_str).collect();
+                let b: Vec<&str> = build_keys.iter().map(String::as_str).collect();
+                builder.add(Arc::new(HashJoinOp::new(id, &p, &b)), workers)
+            }
+            "Aggregate" => {
+                let group = get_string_array(op, "group_by").unwrap_or_default();
+                let g: Vec<&str> = group.iter().map(String::as_str).collect();
+                let aggs = parse_aggs(op)?;
+                builder.add(Arc::new(AggregateOp::new(id, &g, aggs)), workers)
+            }
+            "Sort" => {
+                let keys = parse_sort_keys(op)?;
+                let refs: Vec<(&str, SortOrder)> =
+                    keys.iter().map(|(k, o)| (k.as_str(), *o)).collect();
+                builder.add(Arc::new(SortOp::new(id, &refs)), workers)
+            }
+            "Union" => {
+                let ports = get_int(op, "ports").unwrap_or(2).max(2) as usize;
+                builder.add(Arc::new(UnionOp::new(id, ports)), workers)
+            }
+            "Limit" => {
+                let n = get_int(op, "n")
+                    .ok_or_else(|| bad(format!("operator `{id}`: Limit needs n")))?;
+                builder.add(Arc::new(LimitOp::new(id, n.max(0) as usize)), workers)
+            }
+            "Distinct" => {
+                let columns = get_string_array(op, "columns")?;
+                let refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+                builder.add(Arc::new(DistinctOp::new(id, &refs)), workers)
+            }
+            "Sink" => {
+                let sink = SinkOp::new(id);
+                sinks.insert(id.to_owned(), sink.handle());
+                builder.add(Arc::new(sink), workers)
+            }
+            other => return Err(bad(format!("unknown operator type `{other}`"))),
+        };
+        if ids.insert(id.to_owned(), op_id).is_some() {
+            return Err(bad(format!("duplicate operator id `{id}`")));
+        }
+    }
+
+    for link in links {
+        let from = get_str(link, "from")?;
+        let to = get_str(link, "to")?;
+        let port = get_int(link, "port").unwrap_or(0).max(0) as usize;
+        let partition = match field(link, "partition") {
+            Some(Json::Str(s)) => parse_partition(s, link)?,
+            None => PartitionStrategy::RoundRobin,
+            Some(other) => {
+                return Err(bad(format!("partition must be a string, got {other:?}")))
+            }
+        };
+        let from_id = *ids
+            .get(from)
+            .ok_or_else(|| bad(format!("link references unknown operator `{from}`")))?;
+        let to_id = *ids
+            .get(to)
+            .ok_or_else(|| bad(format!("link references unknown operator `{to}`")))?;
+        builder.connect(from_id, to_id, port, partition);
+    }
+
+    Ok(SpecWorkflow {
+        workflow: builder.build()?,
+        sinks,
+    })
+}
+
+fn bad(msg: String) -> WorkflowError {
+    WorkflowError::InvalidDag(msg)
+}
+
+/// Object field access used by the spec parser.
+fn field<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Object(kv) => kv.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn get_array<'a>(doc: &'a Json, name: &str) -> WorkflowResult<&'a [Json]> {
+    match field(doc, name) {
+        Some(Json::Array(items)) => Ok(items),
+        _ => Err(bad(format!("missing array field `{name}`"))),
+    }
+}
+
+fn get_str<'a>(doc: &'a Json, name: &str) -> WorkflowResult<&'a str> {
+    match field(doc, name) {
+        Some(Json::Str(s)) => Ok(s),
+        _ => Err(bad(format!("missing string field `{name}`"))),
+    }
+}
+
+fn get_int(doc: &Json, name: &str) -> Option<i64> {
+    match field(doc, name) {
+        Some(Json::Int(i)) => Some(*i),
+        _ => None,
+    }
+}
+
+fn get_string_array(doc: &Json, name: &str) -> WorkflowResult<Vec<String>> {
+    match field(doc, name) {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Json::Str(s) => Ok(s.clone()),
+                other => Err(bad(format!("`{name}` must hold strings, got {other:?}"))),
+            })
+            .collect(),
+        _ => Err(bad(format!("missing array field `{name}`"))),
+    }
+}
+
+fn parse_dtype(s: &str) -> WorkflowResult<DataType> {
+    Ok(match s {
+        "Int" => DataType::Int,
+        "Float" => DataType::Float,
+        "Str" => DataType::Str,
+        "Bool" => DataType::Bool,
+        other => return Err(bad(format!("unknown data type `{other}`"))),
+    })
+}
+
+fn parse_schema(op: &Json) -> WorkflowResult<SchemaRef> {
+    let cols = get_array(op, "schema")?;
+    let mut fields = Vec::with_capacity(cols.len());
+    for c in cols {
+        match c {
+            Json::Array(pair) if pair.len() == 2 => {
+                let (Json::Str(name), Json::Str(ty)) = (&pair[0], &pair[1]) else {
+                    return Err(bad("schema entries are [name, type] strings".into()));
+                };
+                fields.push(Field::new(name.clone(), parse_dtype(ty)?));
+            }
+            other => return Err(bad(format!("bad schema entry {other:?}"))),
+        }
+    }
+    Ok(Arc::new(Schema::new(fields).map_err(|e| {
+        WorkflowError::InvalidDag(format!("bad schema: {e}"))
+    })?))
+}
+
+fn parse_rows(op: &Json, schema: &SchemaRef) -> WorkflowResult<Batch> {
+    let rows = get_array(op, "rows")?;
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        match r {
+            Json::Array(cells) => {
+                out.push(cells.iter().map(|c| c.clone().into_value()).collect::<Vec<Value>>())
+            }
+            other => return Err(bad(format!("bad row {other:?}"))),
+        }
+    }
+    Batch::from_rows(schema.clone(), out)
+        .map_err(|e| WorkflowError::InvalidDag(format!("bad rows: {e}")))
+}
+
+/// Comparison predicate DSL: `{"column": c, "op": one of == != < <= > >=
+/// | not-null | is-null, "value": v}`.
+fn parse_predicate(
+    spec: &Json,
+) -> WorkflowResult<impl Fn(&scriptflow_datakit::Tuple) -> scriptflow_datakit::DataResult<bool> + Send + Sync + 'static>
+{
+    let column = field(spec, "column")
+        .and_then(|v| match v {
+            Json::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .ok_or_else(|| bad("predicate needs a `column`".into()))?;
+    let op = field(spec, "op")
+        .and_then(|v| match v {
+            Json::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .ok_or_else(|| bad("predicate needs an `op`".into()))?;
+    let value = field(spec, "value").cloned().unwrap_or(Json::Null).into_value();
+    match op.as_str() {
+        "==" | "!=" | "<" | "<=" | ">" | ">=" | "is-null" | "not-null" => {}
+        other => return Err(bad(format!("unknown predicate op `{other}`"))),
+    }
+    Ok(move |t: &scriptflow_datakit::Tuple| {
+        let cell = t.get(&column)?;
+        Ok(match op.as_str() {
+            "is-null" => cell.is_null(),
+            "not-null" => !cell.is_null(),
+            "==" => values_eq(cell, &value),
+            "!=" => !values_eq(cell, &value),
+            cmp => {
+                let ord = compare(cell, &value);
+                match (cmp, ord) {
+                    (_, None) => false,
+                    ("<", Some(o)) => o.is_lt(),
+                    ("<=", Some(o)) => o.is_le(),
+                    (">", Some(o)) => o.is_gt(),
+                    (">=", Some(o)) => o.is_ge(),
+                    _ => false,
+                }
+            }
+        })
+    })
+}
+
+fn values_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => *x as f64 == *y,
+        _ => a == b,
+    }
+}
+
+fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        (Value::Float(x), Value::Float(y)) => x.partial_cmp(y),
+        (Value::Int(x), Value::Float(y)) => (*x as f64).partial_cmp(y),
+        (Value::Float(x), Value::Int(y)) => x.partial_cmp(&(*y as f64)),
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+fn parse_aggs(op: &Json) -> WorkflowResult<Vec<AggFn>> {
+    let specs = get_string_array(op, "aggregations")?;
+    let mut aggs = Vec::with_capacity(specs.len());
+    for s in specs {
+        // Forms: "count as n", "sum(x)", "avg(x)", "min(x)", "max(x)".
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("count as ") {
+            aggs.push(AggFn::Count(rest.trim().to_owned()));
+            continue;
+        }
+        let (func, col) = s
+            .split_once('(')
+            .and_then(|(f, c)| c.strip_suffix(')').map(|c| (f.trim(), c.trim().to_owned())))
+            .ok_or_else(|| bad(format!("bad aggregation `{s}`")))?;
+        aggs.push(match func {
+            "sum" => AggFn::Sum(col),
+            "avg" => AggFn::Avg(col),
+            "min" => AggFn::Min(col),
+            "max" => AggFn::Max(col),
+            other => return Err(bad(format!("unknown aggregation `{other}`"))),
+        });
+    }
+    if aggs.is_empty() {
+        return Err(bad("Aggregate needs at least one aggregation".into()));
+    }
+    Ok(aggs)
+}
+
+fn parse_sort_keys(op: &Json) -> WorkflowResult<Vec<(String, SortOrder)>> {
+    let specs = get_string_array(op, "keys")?;
+    specs
+        .iter()
+        .map(|s| {
+            let (col, order) = match s.strip_suffix(" desc") {
+                Some(col) => (col, SortOrder::Descending),
+                None => (
+                    s.strip_suffix(" asc").unwrap_or(s.as_str()),
+                    SortOrder::Ascending,
+                ),
+            };
+            if col.trim().is_empty() {
+                Err(bad(format!("bad sort key `{s}`")))
+            } else {
+                Ok((col.trim().to_owned(), order))
+            }
+        })
+        .collect()
+}
+
+fn parse_partition(s: &str, link: &Json) -> WorkflowResult<PartitionStrategy> {
+    Ok(match s {
+        "round-robin" => PartitionStrategy::RoundRobin,
+        "broadcast" => PartitionStrategy::Broadcast,
+        "single" => PartitionStrategy::Single,
+        "hash" => {
+            let keys = get_string_array(link, "keys")?;
+            PartitionStrategy::Hash(keys)
+        }
+        other => return Err(bad(format!("unknown partition `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec_sim::SimExecutor;
+    use crate::EngineConfig;
+
+    const SPEC: &str = r#"{
+        "operators": [
+            {"id": "src", "type": "InlineScan", "workers": 2,
+             "schema": [["id", "Int"], ["city", "Str"], ["pop", "Float"]],
+             "rows": [[1, "berlin", 3.6], [2, "tokyo", 13.9],
+                      [3, "lima", 9.7], [4, "basel", 0.2]]},
+            {"id": "big", "type": "Filter",
+             "predicate": {"column": "pop", "op": ">", "value": 1.0}},
+            {"id": "ordered", "type": "Sort", "keys": ["pop desc"]},
+            {"id": "top", "type": "Limit", "n": 2},
+            {"id": "names", "type": "Projection", "columns": ["city"]},
+            {"id": "out", "type": "Sink"}
+        ],
+        "links": [
+            {"from": "src", "to": "big", "port": 0, "partition": "round-robin"},
+            {"from": "big", "to": "ordered", "port": 0, "partition": "single"},
+            {"from": "ordered", "to": "top", "port": 0, "partition": "single"},
+            {"from": "top", "to": "names", "port": 0, "partition": "single"},
+            {"from": "names", "to": "out", "port": 0, "partition": "single"}
+        ]
+    }"#;
+
+    #[test]
+    fn spec_builds_and_runs() {
+        let spec = parse(SPEC).unwrap();
+        assert_eq!(spec.workflow.operator_count(), 6);
+        SimExecutor::new(EngineConfig::default())
+            .run(&spec.workflow)
+            .unwrap();
+        let out = spec.sinks.get("out").unwrap();
+        let cities: Vec<String> = out
+            .results()
+            .iter()
+            .map(|t| t.get_str("city").unwrap().to_owned())
+            .collect();
+        assert_eq!(cities, vec!["tokyo".to_owned(), "lima".to_owned()]);
+    }
+
+    #[test]
+    fn join_and_aggregate_spec() {
+        let text = r#"{
+            "operators": [
+                {"id": "facts", "type": "InlineScan",
+                 "schema": [["k", "Int"], ["x", "Float"]],
+                 "rows": [[1, 2.0], [1, 4.0], [2, 10.0]]},
+                {"id": "dims", "type": "InlineScan",
+                 "schema": [["k", "Int"], ["label", "Str"]],
+                 "rows": [[1, "a"], [2, "b"]]},
+                {"id": "join", "type": "HashJoin", "probe": ["k"], "build": ["k"]},
+                {"id": "agg", "type": "Aggregate", "group_by": ["label"],
+                 "aggregations": ["count as n", "sum(x)"]},
+                {"id": "out", "type": "Sink"}
+            ],
+            "links": [
+                {"from": "dims", "to": "join", "port": 0, "partition": "hash", "keys": ["k"]},
+                {"from": "facts", "to": "join", "port": 1, "partition": "hash", "keys": ["k"]},
+                {"from": "join", "to": "agg", "port": 0, "partition": "hash", "keys": ["label"]},
+                {"from": "agg", "to": "out", "port": 0, "partition": "single"}
+            ]
+        }"#;
+        let spec = parse(text).unwrap();
+        SimExecutor::new(EngineConfig::default())
+            .run(&spec.workflow)
+            .unwrap();
+        let rows = spec.sinks["out"].results();
+        assert_eq!(rows.len(), 2);
+        let a = rows
+            .iter()
+            .find(|t| t.get_str("label").unwrap() == "a")
+            .unwrap();
+        assert_eq!(a.get_int("n").unwrap(), 2);
+        assert_eq!(a.get_float("sum_x").unwrap(), 6.0);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err_of = |text: &str| match parse(text) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("expected a spec error"),
+        };
+        assert!(err_of("{").contains("bad JSON"));
+        assert!(err_of(r#"{"operators": [{"id": "x", "type": "Teleport"}], "links": []}"#)
+            .contains("Teleport"));
+        assert!(err_of(
+            r#"{
+            "operators": [{"id": "s", "type": "InlineScan",
+                           "schema": [["a", "Int"]], "rows": [[1]]}],
+            "links": [{"from": "s", "to": "ghost", "port": 0}]
+        }"#
+        )
+        .contains("ghost"));
+        assert!(err_of(
+            r#"{
+            "operators": [
+                {"id": "s", "type": "InlineScan", "schema": [["a", "Int"]], "rows": []},
+                {"id": "s", "type": "Sink"}
+            ],
+            "links": []
+        }"#
+        )
+        .contains("duplicate"));
+    }
+
+    #[test]
+    fn predicate_dsl_variants() {
+        let p = parse_predicate(
+            &Json::parse(r#"{"column": "x", "op": "not-null"}"#).unwrap(),
+        )
+        .unwrap();
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let t = scriptflow_datakit::Tuple::new(schema.clone(), vec![Value::Int(1)]).unwrap();
+        let null_t = scriptflow_datakit::Tuple::new(schema, vec![Value::Null]).unwrap();
+        assert!(p(&t).unwrap());
+        assert!(!p(&null_t).unwrap());
+
+        let ge = parse_predicate(
+            &Json::parse(r#"{"column": "x", "op": ">=", "value": 1}"#).unwrap(),
+        )
+        .unwrap();
+        assert!(ge(&t).unwrap());
+        assert!(!ge(&null_t).unwrap());
+
+        assert!(parse_predicate(&Json::parse(r#"{"column": "x", "op": "~"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn distinct_and_union_spec() {
+        let text = r#"{
+            "operators": [
+                {"id": "a", "type": "InlineScan", "schema": [["v", "Int"]],
+                 "rows": [[1], [2], [2]]},
+                {"id": "b", "type": "InlineScan", "schema": [["v", "Int"]],
+                 "rows": [[2], [3]]},
+                {"id": "u", "type": "Union", "ports": 2},
+                {"id": "d", "type": "Distinct", "columns": ["v"]},
+                {"id": "out", "type": "Sink"}
+            ],
+            "links": [
+                {"from": "a", "to": "u", "port": 0},
+                {"from": "b", "to": "u", "port": 1},
+                {"from": "u", "to": "d", "port": 0, "partition": "hash", "keys": ["v"]},
+                {"from": "d", "to": "out", "port": 0, "partition": "single"}
+            ]
+        }"#;
+        let spec = parse(text).unwrap();
+        SimExecutor::new(EngineConfig::default())
+            .run(&spec.workflow)
+            .unwrap();
+        let mut vs: Vec<i64> = spec.sinks["out"]
+            .results()
+            .iter()
+            .map(|t| t.get_int("v").unwrap())
+            .collect();
+        vs.sort_unstable();
+        assert_eq!(vs, vec![1, 2, 3]);
+    }
+}

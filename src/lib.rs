@@ -1,0 +1,20 @@
+//! # scriptflow
+//!
+//! Umbrella crate for the `scriptflow` workspace: a Rust reproduction of
+//! *“Data Science Tasks Implemented with Scripts versus GUI-Based
+//! Workflows: The Good, the Bad, and the Ugly”* (ICDE 2024).
+//!
+//! Re-exports every subsystem crate under a stable module name. See the
+//! repository README for a quickstart and DESIGN.md for the system
+//! inventory.
+
+pub use scriptflow_core as core;
+pub use scriptflow_datagen as datagen;
+pub use scriptflow_datakit as datakit;
+pub use scriptflow_mlkit as mlkit;
+pub use scriptflow_notebook as notebook;
+pub use scriptflow_raysim as raysim;
+pub use scriptflow_simcluster as simcluster;
+pub use scriptflow_study as study;
+pub use scriptflow_tasks as tasks;
+pub use scriptflow_workflow as workflow;

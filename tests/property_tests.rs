@@ -1,0 +1,222 @@
+//! Property-based tests (proptest) over the core invariants DESIGN.md
+//! lists: partitioning completeness, join correctness vs a nested-loop
+//! oracle, top-k vs full sort, codec roundtrips, and schema soundness.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use scriptflow::datakit::codec::{from_csv, from_jsonl, to_csv, to_jsonl, Json};
+use scriptflow::datakit::{Batch, DataFrame, DataType, HashKey, MergeHow, Schema, Tuple, Value};
+use scriptflow::mlkit::kge::{EmbeddingTable, KgeScorer};
+use scriptflow::workflow::ops::{HashJoinOp, ScanOp, SinkOp};
+use scriptflow::workflow::{EngineConfig, PartitionStrategy, SimExecutor, WorkflowBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hash partitioning is a function: same key → same bucket; and all
+    /// buckets are within range.
+    #[test]
+    fn hash_partitioning_is_stable_and_in_range(keys in prop::collection::vec(any::<i64>(), 1..200), buckets in 1usize..16) {
+        for k in &keys {
+            let hk = HashKey::Int(*k);
+            let b1 = hk.bucket(buckets);
+            let b2 = hk.bucket(buckets);
+            prop_assert_eq!(b1, b2);
+            prop_assert!(b1 < buckets);
+        }
+    }
+
+    /// Round-robin + hash partitioning together cover every tuple exactly
+    /// once (no loss, no duplication) through a real workflow.
+    #[test]
+    fn partitioned_pipeline_loses_nothing(n in 1i64..400, workers in 1usize..5) {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let batch = Batch::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", batch)), workers);
+        let sink_op = SinkOp::new("sink");
+        let handle = sink_op.handle();
+        let sink = b.add(Arc::new(sink_op), workers);
+        b.connect(scan, sink, 0, PartitionStrategy::Hash(vec!["id".into()]));
+        let wf = b.build().unwrap();
+        SimExecutor::new(EngineConfig::default()).run(&wf).unwrap();
+        let mut ids: Vec<i64> = handle.results().iter().map(|t| t.get_int("id").unwrap()).collect();
+        ids.sort_unstable();
+        let expected: Vec<i64> = (0..n).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    /// The engine's hash join equals a nested-loop oracle for arbitrary
+    /// key multisets on both sides.
+    #[test]
+    fn hash_join_matches_nested_loop(
+        build_keys in prop::collection::vec(0i64..20, 0..40),
+        probe_keys in prop::collection::vec(0i64..20, 0..60),
+        workers in 1usize..4,
+    ) {
+        // Oracle count.
+        let mut expected = 0usize;
+        for p in &probe_keys {
+            expected += build_keys.iter().filter(|b| *b == p).count();
+        }
+
+        let bs = Schema::of(&[("k", DataType::Int), ("tag", DataType::Int)]);
+        let build = Batch::from_rows(
+            bs,
+            build_keys.iter().enumerate().map(|(i, k)| vec![Value::Int(*k), Value::Int(i as i64)]).collect(),
+        ).unwrap();
+        let ps = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+        let probe = Batch::from_rows(
+            ps,
+            probe_keys.iter().enumerate().map(|(i, k)| vec![Value::Int(i as i64), Value::Int(*k)]).collect(),
+        ).unwrap();
+
+        let mut b = WorkflowBuilder::new();
+        let bsrc = b.add(Arc::new(ScanOp::new("build", build)), 1);
+        let psrc = b.add(Arc::new(ScanOp::new("probe", probe)), workers);
+        let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), workers);
+        let sink_op = SinkOp::new("sink");
+        let handle = sink_op.handle();
+        let sink = b.add(Arc::new(sink_op), 1);
+        b.connect(bsrc, join, 0, PartitionStrategy::Hash(vec!["k".into()]));
+        b.connect(psrc, join, 1, PartitionStrategy::Hash(vec!["k".into()]));
+        b.connect(join, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        SimExecutor::new(EngineConfig::default()).run(&wf).unwrap();
+        prop_assert_eq!(handle.len(), expected);
+    }
+
+    /// Top-k ranking equals the head of the full sort for arbitrary
+    /// embedding tables.
+    #[test]
+    fn top_k_matches_full_sort(n in 1usize..150, k in 1usize..20, seed in any::<u64>()) {
+        let table = EmbeddingTable::random(4, 0..n as i64, seed);
+        let scorer = KgeScorer::new(vec![0.3, -0.1, 0.7, 0.2], vec![0.1, 0.1, -0.4, 0.0]);
+        let top = scorer.top_k((0..n as i64).map(|i| (i, table.get(i).unwrap())), k);
+        let all = scorer.top_k((0..n as i64).map(|i| (i, table.get(i).unwrap())), n);
+        prop_assert_eq!(&top[..], &all[..k.min(n)]);
+    }
+
+    /// CSV and JSONL codecs roundtrip arbitrary string/int/float rows.
+    #[test]
+    fn codecs_roundtrip(
+        rows in prop::collection::vec(
+            ("[a-zA-Z0-9 ,\"\n\\\\]{0,24}", any::<i64>(), -1.0e6f64..1.0e6),
+            0..30,
+        )
+    ) {
+        let schema = Schema::of(&[
+            ("s", DataType::Str),
+            ("i", DataType::Int),
+            ("x", DataType::Float),
+        ]);
+        let batch = Batch::from_rows(
+            schema.clone(),
+            rows.iter()
+                .map(|(s, i, x)| vec![Value::Str(s.clone()), Value::Int(*i), Value::Float(*x)])
+                .collect(),
+        ).unwrap();
+        let csv_back = from_csv(schema.clone(), &to_csv(&batch)).unwrap();
+        prop_assert_eq!(&csv_back, &batch);
+        let jsonl_back = from_jsonl(schema, &to_jsonl(&batch)).unwrap();
+        prop_assert_eq!(&jsonl_back, &batch);
+    }
+
+    /// JSON documents rendered by the GUI layer parse back identically.
+    #[test]
+    fn json_writer_parser_roundtrip(s in "[\\x20-\\x7e]{0,40}", i in any::<i64>()) {
+        let doc = Json::Object(vec![
+            ("name".into(), Json::Str(s)),
+            ("count".into(), Json::Int(i)),
+            ("nested".into(), Json::Array(vec![Json::Null, Json::Bool(true)])),
+        ]);
+        let text = doc.to_string_compact();
+        prop_assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    /// The eager DataFrame merge (the pandas analogue the script
+    /// paradigm uses) agrees with the pipelined workflow hash join on
+    /// arbitrary inputs — the paper's two `merge` implementations really
+    /// compute the same relation.
+    #[test]
+    fn dataframe_merge_matches_workflow_join(
+        build_keys in prop::collection::vec(0i64..12, 1..30),
+        probe_keys in prop::collection::vec(0i64..12, 1..50),
+    ) {
+        let bs = Schema::of(&[("k", DataType::Int), ("tag", DataType::Int)]);
+        let build = Batch::from_rows(
+            bs,
+            build_keys.iter().enumerate().map(|(i, k)| vec![Value::Int(*k), Value::Int(i as i64)]).collect(),
+        ).unwrap();
+        let ps = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+        let probe = Batch::from_rows(
+            ps,
+            probe_keys.iter().enumerate().map(|(i, k)| vec![Value::Int(i as i64), Value::Int(*k)]).collect(),
+        ).unwrap();
+
+        // Eager pandas-style merge.
+        let df = DataFrame::new(probe.clone())
+            .merge(&DataFrame::new(build.clone()), &["k"], &["k"], MergeHow::Inner)
+            .unwrap();
+        let mut eager: Vec<String> = df.batch().tuples().iter().map(|t| t.to_string()).collect();
+        eager.sort_unstable();
+
+        // Pipelined workflow join.
+        let mut b = WorkflowBuilder::new();
+        let bsrc = b.add(Arc::new(ScanOp::new("build", build)), 1);
+        let psrc = b.add(Arc::new(ScanOp::new("probe", probe)), 2);
+        let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), 2);
+        let sink_op = SinkOp::new("sink");
+        let handle = sink_op.handle();
+        let sink = b.add(Arc::new(sink_op), 1);
+        b.connect(bsrc, join, 0, PartitionStrategy::Hash(vec!["k".into()]));
+        b.connect(psrc, join, 1, PartitionStrategy::Hash(vec!["k".into()]));
+        b.connect(join, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        SimExecutor::new(EngineConfig::default()).run(&wf).unwrap();
+        let mut piped: Vec<String> = handle.results().iter().map(|t| t.to_string()).collect();
+        piped.sort_unstable();
+
+        prop_assert_eq!(eager, piped);
+    }
+
+    /// DataFrame group_count matches a manual fold for arbitrary keys.
+    #[test]
+    fn dataframe_group_count_matches_fold(keys in prop::collection::vec(0i64..6, 0..60)) {
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        let batch = Batch::from_rows(
+            schema,
+            keys.iter().map(|k| vec![Value::Int(*k)]).collect(),
+        ).unwrap();
+        let grouped = DataFrame::new(batch).group_count(&["k"]).unwrap();
+        let mut expected: std::collections::HashMap<i64, i64> = Default::default();
+        for k in &keys {
+            *expected.entry(*k).or_insert(0) += 1;
+        }
+        prop_assert_eq!(grouped.len(), expected.len());
+        for t in grouped.batch().tuples() {
+            let k = t.get_int("k").unwrap();
+            prop_assert_eq!(t.get_int("count").unwrap(), expected[&k]);
+        }
+    }
+
+    /// Schema join + tuple concat always produce conforming tuples.
+    #[test]
+    fn schema_join_soundness(a in 1usize..6, bcols in 1usize..6) {
+        let left_fields: Vec<(String, DataType)> =
+            (0..a).map(|i| (format!("l{i}"), DataType::Int)).collect();
+        let right_fields: Vec<(String, DataType)> =
+            (0..bcols).map(|i| (format!("c{i}"), DataType::Int)).collect();
+        let lrefs: Vec<(&str, DataType)> = left_fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let rrefs: Vec<(&str, DataType)> = right_fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let ls = Schema::of(&lrefs);
+        let rs = Schema::of(&rrefs);
+        let joined = Arc::new(ls.join(&rs, "_r").unwrap());
+        let lt = Tuple::new(ls.clone(), vec![Value::Int(1); a]).unwrap();
+        let rt = Tuple::new(rs, vec![Value::Int(2); bcols]).unwrap();
+        let cat = lt.concat(&rt, joined.clone()).unwrap();
+        prop_assert_eq!(cat.values().len(), a + bcols);
+        prop_assert_eq!(joined.arity(), a + bcols);
+    }
+}
