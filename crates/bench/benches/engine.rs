@@ -1,23 +1,31 @@
-//! Criterion bench: raw engine overheads — the live (real OS threads)
-//! executor vs the simulated executor on identical workflows, plus DES
-//! event throughput.
+//! Criterion bench: raw engine overheads.
+//!
+//! Measures the live executor's two concurrency models against each other
+//! (the pool-scheduled executor vs the original thread-per-worker
+//! baseline) in tuples/sec via `Throughput::Elements`, across operator
+//! parallelism 1/2/4/8 and on a broadcast-join workload where zero-copy
+//! batch sharing matters most, plus the historical live-vs-simulated
+//! comparison.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scriptflow_datakit::{Batch, DataType, Schema, Value};
 use scriptflow_simcluster::ClusterSpec;
-use scriptflow_workflow::ops::{FilterOp, ScanOp, SinkOp};
+use scriptflow_workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
 use scriptflow_workflow::{
-    EngineConfig, LiveExecutor, PartitionStrategy, SimExecutor, Workflow, WorkflowBuilder,
+    EngineConfig, ExecMode, LiveExecutor, PartitionStrategy, SimExecutor, Workflow, WorkflowBuilder,
 };
 use std::hint::black_box;
 
-fn pipeline(n: i64, workers: usize) -> Workflow {
+fn int_batch(n: i64) -> Batch {
     let schema = Schema::of(&[("id", DataType::Int)]);
-    let batch = Batch::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    Batch::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap()
+}
+
+fn pipeline(n: i64, workers: usize) -> Workflow {
     let mut b = WorkflowBuilder::new();
-    let scan = b.add(Arc::new(ScanOp::new("scan", batch)), workers);
+    let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(n))), workers);
     let f1 = b.add(
         Arc::new(FilterOp::new("mod3", |t| Ok(t.get_int("id")? % 3 != 0))),
         workers,
@@ -33,10 +41,91 @@ fn pipeline(n: i64, workers: usize) -> Workflow {
     b.build().unwrap()
 }
 
+/// A small dimension table broadcast to every join worker, probed by a
+/// large fact stream — the workload where `Arc`-shared batches replace a
+/// deep clone per destination worker.
+fn broadcast_join(facts: i64, workers: usize) -> Workflow {
+    let dim_schema = Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]);
+    let dims = Batch::from_rows(
+        dim_schema,
+        (0..256i64)
+            .map(|k| vec![Value::Int(k), Value::Str(format!("d{k}"))])
+            .collect(),
+    )
+    .unwrap();
+    let fact_schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+    let fact_batch = Batch::from_rows(
+        fact_schema,
+        (0..facts)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 256)])
+            .collect(),
+    )
+    .unwrap();
+    let mut b = WorkflowBuilder::new();
+    let ds = b.add(Arc::new(ScanOp::new("dims", dims)), 1);
+    let fs = b.add(Arc::new(ScanOp::new("facts", fact_batch)), workers);
+    let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), workers);
+    let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+    b.connect(ds, join, 0, PartitionStrategy::Broadcast);
+    b.connect(fs, join, 1, PartitionStrategy::RoundRobin);
+    b.connect(join, sink, 0, PartitionStrategy::Single);
+    b.build().unwrap()
+}
+
+fn executor(mode: ExecMode) -> LiveExecutor {
+    LiveExecutor::new(1024).with_mode(mode)
+}
+
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Pooled => "pooled",
+        ExecMode::ThreadPerWorker => "threads",
+    }
+}
+
+fn pooled_vs_threads(c: &mut Criterion) {
+    let n = 50_000i64;
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n as u64));
+    for workers in [1usize, 2, 4, 8] {
+        for mode in [ExecMode::Pooled, ExecMode::ThreadPerWorker] {
+            g.bench_with_input(
+                BenchmarkId::new(mode_name(mode), workers),
+                &workers,
+                |b, &w| {
+                    b.iter(|| {
+                        let wf = pipeline(n, w);
+                        black_box(executor(mode).run(&wf).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn broadcast_join_throughput(c: &mut Criterion) {
+    let facts = 50_000i64;
+    let mut g = c.benchmark_group("engine_broadcast_join");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(facts as u64));
+    for mode in [ExecMode::Pooled, ExecMode::ThreadPerWorker] {
+        g.bench_function(BenchmarkId::new(mode_name(mode), 4usize), |b| {
+            b.iter(|| {
+                let wf = broadcast_join(facts, 4);
+                black_box(executor(mode).run(&wf).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
 fn sim_vs_live(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_executors");
     g.sample_size(20);
     for n in [10_000i64, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("simulated", n), &n, |b, &n| {
             let cfg = EngineConfig {
                 cluster: ClusterSpec::single_node(4),
@@ -47,7 +136,7 @@ fn sim_vs_live(c: &mut Criterion) {
                 black_box(SimExecutor::new(cfg.clone()).run(&wf).unwrap())
             })
         });
-        g.bench_with_input(BenchmarkId::new("live_threads", n), &n, |b, &n| {
+        g.bench_with_input(BenchmarkId::new("live_pooled", n), &n, |b, &n| {
             b.iter(|| {
                 let wf = pipeline(n, 2);
                 black_box(LiveExecutor::new(1024).run(&wf).unwrap())
@@ -57,19 +146,10 @@ fn sim_vs_live(c: &mut Criterion) {
     g.finish();
 }
 
-fn live_worker_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_live_workers");
-    g.sample_size(20);
-    for workers in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| {
-                let wf = pipeline(50_000, w);
-                black_box(LiveExecutor::new(1024).run(&wf).unwrap())
-            })
-        });
-    }
-    g.finish();
-}
-
-criterion_group!(benches, sim_vs_live, live_worker_scaling);
+criterion_group!(
+    benches,
+    pooled_vs_threads,
+    broadcast_join_throughput,
+    sim_vs_live
+);
 criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Engine throughput harness: pooled vs thread-per-worker live execution.
+//!
+//! Unlike the Criterion bench (which needs dev-dependencies), this is a
+//! plain binary so CI can run it and archive machine-readable numbers:
+//!
+//! ```text
+//! cargo run --release -p scriptflow-bench --bin bench_engine
+//! BENCH_ENGINE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_engine
+//! ```
+//!
+//! Writes `BENCH_engine.json`: tuples/sec for every (workload, mode,
+//! parallelism) configuration, including the broadcast-join acceptance
+//! workload where `Arc`-shared batches replace per-worker deep clones.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use scriptflow_datakit::codec::Json;
+use scriptflow_datakit::{Batch, DataType, Schema, Value};
+use scriptflow_workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
+use scriptflow_workflow::{ExecMode, LiveExecutor, PartitionStrategy, Workflow, WorkflowBuilder};
+
+fn int_batch(n: i64) -> Batch {
+    let schema = Schema::of(&[("id", DataType::Int)]);
+    Batch::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap()
+}
+
+fn filter_pipeline(n: i64, workers: usize) -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(n))), workers);
+    let f1 = b.add(
+        Arc::new(FilterOp::new("mod3", |t| Ok(t.get_int("id")? % 3 != 0))),
+        workers,
+    );
+    let f2 = b.add(
+        Arc::new(FilterOp::new("mod5", |t| Ok(t.get_int("id")? % 5 != 0))),
+        workers,
+    );
+    let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+    b.connect(scan, f1, 0, PartitionStrategy::RoundRobin);
+    b.connect(f1, f2, 0, PartitionStrategy::RoundRobin);
+    b.connect(f2, sink, 0, PartitionStrategy::Single);
+    b.build().unwrap()
+}
+
+fn broadcast_join(facts: i64, workers: usize) -> Workflow {
+    let dim_schema = Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]);
+    let dims = Batch::from_rows(
+        dim_schema,
+        (0..256i64)
+            .map(|k| vec![Value::Int(k), Value::Str(format!("d{k}"))])
+            .collect(),
+    )
+    .unwrap();
+    let fact_schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+    let fact_batch = Batch::from_rows(
+        fact_schema,
+        (0..facts)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 256)])
+            .collect(),
+    )
+    .unwrap();
+    let mut b = WorkflowBuilder::new();
+    let ds = b.add(Arc::new(ScanOp::new("dims", dims)), 1);
+    let fs = b.add(Arc::new(ScanOp::new("facts", fact_batch)), workers);
+    let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), workers);
+    let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+    b.connect(ds, join, 0, PartitionStrategy::Broadcast);
+    b.connect(fs, join, 1, PartitionStrategy::RoundRobin);
+    b.connect(join, sink, 0, PartitionStrategy::Single);
+    b.build().unwrap()
+}
+
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Pooled => "pooled",
+        ExecMode::ThreadPerWorker => "threads",
+    }
+}
+
+/// Best-of-`reps` tuples/sec for one configuration.
+fn measure(
+    workload: &str,
+    mode: ExecMode,
+    parallelism: usize,
+    tuples: i64,
+    reps: usize,
+    build: impl Fn() -> Workflow,
+) -> Json {
+    let exec = LiveExecutor::new(1024).with_mode(mode);
+    // Warm-up run (thread spawn, allocator churn) not measured.
+    exec.run(&build()).expect("bench workflow must run");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let wf = build();
+        let start = Instant::now();
+        exec.run(&wf).expect("bench workflow must run");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let tps = tuples as f64 / best.max(1e-9);
+    println!(
+        "{workload:>16}  {:>8}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>12.0} tuples/s",
+        mode_name(mode),
+        best * 1e3,
+        tps
+    );
+    Json::Object(vec![
+        ("workload".into(), Json::Str(workload.into())),
+        ("mode".into(), Json::Str(mode_name(mode).into())),
+        ("parallelism".into(), Json::Int(parallelism as i64)),
+        ("tuples".into(), Json::Int(tuples)),
+        ("elapsed_secs".into(), Json::Float(best)),
+        ("tuples_per_sec".into(), Json::Float(tps)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_ENGINE_QUICK").is_ok();
+    let (n, reps) = if quick {
+        (5_000i64, 2)
+    } else {
+        (100_000i64, 5)
+    };
+
+    let mut configs = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        for &mode in &[ExecMode::Pooled, ExecMode::ThreadPerWorker] {
+            configs.push(measure("filter_pipeline", mode, workers, n, reps, || {
+                filter_pipeline(n, workers)
+            }));
+        }
+    }
+    for &mode in &[ExecMode::Pooled, ExecMode::ThreadPerWorker] {
+        configs.push(measure("broadcast_join", mode, 4, n, reps, || {
+            broadcast_join(n, 4)
+        }));
+    }
+
+    let doc = Json::Object(vec![
+        ("bench".into(), Json::Str("engine".into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("configs".into(), Json::Array(configs)),
+    ]);
+    let path = "BENCH_engine.json";
+    match std::fs::write(path, doc.to_string_compact()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

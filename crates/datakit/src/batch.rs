@@ -1,5 +1,7 @@
 //! Schema-homogeneous groups of tuples.
 
+use std::sync::Arc;
+
 use crate::error::{DataError, DataResult};
 use crate::schema::SchemaRef;
 use crate::tuple::Tuple;
@@ -125,6 +127,64 @@ impl Batch {
         let mut rows: Vec<String> = self.tuples.iter().map(|t| t.to_string()).collect();
         rows.sort_unstable();
         rows
+    }
+}
+
+/// An immutable, reference-counted group of tuples.
+///
+/// This is the zero-copy unit the workflow engine's live executor routes
+/// along DAG edges: a broadcast edge (or any multi-consumer fan-out)
+/// clones the `Arc`, not the tuples, so every downstream worker reads the
+/// same allocation. A consumer that holds the only reference can reclaim
+/// the owned tuples without copying via [`SharedBatch::into_tuples`].
+#[derive(Debug, Clone)]
+pub struct SharedBatch {
+    tuples: Arc<Vec<Tuple>>,
+}
+
+impl SharedBatch {
+    /// Wrap owned tuples into a shareable batch (no copy).
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        SharedBatch {
+            tuples: Arc::new(tuples),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of live references to this allocation (diagnostics).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.tuples)
+    }
+
+    /// Reclaim the owned tuples.
+    ///
+    /// Free when this is the sole reference (the common case for
+    /// hash/round-robin routed batches, whose consumer is unique); clones
+    /// only when the allocation is still shared (broadcast edges, where
+    /// every consumer but the last pays the copy it actually needs to
+    /// mutate independently).
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        Arc::try_unwrap(self.tuples).unwrap_or_else(|shared| (*shared).clone())
+    }
+}
+
+impl From<Vec<Tuple>> for SharedBatch {
+    fn from(tuples: Vec<Tuple>) -> Self {
+        SharedBatch::new(tuples)
     }
 }
 
@@ -257,7 +317,8 @@ mod tests {
     fn builder_roundtrip() {
         let mut bb = BatchBuilder::with_capacity(schema(), 2);
         assert!(bb.is_empty());
-        bb.push_row(vec![Value::Int(1), Value::Str("a".into())]).unwrap();
+        bb.push_row(vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
         bb.push(batch(1).tuples()[0].clone()).unwrap();
         assert_eq!(bb.len(), 2);
         let b = bb.build();
@@ -280,5 +341,20 @@ mod tests {
         let b = batch(2);
         let expect: usize = b.tuples().iter().map(Tuple::encoded_len).sum();
         assert_eq!(b.encoded_len(), expect);
+    }
+
+    #[test]
+    fn shared_batch_shares_and_unwraps() {
+        let tuples = batch(4).into_tuples();
+        let shared = SharedBatch::new(tuples.clone());
+        assert_eq!(shared.len(), 4);
+        assert!(!shared.is_empty());
+        let second = shared.clone();
+        assert_eq!(shared.ref_count(), 2);
+        // Shared reference: into_tuples falls back to a clone.
+        assert_eq!(second.into_tuples(), tuples);
+        // Sole reference: into_tuples reclaims without copying.
+        assert_eq!(shared.ref_count(), 1);
+        assert_eq!(shared.into_tuples(), tuples);
     }
 }

@@ -88,11 +88,7 @@ pub fn from_csv(schema: SchemaRef, text: &str) -> DataResult<Batch> {
         if cells.len() != schema.arity() {
             return Err(DataError::Decode {
                 line: lineno,
-                message: format!(
-                    "expected {} fields, found {}",
-                    schema.arity(),
-                    cells.len()
-                ),
+                message: format!("expected {} fields, found {}", schema.arity(), cells.len()),
             });
         }
         let mut row = Vec::with_capacity(cells.len());
@@ -579,7 +575,12 @@ mod tests {
                     Value::Float(0.25),
                     Value::Bool(true),
                 ],
-                vec![Value::Int(2), Value::Str("plain".into()), Value::Null, Value::Null],
+                vec![
+                    Value::Int(2),
+                    Value::Str("plain".into()),
+                    Value::Null,
+                    Value::Null,
+                ],
             ],
         )
         .unwrap()
@@ -668,10 +669,7 @@ mod tests {
 
     #[test]
     fn json_unicode_escape() {
-        assert_eq!(
-            Json::parse(r#""Aé""#).unwrap(),
-            Json::Str("Aé".into())
-        );
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::Str("Aé".into()));
     }
 
     #[test]

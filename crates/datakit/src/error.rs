@@ -76,7 +76,10 @@ impl fmt::Display for DataError {
                 "type mismatch for column `{column}`: expected {expected}, got {actual}"
             ),
             DataError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity mismatch: schema has {expected} fields, tuple has {actual}")
+                write!(
+                    f,
+                    "tuple arity mismatch: schema has {expected} fields, tuple has {actual}"
+                )
             }
             DataError::SchemaMismatch { left, right } => {
                 write!(f, "schema mismatch: [{left}] vs [{right}]")

@@ -67,6 +67,23 @@ impl HashKey {
         Ok(HashKey::Composite(parts))
     }
 
+    /// Extract a composite key by pre-resolved column indices.
+    ///
+    /// The per-tuple fast path for partitioning and joins: callers resolve
+    /// column names against the schema once (e.g. when a workflow edge is
+    /// compiled) and then key every tuple without any name lookups.
+    /// Indices must be in range for the tuple's schema.
+    pub fn from_tuple_indexed(tuple: &Tuple, indices: &[usize]) -> DataResult<HashKey> {
+        if indices.len() == 1 {
+            return HashKey::from_value(tuple.at(indices[0]));
+        }
+        let mut parts = Vec::with_capacity(indices.len());
+        for &i in indices {
+            parts.push(HashKey::from_value(tuple.at(i))?);
+        }
+        Ok(HashKey::Composite(parts))
+    }
+
     /// A stable bucket index in `0..n` for partitioning.
     ///
     /// Uses an FNV-1a style fold over the key's own `Hash` impl so the
@@ -134,6 +151,24 @@ mod tests {
         assert_eq!(
             comp,
             HashKey::Composite(vec![HashKey::Int(1), HashKey::Str("x".into())])
+        );
+    }
+
+    #[test]
+    fn indexed_matches_named() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let t = Tuple::new(s, vec![Value::Int(7), Value::Str("y".into())]).unwrap();
+        assert_eq!(
+            HashKey::from_tuple_indexed(&t, &[0]).unwrap(),
+            HashKey::from_tuple(&t, &["a"]).unwrap()
+        );
+        assert_eq!(
+            HashKey::from_tuple_indexed(&t, &[0, 1]).unwrap(),
+            HashKey::from_tuple(&t, &["a", "b"]).unwrap()
+        );
+        assert_eq!(
+            HashKey::from_tuple_indexed(&t, &[1, 0]).unwrap(),
+            HashKey::from_tuple(&t, &["b", "a"]).unwrap()
         );
     }
 

@@ -30,7 +30,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use batch::{Batch, BatchBuilder};
+pub use batch::{Batch, BatchBuilder, SharedBatch};
 pub use error::{DataError, DataResult};
 pub use frame::{DataFrame, MergeHow};
 pub use key::HashKey;

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use scriptflow_datakit::SchemaRef;
 
 use crate::operator::{OperatorFactory, WorkflowError, WorkflowResult};
-use crate::partition::PartitionStrategy;
+use crate::partition::{CompiledPartitioner, PartitionStrategy};
 
 /// Identifier of an operator node within one workflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,6 +50,7 @@ pub struct Workflow {
     ops: Vec<OpNode>,
     edges: Vec<Edge>,
     schemas: Vec<SchemaRef>,
+    partitioners: Vec<CompiledPartitioner>,
     topo: Vec<OpId>,
 }
 
@@ -88,6 +89,13 @@ impl Workflow {
     /// The propagated output schema of an operator.
     pub fn schema(&self, id: OpId) -> &SchemaRef {
         &self.schemas[id.0]
+    }
+
+    /// The partitioner compiled for an edge at build time: hash columns
+    /// already resolved to indices against the producer's output schema,
+    /// so executors route tuples with no per-tuple name lookups.
+    pub fn partitioner(&self, id: EdgeId) -> &CompiledPartitioner {
+        &self.partitioners[id.0]
     }
 
     /// Operators in a valid execution order.
@@ -200,7 +208,9 @@ impl WorkflowBuilder {
     pub fn build(self) -> WorkflowResult<Workflow> {
         let n = self.ops.len();
         if n == 0 {
-            return Err(WorkflowError::InvalidDag("workflow has no operators".into()));
+            return Err(WorkflowError::InvalidDag(
+                "workflow has no operators".into(),
+            ));
         }
 
         // Unique operator names (the GUI addresses operators by name).
@@ -318,10 +328,30 @@ impl WorkflowBuilder {
             schemas[op.0] = Some(Arc::new(out));
         }
 
+        let schemas: Vec<SchemaRef> = schemas.into_iter().map(|s| s.expect("all set")).collect();
+
+        // Compile partitioners against the producer's propagated schema so
+        // unknown hash columns are a build error, not a mid-run one, and
+        // executors route without name resolution.
+        let mut partitioners = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            let compiled = e.partition.compile(&schemas[e.from.0]).map_err(|err| {
+                WorkflowError::InvalidDag(format!(
+                    "edge `{}` -> `{}` port {}: cannot partition by {}: {err}",
+                    self.ops[e.from.0].factory.name(),
+                    self.ops[e.to.0].factory.name(),
+                    e.to_port,
+                    e.partition.label(),
+                ))
+            })?;
+            partitioners.push(compiled);
+        }
+
         Ok(Workflow {
             ops: self.ops,
             edges: self.edges,
-            schemas: schemas.into_iter().map(|s| s.expect("all set")).collect(),
+            schemas,
+            partitioners,
             topo,
         })
     }
@@ -362,6 +392,34 @@ mod tests {
         assert_eq!(wf.schema(f).to_string(), "id: Int");
         assert_eq!(wf.op_by_name("filter"), Some(f));
         assert_eq!(wf.op_by_name("nope"), None);
+    }
+
+    #[test]
+    fn compiles_edge_partitioners_at_build_time() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.add(scan("scan", 10), 1);
+        let f = b.add(filter("filter"), 2);
+        let k = b.add(Arc::new(SinkOp::new("sink")), 1);
+        let e0 = b.connect(s, f, 0, PartitionStrategy::Hash(vec!["id".into()]));
+        let e1 = b.connect(f, k, 0, PartitionStrategy::Broadcast);
+        let wf = b.build().unwrap();
+        assert_eq!(
+            wf.partitioner(e0),
+            &CompiledPartitioner::Hash { indices: vec![0] }
+        );
+        assert!(wf.partitioner(e1).is_broadcast());
+    }
+
+    #[test]
+    fn rejects_unknown_hash_column_at_build_time() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.add(scan("scan", 10), 1);
+        let f = b.add(filter("filter"), 2);
+        b.connect(s, f, 0, PartitionStrategy::Hash(vec!["missing".into()]));
+        let err = b.build().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("hash(missing)"), "{msg}");
+        assert!(matches!(err, WorkflowError::InvalidDag(_)));
     }
 
     #[test]

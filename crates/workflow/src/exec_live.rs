@@ -1,33 +1,82 @@
 //! Live executor: runs a workflow on real OS threads.
 //!
-//! Where [`crate::exec_sim`] models time, this executor spends it: every
-//! operator worker is a thread, edges are crossbeam channels, and the
-//! result is measured in wall-clock. It exists for two reasons:
+//! Where [`crate::exec_sim`] models time, this executor spends it. It
+//! exists for two reasons:
 //!
 //! 1. **Correctness cross-check** — both executors must produce identical
 //!    data outputs for any workflow (the integration suite asserts this).
 //! 2. **Engine-overhead benchmarking** — Criterion benches drive it to
 //!    measure the real cost of the pipelined architecture on the host.
+//!
+//! Two execution modes are available (see [`ExecMode`]):
+//!
+//! * **Pooled** (default): a fixed-size worker pool schedules
+//!   operator-worker *tasks* from a run queue, in the style of Databend's
+//!   `PipelineExecutor`. Edges are bounded mailboxes with backpressure,
+//!   and payloads travel as [`SharedBatch`]es — `Arc`-shared immutable
+//!   tuple batches, so broadcast and multi-consumer edges share one
+//!   allocation instead of deep-cloning every tuple per worker.
+//!   Partitioners are compiled once per edge at DAG-build time
+//!   ([`crate::dag::Workflow::partitioner`]), and routing *moves* tuples
+//!   into reusable per-worker scatter buffers — the hot path performs no
+//!   per-tuple name lookups and no per-tuple allocation.
+//! * **ThreadPerWorker**: the original executor — one OS thread per
+//!   operator worker, unbounded channels, per-tuple deep-clone routing.
+//!   Retained as the benchmark baseline the pooled executor is measured
+//!   against.
+//!
+//! # Scheduling and deadlock freedom (pooled mode)
+//!
+//! Pool threads never block on a data channel. A producer whose
+//! destination mailbox is full parks the message in its own outbox,
+//! registers itself as a waiter on that mailbox, and yields its pool
+//! thread; the consumer wakes all registered waiters whenever it frees
+//! mailbox space. Messages gated behind a blocking port (e.g. probe-side
+//! input while a hash join's build port is still open) are moved to an
+//! unbounded hold buffer so mailboxes always drain. With an acyclic DAG,
+//! sinks that always accept input, and consumers that always drain, every
+//! blocked producer is eventually woken — bounded channels cannot wedge
+//! the pool, which the diamond-DAG regression test exercises.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use scriptflow_datakit::Tuple;
+use parking_lot::{Condvar, Mutex};
+use scriptflow_datakit::{SharedBatch, Tuple};
 use scriptflow_simcluster::{SimDuration, SimTime};
 
 use crate::dag::{OpId, Workflow};
 use crate::metrics::{OperatorMetrics, OperatorState, RunMetrics};
-use crate::operator::{OutputCollector, WorkflowError, WorkflowResult};
+use crate::operator::{Operator, OutputCollector, WorkflowError, WorkflowResult};
+use crate::partition::CompiledPartitioner;
 
-/// Message flowing along a channel between two workers.
-enum Msg {
-    /// Data tuples for an input port.
-    Batch { port: usize, tuples: Vec<Tuple> },
-    /// The sending worker is done with this edge.
-    Eos { port: usize },
+/// Which concurrency model [`LiveExecutor::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One OS thread per operator worker, unbounded channels, deep-clone
+    /// routing — the original executor, kept as the bench baseline.
+    ThreadPerWorker,
+    /// Fixed-size pool scheduling operator-worker tasks from a run queue,
+    /// bounded mailboxes with backpressure, `Arc`-shared batch routing.
+    Pooled,
+}
+
+/// Counters from a pooled run (absent in thread-per-worker mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// OS threads in the pool.
+    pub pool_threads: usize,
+    /// Operator-worker tasks scheduled over the pool.
+    pub tasks: usize,
+    /// Total task run quanta executed.
+    pub task_runs: u64,
+    /// Times a producer found a destination mailbox full and yielded.
+    pub backpressure_stalls: u64,
+    /// Batches successfully delivered into mailboxes.
+    pub batches_sent: u64,
 }
 
 /// Result of a live run.
@@ -37,38 +86,789 @@ pub struct LiveRunResult {
     pub elapsed: Duration,
     /// Instrumentation counters (`makespan` mirrors `elapsed`).
     pub metrics: RunMetrics,
+    /// Pool scheduling counters; `None` in thread-per-worker mode.
+    pub pool: Option<PoolStats>,
 }
 
 /// The real-thread workflow executor.
 pub struct LiveExecutor {
     batch_size: usize,
+    mode: ExecMode,
+    pool_size: Option<usize>,
+    channel_capacity: usize,
 }
 
 impl Default for LiveExecutor {
     fn default() -> Self {
-        LiveExecutor { batch_size: 256 }
+        LiveExecutor::new(256)
     }
 }
 
 impl LiveExecutor {
-    /// Executor with the given edge batch size.
+    /// Pooled executor with the given edge batch size.
     pub fn new(batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        LiveExecutor { batch_size }
+        LiveExecutor {
+            batch_size,
+            mode: ExecMode::Pooled,
+            pool_size: None,
+            channel_capacity: 64,
+        }
     }
 
-    /// Execute `wf` on OS threads; blocks until completion.
+    /// The original thread-per-worker executor (benchmark baseline).
+    pub fn thread_per_worker(batch_size: usize) -> Self {
+        LiveExecutor::new(batch_size).with_mode(ExecMode::ThreadPerWorker)
+    }
+
+    /// Select the concurrency model.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Pool thread count (pooled mode; default = host cores).
+    pub fn with_pool_size(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "pool size must be positive");
+        self.pool_size = Some(threads);
+        self
+    }
+
+    /// Mailbox capacity in messages per worker (pooled mode). Smaller
+    /// values bound memory harder at the cost of more scheduling churn.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Execute `wf`; blocks until completion.
     pub fn run(&self, wf: &Workflow) -> WorkflowResult<LiveRunResult> {
+        match self.mode {
+            ExecMode::Pooled => self.run_pooled(wf),
+            ExecMode::ThreadPerWorker => self.run_threads(wf),
+        }
+    }
+
+    fn result(
+        wf: &Workflow,
+        elapsed: Duration,
+        in_counts: &[AtomicU64],
+        out_counts: &[AtomicU64],
+        pool: Option<PoolStats>,
+    ) -> LiveRunResult {
+        let makespan = SimTime::ZERO
+            + SimDuration::from_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        let operators: Vec<OperatorMetrics> = wf
+            .ops()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let mut m =
+                    OperatorMetrics::new(n.factory.name(), n.factory.language(), n.parallelism);
+                m.input_tuples = in_counts[i].load(Ordering::Relaxed);
+                m.output_tuples = out_counts[i].load(Ordering::Relaxed);
+                m.state = OperatorState::Completed;
+                m
+            })
+            .collect();
+        LiveRunResult {
+            elapsed,
+            metrics: RunMetrics {
+                makespan,
+                operators,
+                total_workers: wf.total_workers(),
+                events: 0,
+            },
+            pool,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pooled executor
+// ---------------------------------------------------------------------------
+
+/// Message flowing into a worker task's mailbox.
+enum Msg {
+    /// Data tuples for an input port, shared rather than copied.
+    Batch { port: usize, batch: SharedBatch },
+    /// One upstream producer worker is done with this edge.
+    Eos { port: usize },
+}
+
+/// Task state machine (Databend-style): a task is scheduled at most once
+/// concurrently; schedule requests arriving mid-run dirty the state so the
+/// pool re-queues the task when the run finishes.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_DIRTY: u8 = 3;
+
+/// Messages a task may process per run quantum before re-queuing itself,
+/// so one busy task cannot monopolize a pool thread.
+const QUANTUM: usize = 64;
+
+/// One compiled out-edge of a task: where its output goes and how.
+#[derive(Clone)]
+struct EdgeOut {
+    to_port: usize,
+    partitioner: CompiledPartitioner,
+    /// Global task ids of the consumer's workers, by local index.
+    dests: Vec<usize>,
+}
+
+/// Static (shared, read-only) description of one operator-worker task.
+struct TaskStatic {
+    /// Operator index (for the metric counters).
+    op: usize,
+    downstream: Vec<EdgeOut>,
+    blocking: Vec<usize>,
+    batch_size: usize,
+}
+
+/// Mutable task state; locked only by the single pool thread running the
+/// task (the state machine guarantees no concurrent runs).
+struct TaskInner {
+    instance: Box<dyn Operator>,
+    collector: OutputCollector,
+    /// Routing sequence per out-edge.
+    seqs: Vec<u64>,
+    /// Reusable per-out-edge, per-destination-worker scatter buffers.
+    scatter: Vec<Vec<Vec<Tuple>>>,
+    /// Routed messages awaiting delivery; kept FIFO so per-destination
+    /// ordering (data before EOS) is preserved under backpressure.
+    outbox: VecDeque<(usize, Msg)>,
+    /// Remaining EOS per input port before the port completes.
+    eos_remaining: Vec<usize>,
+    port_done: Vec<bool>,
+    /// Messages gated behind a blocking port (unbounded by design: holding
+    /// them is what keeps mailboxes draining and the pool deadlock-free).
+    held: VecDeque<Msg>,
+    /// Released held messages, processed ahead of new mailbox arrivals.
+    pending: VecDeque<Msg>,
+    /// Pre-chunked own data (source workers only).
+    source: Option<VecDeque<Vec<Tuple>>>,
+    eos_queued: bool,
+    done: bool,
+}
+
+/// Bounded mailbox feeding one task.
+struct Inbox {
+    queue: Mutex<VecDeque<Msg>>,
+    capacity: usize,
+}
+
+struct Task {
+    meta: TaskStatic,
+    inner: Mutex<TaskInner>,
+    inbox: Inbox,
+    /// Producer tasks to wake when this mailbox frees space.
+    waiters: Mutex<Vec<usize>>,
+    state: AtomicU8,
+}
+
+enum RunOutcome {
+    /// The task has more work immediately available: re-queue it.
+    More,
+    /// The task is waiting on input or on a full destination mailbox.
+    Yield,
+    /// The task finished and sent its EOS markers.
+    Done,
+}
+
+struct Pool {
+    tasks: Vec<Task>,
+    run_queue: Mutex<VecDeque<usize>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    aborted: AtomicBool,
+    error: Mutex<Option<WorkflowError>>,
+    active: AtomicUsize,
+    in_counts: Vec<AtomicU64>,
+    out_counts: Vec<AtomicU64>,
+    task_runs: AtomicU64,
+    stalls: AtomicU64,
+    batches_sent: AtomicU64,
+}
+
+impl Pool {
+    fn enqueue(&self, tid: usize) {
+        self.run_queue.lock().push_back(tid);
+        self.cv.notify_one();
+    }
+
+    /// Request that `tid` runs (again) soon. Idempotent; safe from any
+    /// thread. Duplicate queue entries are filtered by the CAS on pop.
+    fn schedule(&self, tid: usize) {
+        let state = &self.tasks[tid].state;
+        loop {
+            match state.load(Ordering::Acquire) {
+                IDLE => {
+                    if state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.enqueue(tid);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if state
+                        .compare_exchange(
+                            RUNNING,
+                            RUNNING_DIRTY,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued or already dirtied: nothing to do.
+                _ => return,
+            }
+        }
+    }
+
+    fn fail(&self, e: WorkflowError) {
+        {
+            let mut g = self.error.lock();
+            if g.is_none() {
+                *g = Some(e);
+            }
+        }
+        self.aborted.store(true, Ordering::Release);
+        self.shutdown.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    fn wake_waiters(&self, tid: usize) {
+        let waiters = std::mem::take(&mut *self.tasks[tid].waiters.lock());
+        for w in waiters {
+            self.schedule(w);
+        }
+    }
+
+    /// Deliver `msg` to `dest`'s mailbox, or hand it back if the mailbox
+    /// is full. On the full path the sender is registered as a waiter
+    /// first and the mailbox re-checked, so a concurrent drain cannot
+    /// strand the sender without a wakeup.
+    fn try_send(&self, from: usize, dest: usize, msg: Msg) -> Result<(), Msg> {
+        let inbox = &self.tasks[dest].inbox;
+        let is_batch = matches!(msg, Msg::Batch { .. });
+        {
+            let mut q = inbox.queue.lock();
+            if q.len() < inbox.capacity {
+                q.push_back(msg);
+                drop(q);
+                if is_batch {
+                    self.batches_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                self.schedule(dest);
+                return Ok(());
+            }
+        }
+        self.tasks[dest].waiters.lock().push(from);
+        {
+            let mut q = inbox.queue.lock();
+            if q.len() < inbox.capacity {
+                q.push_back(msg);
+                drop(q);
+                if is_batch {
+                    self.batches_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                self.schedule(dest);
+                return Ok(());
+            }
+        }
+        Err(msg)
+    }
+
+    /// Drain the task's outbox in FIFO order. Returns `false` (and counts
+    /// a stall) if the head message's destination is full — the task must
+    /// yield and will be re-scheduled by the consumer.
+    fn flush_outbox(&self, tid: usize, inner: &mut TaskInner) -> bool {
+        while let Some((dest, msg)) = inner.outbox.pop_front() {
+            match self.try_send(tid, dest, msg) {
+                Ok(()) => {}
+                Err(msg) => {
+                    inner.outbox.push_front((dest, msg));
+                    self.stalls.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Route `tuples` along every out-edge into the outbox.
+    ///
+    /// Broadcast edges chunk once and clone only the `Arc` per
+    /// destination; single-consumer edges skip routing entirely; scattered
+    /// edges *move* each tuple into a reusable per-worker buffer — no
+    /// per-tuple clone anywhere except genuine multi-edge fan-out.
+    fn forward(
+        &self,
+        meta: &TaskStatic,
+        inner: &mut TaskInner,
+        tuples: Vec<Tuple>,
+    ) -> WorkflowResult<()> {
+        self.out_counts[meta.op].fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        if meta.downstream.is_empty() || tuples.is_empty() {
+            return Ok(());
+        }
+        let TaskInner {
+            seqs,
+            scatter,
+            outbox,
+            ..
+        } = inner;
+        let last = meta.downstream.len() - 1;
+        let mut remaining = Some(tuples);
+        for (d, edge) in meta.downstream.iter().enumerate() {
+            let owned = if d == last {
+                remaining.take().expect("taken only on the last edge")
+            } else {
+                remaining
+                    .as_ref()
+                    .expect("present until the last edge")
+                    .clone()
+            };
+            if edge.partitioner.is_broadcast() {
+                chunk_owned(owned, meta.batch_size, |chunk| {
+                    let batch = SharedBatch::new(chunk);
+                    for &dest in &edge.dests {
+                        outbox.push_back((
+                            dest,
+                            Msg::Batch {
+                                port: edge.to_port,
+                                batch: batch.clone(),
+                            },
+                        ));
+                    }
+                });
+            } else if edge.dests.len() == 1 {
+                let dest = edge.dests[0];
+                chunk_owned(owned, meta.batch_size, |chunk| {
+                    outbox.push_back((
+                        dest,
+                        Msg::Batch {
+                            port: edge.to_port,
+                            batch: SharedBatch::new(chunk),
+                        },
+                    ));
+                });
+            } else {
+                edge.partitioner
+                    .scatter(owned, &mut seqs[d], &mut scatter[d])?;
+                for w in 0..edge.dests.len() {
+                    if scatter[d][w].is_empty() {
+                        continue;
+                    }
+                    let buf = std::mem::take(&mut scatter[d][w]);
+                    let dest = edge.dests[w];
+                    chunk_owned(buf, meta.batch_size, |chunk| {
+                        outbox.push_back((
+                            dest,
+                            Msg::Batch {
+                                port: edge.to_port,
+                                batch: SharedBatch::new(chunk),
+                            },
+                        ));
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One cooperative run quantum of task `tid`.
+    fn run_task(&self, tid: usize) -> RunOutcome {
+        let task = &self.tasks[tid];
+        let meta = &task.meta;
+        let mut guard = task.inner.lock();
+        let inner = &mut *guard;
+
+        if inner.done || self.aborted.load(Ordering::Acquire) {
+            return RunOutcome::Yield;
+        }
+
+        // Deliver whatever a previous quantum could not.
+        if !self.flush_outbox(tid, inner) {
+            return RunOutcome::Yield;
+        }
+
+        // Source emission: forward pre-chunked own data.
+        if inner.source.is_some() {
+            let mut emitted = 0usize;
+            loop {
+                if emitted >= QUANTUM {
+                    return RunOutcome::More;
+                }
+                let chunk = match inner.source.as_mut().expect("checked above").pop_front() {
+                    Some(c) => c,
+                    None => break,
+                };
+                emitted += 1;
+                if let Err(e) = self.forward(meta, inner, chunk) {
+                    self.fail(e);
+                    return RunOutcome::Yield;
+                }
+                if !self.flush_outbox(tid, inner) {
+                    return RunOutcome::Yield;
+                }
+            }
+        }
+
+        // Consume released-held messages first, then the mailbox.
+        let mut consumed_inbox = false;
+        let mut processed = 0usize;
+        let early = 'consume: loop {
+            if self.aborted.load(Ordering::Acquire) {
+                break 'consume Some(RunOutcome::Yield);
+            }
+            if processed >= QUANTUM {
+                break 'consume Some(RunOutcome::More);
+            }
+            let msg = match inner.pending.pop_front() {
+                Some(m) => m,
+                None => match task.inbox.queue.lock().pop_front() {
+                    Some(m) => {
+                        consumed_inbox = true;
+                        m
+                    }
+                    None => break 'consume None,
+                },
+            };
+            processed += 1;
+            let port = match &msg {
+                Msg::Batch { port, .. } | Msg::Eos { port } => *port,
+            };
+            let gate_open = meta.blocking.iter().all(|&p| inner.port_done[p]);
+            if !gate_open && !meta.blocking.contains(&port) {
+                inner.held.push_back(msg);
+                continue;
+            }
+            match msg {
+                Msg::Batch { port, batch } => {
+                    self.in_counts[meta.op].fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    // Sole-owner batches reclaim their tuples without
+                    // copying; shared (broadcast) batches clone here, once
+                    // per consumer that actually mutates them.
+                    for t in batch.into_tuples() {
+                        if let Err(e) = inner.instance.on_tuple(t, port, &mut inner.collector) {
+                            self.fail(e);
+                            break 'consume Some(RunOutcome::Yield);
+                        }
+                    }
+                    if !inner.collector.is_empty() {
+                        let out = inner.collector.take();
+                        if let Err(e) = self.forward(meta, inner, out) {
+                            self.fail(e);
+                            break 'consume Some(RunOutcome::Yield);
+                        }
+                        if !self.flush_outbox(tid, inner) {
+                            break 'consume Some(RunOutcome::Yield);
+                        }
+                    }
+                }
+                Msg::Eos { port } => {
+                    inner.eos_remaining[port] = inner.eos_remaining[port].saturating_sub(1);
+                    if inner.eos_remaining[port] == 0 && !inner.port_done[port] {
+                        inner.port_done[port] = true;
+                        if let Err(e) = inner.instance.on_port_complete(port, &mut inner.collector)
+                        {
+                            self.fail(e);
+                            break 'consume Some(RunOutcome::Yield);
+                        }
+                        if !inner.collector.is_empty() {
+                            let out = inner.collector.take();
+                            if let Err(e) = self.forward(meta, inner, out) {
+                                self.fail(e);
+                                break 'consume Some(RunOutcome::Yield);
+                            }
+                            if !self.flush_outbox(tid, inner) {
+                                break 'consume Some(RunOutcome::Yield);
+                            }
+                        }
+                        let gate_now = meta.blocking.iter().all(|&p| inner.port_done[p]);
+                        if gate_now && !inner.held.is_empty() {
+                            while let Some(m) = inner.held.pop_front() {
+                                inner.pending.push_back(m);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if consumed_inbox {
+            self.wake_waiters(tid);
+        }
+        if let Some(outcome) = early {
+            return outcome;
+        }
+
+        // Everything available has been processed: complete if no more
+        // input can ever arrive (per-channel FIFO means EOS is final).
+        let source_drained = inner.source.as_ref().map_or(true, |s| s.is_empty());
+        let ports_done = inner.port_done.iter().all(|d| *d);
+        if source_drained
+            && ports_done
+            && inner.pending.is_empty()
+            && inner.held.is_empty()
+            && task.inbox.queue.lock().is_empty()
+        {
+            if !inner.eos_queued {
+                inner.eos_queued = true;
+                for edge in &meta.downstream {
+                    for &dest in &edge.dests {
+                        inner
+                            .outbox
+                            .push_back((dest, Msg::Eos { port: edge.to_port }));
+                    }
+                }
+            }
+            if !self.flush_outbox(tid, inner) {
+                return RunOutcome::Yield;
+            }
+            inner.done = true;
+            return RunOutcome::Done;
+        }
+        RunOutcome::Yield
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let tid = {
+                let mut q = self.run_queue.lock();
+                loop {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    self.cv.wait(&mut q);
+                }
+            };
+            let task = &self.tasks[tid];
+            // Stale queue entries (task already claimed or re-queued) are
+            // skipped here.
+            if task
+                .state
+                .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            let outcome = self.run_task(tid);
+            self.task_runs.fetch_add(1, Ordering::Relaxed);
+            match outcome {
+                RunOutcome::More => {
+                    task.state.store(QUEUED, Ordering::Release);
+                    self.enqueue(tid);
+                }
+                RunOutcome::Yield => {
+                    // A schedule request that arrived mid-run dirtied the
+                    // state; honor it by re-queuing instead of idling.
+                    if task
+                        .state
+                        .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        task.state.store(QUEUED, Ordering::Release);
+                        self.enqueue(tid);
+                    }
+                }
+                RunOutcome::Done => {
+                    task.state.store(IDLE, Ordering::Release);
+                    if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        self.shutdown.store(true, Ordering::Release);
+                        self.cv.notify_all();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Split an owned tuple vector into `size`-bounded chunks without copying
+/// tuple data (each chunk is carved off by `split_off`).
+fn chunk_owned(mut tuples: Vec<Tuple>, size: usize, mut emit: impl FnMut(Vec<Tuple>)) {
+    debug_assert!(size > 0);
+    while tuples.len() > size {
+        let rest = tuples.split_off(size);
+        let head = std::mem::replace(&mut tuples, rest);
+        emit(head);
+    }
+    if !tuples.is_empty() {
+        emit(tuples);
+    }
+}
+
+fn default_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+impl LiveExecutor {
+    fn run_pooled(&self, wf: &Workflow) -> WorkflowResult<LiveRunResult> {
+        let start = Instant::now();
+
+        // Global task id per (operator, local worker).
+        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(wf.ops().len());
+        let mut next = 0usize;
+        for node in wf.ops() {
+            task_of.push((next..next + node.parallelism).collect());
+            next += node.parallelism;
+        }
+
+        let mut tasks: Vec<Task> = Vec::with_capacity(next);
+        for (i, node) in wf.ops().iter().enumerate() {
+            let op = OpId(i);
+            let downstream: Vec<EdgeOut> = wf
+                .out_edges(op)
+                .into_iter()
+                .map(|(eid, e)| EdgeOut {
+                    to_port: e.to_port,
+                    partitioner: wf.partitioner(eid).clone(),
+                    dests: task_of[e.to.0].clone(),
+                })
+                .collect();
+            let ports = node.factory.input_ports();
+            let mut expected_eos = vec![0usize; ports];
+            for (_, e) in wf.in_edges(op) {
+                expected_eos[e.to_port] += wf.op(e.from).parallelism;
+            }
+            let blocking = node.factory.blocking_ports();
+            for local in 0..node.parallelism {
+                let source = if ports == 0 {
+                    let parts = node
+                        .factory
+                        .source_partitions(node.parallelism)
+                        .expect("validated at build time");
+                    let mine = parts.into_iter().nth(local).unwrap_or_default();
+                    let mut chunks = VecDeque::new();
+                    chunk_owned(mine, self.batch_size, |c| chunks.push_back(c));
+                    Some(chunks)
+                } else {
+                    None
+                };
+                tasks.push(Task {
+                    meta: TaskStatic {
+                        op: i,
+                        downstream: downstream.clone(),
+                        blocking: blocking.clone(),
+                        batch_size: self.batch_size,
+                    },
+                    inner: Mutex::new(TaskInner {
+                        instance: node.factory.create(),
+                        collector: OutputCollector::with_capacity(self.batch_size),
+                        seqs: vec![0; downstream.len()],
+                        scatter: downstream
+                            .iter()
+                            .map(|e| vec![Vec::new(); e.dests.len()])
+                            .collect(),
+                        outbox: VecDeque::new(),
+                        eos_remaining: expected_eos.clone(),
+                        port_done: vec![false; ports],
+                        held: VecDeque::new(),
+                        pending: VecDeque::new(),
+                        source,
+                        eos_queued: false,
+                        done: false,
+                    }),
+                    inbox: Inbox {
+                        queue: Mutex::new(VecDeque::new()),
+                        capacity: self.channel_capacity,
+                    },
+                    waiters: Mutex::new(Vec::new()),
+                    state: AtomicU8::new(IDLE),
+                });
+            }
+        }
+
+        let n_tasks = tasks.len();
+        let pool_threads = self.pool_size.unwrap_or_else(default_pool_size).max(1);
+        let pool = Pool {
+            tasks,
+            run_queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            error: Mutex::new(None),
+            active: AtomicUsize::new(n_tasks),
+            in_counts: wf.ops().iter().map(|_| AtomicU64::new(0)).collect(),
+            out_counts: wf.ops().iter().map(|_| AtomicU64::new(0)).collect(),
+            task_runs: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            batches_sent: AtomicU64::new(0),
+        };
+
+        // Seed: every task gets one initial run (sources start emitting,
+        // consumers find empty mailboxes and go idle until woken).
+        {
+            let mut q = pool.run_queue.lock();
+            for (tid, task) in pool.tasks.iter().enumerate() {
+                task.state.store(QUEUED, Ordering::Release);
+                q.push_back(tid);
+            }
+        }
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..pool_threads {
+                scope.spawn(|_| pool.worker_loop());
+            }
+        })
+        .expect("a pool thread panicked");
+
+        if let Some(e) = pool.error.lock().take() {
+            return Err(e);
+        }
+
+        let elapsed = start.elapsed();
+        Ok(Self::result(
+            wf,
+            elapsed,
+            &pool.in_counts,
+            &pool.out_counts,
+            Some(PoolStats {
+                pool_threads,
+                tasks: n_tasks,
+                task_runs: pool.task_runs.load(Ordering::Relaxed),
+                backpressure_stalls: pool.stalls.load(Ordering::Relaxed),
+                batches_sent: pool.batches_sent.load(Ordering::Relaxed),
+            }),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-worker executor (baseline)
+// ---------------------------------------------------------------------------
+
+/// Message on a legacy channel: tuples are owned and deep-cloned per
+/// routed destination — the cost the pooled executor eliminates.
+enum LegacyMsg {
+    Batch { port: usize, tuples: Vec<Tuple> },
+    Eos { port: usize },
+}
+
+impl LiveExecutor {
+    fn run_threads(&self, wf: &Workflow) -> WorkflowResult<LiveRunResult> {
         let start = Instant::now();
 
         // Channel per (op, worker): all upstream workers share one sender.
-        let mut txs: Vec<Vec<Sender<Msg>>> = Vec::new();
-        let mut rxs: Vec<Vec<Option<Receiver<Msg>>>> = Vec::new();
+        let mut txs: Vec<Vec<Sender<LegacyMsg>>> = Vec::new();
+        let mut rxs: Vec<Vec<Option<Receiver<LegacyMsg>>>> = Vec::new();
         for node in wf.ops() {
             let mut t = Vec::new();
             let mut r = Vec::new();
             for _ in 0..node.parallelism {
-                let (tx, rx) = unbounded::<Msg>();
+                let (tx, rx) = unbounded::<LegacyMsg>();
                 t.push(tx);
                 r.push(Some(rx));
             }
@@ -123,40 +923,42 @@ impl LiveExecutor {
                         };
 
                         // Forward helper: route + send collector contents.
-                        let forward = |tuples: Vec<Tuple>,
-                                       seqs: &mut [u64],
-                                       error: &Mutex<Option<WorkflowError>>| {
-                            out_counts[i].fetch_add(tuples.len() as u64, Ordering::Relaxed);
-                            for (d, (to_port, strategy, senders)) in downstream.iter().enumerate()
-                            {
-                                let mut routed: Vec<Vec<Tuple>> =
-                                    vec![Vec::new(); senders.len()];
-                                for t in &tuples {
-                                    match strategy.route(t, seqs[d], senders.len()) {
-                                        Ok(ws) => {
-                                            for w in ws {
-                                                routed[w].push(t.clone());
+                        let forward =
+                            |tuples: Vec<Tuple>,
+                             seqs: &mut [u64],
+                             error: &Mutex<Option<WorkflowError>>| {
+                                out_counts[i].fetch_add(tuples.len() as u64, Ordering::Relaxed);
+                                for (d, (to_port, strategy, senders)) in
+                                    downstream.iter().enumerate()
+                                {
+                                    let mut routed: Vec<Vec<Tuple>> =
+                                        vec![Vec::new(); senders.len()];
+                                    for t in &tuples {
+                                        match strategy.route(t, seqs[d], senders.len()) {
+                                            Ok(ws) => {
+                                                for w in ws {
+                                                    routed[w].push(t.clone());
+                                                }
+                                            }
+                                            Err(e) => {
+                                                fail(e, error);
+                                                return;
                                             }
                                         }
-                                        Err(e) => {
-                                            fail(e, error);
-                                            return;
+                                        seqs[d] += 1;
+                                    }
+                                    for (w, chunk) in routed.into_iter().enumerate() {
+                                        for part in chunk.chunks(batch_size) {
+                                            // A closed channel means the consumer
+                                            // died after an error; stop quietly.
+                                            let _ = senders[w].send(LegacyMsg::Batch {
+                                                port: *to_port,
+                                                tuples: part.to_vec(),
+                                            });
                                         }
                                     }
-                                    seqs[d] += 1;
                                 }
-                                for (w, chunk) in routed.into_iter().enumerate() {
-                                    for part in chunk.chunks(batch_size) {
-                                        // A closed channel means the consumer
-                                        // died after an error; stop quietly.
-                                        let _ = senders[w].send(Msg::Batch {
-                                            port: *to_port,
-                                            tuples: part.to_vec(),
-                                        });
-                                    }
-                                }
-                            }
-                        };
+                            };
 
                         if factory.input_ports() == 0 {
                             // Source worker: emit own partition.
@@ -164,19 +966,15 @@ impl LiveExecutor {
                                 .source_partitions(parallelism)
                                 .expect("validated at build time");
                             let mine = parts.into_iter().nth(local).unwrap_or_default();
-                            out_counts[i].fetch_add(0, Ordering::Relaxed);
                             for chunk in mine.chunks(batch_size) {
                                 forward(chunk.to_vec(), &mut seqs, &error);
                             }
                         } else if let Some(rx) = rx {
                             let mut eos_remaining = expected_eos.clone();
                             let mut port_done = vec![false; eos_remaining.len()];
-                            let mut held: Vec<Msg> = Vec::new();
-                            let gate_open = |done: &[bool]| {
-                                blocking.iter().all(|&p| done[p])
-                            };
-                            let mut pending: std::collections::VecDeque<Msg> =
-                                Default::default();
+                            let mut held: Vec<LegacyMsg> = Vec::new();
+                            let gate_open = |done: &[bool]| blocking.iter().all(|&p| done[p]);
+                            let mut pending: VecDeque<LegacyMsg> = Default::default();
                             'recv: loop {
                                 let msg = if let Some(m) = pending.pop_front() {
                                     m
@@ -187,14 +985,16 @@ impl LiveExecutor {
                                     }
                                 };
                                 let msg_port = match &msg {
-                                    Msg::Batch { port, .. } | Msg::Eos { port } => *port,
+                                    LegacyMsg::Batch { port, .. } | LegacyMsg::Eos { port } => {
+                                        *port
+                                    }
                                 };
                                 if !gate_open(&port_done) && !blocking.contains(&msg_port) {
                                     held.push(msg);
                                     continue;
                                 }
                                 match msg {
-                                    Msg::Batch { port, tuples } => {
+                                    LegacyMsg::Batch { port, tuples } => {
                                         in_counts[i]
                                             .fetch_add(tuples.len() as u64, Ordering::Relaxed);
                                         for t in tuples {
@@ -209,13 +1009,12 @@ impl LiveExecutor {
                                             forward(collector.take(), &mut seqs, &error);
                                         }
                                     }
-                                    Msg::Eos { port } => {
-                                        eos_remaining[port] =
-                                            eos_remaining[port].saturating_sub(1);
+                                    LegacyMsg::Eos { port } => {
+                                        eos_remaining[port] = eos_remaining[port].saturating_sub(1);
                                         if eos_remaining[port] == 0 && !port_done[port] {
                                             port_done[port] = true;
-                                            if let Err(e) = instance
-                                                .on_port_complete(port, &mut collector)
+                                            if let Err(e) =
+                                                instance.on_port_complete(port, &mut collector)
                                             {
                                                 fail(e, &error);
                                                 break 'recv;
@@ -240,7 +1039,7 @@ impl LiveExecutor {
                         // Tell every downstream worker this producer is done.
                         for (to_port, _, senders) in &downstream {
                             for s in senders {
-                                let _ = s.send(Msg::Eos { port: *to_port });
+                                let _ = s.send(LegacyMsg::Eos { port: *to_port });
                             }
                         }
                         // Dropping our senders lets consumers drain and exit.
@@ -258,33 +1057,7 @@ impl LiveExecutor {
         }
 
         let elapsed = start.elapsed();
-        let makespan = SimTime::ZERO
-            + SimDuration::from_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
-        let operators: Vec<OperatorMetrics> = wf
-            .ops()
-            .iter()
-            .enumerate()
-            .map(|(i, n)| {
-                let mut m = OperatorMetrics::new(
-                    n.factory.name(),
-                    n.factory.language(),
-                    n.parallelism,
-                );
-                m.input_tuples = in_counts[i].load(Ordering::Relaxed);
-                m.output_tuples = out_counts[i].load(Ordering::Relaxed);
-                m.state = OperatorState::Completed;
-                m
-            })
-            .collect();
-        Ok(LiveRunResult {
-            elapsed,
-            metrics: RunMetrics {
-                makespan,
-                operators,
-                total_workers: wf.total_workers(),
-                events: 0,
-            },
-        })
+        Ok(Self::result(wf, elapsed, &in_counts, &out_counts, None))
     }
 }
 
@@ -412,5 +1185,124 @@ mod tests {
         let wf = b.build().unwrap();
         let err = LiveExecutor::default().run(&wf).unwrap_err();
         assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn thread_per_worker_matches_pooled() {
+        let mut h1 = None;
+        let wf1 = build_filter_wf(400, &mut h1);
+        let r1 = LiveExecutor::new(16).run(&wf1).unwrap();
+        assert!(r1.pool.is_some());
+
+        let mut h2 = None;
+        let wf2 = build_filter_wf(400, &mut h2);
+        let r2 = LiveExecutor::thread_per_worker(16).run(&wf2).unwrap();
+        assert!(r2.pool.is_none());
+
+        let mut a: Vec<String> = h1
+            .unwrap()
+            .results()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        let mut b: Vec<String> = h2
+            .unwrap()
+            .results()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounded_channels_complete_under_backpressure() {
+        let mut handle = None;
+        let wf = build_filter_wf(3_000, &mut handle);
+        // One pool thread + 2-message mailboxes: sources must stall and
+        // yield so consumers can drain on the same thread.
+        let res = LiveExecutor::new(8)
+            .with_channel_capacity(2)
+            .with_pool_size(1)
+            .run(&wf)
+            .unwrap();
+        let expect = (0..3_000).filter(|i| i % 7 == 0).count();
+        assert_eq!(handle.unwrap().len(), expect);
+        let stats = res.pool.expect("pooled mode reports stats");
+        assert!(
+            stats.backpressure_stalls > 0,
+            "tiny mailboxes must trigger backpressure: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pooled_run_reports_stats() {
+        let mut handle = None;
+        let wf = build_filter_wf(500, &mut handle);
+        let res = LiveExecutor::new(32).with_pool_size(3).run(&wf).unwrap();
+        let stats = res.pool.expect("pooled mode reports stats");
+        assert_eq!(stats.pool_threads, 3);
+        assert_eq!(stats.tasks, wf.total_workers());
+        assert!(stats.task_runs >= stats.tasks as u64);
+        assert!(stats.batches_sent > 0);
+    }
+
+    #[test]
+    fn operator_counts_agree_across_executors() {
+        let counts = |m: &RunMetrics, name: &str| {
+            let m = m.by_name(name).unwrap();
+            (m.input_tuples, m.output_tuples)
+        };
+
+        let mut h1 = None;
+        let wf1 = build_filter_wf(300, &mut h1);
+        let cfg = EngineConfig {
+            cluster: ClusterSpec::single_node(4),
+            ..EngineConfig::default()
+        };
+        let sim = SimExecutor::new(cfg).run(&wf1).unwrap();
+
+        let mut h2 = None;
+        let wf2 = build_filter_wf(300, &mut h2);
+        let pooled = LiveExecutor::new(64).run(&wf2).unwrap();
+
+        let mut h3 = None;
+        let wf3 = build_filter_wf(300, &mut h3);
+        let threads = LiveExecutor::thread_per_worker(64).run(&wf3).unwrap();
+
+        for name in ["scan", "mod7", "sink"] {
+            assert_eq!(
+                counts(&sim.metrics, name),
+                counts(&pooled.metrics, name),
+                "sim vs pooled counts diverge at {name}"
+            );
+            assert_eq!(
+                counts(&pooled.metrics, name),
+                counts(&threads.metrics, name),
+                "pooled vs threads counts diverge at {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_error_surfaces_in_both_modes() {
+        for mode in [ExecMode::Pooled, ExecMode::ThreadPerWorker] {
+            let mut b = WorkflowBuilder::new();
+            let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(50))), 1);
+            let bad = b.add(
+                Arc::new(FilterOp::new("exploder", |t| {
+                    t.get_int("missing")?;
+                    Ok(true)
+                })),
+                2,
+            );
+            let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+            b.connect(scan, bad, 0, PartitionStrategy::RoundRobin);
+            b.connect(bad, sink, 0, PartitionStrategy::Single);
+            let wf = b.build().unwrap();
+            let err = LiveExecutor::new(8).with_mode(mode).run(&wf).unwrap_err();
+            assert!(err.to_string().contains("exploder"), "{mode:?}: {err}");
+        }
     }
 }

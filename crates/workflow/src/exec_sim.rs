@@ -19,7 +19,6 @@ use crate::cost::EngineConfig;
 use crate::dag::{EdgeId, OpId, Workflow};
 use crate::metrics::{OperatorMetrics, OperatorState, RunMetrics};
 use crate::operator::{Operator, WorkflowError, WorkflowResult};
-use crate::partition::PartitionStrategy;
 use crate::trace::{OperatorSnapshot, ProgressTrace};
 
 /// Global worker index across all operators.
@@ -165,10 +164,7 @@ impl<'a> SimState<'a> {
             return;
         };
         while now >= next {
-            let paused = self
-                .pauses
-                .iter()
-                .any(|(s, e)| next >= *s && next < *e);
+            let paused = self.pauses.iter().any(|(s, e)| next >= *s && next < *e);
             let snaps: Vec<OperatorSnapshot> = self
                 .metrics
                 .iter()
@@ -216,7 +212,10 @@ impl<'a> SimState<'a> {
                 per_tuple_total += cost.warmup_extra * warm;
             }
         }
-        let mut dur = self.cfg.languages.compute(lang, cost.per_batch + per_tuple_total);
+        let mut dur = self
+            .cfg
+            .languages
+            .compute(lang, cost.per_batch + per_tuple_total);
         if matches!(item, Item::Batch { .. }) {
             // Deserializing inbound tuples is real per-tuple work on the
             // consumer (§III-D runtime overhead) — it limits throughput,
@@ -236,7 +235,13 @@ impl<'a> SimState<'a> {
 
     /// Transfer + serde delay for a chunk crossing `edge` from one worker
     /// to another.
-    fn edge_delay(&self, edge: EdgeId, from: WorkerId, to_machine: usize, bytes: usize) -> SimDuration {
+    fn edge_delay(
+        &self,
+        edge: EdgeId,
+        from: WorkerId,
+        to_machine: usize,
+        bytes: usize,
+    ) -> SimDuration {
         let e = &self.wf.edges()[edge.0];
         let from_lang = self.wf.op(e.from).factory.language();
         let to_lang = self.wf.op(e.to).factory.language();
@@ -279,7 +284,12 @@ impl<'a> SimState<'a> {
             }
             let dur = self.service_duration(worker, &item);
             // `processed` tracks warm-up-port tuples only.
-            let warmup_port = self.wf.op(self.workers[worker].op).factory.cost().warmup_port;
+            let warmup_port = self
+                .wf
+                .op(self.workers[worker].op)
+                .factory
+                .cost()
+                .warmup_port;
             let n_tuples = match &item {
                 Item::Batch { port, tuples } if *port == warmup_port => tuples.len() as u64,
                 _ => 0,
@@ -345,27 +355,30 @@ impl<'a> SimState<'a> {
         outputs: Vec<Tuple>,
         sched: &mut Scheduler<Ev>,
     ) -> WorkflowResult<()> {
+        let wf = self.wf;
         let op = self.workers[from].op;
         let from_local = self.workers[from].local_idx;
-        let edges: Vec<(EdgeId, usize, PartitionStrategy, usize)> = self
-            .wf
+        let edges: Vec<(EdgeId, usize, usize)> = wf
             .out_edges(op)
             .into_iter()
-            .map(|(id, e)| {
-                (
-                    id,
-                    e.to_port,
-                    e.partition.clone(),
-                    self.op_workers[e.to.0].len(),
-                )
-            })
+            .map(|(id, e)| (id, e.to_port, self.op_workers[e.to.0].len()))
             .collect();
-        for (edge_id, to_port, strategy, nworkers) in edges {
+        for (edge_id, to_port, nworkers) in edges {
+            // Partitioners are compiled once at DAG-build time; routing
+            // here is index arithmetic only (no name lookups, no cloning
+            // of the strategy per call).
+            let part = wf.partitioner(edge_id);
             let mut routed: Vec<Vec<Tuple>> = vec![Vec::new(); nworkers];
-            for t in &outputs {
-                let seq = self.route_seq[edge_id.0][from_local];
-                self.route_seq[edge_id.0][from_local] += 1;
-                for w in strategy.route(t, seq, nworkers)? {
+            if part.is_broadcast() {
+                for worker_batch in routed.iter_mut() {
+                    worker_batch.extend(outputs.iter().cloned());
+                }
+                self.route_seq[edge_id.0][from_local] += outputs.len() as u64;
+            } else {
+                let seq = &mut self.route_seq[edge_id.0][from_local];
+                for t in &outputs {
+                    let w = part.route_by_index(t, *seq, nworkers)?;
+                    *seq += 1;
                     routed[w].push(t.clone());
                 }
             }
@@ -460,7 +473,15 @@ impl<'a> SimState<'a> {
                         );
                     }
                     for &p in &producers {
-                        self.deliver(now, edge_id, p, to_local, Item::Eos { port: to_port }, 0, sched);
+                        self.deliver(
+                            now,
+                            edge_id,
+                            p,
+                            to_local,
+                            Item::Eos { port: to_port },
+                            0,
+                            sched,
+                        );
                     }
                 }
             }
@@ -609,7 +630,10 @@ impl SimExecutor {
     /// Sample per-operator progress every `interval` of virtual time into
     /// the result's [`ProgressTrace`].
     pub fn with_trace(mut self, interval: SimDuration) -> Self {
-        assert!(interval > SimDuration::ZERO, "trace interval must be positive");
+        assert!(
+            interval > SimDuration::ZERO,
+            "trace interval must be positive"
+        );
         self.trace_interval = Some(interval);
         self
     }
@@ -690,9 +714,7 @@ impl SimExecutor {
         let channel_clock: Vec<Vec<Vec<SimTime>>> = wf
             .edges()
             .iter()
-            .map(|e| {
-                vec![vec![SimTime::ZERO; wf.op(e.to).parallelism]; wf.op(e.from).parallelism]
-            })
+            .map(|e| vec![vec![SimTime::ZERO; wf.op(e.to).parallelism]; wf.op(e.from).parallelism])
             .collect();
 
         let stages: Vec<EdgeStage> = wf
@@ -790,8 +812,9 @@ impl SimExecutor {
                 .op_workers
                 .get(i)
                 .map(|ids| {
-                    ids.iter()
-                        .fold(SimDuration::ZERO, |acc, &w| acc + state.workers[w].busy_time)
+                    ids.iter().fold(SimDuration::ZERO, |acc, &w| {
+                        acc + state.workers[w].busy_time
+                    })
                 })
                 .unwrap_or(SimDuration::ZERO);
         }
@@ -814,6 +837,7 @@ mod tests {
     use super::*;
     use crate::dag::WorkflowBuilder;
     use crate::ops::{AggFn, AggregateOp, FilterOp, HashJoinOp, ScanOp, SinkOp};
+    use crate::partition::PartitionStrategy;
     use scriptflow_datakit::{Batch, DataType, Schema, Value};
     use scriptflow_simcluster::ClusterSpec;
     use std::sync::Arc;
@@ -1104,7 +1128,11 @@ mod tests {
             .run(&wf)
             .unwrap();
         let trace = &res.trace;
-        assert!(trace.len() > 5, "expected several samples, got {}", trace.len());
+        assert!(
+            trace.len() > 5,
+            "expected several samples, got {}",
+            trace.len()
+        );
         // Samples ascend in time.
         for w in trace.samples.windows(2) {
             assert!(w[0].0 < w[1].0);
@@ -1118,9 +1146,7 @@ mod tests {
         let paused_seen = trace
             .samples
             .iter()
-            .filter(|(t, _)| {
-                t.as_micros() >= 300_000 && t.as_micros() < 700_000
-            })
+            .filter(|(t, _)| t.as_micros() >= 300_000 && t.as_micros() < 700_000)
             .flat_map(|(_, snaps)| snaps)
             .any(|s| s.state == OperatorState::Paused);
         assert!(paused_seen, "expected a Paused snapshot inside the window");

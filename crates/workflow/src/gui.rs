@@ -110,10 +110,7 @@ pub fn render_gantt(
     let mut rows: Vec<(String, Vec<bool>)> = Vec::new();
     for node in wf.ops() {
         for w in 0..node.parallelism {
-            rows.push((
-                format!("{}[{w}]", node.factory.name()),
-                vec![false; width],
-            ));
+            rows.push((format!("{}[{w}]", node.factory.name()), vec![false; width]));
         }
     }
     // Map (op, worker) to its row index.
@@ -142,8 +139,10 @@ pub fn render_gantt(
         for busy in cells {
             out.push(if busy { '#' } else { ' ' });
         }
-        out.push_str("|
-");
+        out.push_str(
+            "|
+",
+        );
     }
     out.push_str(&format!(
         "{:<label_w$} |{}| 0 .. {:.3}s
@@ -275,11 +274,20 @@ mod tests {
         let res = SimExecutor::new(cfg).run(&wf).unwrap();
         let text = render_run_ascii(&wf, &res.metrics);
         // Source shows only out=, sink only in= (paper Fig. 9).
-        let src_line = text.lines().find(|l| l.contains("JSONL Processing")).unwrap();
-        assert!(src_line.contains("out=10") && !src_line.contains("in="), "{src_line}");
+        let src_line = text
+            .lines()
+            .find(|l| l.contains("JSONL Processing"))
+            .unwrap();
+        assert!(
+            src_line.contains("out=10") && !src_line.contains("in="),
+            "{src_line}"
+        );
         assert!(text.contains("in=10 out=5"));
         let sink_line = text.lines().find(|l| l.contains("View Results")).unwrap();
-        assert!(sink_line.contains("in=5") && !sink_line.contains("out="), "{sink_line}");
+        assert!(
+            sink_line.contains("in=5") && !sink_line.contains("out="),
+            "{sink_line}"
+        );
         assert!(text.contains("<green>"));
     }
 
@@ -320,7 +328,10 @@ mod tests {
             cluster: ClusterSpec::single_node(2),
             ..EngineConfig::default()
         };
-        let res = SimExecutor::new(cfg).with_worker_timeline().run(&wf).unwrap();
+        let res = SimExecutor::new(cfg)
+            .with_worker_timeline()
+            .run(&wf)
+            .unwrap();
         assert!(!res.worker_timeline.is_empty());
         let text = render_gantt(&wf, &res.worker_timeline, res.makespan, 40);
         // One row per worker: scan(1) + filter(2) + sink(1) = 4 + axis.

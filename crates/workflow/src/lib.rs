@@ -12,8 +12,11 @@
 //!   ([`dag::Workflow`]).
 //! * **Pipelined execution** — operators process different tuples at the
 //!   same time; batches stream along edges without stage barriers
-//!   ([`exec_sim::SimExecutor`], and [`exec_live::LiveExecutor`] for real
-//!   OS threads).
+//!   ([`exec_sim::SimExecutor`] on the virtual clock, and
+//!   [`exec_live::LiveExecutor`] on real OS threads: a fixed-size worker
+//!   pool schedules operator-worker tasks over bounded, backpressured
+//!   mailboxes, routing `Arc`-shared batches through per-edge compiled
+//!   partitioners).
 //! * **Operator-level parallelism** — each operator runs `parallelism`
 //!   worker instances with hash/round-robin/broadcast partitioning
 //!   ([`partition::PartitionStrategy`]).
@@ -42,10 +45,10 @@ pub mod trace;
 
 pub use cost::{CostProfile, EngineConfig};
 pub use dag::{EdgeId, OpId, Workflow, WorkflowBuilder};
-pub use exec_live::LiveExecutor;
+pub use exec_live::{ExecMode, LiveExecutor, LiveRunResult, PoolStats};
 pub use exec_sim::{SimExecutor, SimRunResult};
 pub use metrics::{OperatorMetrics, OperatorState, RunMetrics};
 pub use operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
-pub use partition::PartitionStrategy;
+pub use partition::{CompiledPartitioner, PartitionStrategy};
 pub use spec::SpecWorkflow;
 pub use trace::{OperatorSnapshot, ProgressTrace};

@@ -7,7 +7,6 @@
 
 use scriptflow_simcluster::{Language, SimDuration, SimTime};
 
-
 /// Lifecycle state of an operator, as displayed in the GUI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OperatorState {

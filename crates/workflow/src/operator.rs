@@ -87,6 +87,15 @@ impl OutputCollector {
         OutputCollector { tuples: Vec::new() }
     }
 
+    /// A collector pre-sized for roughly `n` emitted tuples; executors use
+    /// the incoming batch size as the estimate to avoid regrowth in the
+    /// common map-like (one-in/one-out) case.
+    pub fn with_capacity(n: usize) -> Self {
+        OutputCollector {
+            tuples: Vec::with_capacity(n),
+        }
+    }
+
     /// Emit one tuple downstream.
     pub fn emit(&mut self, tuple: Tuple) {
         self.tuples.push(tuple);

@@ -7,9 +7,7 @@ use scriptflow_datakit::{DataType, Field, HashKey, Schema, SchemaRef, Tuple, Val
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
-use crate::operator::{
-    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
-};
+use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 
 /// One aggregation over a column.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,12 +161,12 @@ impl Operator for AggregateInstance {
         _out: &mut OutputCollector,
     ) -> WorkflowResult<()> {
         if self.out_schema.is_none() {
-            let derived = self
-                .derive_schema(tuple.schema())
-                .map_err(|e| WorkflowError::SchemaError {
-                    operator: self.name.clone(),
-                    error: e,
-                })?;
+            let derived =
+                self.derive_schema(tuple.schema())
+                    .map_err(|e| WorkflowError::SchemaError {
+                        operator: self.name.clone(),
+                        error: e,
+                    })?;
             self.out_schema = Some(Arc::new(derived));
         }
         let cols: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
@@ -230,10 +228,7 @@ impl Operator for AggregateInstance {
 }
 
 impl AggregateInstance {
-    fn derive_schema(
-        &self,
-        input: &SchemaRef,
-    ) -> Result<Schema, scriptflow_datakit::DataError> {
+    fn derive_schema(&self, input: &SchemaRef) -> Result<Schema, scriptflow_datakit::DataError> {
         let mut fields = Vec::with_capacity(self.group_by.len() + self.aggs.len());
         for g in &self.group_by {
             fields.push(input.field(g)?.clone());
@@ -345,7 +340,10 @@ mod tests {
         inst.on_port_complete(0, &mut out).unwrap();
         let rows = out.take();
         assert_eq!(rows.len(), 2);
-        let a = rows.iter().find(|t| t.get_str("cat").unwrap() == "a").unwrap();
+        let a = rows
+            .iter()
+            .find(|t| t.get_str("cat").unwrap() == "a")
+            .unwrap();
         assert_eq!(a.get_int("n").unwrap(), 3);
         assert_eq!(a.get_float("sum_x").unwrap(), 6.0);
         assert_eq!(a.get_float("avg_x").unwrap(), 2.0);

@@ -7,9 +7,7 @@ use scriptflow_datakit::{HashKey, Schema, SchemaRef, Tuple, Value};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
-use crate::operator::{
-    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
-};
+use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 
 /// Join semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,10 +184,12 @@ impl OperatorFactory for HashJoinOp {
                 })?;
             }
         }
-        probe.join(build, "_r").map_err(|e| WorkflowError::SchemaError {
-            operator: self.name.clone(),
-            error: e,
-        })
+        probe
+            .join(build, "_r")
+            .map_err(|e| WorkflowError::SchemaError {
+                operator: self.name.clone(),
+                error: e,
+            })
     }
 
     fn language(&self) -> Language {

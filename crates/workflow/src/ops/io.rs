@@ -96,8 +96,8 @@ impl TextSinkHandle {
         let schema = rows[0].schema().clone();
         let mut sorted = rows.clone();
         sorted.sort_by_key(|t| t.to_string());
-        let batch = scriptflow_datakit::Batch::new(schema, sorted)
-            .expect("sink rows share one schema");
+        let batch =
+            scriptflow_datakit::Batch::new(schema, sorted).expect("sink rows share one schema");
         match self.format {
             TextFormat::Jsonl => codec::to_jsonl(&batch),
             TextFormat::Csv => codec::to_csv(&batch),

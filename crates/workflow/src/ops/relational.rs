@@ -7,9 +7,7 @@ use scriptflow_datakit::{DataResult, HashKey, Schema, SchemaRef, Tuple};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
-use crate::operator::{
-    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
-};
+use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 
 type Predicate = Arc<dyn Fn(&Tuple) -> DataResult<bool> + Send + Sync>;
 
@@ -60,8 +58,7 @@ impl Operator for FilterInstance {
         _port: usize,
         out: &mut OutputCollector,
     ) -> WorkflowResult<()> {
-        let keep =
-            (self.predicate)(&tuple).map_err(|e| WorkflowError::from_data(&self.name, e))?;
+        let keep = (self.predicate)(&tuple).map_err(|e| WorkflowError::from_data(&self.name, e))?;
         if keep {
             out.emit(tuple);
         }
@@ -173,10 +170,12 @@ impl OperatorFactory for ProjectOp {
     }
     fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
         let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
-        inputs[0].project(&cols).map_err(|e| WorkflowError::SchemaError {
-            operator: self.name.clone(),
-            error: e,
-        })
+        inputs[0]
+            .project(&cols)
+            .map_err(|e| WorkflowError::SchemaError {
+                operator: self.name.clone(),
+                error: e,
+            })
     }
     fn language(&self) -> Language {
         self.language
@@ -295,10 +294,12 @@ impl OperatorFactory for DistinctOp {
     fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
         // Validate the key columns exist.
         for c in &self.columns {
-            inputs[0].index_of(c).map_err(|e| WorkflowError::SchemaError {
-                operator: self.name.clone(),
-                error: e,
-            })?;
+            inputs[0]
+                .index_of(c)
+                .map_err(|e| WorkflowError::SchemaError {
+                    operator: self.name.clone(),
+                    error: e,
+                })?;
         }
         Ok((*inputs[0]).clone())
     }

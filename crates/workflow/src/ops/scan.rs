@@ -4,9 +4,7 @@ use scriptflow_datakit::{Batch, Schema, SchemaRef, Tuple};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
-use crate::operator::{
-    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
-};
+use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 
 /// A source operator producing the tuples of a batch.
 ///

@@ -124,10 +124,18 @@ mod tests {
         let mut a = sink.create();
         let mut b = sink.create();
         let mut out = OutputCollector::new();
-        a.on_tuple(Tuple::new(schema.clone(), vec![Value::Int(1)]).unwrap(), 0, &mut out)
-            .unwrap();
-        b.on_tuple(Tuple::new(schema, vec![Value::Int(2)]).unwrap(), 0, &mut out)
-            .unwrap();
+        a.on_tuple(
+            Tuple::new(schema.clone(), vec![Value::Int(1)]).unwrap(),
+            0,
+            &mut out,
+        )
+        .unwrap();
+        b.on_tuple(
+            Tuple::new(schema, vec![Value::Int(2)]).unwrap(),
+            0,
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(handle.len(), 2);
         assert_eq!(sink.results().len(), 2);
         handle.clear();

@@ -6,9 +6,7 @@ use scriptflow_datakit::{Schema, SchemaRef, Tuple, Value};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
-use crate::operator::{
-    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
-};
+use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 
 /// Sort direction for one key column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,10 +126,12 @@ impl OperatorFactory for SortOp {
     }
     fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
         for (k, _) in &self.keys {
-            inputs[0].index_of(k).map_err(|e| WorkflowError::SchemaError {
-                operator: self.name.clone(),
-                error: e,
-            })?;
+            inputs[0]
+                .index_of(k)
+                .map_err(|e| WorkflowError::SchemaError {
+                    operator: self.name.clone(),
+                    error: e,
+                })?;
         }
         Ok((*inputs[0]).clone())
     }

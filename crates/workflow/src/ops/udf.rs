@@ -249,9 +249,14 @@ mod tests {
         let out_schema = Schema::of(&[("y", DataType::Int)]);
         let schema = (*out_schema).clone();
         let op = UdfOp::new("dup", schema, move |t, _, out| {
-            let x = t.get_int("x").map_err(|e| crate::operator::WorkflowError::from_data("dup", e))?;
+            let x = t
+                .get_int("x")
+                .map_err(|e| crate::operator::WorkflowError::from_data("dup", e))?;
             for _ in 0..2 {
-                out.emit(Tuple::new_unchecked(out_schema.clone(), vec![Value::Int(x * 10)]));
+                out.emit(Tuple::new_unchecked(
+                    out_schema.clone(),
+                    vec![Value::Int(x * 10)],
+                ));
             }
             Ok(())
         });

@@ -4,9 +4,7 @@ use scriptflow_datakit::{Schema, SchemaRef, Tuple};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
-use crate::operator::{
-    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
-};
+use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 
 /// Merge `n` input streams with identical schemas into one output
 /// stream (bag semantics, no dedup, no order guarantee).

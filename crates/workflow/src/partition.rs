@@ -1,6 +1,19 @@
 //! Tuple partitioning across an operator's parallel workers.
+//!
+//! Two layers:
+//!
+//! * [`PartitionStrategy`] — the *declared* policy carried by a DAG edge
+//!   (what the GUI shows and the builder validates).
+//! * [`CompiledPartitioner`] — the *executable* form, produced once per
+//!   edge at DAG-build time: hash column names are resolved to column
+//!   indices against the producer's propagated output schema, so the
+//!   per-tuple routing path does no name lookups and no allocation.
+//!
+//! Both executors route through the compiled form
+//! ([`CompiledPartitioner::route_by_index`]); the name-based
+//! [`PartitionStrategy::route`] remains for ad-hoc callers and tests.
 
-use scriptflow_datakit::{HashKey, Tuple};
+use scriptflow_datakit::{HashKey, Schema, Tuple};
 
 use crate::operator::{WorkflowError, WorkflowResult};
 
@@ -24,23 +37,40 @@ impl PartitionStrategy {
     /// Route `tuple` (the `seq`-th on this edge) to worker indices.
     ///
     /// Returns one index for all strategies except `Broadcast`, which
-    /// returns all of `0..workers`.
+    /// returns all of `0..workers`. This is the name-resolving slow path;
+    /// executors use [`CompiledPartitioner`] instead.
     pub fn route(&self, tuple: &Tuple, seq: u64, workers: usize) -> WorkflowResult<Vec<usize>> {
         debug_assert!(workers > 0);
         Ok(match self {
             PartitionStrategy::RoundRobin => vec![(seq % workers as u64) as usize],
             PartitionStrategy::Hash(cols) => {
-                let names: Vec<&str> = cols.iter().map(String::as_str).collect();
-                let key = HashKey::from_tuple(tuple, &names).map_err(|e| {
-                    WorkflowError::DataError {
-                        operator: "<partitioner>".into(),
-                        error: e,
-                    }
-                })?;
+                let key = hash_key_by_name(tuple, cols)?;
                 vec![key.bucket(workers)]
             }
             PartitionStrategy::Broadcast => (0..workers).collect(),
             PartitionStrategy::Single => vec![0],
+        })
+    }
+
+    /// Compile against the producing operator's output schema.
+    ///
+    /// Resolves hash column names to indices; unknown columns surface here
+    /// — at DAG-build time — instead of on the first routed tuple.
+    pub fn compile(&self, schema: &Schema) -> WorkflowResult<CompiledPartitioner> {
+        Ok(match self {
+            PartitionStrategy::RoundRobin => CompiledPartitioner::RoundRobin,
+            PartitionStrategy::Hash(cols) => {
+                let mut indices = Vec::with_capacity(cols.len());
+                for c in cols {
+                    indices.push(schema.index_of(c).map_err(|e| WorkflowError::DataError {
+                        operator: "<partitioner>".into(),
+                        error: e,
+                    })?);
+                }
+                CompiledPartitioner::Hash { indices }
+            }
+            PartitionStrategy::Broadcast => CompiledPartitioner::Broadcast,
+            PartitionStrategy::Single => CompiledPartitioner::Single,
         })
     }
 
@@ -55,17 +85,106 @@ impl PartitionStrategy {
     }
 }
 
+/// Composite hash key from named columns without building a borrowed name
+/// slice per tuple (the old per-tuple `Vec<&str>` allocation).
+fn hash_key_by_name(tuple: &Tuple, cols: &[String]) -> WorkflowResult<HashKey> {
+    let wrap = |e| WorkflowError::DataError {
+        operator: "<partitioner>".into(),
+        error: e,
+    };
+    if cols.len() == 1 {
+        return HashKey::from_value(tuple.get(&cols[0]).map_err(wrap)?).map_err(wrap);
+    }
+    let mut parts = Vec::with_capacity(cols.len());
+    for c in cols {
+        parts.push(HashKey::from_value(tuple.get(c).map_err(wrap)?).map_err(wrap)?);
+    }
+    Ok(HashKey::Composite(parts))
+}
+
+/// A partition strategy compiled for one edge: name resolution already
+/// done, per-tuple routing is index arithmetic only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledPartitioner {
+    /// Cycle through workers by edge sequence number.
+    RoundRobin,
+    /// Hash of pre-resolved column indices.
+    Hash {
+        /// Column indices into the producer's output schema.
+        indices: Vec<usize>,
+    },
+    /// Copy to every worker. Has no single route; callers detect this via
+    /// [`CompiledPartitioner::is_broadcast`] and share the batch instead.
+    Broadcast,
+    /// Everything to worker 0.
+    Single,
+}
+
+impl CompiledPartitioner {
+    /// True for the broadcast strategy, which routes whole batches (every
+    /// worker sees every tuple) rather than individual tuples.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, CompiledPartitioner::Broadcast)
+    }
+
+    /// Worker index for `tuple`, the `seq`-th on this edge — the
+    /// allocation-free fast path shared by both executors.
+    ///
+    /// Not defined for `Broadcast` (which has no single destination);
+    /// calling it there is an executor bug and returns an error.
+    pub fn route_by_index(&self, tuple: &Tuple, seq: u64, workers: usize) -> WorkflowResult<usize> {
+        debug_assert!(workers > 0);
+        match self {
+            CompiledPartitioner::RoundRobin => Ok((seq % workers as u64) as usize),
+            CompiledPartitioner::Hash { indices } => {
+                let key = HashKey::from_tuple_indexed(tuple, indices).map_err(|e| {
+                    WorkflowError::DataError {
+                        operator: "<partitioner>".into(),
+                        error: e,
+                    }
+                })?;
+                Ok(key.bucket(workers))
+            }
+            CompiledPartitioner::Single => Ok(0),
+            CompiledPartitioner::Broadcast => Err(WorkflowError::OperatorFailed {
+                operator: "<partitioner>".into(),
+                message: "broadcast edges route whole batches, not single tuples".into(),
+            }),
+        }
+    }
+
+    /// Scatter owned `tuples` into per-worker buffers without cloning:
+    /// each tuple *moves* into exactly one buffer. `seq` is the edge's
+    /// per-producer sequence counter and advances by one per tuple.
+    ///
+    /// `out` must have one buffer per downstream worker; buffers are
+    /// appended to (callers reuse them across batches). Not defined for
+    /// `Broadcast` — share the batch instead of scattering it.
+    pub fn scatter(
+        &self,
+        tuples: Vec<Tuple>,
+        seq: &mut u64,
+        out: &mut [Vec<Tuple>],
+    ) -> WorkflowResult<()> {
+        debug_assert!(!out.is_empty());
+        debug_assert!(!self.is_broadcast());
+        let workers = out.len();
+        for t in tuples {
+            let w = self.route_by_index(&t, *seq, workers)?;
+            *seq += 1;
+            out[w].push(t);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use scriptflow_datakit::{DataType, Schema, Value};
 
     fn tuple(id: i64) -> Tuple {
-        Tuple::new(
-            Schema::of(&[("id", DataType::Int)]),
-            vec![Value::Int(id)],
-        )
-        .unwrap()
+        Tuple::new(Schema::of(&[("id", DataType::Int)]), vec![Value::Int(id)]).unwrap()
     }
 
     #[test]
@@ -114,5 +233,64 @@ mod tests {
             "hash(a, b)"
         );
         assert_eq!(PartitionStrategy::RoundRobin.label(), "round-robin");
+    }
+
+    #[test]
+    fn compiled_matches_named_route() {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        for strategy in [
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::Hash(vec!["id".into()]),
+            PartitionStrategy::Single,
+        ] {
+            let compiled = strategy.compile(&schema).unwrap();
+            for id in 0..40 {
+                for seq in 0..5 {
+                    let slow = strategy.route(&tuple(id), seq, 4).unwrap();
+                    let fast = compiled.route_by_index(&tuple(id), seq, 4).unwrap();
+                    assert_eq!(slow, vec![fast], "{strategy:?} id={id} seq={seq}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_unknown_hash_column() {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let err = PartitionStrategy::Hash(vec!["missing".into()])
+            .compile(&schema)
+            .unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn broadcast_has_no_single_route() {
+        let compiled = CompiledPartitioner::Broadcast;
+        assert!(compiled.is_broadcast());
+        assert!(compiled.route_by_index(&tuple(1), 0, 4).is_err());
+    }
+
+    #[test]
+    fn scatter_moves_each_tuple_exactly_once() {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let compiled = PartitionStrategy::Hash(vec!["id".into()])
+            .compile(&schema)
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..100).map(tuple).collect();
+        let mut seq = 0u64;
+        let mut bufs: Vec<Vec<Tuple>> = vec![Vec::new(); 4];
+        compiled.scatter(tuples, &mut seq, &mut bufs).unwrap();
+        assert_eq!(seq, 100);
+        let total: usize = bufs.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        // Same key → same bucket as the slow path.
+        for (w, buf) in bufs.iter().enumerate() {
+            for t in buf {
+                let slow = PartitionStrategy::Hash(vec!["id".into()])
+                    .route(t, 0, 4)
+                    .unwrap();
+                assert_eq!(slow, vec![w]);
+            }
+        }
     }
 }

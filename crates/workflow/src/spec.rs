@@ -73,9 +73,10 @@ pub fn build(doc: &Json) -> WorkflowResult<SpecWorkflow> {
                 builder.add(Arc::new(ScanOp::new(id, rows)), workers)
             }
             "Filter" => {
-                let pred = parse_predicate(field(op, "predicate").ok_or_else(|| {
-                    bad(format!("operator `{id}`: Filter needs a predicate"))
-                })?)?;
+                let pred =
+                    parse_predicate(field(op, "predicate").ok_or_else(|| {
+                        bad(format!("operator `{id}`: Filter needs a predicate"))
+                    })?)?;
                 builder.add(Arc::new(FilterOp::new(id, pred)), workers)
             }
             "Projection" => {
@@ -135,9 +136,7 @@ pub fn build(doc: &Json) -> WorkflowResult<SpecWorkflow> {
         let partition = match field(link, "partition") {
             Some(Json::Str(s)) => parse_partition(s, link)?,
             None => PartitionStrategy::RoundRobin,
-            Some(other) => {
-                return Err(bad(format!("partition must be a string, got {other:?}")))
-            }
+            Some(other) => return Err(bad(format!("partition must be a string, got {other:?}"))),
         };
         let from_id = *ids
             .get(from)
@@ -234,9 +233,12 @@ fn parse_rows(op: &Json, schema: &SchemaRef) -> WorkflowResult<Batch> {
     let mut out = Vec::with_capacity(rows.len());
     for r in rows {
         match r {
-            Json::Array(cells) => {
-                out.push(cells.iter().map(|c| c.clone().into_value()).collect::<Vec<Value>>())
-            }
+            Json::Array(cells) => out.push(
+                cells
+                    .iter()
+                    .map(|c| c.clone().into_value())
+                    .collect::<Vec<Value>>(),
+            ),
             other => return Err(bad(format!("bad row {other:?}"))),
         }
     }
@@ -248,8 +250,9 @@ fn parse_rows(op: &Json, schema: &SchemaRef) -> WorkflowResult<Batch> {
 /// | not-null | is-null, "value": v}`.
 fn parse_predicate(
     spec: &Json,
-) -> WorkflowResult<impl Fn(&scriptflow_datakit::Tuple) -> scriptflow_datakit::DataResult<bool> + Send + Sync + 'static>
-{
+) -> WorkflowResult<
+    impl Fn(&scriptflow_datakit::Tuple) -> scriptflow_datakit::DataResult<bool> + Send + Sync + 'static,
+> {
     let column = field(spec, "column")
         .and_then(|v| match v {
             Json::Str(s) => Some(s.clone()),
@@ -262,7 +265,10 @@ fn parse_predicate(
             _ => None,
         })
         .ok_or_else(|| bad("predicate needs an `op`".into()))?;
-    let value = field(spec, "value").cloned().unwrap_or(Json::Null).into_value();
+    let value = field(spec, "value")
+        .cloned()
+        .unwrap_or(Json::Null)
+        .into_value();
     match op.as_str() {
         "==" | "!=" | "<" | "<=" | ">" | ">=" | "is-null" | "not-null" => {}
         other => return Err(bad(format!("unknown predicate op `{other}`"))),
@@ -456,8 +462,10 @@ mod tests {
             Ok(_) => panic!("expected a spec error"),
         };
         assert!(err_of("{").contains("bad JSON"));
-        assert!(err_of(r#"{"operators": [{"id": "x", "type": "Teleport"}], "links": []}"#)
-            .contains("Teleport"));
+        assert!(
+            err_of(r#"{"operators": [{"id": "x", "type": "Teleport"}], "links": []}"#)
+                .contains("Teleport")
+        );
         assert!(err_of(
             r#"{
             "operators": [{"id": "s", "type": "InlineScan",
@@ -480,20 +488,17 @@ mod tests {
 
     #[test]
     fn predicate_dsl_variants() {
-        let p = parse_predicate(
-            &Json::parse(r#"{"column": "x", "op": "not-null"}"#).unwrap(),
-        )
-        .unwrap();
+        let p =
+            parse_predicate(&Json::parse(r#"{"column": "x", "op": "not-null"}"#).unwrap()).unwrap();
         let schema = Schema::of(&[("x", DataType::Int)]);
         let t = scriptflow_datakit::Tuple::new(schema.clone(), vec![Value::Int(1)]).unwrap();
         let null_t = scriptflow_datakit::Tuple::new(schema, vec![Value::Null]).unwrap();
         assert!(p(&t).unwrap());
         assert!(!p(&null_t).unwrap());
 
-        let ge = parse_predicate(
-            &Json::parse(r#"{"column": "x", "op": ">=", "value": 1}"#).unwrap(),
-        )
-        .unwrap();
+        let ge =
+            parse_predicate(&Json::parse(r#"{"column": "x", "op": ">=", "value": 1}"#).unwrap())
+                .unwrap();
         assert!(ge(&t).unwrap());
         assert!(!ge(&null_t).unwrap());
 

@@ -45,9 +45,7 @@ impl ProgressTrace {
     pub fn operator_history(&self, name: &str) -> Vec<(SimTime, &OperatorSnapshot)> {
         self.samples
             .iter()
-            .filter_map(|(t, snaps)| {
-                snaps.iter().find(|s| s.name == name).map(|s| (*t, s))
-            })
+            .filter_map(|(t, snaps)| snaps.iter().find(|s| s.name == name).map(|s| (*t, s)))
             .collect()
     }
 
@@ -68,11 +66,7 @@ pub fn render_timeline(trace: &ProgressTrace) -> String {
     if trace.is_empty() {
         return out;
     }
-    let names: Vec<&str> = trace.samples[0]
-        .1
-        .iter()
-        .map(|s| s.name.as_str())
-        .collect();
+    let names: Vec<&str> = trace.samples[0].1.iter().map(|s| s.name.as_str()).collect();
     let width = names.iter().map(|n| n.len()).max().unwrap_or(8);
     for (i, name) in names.iter().enumerate() {
         out.push_str(&format!("{name:<width$} "));

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate for the scriptflow workspace.
+#
+#   scripts/ci.sh          # build + test + fmt + clippy + engine bench
+#   SKIP_BENCH=1 scripts/ci.sh
+#
+# Mirrors ROADMAP.md's tier-1 definition (release build + full test suite)
+# and adds the hygiene gates. The engine bench runs in quick mode and
+# leaves BENCH_engine.json (tuples/sec per executor configuration) in the
+# repo root for archiving.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+    echo "==> engine throughput bench (quick)"
+    BENCH_ENGINE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_engine
+fi
+
+echo "==> CI gate passed"

@@ -12,14 +12,16 @@ use scriptflow::workflow::ops::{
     AggFn, AggregateOp, DistinctOp, FilterOp, HashJoinOp, ProjectOp, ScanOp, SinkHandle, SinkOp,
 };
 use scriptflow::workflow::{
-    EngineConfig, LiveExecutor, PartitionStrategy, SimExecutor, Workflow, WorkflowBuilder,
+    EngineConfig, ExecMode, LiveExecutor, PartitionStrategy, SimExecutor, Workflow, WorkflowBuilder,
 };
 
 fn int_batch(n: i64, modulus: i64) -> Batch {
     let schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
     Batch::from_rows(
         schema,
-        (0..n).map(|i| vec![Value::Int(i), Value::Int(i % modulus)]).collect(),
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int(i % modulus)])
+            .collect(),
     )
     .unwrap()
 }
@@ -40,12 +42,21 @@ fn gnarly(n: i64, workers: usize) -> (Workflow, SinkHandle) {
     let facts = b.add(Arc::new(ScanOp::new("facts", int_batch(n, 11))), workers);
     let dims = b.add(Arc::new(ScanOp::new("dims", dim)), 1);
     let filt = b.add(
-        Arc::new(FilterOp::new("drop_mod4", |t| Ok(t.get_int("id")? % 4 != 0))),
+        Arc::new(FilterOp::new(
+            "drop_mod4",
+            |t| Ok(t.get_int("id")? % 4 != 0),
+        )),
         workers,
     );
-    let join = b.add(Arc::new(HashJoinOp::new("label_join", &["k"], &["k"])), workers);
+    let join = b.add(
+        Arc::new(HashJoinOp::new("label_join", &["k"], &["k"])),
+        workers,
+    );
     let proj = b.add(Arc::new(ProjectOp::new("proj", &["label", "id"])), workers);
-    let dedup = b.add(Arc::new(DistinctOp::new("dedup", &["label", "id"])), workers);
+    let dedup = b.add(
+        Arc::new(DistinctOp::new("dedup", &["label", "id"])),
+        workers,
+    );
     let agg = b.add(
         Arc::new(AggregateOp::new(
             "per_label",
@@ -87,18 +98,49 @@ fn sim_and_live_agree_on_gnarly_workflows() {
         .run(&wf_sim)
         .unwrap();
 
-        let (wf_live, h_live) = gnarly(n, workers);
-        LiveExecutor::new(128).run(&wf_live).unwrap();
+        // Both live concurrency models must match the simulation exactly.
+        for mode in [ExecMode::Pooled, ExecMode::ThreadPerWorker] {
+            let (wf_live, h_live) = gnarly(n, workers);
+            LiveExecutor::new(128)
+                .with_mode(mode)
+                .run(&wf_live)
+                .unwrap();
 
-        assert_eq!(
-            fingerprints(&h_sim),
-            fingerprints(&h_live),
-            "n={n} workers={workers}"
-        );
+            assert_eq!(
+                fingerprints(&h_sim),
+                fingerprints(&h_live),
+                "n={n} workers={workers} mode={mode:?}"
+            );
+        }
         // Sanity: only ids not divisible by 4 and k < 7 survive the
         // filter+join; 7 labels remain.
         assert_eq!(h_sim.results().len(), 7);
     }
+}
+
+#[test]
+fn pooled_live_agrees_under_tight_backpressure() {
+    // Small mailboxes and a pool far smaller than the worker count force
+    // heavy task multiplexing and producer stalls; data must not change.
+    let (wf_sim, h_sim) = gnarly(2_000, 4);
+    SimExecutor::new(EngineConfig {
+        cluster: ClusterSpec::single_node(4),
+        ..EngineConfig::default()
+    })
+    .run(&wf_sim)
+    .unwrap();
+
+    let (wf_live, h_live) = gnarly(2_000, 4);
+    let res = LiveExecutor::new(32)
+        .with_pool_size(2)
+        .with_channel_capacity(2)
+        .run(&wf_live)
+        .unwrap();
+
+    assert_eq!(fingerprints(&h_sim), fingerprints(&h_live));
+    let stats = res.pool.expect("pooled run reports stats");
+    assert_eq!(stats.tasks, wf_live.total_workers());
+    assert_eq!(stats.pool_threads, 2);
 }
 
 #[test]
@@ -162,7 +204,9 @@ fn notebook_error_is_cell_level() {
 #[test]
 fn pipelining_ablation_never_changes_data() {
     let (wf_a, h_a) = gnarly(1_500, 3);
-    SimExecutor::new(EngineConfig::default()).run(&wf_a).unwrap();
+    SimExecutor::new(EngineConfig::default())
+        .run(&wf_a)
+        .unwrap();
     let (wf_b, h_b) = gnarly(1_500, 3);
     SimExecutor::new(EngineConfig::default().without_pipelining())
         .run(&wf_b)

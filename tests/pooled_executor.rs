@@ -1,0 +1,118 @@
+//! Regression guards for the pool-scheduled live executor: bounded
+//! channels must never deadlock a blocking-operator DAG, and the pooled
+//! data path must agree with the simulator bit-for-bit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use scriptflow::datakit::{Batch, DataType, Schema, Value};
+use scriptflow::simcluster::ClusterSpec;
+use scriptflow::workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkHandle, SinkOp};
+use scriptflow::workflow::{
+    EngineConfig, LiveExecutor, PartitionStrategy, PoolStats, SimExecutor, Workflow,
+    WorkflowBuilder,
+};
+
+/// Diamond DAG: one source fans out to two filter branches that reconverge
+/// on a hash join — evens feed the blocking build port, odds the gated
+/// probe port.
+///
+/// This is the deadlock-prone shape under bounded channels: while the
+/// build port is open, probe batches must be *held* by the join (not left
+/// in its mailbox), or the probe branch wedges, backpressure propagates to
+/// the shared source, and the build branch starves forever.
+fn diamond(n: i64, workers: usize) -> (Workflow, SinkHandle) {
+    let schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+    let batch = Batch::from_rows(
+        schema,
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+            .collect(),
+    )
+    .unwrap();
+
+    let mut b = WorkflowBuilder::new();
+    let scan = b.add(Arc::new(ScanOp::new("scan", batch)), workers);
+    let evens = b.add(
+        Arc::new(FilterOp::new("evens", |t| Ok(t.get_int("id")? % 2 == 0))),
+        workers,
+    );
+    let odds = b.add(
+        Arc::new(FilterOp::new("odds", |t| Ok(t.get_int("id")? % 2 == 1))),
+        workers,
+    );
+    let join = b.add(Arc::new(HashJoinOp::new("rejoin", &["k"], &["k"])), workers);
+    let sink_op = SinkOp::new("sink");
+    let handle = sink_op.handle();
+    let sink = b.add(Arc::new(sink_op), 1);
+
+    let by_k = PartitionStrategy::Hash(vec!["k".into()]);
+    b.connect(scan, evens, 0, PartitionStrategy::RoundRobin);
+    b.connect(scan, odds, 0, PartitionStrategy::RoundRobin);
+    b.connect(evens, join, 0, by_k.clone());
+    b.connect(odds, join, 1, by_k);
+    b.connect(join, sink, 0, PartitionStrategy::Single);
+    (b.build().unwrap(), handle)
+}
+
+fn fingerprints(handle: &SinkHandle) -> Vec<String> {
+    let mut rows: Vec<String> = handle.results().iter().map(|t| t.to_string()).collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Run the diamond pooled with the given knobs on a watchdog thread so a
+/// scheduling deadlock fails the test instead of hanging the suite.
+fn run_diamond_pooled(
+    n: i64,
+    workers: usize,
+    batch: usize,
+    pool: usize,
+    capacity: usize,
+) -> (Option<PoolStats>, Vec<String>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let (wf, handle) = diamond(n, workers);
+        let res = LiveExecutor::new(batch)
+            .with_pool_size(pool)
+            .with_channel_capacity(capacity)
+            .run(&wf)
+            .expect("diamond workflow must execute");
+        let _ = tx.send((res.pool, fingerprints(&handle)));
+    });
+    rx.recv_timeout(Duration::from_secs(120))
+        .expect("pooled diamond DAG deadlocked (or panicked) under bounded channels")
+}
+
+#[test]
+fn diamond_dag_completes_under_bounded_channels() {
+    // Capacity 1 + a pool smaller than the task count is the harshest
+    // configuration: every send can stall and no task owns a thread.
+    let (stats, rows) = run_diamond_pooled(2_048, 2, 4, 2, 1);
+    assert!(!rows.is_empty(), "join must produce matches");
+    let stats = stats.expect("pooled run reports stats");
+    assert!(
+        stats.backpressure_stalls > 0,
+        "capacity-1 mailboxes must exercise backpressure: {stats:?}"
+    );
+}
+
+#[test]
+fn pooled_diamond_matches_sim() {
+    let (wf_sim, h_sim) = diamond(2_048, 2);
+    SimExecutor::new(EngineConfig {
+        cluster: ClusterSpec::single_node(4),
+        ..EngineConfig::default()
+    })
+    .run(&wf_sim)
+    .unwrap();
+
+    for (pool, capacity) in [(1, 1), (2, 3), (8, 64)] {
+        let (_, rows) = run_diamond_pooled(2_048, 2, 16, pool, capacity);
+        assert_eq!(
+            fingerprints(&h_sim),
+            rows,
+            "pool={pool} capacity={capacity}"
+        );
+    }
+}

@@ -8,8 +8,10 @@ use proptest::prelude::*;
 use scriptflow::datakit::codec::{from_csv, from_jsonl, to_csv, to_jsonl, Json};
 use scriptflow::datakit::{Batch, DataFrame, DataType, HashKey, MergeHow, Schema, Tuple, Value};
 use scriptflow::mlkit::kge::{EmbeddingTable, KgeScorer};
-use scriptflow::workflow::ops::{HashJoinOp, ScanOp, SinkOp};
-use scriptflow::workflow::{EngineConfig, PartitionStrategy, SimExecutor, WorkflowBuilder};
+use scriptflow::workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
+use scriptflow::workflow::{
+    EngineConfig, LiveExecutor, PartitionStrategy, SimExecutor, WorkflowBuilder,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -201,6 +203,64 @@ proptest! {
         }
     }
 
+    /// Every partition strategy preserves the tuple multiset: RoundRobin,
+    /// Hash, and Single scatter each tuple to exactly one worker (disjoint
+    /// and exhaustive), while Broadcast is k-fold — every worker receives
+    /// the full input.
+    #[test]
+    fn partition_strategies_preserve_multiset(
+        ids in prop::collection::vec(0i64..50, 1..200),
+        workers in 1usize..6,
+        strat in 0usize..4,
+    ) {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let tuples: Vec<Tuple> = ids
+            .iter()
+            .map(|i| Tuple::new(schema.clone(), vec![Value::Int(*i)]).unwrap())
+            .collect();
+        let strategy = match strat {
+            0 => PartitionStrategy::RoundRobin,
+            1 => PartitionStrategy::Hash(vec!["id".into()]),
+            2 => PartitionStrategy::Single,
+            _ => PartitionStrategy::Broadcast,
+        };
+
+        if strategy == PartitionStrategy::Broadcast {
+            // k-fold: every tuple reaches every worker.
+            for (seq, t) in tuples.iter().enumerate() {
+                let dests = strategy.route(t, seq as u64, workers).unwrap();
+                prop_assert_eq!(dests, (0..workers).collect::<Vec<_>>());
+            }
+        } else {
+            let compiled = strategy.compile(&schema).unwrap();
+            let mut bufs: Vec<Vec<Tuple>> = vec![Vec::new(); workers];
+            let mut seq = 0u64;
+            compiled.scatter(tuples, &mut seq, &mut bufs).unwrap();
+            prop_assert_eq!(seq, ids.len() as u64);
+            // Disjoint + exhaustive: the scattered union is the input
+            // multiset, nothing lost and nothing duplicated.
+            let mut got: Vec<i64> = bufs
+                .iter()
+                .flatten()
+                .map(|t| t.get_int("id").unwrap())
+                .collect();
+            got.sort_unstable();
+            let mut want = ids.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+            // Seq-independent strategies must agree with the declared
+            // per-tuple route (RoundRobin depends on arrival order, which
+            // the flattened view no longer has).
+            if strategy != PartitionStrategy::RoundRobin {
+                for (w, buf) in bufs.iter().enumerate() {
+                    for t in buf {
+                        prop_assert_eq!(strategy.route(t, 0, workers).unwrap(), vec![w]);
+                    }
+                }
+            }
+        }
+    }
+
     /// Schema join + tuple concat always produce conforming tuples.
     #[test]
     fn schema_join_soundness(a in 1usize..6, bcols in 1usize..6) {
@@ -218,5 +278,77 @@ proptest! {
         let cat = lt.concat(&rt, joined.clone()).unwrap();
         prop_assert_eq!(cat.values().len(), a + bcols);
         prop_assert_eq!(joined.arity(), a + bcols);
+    }
+}
+
+// Pooled-executor equivalence runs real OS threads per case, so it gets a
+// smaller case budget than the pure-data properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The pool-scheduled live executor computes exactly what the
+    /// simulator computes on randomized filter/join DAGs, across random
+    /// parallelism, batch sizes, and mailbox capacities.
+    #[test]
+    fn pooled_live_matches_sim_on_random_dag(
+        n in 1i64..300,
+        dim_keys in 1i64..12,
+        filter_mod in 2i64..7,
+        workers in 1usize..4,
+        batch in 1usize..64,
+        capacity in 1usize..8,
+        pool in 1usize..5,
+    ) {
+        let fact_schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+        let facts = Batch::from_rows(
+            fact_schema,
+            (0..n)
+                .map(|i| vec![Value::Int(i), Value::Int(i % (2 * dim_keys))])
+                .collect(),
+        ).unwrap();
+        let dim_schema = Schema::of(&[("k", DataType::Int), ("tag", DataType::Int)]);
+        let dims = Batch::from_rows(
+            dim_schema,
+            (0..dim_keys).map(|k| vec![Value::Int(k), Value::Int(-k)]).collect(),
+        ).unwrap();
+
+        let build = || {
+            let mut b = WorkflowBuilder::new();
+            let fsrc = b.add(Arc::new(ScanOp::new("facts", facts.clone())), workers);
+            let dsrc = b.add(Arc::new(ScanOp::new("dims", dims.clone())), 1);
+            let m = filter_mod;
+            let filt = b.add(
+                Arc::new(FilterOp::new("filt", move |t| Ok(t.get_int("id")? % m != 0))),
+                workers,
+            );
+            let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), workers);
+            let sink_op = SinkOp::new("sink");
+            let handle = sink_op.handle();
+            let sink = b.add(Arc::new(sink_op), 1);
+            let by_k = PartitionStrategy::Hash(vec!["k".into()]);
+            b.connect(fsrc, filt, 0, PartitionStrategy::RoundRobin);
+            b.connect(dsrc, join, 0, by_k.clone());
+            b.connect(filt, join, 1, by_k);
+            b.connect(join, sink, 0, PartitionStrategy::Single);
+            (b.build().unwrap(), handle)
+        };
+        let sorted = |handle: &scriptflow::workflow::ops::SinkHandle| {
+            let mut rows: Vec<String> =
+                handle.results().iter().map(|t| t.to_string()).collect();
+            rows.sort_unstable();
+            rows
+        };
+
+        let (wf_sim, h_sim) = build();
+        SimExecutor::new(EngineConfig::default()).run(&wf_sim).unwrap();
+
+        let (wf_live, h_live) = build();
+        LiveExecutor::new(batch)
+            .with_pool_size(pool)
+            .with_channel_capacity(capacity)
+            .run(&wf_live)
+            .unwrap();
+
+        prop_assert_eq!(sorted(&h_sim), sorted(&h_live));
     }
 }
