@@ -11,14 +11,19 @@
 //! Writes `BENCH_engine.json`: tuples/sec for every (workload, mode,
 //! parallelism) configuration, including the broadcast-join acceptance
 //! workload where `Arc`-shared batches replace per-worker deep clones.
+//! Each configuration also carries a per-operator breakdown (tuple
+//! counts, busy time, terminal state) plus, in pooled mode, the sampled
+//! progress trace from the live observability layer.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use scriptflow_datakit::codec::Json;
 use scriptflow_datakit::{Batch, DataType, Schema, Value};
 use scriptflow_workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
-use scriptflow_workflow::{ExecMode, LiveExecutor, PartitionStrategy, Workflow, WorkflowBuilder};
+use scriptflow_workflow::{
+    ExecMode, LiveExecutor, PartitionStrategy, RunMetrics, TraceJson, Workflow, WorkflowBuilder,
+};
 
 fn int_batch(n: i64) -> Batch {
     let schema = Schema::of(&[("id", DataType::Int)]);
@@ -78,6 +83,26 @@ fn mode_name(mode: ExecMode) -> &'static str {
     }
 }
 
+/// Per-operator breakdown of one run, from the executor's metrics.
+fn operators_json(metrics: &RunMetrics) -> Json {
+    Json::Array(
+        metrics
+            .operators
+            .iter()
+            .map(|m| {
+                Json::Object(vec![
+                    ("name".into(), Json::Str(m.name.clone())),
+                    ("workers".into(), Json::Int(m.workers as i64)),
+                    ("inputTuples".into(), Json::Int(m.input_tuples as i64)),
+                    ("outputTuples".into(), Json::Int(m.output_tuples as i64)),
+                    ("busySecs".into(), Json::Float(m.busy.as_secs_f64())),
+                    ("state".into(), Json::Str(m.state.label().into())),
+                ])
+            })
+            .collect(),
+    )
+}
+
 /// Best-of-`reps` tuples/sec for one configuration.
 fn measure(
     workload: &str,
@@ -91,12 +116,14 @@ fn measure(
     // Warm-up run (thread spawn, allocator churn) not measured.
     exec.run(&build()).expect("bench workflow must run");
     let mut best = f64::INFINITY;
+    let mut last = None;
     for _ in 0..reps {
         let wf = build();
         let start = Instant::now();
-        exec.run(&wf).expect("bench workflow must run");
+        last = Some(exec.run(&wf).expect("bench workflow must run"));
         best = best.min(start.elapsed().as_secs_f64());
     }
+    let last = last.expect("at least one rep");
     let tps = tuples as f64 / best.max(1e-9);
     println!(
         "{workload:>16}  {:>8}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>12.0} tuples/s",
@@ -104,14 +131,28 @@ fn measure(
         best * 1e3,
         tps
     );
-    Json::Object(vec![
+    let mut fields = vec![
         ("workload".into(), Json::Str(workload.into())),
         ("mode".into(), Json::Str(mode_name(mode).into())),
         ("parallelism".into(), Json::Int(parallelism as i64)),
         ("tuples".into(), Json::Int(tuples)),
         ("elapsed_secs".into(), Json::Float(best)),
         ("tuples_per_sec".into(), Json::Float(tps)),
-    ])
+        ("operators".into(), operators_json(&last.metrics)),
+    ];
+    // One extra observed run (untimed) to archive a sampled trace; only
+    // the pooled executor has the live observability layer.
+    if mode == ExecMode::Pooled {
+        let res = exec
+            .with_trace(Duration::from_millis(1))
+            .run(&build())
+            .expect("bench workflow must run");
+        fields.push((
+            "trace".into(),
+            TraceJson::from_trace(&res.trace).into_document(),
+        ));
+    }
+    Json::Object(fields)
 }
 
 fn main() {

@@ -249,7 +249,21 @@ impl Notebook {
             .get_mut(index)
             .ok_or_else(|| CellError::msg(format!("no cell {index}")))?;
         let n = kernel.next_execution_count();
-        (cell.body)(kernel).map_err(|e| e.locate(index, &cell.name, n))?;
+        let start = kernel.now();
+        let result = (cell.body)(kernel);
+        // Failed runs are spans too: the paradigm's error display is the
+        // cell trace, so the span records where the timeline stopped.
+        kernel.record_span(crate::kernel::CellSpan {
+            cell: index,
+            name: cell.name.clone(),
+            execution_count: n,
+            start,
+            end: kernel.now(),
+            reads: cell.reads.clone(),
+            writes: cell.writes.clone(),
+            ok: result.is_ok(),
+        });
+        result.map_err(|e| e.locate(index, &cell.name, n))?;
         self.last_execution[index] = Some(n);
         Ok(CellOutcome {
             cell: index,
@@ -373,6 +387,54 @@ Some prose."));
         nb.run_all(&mut k).unwrap();
         assert_eq!(nb.last_execution(0), Some(1));
         assert_eq!(nb.last_execution(1), Some(2));
+    }
+
+    #[test]
+    fn cell_spans_record_time_and_lineage() {
+        use scriptflow_simcluster::SimDuration;
+        let mut nb = Notebook::new("spans");
+        nb.push(
+            Cell::new("load", "df = load()", |k| {
+                k.advance(SimDuration::from_secs(2));
+                k.set("df", 42i64);
+                Ok(())
+            })
+            .writes(&["df"]),
+        );
+        nb.push(
+            Cell::new("use", "print(df)", |k| {
+                k.get::<i64>("df")?;
+                Ok(())
+            })
+            .reads(&["df"]),
+        );
+        let mut k = kernel();
+        nb.run_all(&mut k).unwrap();
+        let spans = k.cell_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "load");
+        assert_eq!(spans[0].execution_count, 1);
+        assert!(spans[0].ok);
+        assert!(
+            (spans[0].duration().as_secs_f64() - 2.0).abs() < 1e-9,
+            "cell wall time charged: {:?}",
+            spans[0]
+        );
+        assert_eq!(spans[0].writes, vec!["df".to_owned()]);
+        assert_eq!(spans[1].reads, vec!["df".to_owned()]);
+        // Spans line up on the kernel clock.
+        assert!(spans[1].start >= spans[0].end);
+    }
+
+    #[test]
+    fn failed_cells_still_record_spans() {
+        let mut nb = counter_notebook();
+        let mut k = kernel();
+        assert!(nb.run_cell(1, &mut k).is_err()); // reads undefined `x`
+        let spans = k.cell_spans();
+        assert_eq!(spans.len(), 1);
+        assert!(!spans[0].ok);
+        assert_eq!(spans[0].name, "incr");
     }
 
     #[test]

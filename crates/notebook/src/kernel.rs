@@ -9,6 +9,41 @@ use scriptflow_simcluster::{ClusterSpec, SimDuration, SimTime};
 
 use crate::cell::CellError;
 
+/// One executed cell's observability record: which cell ran under which
+/// `In [n]:` counter, the virtual-time interval it occupied, its declared
+/// lineage, and whether it succeeded.
+///
+/// This is the notebook paradigm's per-unit progress — the analogue of
+/// the workflow engine's per-operator trace sample, except the unit is a
+/// whole cell: the paradigm cannot see *inside* a running cell, which is
+/// the observability gap the paper's §III-A contrasts against the GUI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpan {
+    /// Cell index in the notebook.
+    pub cell: usize,
+    /// Cell display name.
+    pub name: String,
+    /// Execution counter assigned to this run (`In [n]:`).
+    pub execution_count: u64,
+    /// Virtual time the cell started.
+    pub start: SimTime,
+    /// Virtual time the cell finished (or failed).
+    pub end: SimTime,
+    /// Kernel variables the cell declared it reads.
+    pub reads: Vec<String>,
+    /// Kernel variables the cell declared it writes.
+    pub writes: Vec<String>,
+    /// False if the cell body returned an error.
+    pub ok: bool,
+}
+
+impl CellSpan {
+    /// Virtual wall time the cell occupied.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
 /// The notebook kernel: a bag of named variables (Python's globals) and
 /// the distributed runtime cells use to scale out.
 ///
@@ -18,6 +53,7 @@ pub struct Kernel {
     vars: HashMap<String, Arc<dyn Any + Send + Sync>>,
     ray: RayRuntime,
     execution_count: u64,
+    spans: Vec<CellSpan>,
 }
 
 impl Kernel {
@@ -27,6 +63,7 @@ impl Kernel {
             vars: HashMap::new(),
             ray: RayRuntime::new(cluster, config).expect("valid kernel config"),
             execution_count: 0,
+            spans: Vec::new(),
         }
     }
 
@@ -95,9 +132,21 @@ impl Kernel {
         self.execution_count
     }
 
+    /// Every cell execution this kernel has performed, in execution
+    /// order — per-cell virtual wall time plus declared lineage. Failed
+    /// runs are recorded too (`ok == false`).
+    pub fn cell_spans(&self) -> &[CellSpan] {
+        &self.spans
+    }
+
+    /// Record one cell execution (called by the notebook runner).
+    pub(crate) fn record_span(&mut self, span: CellSpan) {
+        self.spans.push(span);
+    }
+
     /// "Restart kernel": drop every variable binding (the execution
     /// counter keeps counting, like Jupyter's restart-without-clearing
-    /// the notebook document).
+    /// the notebook document; the execution history survives too).
     pub fn restart(&mut self) {
         self.vars.clear();
     }

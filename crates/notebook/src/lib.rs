@@ -23,6 +23,11 @@
 //!   [`scriptflow_raysim::RayRuntime`]; cells scale out with explicit
 //!   `parallel_map` stages and pay object-store costs, exactly as the
 //!   paper's Ray-cluster implementations did.
+//! * **Cell-granular observability** — every execution is recorded as a
+//!   [`kernel::CellSpan`] (virtual wall time + declared lineage), the
+//!   paradigm's whole progress story: nothing inside a running cell is
+//!   visible, which is the contrast the study crate draws against the
+//!   workflow engine's per-operator trace.
 
 #![warn(missing_docs)]
 
@@ -32,6 +37,6 @@ pub mod lineage;
 pub mod render;
 
 pub use cell::{Cell, CellError, CellOutcome, Notebook};
-pub use kernel::Kernel;
+pub use kernel::{CellSpan, Kernel};
 pub use lineage::{LineageGraph, LineageIssue};
 pub use render::render;

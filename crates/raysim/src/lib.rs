@@ -36,6 +36,6 @@ pub mod task;
 
 pub use actor::{ActorPool, ActorRef};
 pub use error::{RayError, RayResult};
-pub use runtime::{RayConfig, RayMetrics, RayRuntime};
+pub use runtime::{RayConfig, RayMetrics, RayRuntime, SpanEvent, SpanKind};
 pub use store::{ObjRef, TypedStore};
 pub use task::{RayTask, TaskData};

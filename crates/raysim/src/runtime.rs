@@ -44,6 +44,43 @@ pub type ActorCall<S, R> = (SimDuration, Box<dyn FnOnce(&mut S) -> RayResult<R> 
 /// A batch of calls addressed to one actor.
 pub type ActorBatch<S, R> = (ActorRef<S>, Vec<ActorCall<S, R>>);
 
+/// What a recorded runtime [`SpanEvent`] measured.
+///
+/// The script paradigm's observability story is the driver's timeline:
+/// stage barriers and object-store traffic are the only places the
+/// paradigm exposes progress (there is no per-operator display to
+/// consult, which is the contrast the study crate draws against the
+/// workflow engine's trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A [`RayRuntime::parallel_map`] stage, submission to barrier.
+    Stage,
+    /// An actor call batch ([`RayRuntime::actor_map`] /
+    /// [`RayRuntime::actor_map_all`]), submission to slowest completion.
+    ActorStage,
+    /// A driver-side `ray.put` (bytes carried in the event).
+    Put,
+    /// A driver-side `ray.get` (bytes carried in the event).
+    Get,
+}
+
+/// One timed interval of driver-visible runtime activity, in virtual
+/// time. Collected by [`RayRuntime`] and read back via
+/// [`RayRuntime::spans`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// What this span measured.
+    pub kind: SpanKind,
+    /// Human-readable label (e.g. `"stage[8 tasks]"`).
+    pub label: String,
+    /// Virtual time the activity started.
+    pub start: SimTime,
+    /// Virtual time the activity completed.
+    pub end: SimTime,
+    /// Object-store bytes moved, for `Put`/`Get` spans (0 otherwise).
+    pub bytes: u64,
+}
+
 /// Instrumentation counters for a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RayMetrics {
@@ -66,6 +103,7 @@ pub struct RayRuntime {
     clock: SimTime,
     config: RayConfig,
     metrics: RayMetrics,
+    spans: Vec<SpanEvent>,
 }
 
 impl RayRuntime {
@@ -83,6 +121,7 @@ impl RayRuntime {
             clock: SimTime::ZERO + cluster.submit_overhead,
             config,
             metrics: RayMetrics::default(),
+            spans: Vec::new(),
         })
     }
 
@@ -113,6 +152,24 @@ impl RayRuntime {
         self.pool.capacity()
     }
 
+    /// The recorded runtime spans, in the order the driver issued them:
+    /// stage barriers, actor batches, and object-store puts/gets. This is
+    /// the script paradigm's entire observable timeline — the counterpart
+    /// of the workflow engine's per-operator progress trace.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    fn record_span(&mut self, kind: SpanKind, label: String, start: SimTime, bytes: u64) {
+        self.spans.push(SpanEvent {
+            kind,
+            label,
+            start,
+            end: self.clock,
+            bytes,
+        });
+    }
+
     /// Advance the driver clock by local (in-driver) computation — the
     /// notebook cell running plain Python between Ray calls.
     pub fn advance(&mut self, work: SimDuration) {
@@ -122,16 +179,21 @@ impl RayRuntime {
     /// Driver-side `ray.put`: store a value, blocking the driver for the
     /// put cost.
     pub fn put<T: Send + Sync + 'static>(&mut self, value: T, bytes: u64) -> ObjRef<T> {
+        let start = self.clock;
         let (r, cost) = self.store.put(value, bytes);
         self.clock += cost;
+        self.record_span(SpanKind::Put, "put".into(), start, bytes);
         r
     }
 
     /// Driver-side `ray.get`: fetch a value, blocking the driver for the
     /// get cost.
     pub fn get<T: Send + Sync + 'static>(&mut self, r: ObjRef<T>) -> RayResult<std::sync::Arc<T>> {
+        let start = self.clock;
+        let bytes = self.store.size_of(r).unwrap_or(0);
         let (v, cost) = self.store.get(r)?;
         self.clock += cost;
+        self.record_span(SpanKind::Get, "get".into(), start, bytes);
         Ok(v)
     }
 
@@ -151,6 +213,7 @@ impl RayRuntime {
     /// paradigm cross-stage pipelining).
     pub fn parallel_map<R>(&mut self, tasks: Vec<RayTask<R>>) -> RayResult<Vec<R>> {
         let submit = self.clock;
+        let n_tasks = tasks.len();
         let mut results = Vec::with_capacity(tasks.len());
         let mut finishes: Vec<(SimTime, SimTime)> = Vec::with_capacity(tasks.len());
         let mut barrier = submit;
@@ -181,6 +244,12 @@ impl RayRuntime {
         }
         self.metrics.peak_parallel = self.metrics.peak_parallel.max(peak);
         self.clock = barrier;
+        self.record_span(
+            SpanKind::Stage,
+            format!("stage[{n_tasks} tasks]"),
+            submit,
+            0,
+        );
         Ok(results)
     }
 
@@ -205,6 +274,7 @@ impl RayRuntime {
         calls: Vec<ActorCall<S, R>>,
     ) -> RayResult<Vec<R>> {
         let submit = self.clock;
+        let n_calls = calls.len();
         let mut results = Vec::with_capacity(calls.len());
         let mut finish = submit;
         for (work, f) in calls {
@@ -213,6 +283,12 @@ impl RayRuntime {
             results.push(r);
         }
         self.clock = finish;
+        self.record_span(
+            SpanKind::ActorStage,
+            format!("actor[{n_calls} calls]"),
+            submit,
+            0,
+        );
         Ok(results)
     }
 
@@ -225,6 +301,7 @@ impl RayRuntime {
         batches: Vec<ActorBatch<S, R>>,
     ) -> RayResult<Vec<Vec<R>>> {
         let submit = self.clock;
+        let n_batches = batches.len();
         let mut all = Vec::with_capacity(batches.len());
         let mut finish = submit;
         for (actor, calls) in batches {
@@ -237,6 +314,12 @@ impl RayRuntime {
             all.push(results);
         }
         self.clock = finish;
+        self.record_span(
+            SpanKind::ActorStage,
+            format!("actors[{n_batches} batches]"),
+            submit,
+            0,
+        );
         Ok(all)
     }
 
@@ -469,6 +552,57 @@ mod tests {
         assert_eq!(rt.evict_to(1_000_000), 1);
         // `a` was least recently used.
         assert!(rt.get(a).is_err());
+    }
+
+    #[test]
+    fn spans_record_store_traffic_and_stage_barriers() {
+        let mut rt = runtime(2);
+        let r = rt.put(vec![0u8; 8], 5_000_000);
+        rt.get(r).unwrap();
+        rt.parallel_map(
+            (0..3)
+                .map(|i| RayTask::new(format!("t{i}"), SimDuration::from_secs(1), move |_| Ok(i)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let spans = rt.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].kind, SpanKind::Put);
+        assert_eq!(spans[0].bytes, 5_000_000);
+        assert_eq!(spans[1].kind, SpanKind::Get);
+        assert_eq!(spans[1].bytes, 5_000_000);
+        assert_eq!(spans[2].kind, SpanKind::Stage);
+        assert_eq!(spans[2].label, "stage[3 tasks]");
+        // Spans are ordered and non-degenerate intervals.
+        for s in spans {
+            assert!(s.end >= s.start, "{s:?}");
+        }
+        assert!(spans[2].end > spans[2].start, "a stage takes time");
+    }
+
+    #[test]
+    fn actor_batches_record_actor_stage_spans() {
+        let mut rt = runtime(2);
+        let actor = rt.create_actor(0u64, 1_000, SimDuration::from_millis(5));
+        rt.actor_map(
+            actor,
+            (0..2)
+                .map(|i| {
+                    (
+                        SimDuration::from_millis(10),
+                        Box::new(move |s: &mut u64| {
+                            *s += i;
+                            Ok(*s)
+                        })
+                            as Box<dyn FnOnce(&mut u64) -> RayResult<u64> + Send>,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let span = rt.spans().last().unwrap();
+        assert_eq!(span.kind, SpanKind::ActorStage);
+        assert_eq!(span.label, "actor[2 calls]");
     }
 
     #[test]

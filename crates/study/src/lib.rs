@@ -19,6 +19,7 @@ pub mod conclusions;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod observability;
 pub mod report;
 pub mod sensitivity;
 pub mod table1;
@@ -43,6 +44,14 @@ pub fn registry() -> Registry {
     r.register(Box::new(fig14::Fig14a));
     r.register(Box::new(fig14::Fig14b));
     r.register(Box::new(fig14::Fig14c));
+    r
+}
+
+/// The observability suite (§III-A, qualitative paradigm comparison
+/// quantified on this reproduction's engines; not a numbered artifact).
+pub fn observability_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(observability::ObsComparison));
     r
 }
 
@@ -76,5 +85,12 @@ mod tests {
     #[test]
     fn ablation_registry_is_populated() {
         assert_eq!(ablation_registry().experiments().len(), 5);
+    }
+
+    #[test]
+    fn observability_registry_is_populated() {
+        let r = observability_registry();
+        assert_eq!(r.experiments().len(), 1);
+        assert!(r.by_id("obs").is_some());
     }
 }

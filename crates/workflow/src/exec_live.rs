@@ -37,6 +37,21 @@
 //! sinks that always accept input, and consumers that always drain, every
 //! blocked producer is eventually woken — bounded channels cannot wedge
 //! the pool, which the diamond-DAG regression test exercises.
+//!
+//! # Observability (pooled mode)
+//!
+//! Pooled runs feed a [`LiveTracer`] from per-task hooks: operator
+//! lifecycle transitions, input/output tuple counters, per-worker busy
+//! time, mailbox depth, and backpressure stalls — all relaxed atomics,
+//! so tracing never takes a lock on the hot path. With
+//! [`LiveExecutor::with_trace`] a sampler thread turns those counters
+//! into the same [`ProgressTrace`]/[`crate::trace::OperatorSnapshot`]
+//! shape the simulated executor emits, so [`crate::gui`] and
+//! [`crate::trace::render_timeline`] replay live and simulated runs
+//! identically (the paper's Fig. 9 display, on real threads). Even
+//! without an interval, every pooled run ends with one terminal sample,
+//! and [`LiveExecutor::run_observed`] hands the trace back on failures
+//! too.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -52,8 +67,20 @@ use crate::dag::{OpId, Workflow};
 use crate::metrics::{OperatorMetrics, OperatorState, RunMetrics};
 use crate::operator::{Operator, OutputCollector, WorkflowError, WorkflowResult};
 use crate::partition::CompiledPartitioner;
+use crate::trace::ProgressTrace;
+use crate::trace_live::LiveTracer;
 
 /// Which concurrency model [`LiveExecutor::run`] uses.
+///
+/// # Examples
+///
+/// ```
+/// use scriptflow_workflow::{ExecMode, LiveExecutor};
+///
+/// // The default executor is pooled; the baseline is opt-in.
+/// let baseline = LiveExecutor::new(64).with_mode(ExecMode::ThreadPerWorker);
+/// # let _ = baseline;
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
     /// One OS thread per operator worker, unbounded channels, deep-clone
@@ -65,6 +92,29 @@ pub enum ExecMode {
 }
 
 /// Counters from a pooled run (absent in thread-per-worker mode).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use scriptflow_datakit::{Batch, DataType, Schema, Value};
+/// use scriptflow_workflow::ops::{ScanOp, SinkOp};
+/// use scriptflow_workflow::{LiveExecutor, PartitionStrategy, WorkflowBuilder};
+///
+/// let schema = Schema::of(&[("id", DataType::Int)]);
+/// let batch = Batch::from_rows(schema, (0..10).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+/// let mut b = WorkflowBuilder::new();
+/// let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+/// let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+/// b.connect(scan, sink, 0, PartitionStrategy::Single);
+/// let wf = b.build().unwrap();
+///
+/// let res = LiveExecutor::new(4).with_pool_size(2).run(&wf).unwrap();
+/// let stats = res.pool.expect("pooled mode reports stats");
+/// assert_eq!(stats.pool_threads, 2);
+/// assert_eq!(stats.tasks, wf.total_workers());
+/// assert!(stats.batches_sent > 0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// OS threads in the pool.
@@ -77,9 +127,33 @@ pub struct PoolStats {
     pub backpressure_stalls: u64,
     /// Batches successfully delivered into mailboxes.
     pub batches_sent: u64,
+    /// High-water mark of messages queued at any single operator's
+    /// worker mailboxes.
+    pub peak_mailbox_depth: usize,
 }
 
 /// Result of a live run.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use scriptflow_datakit::{Batch, DataType, Schema, Value};
+/// use scriptflow_workflow::ops::{ScanOp, SinkOp};
+/// use scriptflow_workflow::{LiveExecutor, PartitionStrategy, WorkflowBuilder};
+///
+/// let schema = Schema::of(&[("id", DataType::Int)]);
+/// let batch = Batch::from_rows(schema, (0..8).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+/// let mut b = WorkflowBuilder::new();
+/// let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+/// let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+/// b.connect(scan, sink, 0, PartitionStrategy::Single);
+/// let wf = b.build().unwrap();
+///
+/// let res = LiveExecutor::new(4).run(&wf).unwrap();
+/// assert_eq!(res.metrics.by_name("sink").unwrap().input_tuples, 8);
+/// assert!(!res.trace.is_empty(), "pooled runs always carry a final sample");
+/// ```
 #[derive(Debug, Clone)]
 pub struct LiveRunResult {
     /// Wall-clock execution time.
@@ -88,14 +162,39 @@ pub struct LiveRunResult {
     pub metrics: RunMetrics,
     /// Pool scheduling counters; `None` in thread-per-worker mode.
     pub pool: Option<PoolStats>,
+    /// Per-operator progress samples (pooled mode). Always holds at
+    /// least the terminal sample; interval samples require
+    /// [`LiveExecutor::with_trace`]. Empty in thread-per-worker mode.
+    pub trace: ProgressTrace,
 }
 
 /// The real-thread workflow executor.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use scriptflow_datakit::{Batch, DataType, Schema, Value};
+/// use scriptflow_workflow::ops::{ScanOp, SinkOp};
+/// use scriptflow_workflow::{LiveExecutor, PartitionStrategy, WorkflowBuilder};
+///
+/// let schema = Schema::of(&[("id", DataType::Int)]);
+/// let batch = Batch::from_rows(schema, (0..5).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+/// let mut b = WorkflowBuilder::new();
+/// let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+/// let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+/// b.connect(scan, sink, 0, PartitionStrategy::Single);
+/// let wf = b.build().unwrap();
+///
+/// let res = LiveExecutor::default().run(&wf).unwrap();
+/// assert_eq!(res.metrics.by_name("scan").unwrap().output_tuples, 5);
+/// ```
 pub struct LiveExecutor {
     batch_size: usize,
     mode: ExecMode,
     pool_size: Option<usize>,
     channel_capacity: usize,
+    trace_interval: Option<Duration>,
 }
 
 impl Default for LiveExecutor {
@@ -106,6 +205,14 @@ impl Default for LiveExecutor {
 
 impl LiveExecutor {
     /// Pooled executor with the given edge batch size.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::LiveExecutor;
+    /// let exec = LiveExecutor::new(128);
+    /// # let _ = exec;
+    /// ```
     pub fn new(batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         LiveExecutor {
@@ -113,21 +220,46 @@ impl LiveExecutor {
             mode: ExecMode::Pooled,
             pool_size: None,
             channel_capacity: 64,
+            trace_interval: None,
         }
     }
 
     /// The original thread-per-worker executor (benchmark baseline).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::LiveExecutor;
+    /// let baseline = LiveExecutor::thread_per_worker(128);
+    /// # let _ = baseline;
+    /// ```
     pub fn thread_per_worker(batch_size: usize) -> Self {
         LiveExecutor::new(batch_size).with_mode(ExecMode::ThreadPerWorker)
     }
 
     /// Select the concurrency model.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::{ExecMode, LiveExecutor};
+    /// let exec = LiveExecutor::new(64).with_mode(ExecMode::Pooled);
+    /// # let _ = exec;
+    /// ```
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
         self
     }
 
     /// Pool thread count (pooled mode; default = host cores).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::LiveExecutor;
+    /// let exec = LiveExecutor::new(64).with_pool_size(2);
+    /// # let _ = exec;
+    /// ```
     pub fn with_pool_size(mut self, threads: usize) -> Self {
         assert!(threads > 0, "pool size must be positive");
         self.pool_size = Some(threads);
@@ -136,29 +268,155 @@ impl LiveExecutor {
 
     /// Mailbox capacity in messages per worker (pooled mode). Smaller
     /// values bound memory harder at the cost of more scheduling churn.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::LiveExecutor;
+    /// let exec = LiveExecutor::new(64).with_channel_capacity(8);
+    /// # let _ = exec;
+    /// ```
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "channel capacity must be positive");
         self.channel_capacity = capacity;
         self
     }
 
+    /// Sample per-operator progress on this wall-clock interval (pooled
+    /// mode). A sampler thread snapshots the tracer at the start of the
+    /// run and every `interval` thereafter; without this the trace holds
+    /// only the terminal sample.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use scriptflow_workflow::LiveExecutor;
+    /// let exec = LiveExecutor::new(64).with_trace(Duration::from_millis(5));
+    /// # let _ = exec;
+    /// ```
+    pub fn with_trace(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "trace interval must be positive");
+        self.trace_interval = Some(interval);
+        self
+    }
+
     /// Execute `wf`; blocks until completion.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use scriptflow_datakit::{Batch, DataType, Schema, Value};
+    /// use scriptflow_workflow::ops::{ScanOp, SinkOp};
+    /// use scriptflow_workflow::{LiveExecutor, PartitionStrategy, WorkflowBuilder};
+    ///
+    /// let schema = Schema::of(&[("id", DataType::Int)]);
+    /// let batch =
+    ///     Batch::from_rows(schema, (0..6).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    /// let mut b = WorkflowBuilder::new();
+    /// let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+    /// let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+    /// b.connect(scan, sink, 0, PartitionStrategy::Single);
+    /// let wf = b.build().unwrap();
+    ///
+    /// let res = LiveExecutor::new(4).run(&wf).unwrap();
+    /// assert_eq!(res.metrics.by_name("sink").unwrap().input_tuples, 6);
+    /// ```
     pub fn run(&self, wf: &Workflow) -> WorkflowResult<LiveRunResult> {
+        self.run_observed(wf).1
+    }
+
+    /// Execute `wf`, returning the progress trace alongside the result.
+    ///
+    /// Unlike [`LiveExecutor::run`] — whose trace travels inside
+    /// [`LiveRunResult`] and is therefore lost on `Err` — this always
+    /// hands the trace back, so a failed run can still be replayed to
+    /// see which operator reached [`crate::OperatorState::Failed`]. In
+    /// thread-per-worker mode the trace is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use scriptflow_datakit::{Batch, DataType, Schema, Value};
+    /// use scriptflow_workflow::ops::{FilterOp, ScanOp, SinkOp};
+    /// use scriptflow_workflow::{
+    ///     LiveExecutor, OperatorState, PartitionStrategy, WorkflowBuilder,
+    /// };
+    ///
+    /// let schema = Schema::of(&[("id", DataType::Int)]);
+    /// let batch =
+    ///     Batch::from_rows(schema, (0..6).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    /// let mut b = WorkflowBuilder::new();
+    /// let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+    /// let bad = b.add(
+    ///     Arc::new(FilterOp::new("bad", |t| {
+    ///         t.get_int("missing")?; // no such column: the operator fails
+    ///         Ok(true)
+    ///     })),
+    ///     1,
+    /// );
+    /// let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+    /// b.connect(scan, bad, 0, PartitionStrategy::RoundRobin);
+    /// b.connect(bad, sink, 0, PartitionStrategy::Single);
+    /// let wf = b.build().unwrap();
+    ///
+    /// let (trace, result) = LiveExecutor::new(4).run_observed(&wf);
+    /// assert!(result.is_err());
+    /// let (_, last) = trace.samples.last().unwrap();
+    /// assert!(last.iter().any(|s| s.state == OperatorState::Failed));
+    /// ```
+    pub fn run_observed(&self, wf: &Workflow) -> (ProgressTrace, WorkflowResult<LiveRunResult>) {
         match self.mode {
             ExecMode::Pooled => self.run_pooled(wf),
-            ExecMode::ThreadPerWorker => self.run_threads(wf),
+            ExecMode::ThreadPerWorker => (ProgressTrace::default(), self.run_threads(wf)),
         }
     }
 
-    fn result(
+    /// Assemble metrics for a pooled run from the tracer's probes.
+    fn result_pooled(
+        wf: &Workflow,
+        elapsed: Duration,
+        tracer: &LiveTracer,
+        pool: PoolStats,
+        trace: ProgressTrace,
+    ) -> LiveRunResult {
+        let operators: Vec<OperatorMetrics> = wf
+            .ops()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let probe = tracer.probe(i);
+                let mut m =
+                    OperatorMetrics::new(n.factory.name(), n.factory.language(), n.parallelism);
+                m.input_tuples = probe.input_tuples();
+                m.output_tuples = probe.output_tuples();
+                m.busy = probe.busy();
+                m.state = probe.state();
+                m
+            })
+            .collect();
+        LiveRunResult {
+            elapsed,
+            metrics: RunMetrics {
+                makespan: Self::makespan_of(elapsed),
+                operators,
+                total_workers: wf.total_workers(),
+                events: 0,
+            },
+            pool: Some(pool),
+            trace,
+        }
+    }
+
+    /// Assemble metrics for a thread-per-worker run from raw counters.
+    fn result_threads(
         wf: &Workflow,
         elapsed: Duration,
         in_counts: &[AtomicU64],
         out_counts: &[AtomicU64],
-        pool: Option<PoolStats>,
     ) -> LiveRunResult {
-        let makespan = SimTime::ZERO
-            + SimDuration::from_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
         let operators: Vec<OperatorMetrics> = wf
             .ops()
             .iter()
@@ -175,13 +433,19 @@ impl LiveExecutor {
         LiveRunResult {
             elapsed,
             metrics: RunMetrics {
-                makespan,
+                makespan: Self::makespan_of(elapsed),
                 operators,
                 total_workers: wf.total_workers(),
                 events: 0,
             },
-            pool,
+            pool: None,
+            trace: ProgressTrace::default(),
         }
+    }
+
+    fn makespan_of(elapsed: Duration) -> SimTime {
+        SimTime::ZERO
+            + SimDuration::from_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64)
     }
 }
 
@@ -285,11 +549,15 @@ struct Pool {
     aborted: AtomicBool,
     error: Mutex<Option<WorkflowError>>,
     active: AtomicUsize,
-    in_counts: Vec<AtomicU64>,
-    out_counts: Vec<AtomicU64>,
+    /// Per-operator observability counters (tuple counts, states, busy
+    /// time, mailbox depth, stalls) — fed inline by the hooks below.
+    tracer: LiveTracer,
     task_runs: AtomicU64,
-    stalls: AtomicU64,
     batches_sent: AtomicU64,
+    /// Seat for the sampler thread; the condvar lets the pool cut the
+    /// sampler's final interval short at shutdown.
+    sampler_seat: Mutex<()>,
+    sampler_cv: Condvar,
 }
 
 impl Pool {
@@ -332,7 +600,8 @@ impl Pool {
         }
     }
 
-    fn fail(&self, e: WorkflowError) {
+    fn fail(&self, op: usize, e: WorkflowError) {
+        self.tracer.on_failed(op);
         {
             let mut g = self.error.lock();
             if g.is_none() {
@@ -342,6 +611,7 @@ impl Pool {
         self.aborted.store(true, Ordering::Release);
         self.shutdown.store(true, Ordering::Release);
         self.cv.notify_all();
+        self.sampler_cv.notify_all();
     }
 
     fn wake_waiters(&self, tid: usize) {
@@ -362,6 +632,10 @@ impl Pool {
             let mut q = inbox.queue.lock();
             if q.len() < inbox.capacity {
                 q.push_back(msg);
+                // Hooked before the lock drops so the matching pop hook
+                // (which runs after a later lock acquisition) can never
+                // observe the push-count behind the pop-count.
+                self.tracer.on_mailbox_push(self.tasks[dest].meta.op);
                 drop(q);
                 if is_batch {
                     self.batches_sent.fetch_add(1, Ordering::Relaxed);
@@ -375,6 +649,10 @@ impl Pool {
             let mut q = inbox.queue.lock();
             if q.len() < inbox.capacity {
                 q.push_back(msg);
+                // Hooked before the lock drops so the matching pop hook
+                // (which runs after a later lock acquisition) can never
+                // observe the push-count behind the pop-count.
+                self.tracer.on_mailbox_push(self.tasks[dest].meta.op);
                 drop(q);
                 if is_batch {
                     self.batches_sent.fetch_add(1, Ordering::Relaxed);
@@ -394,8 +672,10 @@ impl Pool {
             match self.try_send(tid, dest, msg) {
                 Ok(()) => {}
                 Err(msg) => {
+                    // The stall is charged to the operator whose mailbox
+                    // is full — the backpressure *source*, not its victim.
+                    self.tracer.on_stall(self.tasks[dest].meta.op);
                     inner.outbox.push_front((dest, msg));
-                    self.stalls.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
             }
@@ -415,7 +695,7 @@ impl Pool {
         inner: &mut TaskInner,
         tuples: Vec<Tuple>,
     ) -> WorkflowResult<()> {
-        self.out_counts[meta.op].fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        self.tracer.on_output(meta.op, tuples.len() as u64);
         if meta.downstream.is_empty() || tuples.is_empty() {
             return Ok(());
         }
@@ -513,7 +793,7 @@ impl Pool {
                 };
                 emitted += 1;
                 if let Err(e) = self.forward(meta, inner, chunk) {
-                    self.fail(e);
+                    self.fail(meta.op, e);
                     return RunOutcome::Yield;
                 }
                 if !self.flush_outbox(tid, inner) {
@@ -537,6 +817,7 @@ impl Pool {
                 None => match task.inbox.queue.lock().pop_front() {
                     Some(m) => {
                         consumed_inbox = true;
+                        self.tracer.on_mailbox_pop(meta.op);
                         m
                     }
                     None => break 'consume None,
@@ -553,20 +834,20 @@ impl Pool {
             }
             match msg {
                 Msg::Batch { port, batch } => {
-                    self.in_counts[meta.op].fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    self.tracer.on_input(meta.op, batch.len() as u64);
                     // Sole-owner batches reclaim their tuples without
                     // copying; shared (broadcast) batches clone here, once
                     // per consumer that actually mutates them.
                     for t in batch.into_tuples() {
                         if let Err(e) = inner.instance.on_tuple(t, port, &mut inner.collector) {
-                            self.fail(e);
+                            self.fail(meta.op, e);
                             break 'consume Some(RunOutcome::Yield);
                         }
                     }
                     if !inner.collector.is_empty() {
                         let out = inner.collector.take();
                         if let Err(e) = self.forward(meta, inner, out) {
-                            self.fail(e);
+                            self.fail(meta.op, e);
                             break 'consume Some(RunOutcome::Yield);
                         }
                         if !self.flush_outbox(tid, inner) {
@@ -580,13 +861,13 @@ impl Pool {
                         inner.port_done[port] = true;
                         if let Err(e) = inner.instance.on_port_complete(port, &mut inner.collector)
                         {
-                            self.fail(e);
+                            self.fail(meta.op, e);
                             break 'consume Some(RunOutcome::Yield);
                         }
                         if !inner.collector.is_empty() {
                             let out = inner.collector.take();
                             if let Err(e) = self.forward(meta, inner, out) {
-                                self.fail(e);
+                                self.fail(meta.op, e);
                                 break 'consume Some(RunOutcome::Yield);
                             }
                             if !self.flush_outbox(tid, inner) {
@@ -663,7 +944,9 @@ impl Pool {
             {
                 continue;
             }
+            let quantum_start = Instant::now();
             let outcome = self.run_task(tid);
+            self.tracer.on_busy(task.meta.op, quantum_start.elapsed());
             self.task_runs.fetch_add(1, Ordering::Relaxed);
             match outcome {
                 RunOutcome::More => {
@@ -684,9 +967,11 @@ impl Pool {
                 }
                 RunOutcome::Done => {
                     task.state.store(IDLE, Ordering::Release);
+                    self.tracer.on_worker_done(task.meta.op);
                     if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
                         self.shutdown.store(true, Ordering::Release);
                         self.cv.notify_all();
+                        self.sampler_cv.notify_all();
                     }
                 }
             }
@@ -715,7 +1000,7 @@ fn default_pool_size() -> usize {
 }
 
 impl LiveExecutor {
-    fn run_pooled(&self, wf: &Workflow) -> WorkflowResult<LiveRunResult> {
+    fn run_pooled(&self, wf: &Workflow) -> (ProgressTrace, WorkflowResult<LiveRunResult>) {
         let start = Instant::now();
 
         // Global task id per (operator, local worker).
@@ -793,6 +1078,12 @@ impl LiveExecutor {
 
         let n_tasks = tasks.len();
         let pool_threads = self.pool_size.unwrap_or_else(default_pool_size).max(1);
+        let names: Vec<String> = wf
+            .ops()
+            .iter()
+            .map(|n| n.factory.name().to_owned())
+            .collect();
+        let workers: Vec<usize> = wf.ops().iter().map(|n| n.parallelism).collect();
         let pool = Pool {
             tasks,
             run_queue: Mutex::new(VecDeque::new()),
@@ -801,11 +1092,11 @@ impl LiveExecutor {
             aborted: AtomicBool::new(false),
             error: Mutex::new(None),
             active: AtomicUsize::new(n_tasks),
-            in_counts: wf.ops().iter().map(|_| AtomicU64::new(0)).collect(),
-            out_counts: wf.ops().iter().map(|_| AtomicU64::new(0)).collect(),
+            tracer: LiveTracer::new(names, &workers),
             task_runs: AtomicU64::new(0),
-            stalls: AtomicU64::new(0),
             batches_sent: AtomicU64::new(0),
+            sampler_seat: Mutex::new(()),
+            sampler_cv: Condvar::new(),
         };
 
         // Seed: every task gets one initial run (sources start emitting,
@@ -818,31 +1109,50 @@ impl LiveExecutor {
             }
         }
 
+        // Interval samples collected by the sampler thread; the terminal
+        // sample is appended by `finish` after the pool drains.
+        let samples = Mutex::new(Vec::new());
         crossbeam::thread::scope(|scope| {
             for _ in 0..pool_threads {
                 scope.spawn(|_| pool.worker_loop());
             }
+            if let Some(interval) = self.trace_interval {
+                samples.lock().push(pool.tracer.snapshot());
+                let (pool, samples) = (&pool, &samples);
+                scope.spawn(move |_| {
+                    let mut seat = pool.sampler_seat.lock();
+                    while !pool.shutdown.load(Ordering::Acquire) {
+                        // Either the interval elapses (sample and loop) or
+                        // shutdown notifies the condvar (re-check and exit);
+                        // a missed notify costs at most one extra interval.
+                        pool.sampler_cv.wait_for(&mut seat, interval);
+                        if pool.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        samples.lock().push(pool.tracer.snapshot());
+                    }
+                });
+            }
         })
         .expect("a pool thread panicked");
 
+        let trace = pool.tracer.finish(samples.into_inner());
+
         if let Some(e) = pool.error.lock().take() {
-            return Err(e);
+            return (trace, Err(e));
         }
 
         let elapsed = start.elapsed();
-        Ok(Self::result(
-            wf,
-            elapsed,
-            &pool.in_counts,
-            &pool.out_counts,
-            Some(PoolStats {
-                pool_threads,
-                tasks: n_tasks,
-                task_runs: pool.task_runs.load(Ordering::Relaxed),
-                backpressure_stalls: pool.stalls.load(Ordering::Relaxed),
-                batches_sent: pool.batches_sent.load(Ordering::Relaxed),
-            }),
-        ))
+        let stats = PoolStats {
+            pool_threads,
+            tasks: n_tasks,
+            task_runs: pool.task_runs.load(Ordering::Relaxed),
+            backpressure_stalls: pool.tracer.total_stalls(),
+            batches_sent: pool.batches_sent.load(Ordering::Relaxed),
+            peak_mailbox_depth: pool.tracer.peak_mailbox_depth(),
+        };
+        let result = Self::result_pooled(wf, elapsed, &pool.tracer, stats, trace.clone());
+        (trace, Ok(result))
     }
 }
 
@@ -1057,7 +1367,7 @@ impl LiveExecutor {
         }
 
         let elapsed = start.elapsed();
-        Ok(Self::result(wf, elapsed, &in_counts, &out_counts, None))
+        Ok(Self::result_threads(wf, elapsed, &in_counts, &out_counts))
     }
 }
 
@@ -1283,6 +1593,96 @@ mod tests {
                 "pooled vs threads counts diverge at {name}"
             );
         }
+    }
+
+    #[test]
+    fn pooled_trace_is_sampled_and_terminal() {
+        let mut handle = None;
+        let wf = build_filter_wf(2_000, &mut handle);
+        let res = LiveExecutor::new(8)
+            .with_trace(Duration::from_micros(100))
+            .run(&wf)
+            .unwrap();
+        assert!(!res.trace.is_empty());
+        // The terminal sample mirrors the final metrics exactly.
+        let (_, last) = res.trace.samples.last().unwrap();
+        for snap in last {
+            let m = res.metrics.by_name(&snap.name).unwrap();
+            assert_eq!(snap.input_tuples, m.input_tuples, "{}", snap.name);
+            assert_eq!(snap.output_tuples, m.output_tuples, "{}", snap.name);
+            assert_eq!(snap.state, OperatorState::Completed, "{}", snap.name);
+        }
+        // Sample times never go backwards.
+        for pair in res.trace.samples.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        // The same trace renders through the sim executor's timeline.
+        let rendered = crate::trace::render_timeline(&res.trace);
+        assert!(rendered.contains("mod7"));
+    }
+
+    #[test]
+    fn untraced_pooled_run_still_carries_terminal_sample() {
+        let mut handle = None;
+        let wf = build_filter_wf(100, &mut handle);
+        let res = LiveExecutor::new(16).run(&wf).unwrap();
+        assert_eq!(res.trace.len(), 1);
+        let (_, last) = res.trace.samples.last().unwrap();
+        assert!(last.iter().all(|s| s.state.is_terminal()));
+    }
+
+    #[test]
+    fn failed_operator_surfaces_in_live_trace() {
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(50))), 1);
+        let bad = b.add(
+            Arc::new(FilterOp::new("boom", |t| {
+                t.get_int("missing")?;
+                Ok(true)
+            })),
+            2,
+        );
+        let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+        b.connect(scan, bad, 0, PartitionStrategy::RoundRobin);
+        b.connect(bad, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        let (trace, result) = LiveExecutor::new(8).run_observed(&wf);
+        assert!(result.is_err());
+        assert!(!trace.is_empty());
+        let (_, last) = trace.samples.last().unwrap();
+        let boom = last.iter().find(|s| s.name == "boom").unwrap();
+        assert_eq!(boom.state, OperatorState::Failed);
+    }
+
+    #[test]
+    fn pooled_stats_report_peak_mailbox_depth() {
+        let mut handle = None;
+        let wf = build_filter_wf(2_000, &mut handle);
+        let res = LiveExecutor::new(8)
+            .with_channel_capacity(2)
+            .with_pool_size(1)
+            .run(&wf)
+            .unwrap();
+        let stats = res.pool.expect("pooled mode reports stats");
+        assert!(stats.peak_mailbox_depth > 0);
+        assert!(
+            stats.peak_mailbox_depth <= 2,
+            "depth is bounded by the mailbox capacity: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pooled_metrics_report_busy_time() {
+        let mut handle = None;
+        let wf = build_filter_wf(1_000, &mut handle);
+        let res = LiveExecutor::new(16).run(&wf).unwrap();
+        let total_busy: f64 = res
+            .metrics
+            .operators
+            .iter()
+            .map(|m| m.busy.as_secs_f64())
+            .sum();
+        assert!(total_busy > 0.0, "run quanta accumulate busy time");
     }
 
     #[test]

@@ -6,12 +6,18 @@
 //! operator's status colour, and its input/output tuple counts (Figs. 2
 //! and 9) — as a text diagram for terminals and a JSON document a
 //! front-end could consume.
+//!
+//! Every renderer here is executor-agnostic: [`RunMetrics`] and
+//! [`ProgressTrace`] carry the same shape whether they came from the
+//! simulated executor's virtual clock or the pooled live executor's
+//! wall-clock tracer, so one GUI layer displays both paradigms.
 
 use scriptflow_datakit::codec::Json;
 
 use crate::dag::{OpId, Workflow};
 use crate::exec_sim::WorkerInterval;
 use crate::metrics::RunMetrics;
+use crate::trace::{ProgressTrace, TraceJson};
 use scriptflow_simcluster::SimTime;
 
 /// Render the workflow structure as an ASCII diagram: one line per
@@ -225,6 +231,22 @@ pub fn metrics_json(metrics: &RunMetrics) -> Json {
     ])
 }
 
+/// The complete observability document for one run: the workflow graph,
+/// the final per-operator metrics, and the sampled progress trace, in one
+/// JSON object (`{"workflow": …, "metrics": …, "trace": …}`).
+///
+/// This is what a front-end (or `bench_engine`) consumes to replay a run:
+/// the graph gives the layout, the metrics give the terminal Fig.-9
+/// counters, and the trace gives the animation frames. Works identically
+/// for simulated and live runs.
+pub fn observability_json(wf: &Workflow, metrics: &RunMetrics, trace: &ProgressTrace) -> Json {
+    Json::Object(vec![
+        ("workflow".into(), workflow_json(wf)),
+        ("metrics".into(), metrics_json(metrics)),
+        ("trace".into(), TraceJson::from_trace(trace).into_document()),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +360,36 @@ mod tests {
         assert_eq!(text.lines().count(), 5, "{text}");
         assert!(text.contains('#'));
         assert!(text.contains("Filter[1]"));
+    }
+
+    #[test]
+    fn observability_json_merges_graph_metrics_and_trace() {
+        use crate::exec_live::LiveExecutor;
+        use scriptflow_simcluster::SimDuration;
+
+        // Simulated run, sampled on the virtual clock.
+        let wf = sample();
+        let cfg = EngineConfig {
+            cluster: ClusterSpec::single_node(2),
+            ..EngineConfig::default()
+        };
+        let sim = SimExecutor::new(cfg)
+            .with_trace(SimDuration::from_millis(1))
+            .run(&wf)
+            .unwrap();
+        let doc = observability_json(&wf, &sim.metrics, &sim.trace);
+        let text = doc.to_string_compact();
+        assert!(text.contains("\"workflow\""));
+        assert!(text.contains("\"metrics\""));
+        assert!(text.contains("\"samples\""));
+
+        // Live pooled run: same document shape, no special-casing.
+        let wf2 = sample();
+        let live = LiveExecutor::new(4).run(&wf2).unwrap();
+        let live_doc = observability_json(&wf2, &live.metrics, &live.trace);
+        let live_text = live_doc.to_string_compact();
+        assert!(live_text.contains("\"samples\""));
+        assert!(live_text.contains("\"state\":\"Completed\""));
     }
 
     #[test]

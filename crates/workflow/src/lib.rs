@@ -25,7 +25,12 @@
 //!   boundary and per-language compute costs (§III-C, Table I).
 //! * **Per-operator progress** — input/output tuple counts and
 //!   color-coded operator states, rendered as ASCII and JSON "GUI"
-//!   documents (Fig. 9; [`gui`]).
+//!   documents (Fig. 9; [`gui`]). Both executors emit the same
+//!   [`trace::ProgressTrace`] shape: the simulated executor samples the
+//!   virtual clock, while the pooled live executor feeds a lock-light
+//!   [`trace_live::LiveTracer`] from per-task hooks and samples it on a
+//!   wall-clock interval — so [`trace::render_timeline`] and
+//!   [`trace::TraceJson`] replay either run identically.
 //!
 //! [`Language`]: scriptflow_simcluster::Language
 
@@ -42,6 +47,7 @@ pub mod ops;
 pub mod partition;
 pub mod spec;
 pub mod trace;
+pub mod trace_live;
 
 pub use cost::{CostProfile, EngineConfig};
 pub use dag::{EdgeId, OpId, Workflow, WorkflowBuilder};
@@ -51,4 +57,5 @@ pub use metrics::{OperatorMetrics, OperatorState, RunMetrics};
 pub use operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 pub use partition::{CompiledPartitioner, PartitionStrategy};
 pub use spec::SpecWorkflow;
-pub use trace::{OperatorSnapshot, ProgressTrace};
+pub use trace::{render_timeline, OperatorSnapshot, ProgressTrace, TraceJson};
+pub use trace_live::{LiveTracer, OperatorProbe};

@@ -33,6 +33,36 @@ impl OperatorState {
             OperatorState::Failed => "red",
         }
     }
+
+    /// The state's display label, stable across releases — the string
+    /// used by the JSON trace export ([`crate::trace::TraceJson`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OperatorState::Initializing => "Initializing",
+            OperatorState::Running => "Running",
+            OperatorState::Paused => "Paused",
+            OperatorState::Completed => "Completed",
+            OperatorState::Failed => "Failed",
+        }
+    }
+
+    /// Parse a [`OperatorState::label`] back into a state (the JSON
+    /// trace import path).
+    pub fn parse(label: &str) -> Option<OperatorState> {
+        match label {
+            "Initializing" => Some(OperatorState::Initializing),
+            "Running" => Some(OperatorState::Running),
+            "Paused" => Some(OperatorState::Paused),
+            "Completed" => Some(OperatorState::Completed),
+            "Failed" => Some(OperatorState::Failed),
+            _ => None,
+        }
+    }
+
+    /// True for states an operator never leaves (`Completed`/`Failed`).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, OperatorState::Completed | OperatorState::Failed)
+    }
 }
 
 /// Per-operator runtime counters (the two numbers on every box in the
@@ -120,6 +150,22 @@ mod tests {
         assert_eq!(OperatorState::Running.color(), "blue");
         assert_eq!(OperatorState::Completed.color(), "green");
         assert_eq!(OperatorState::Failed.color(), "red");
+    }
+
+    #[test]
+    fn state_labels_roundtrip() {
+        for s in [
+            OperatorState::Initializing,
+            OperatorState::Running,
+            OperatorState::Paused,
+            OperatorState::Completed,
+            OperatorState::Failed,
+        ] {
+            assert_eq!(OperatorState::parse(s.label()), Some(s));
+        }
+        assert_eq!(OperatorState::parse("nope"), None);
+        assert!(OperatorState::Failed.is_terminal());
+        assert!(!OperatorState::Running.is_terminal());
     }
 
     #[test]

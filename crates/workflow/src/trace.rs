@@ -2,10 +2,16 @@
 //! display (§III-A: "different colors to visually represent the status
 //! of each operator … and the amount of data being processed").
 //!
-//! The simulated executor can sample the per-operator counters at a
-//! fixed virtual-time interval, yielding a [`ProgressTrace`] that a GUI
-//! (or [`render_timeline`]) can replay.
+//! Both executors emit the same trace shape: the simulated executor
+//! samples per-operator counters at a fixed virtual-time interval
+//! ([`crate::exec_sim::SimExecutor::with_trace`]) and the pooled live
+//! executor samples its [`crate::trace_live::LiveTracer`] at a
+//! wall-clock interval ([`crate::exec_live::LiveExecutor::with_trace`]).
+//! Either way the result is a [`ProgressTrace`] that a GUI (or
+//! [`render_timeline`]) can replay, and that [`TraceJson`] exports as a
+//! machine-readable document.
 
+use scriptflow_datakit::codec::Json;
 use scriptflow_simcluster::SimTime;
 
 use crate::metrics::OperatorState;
@@ -92,6 +98,196 @@ pub fn render_timeline(trace: &ProgressTrace) -> String {
     out
 }
 
+/// A [`ProgressTrace`] as a JSON document — the wire format a web
+/// front-end (or `BENCH_engine.json`) consumes, with a lossless
+/// round-trip back into the in-memory trace.
+///
+/// Layout:
+///
+/// ```json
+/// {"trace":"progress","samples":[
+///   {"atMicros":0,"operators":[
+///     {"name":"scan","state":"Running","color":"blue",
+///      "inputTuples":0,"outputTuples":10}]}]}
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use scriptflow_workflow::trace::{ProgressTrace, TraceJson};
+///
+/// let doc = TraceJson::from_trace(&ProgressTrace::default());
+/// let back = TraceJson::parse(&doc.to_string_compact()).unwrap();
+/// assert!(back.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceJson {
+    document: Json,
+}
+
+impl TraceJson {
+    /// Export `trace` as a JSON document.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace::{ProgressTrace, TraceJson};
+    ///
+    /// let text = TraceJson::from_trace(&ProgressTrace::default()).to_string_compact();
+    /// assert!(text.contains("\"trace\":\"progress\""));
+    /// ```
+    pub fn from_trace(trace: &ProgressTrace) -> Self {
+        let samples: Vec<Json> = trace
+            .samples
+            .iter()
+            .map(|(at, snaps)| {
+                let operators: Vec<Json> = snaps
+                    .iter()
+                    .map(|s| {
+                        Json::Object(vec![
+                            ("name".into(), Json::Str(s.name.clone())),
+                            ("state".into(), Json::Str(s.state.label().into())),
+                            ("color".into(), Json::Str(s.state.color().into())),
+                            ("inputTuples".into(), Json::Int(s.input_tuples as i64)),
+                            ("outputTuples".into(), Json::Int(s.output_tuples as i64)),
+                        ])
+                    })
+                    .collect();
+                Json::Object(vec![
+                    ("atMicros".into(), Json::Int(at.as_micros() as i64)),
+                    ("operators".into(), Json::Array(operators)),
+                ])
+            })
+            .collect();
+        TraceJson {
+            document: Json::Object(vec![
+                ("trace".into(), Json::Str("progress".into())),
+                ("samples".into(), Json::Array(samples)),
+            ]),
+        }
+    }
+
+    /// The underlying JSON document (for embedding into larger
+    /// documents, e.g. [`crate::gui::observability_json`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_datakit::codec::Json;
+    /// use scriptflow_workflow::trace::{ProgressTrace, TraceJson};
+    ///
+    /// let doc = TraceJson::from_trace(&ProgressTrace::default());
+    /// assert!(matches!(doc.document(), Json::Object(_)));
+    /// ```
+    pub fn document(&self) -> &Json {
+        &self.document
+    }
+
+    /// Consume the export, yielding the JSON document.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_datakit::codec::Json;
+    /// use scriptflow_workflow::trace::{ProgressTrace, TraceJson};
+    ///
+    /// let doc = TraceJson::from_trace(&ProgressTrace::default()).into_document();
+    /// assert!(matches!(doc, Json::Object(_)));
+    /// ```
+    pub fn into_document(self) -> Json {
+        self.document
+    }
+
+    /// Serialize the document compactly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace::{ProgressTrace, TraceJson};
+    ///
+    /// let text = TraceJson::from_trace(&ProgressTrace::default()).to_string_compact();
+    /// assert!(text.starts_with('{') && text.ends_with('}'));
+    /// ```
+    pub fn to_string_compact(&self) -> String {
+        self.document.to_string_compact()
+    }
+
+    /// Parse a serialized trace document back into a [`ProgressTrace`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_simcluster::SimTime;
+    /// use scriptflow_workflow::trace::{OperatorSnapshot, ProgressTrace, TraceJson};
+    /// use scriptflow_workflow::OperatorState;
+    ///
+    /// let trace = ProgressTrace {
+    ///     samples: vec![(
+    ///         SimTime::from_micros(5),
+    ///         vec![OperatorSnapshot {
+    ///             name: "scan".into(),
+    ///             state: OperatorState::Completed,
+    ///             input_tuples: 0,
+    ///             output_tuples: 9,
+    ///         }],
+    ///     )],
+    /// };
+    /// let text = TraceJson::from_trace(&trace).to_string_compact();
+    /// let back = TraceJson::parse(&text).unwrap();
+    /// assert_eq!(back.samples, trace.samples);
+    /// ```
+    pub fn parse(text: &str) -> Result<ProgressTrace, String> {
+        fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+            match obj {
+                Json::Object(kv) => kv
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("missing field `{key}`")),
+                _ => Err(format!("expected object with `{key}`")),
+            }
+        }
+        fn int(j: &Json, key: &str) -> Result<i64, String> {
+            match field(j, key)? {
+                Json::Int(i) => Ok(*i),
+                other => Err(format!("field `{key}` is not an int: {other:?}")),
+            }
+        }
+        fn str_of<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+            match field(j, key)? {
+                Json::Str(s) => Ok(s.as_str()),
+                other => Err(format!("field `{key}` is not a string: {other:?}")),
+            }
+        }
+        let doc = Json::parse(text)?;
+        let samples = match field(&doc, "samples")? {
+            Json::Array(samples) => samples,
+            other => Err(format!("`samples` is not an array: {other:?}"))?,
+        };
+        let mut out = ProgressTrace::default();
+        for sample in samples {
+            let at = SimTime::from_micros(int(sample, "atMicros")?.max(0) as u64);
+            let operators = match field(sample, "operators")? {
+                Json::Array(ops) => ops,
+                other => Err(format!("`operators` is not an array: {other:?}"))?,
+            };
+            let mut snaps = Vec::with_capacity(operators.len());
+            for op in operators {
+                let label = str_of(op, "state")?;
+                snaps.push(OperatorSnapshot {
+                    name: str_of(op, "name")?.to_owned(),
+                    state: OperatorState::parse(label)
+                        .ok_or_else(|| format!("unknown operator state `{label}`"))?,
+                    input_tuples: int(op, "inputTuples")?.max(0) as u64,
+                    output_tuples: int(op, "outputTuples")?.max(0) as u64,
+                });
+            }
+            out.samples.push((at, snaps));
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +345,27 @@ mod tests {
     #[test]
     fn empty_trace_renders_empty() {
         assert!(render_timeline(&ProgressTrace::default()).is_empty());
+    }
+
+    #[test]
+    fn trace_json_roundtrips() {
+        let trace = sample_trace();
+        let text = TraceJson::from_trace(&trace).to_string_compact();
+        assert!(text.contains("\"state\":\"Completed\""));
+        assert!(text.contains("\"color\":\"green\""));
+        let back = TraceJson::parse(&text).unwrap();
+        assert_eq!(back.samples, trace.samples);
+        // The round-tripped trace renders identically.
+        assert_eq!(render_timeline(&back), render_timeline(&trace));
+    }
+
+    #[test]
+    fn trace_json_rejects_bad_documents() {
+        assert!(TraceJson::parse("{}").is_err());
+        assert!(TraceJson::parse("{\"samples\":[{\"atMicros\":0}]}").is_err());
+        assert!(TraceJson::parse(
+            "{\"samples\":[{\"atMicros\":0,\"operators\":[{\"name\":\"x\",\"state\":\"Bogus\",\"inputTuples\":0,\"outputTuples\":0}]}]}"
+        )
+        .is_err());
     }
 }

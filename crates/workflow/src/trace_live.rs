@@ -1,0 +1,626 @@
+//! Live observability: the lock-light event tracer behind the pooled
+//! executor's per-operator progress display.
+//!
+//! The paper's GUI-paradigm claim (§III-A) is that the workflow engine
+//! "utilizes different colors to visually represent the status of each
+//! operator … and provides information about the amount of data being
+//! processed". [`crate::exec_sim::SimExecutor`] reproduces that display
+//! on the virtual clock; this module gives the pooled
+//! [`crate::exec_live::LiveExecutor`] the same power on wall-clock time.
+//!
+//! A [`LiveTracer`] is a vector of per-operator [`OperatorProbe`]s —
+//! plain atomics written from the executor's per-task hooks (tuple
+//! arrival, tuple emission, run-quantum completion, backpressure stall,
+//! mailbox push/pop, worker completion, failure). No hook takes a lock,
+//! so tracing adds a handful of relaxed atomic adds to the hot path. A
+//! sampler thread calls [`LiveTracer::snapshot`] on a wall-clock
+//! interval, producing the exact [`ProgressTrace`]/[`OperatorSnapshot`]
+//! shape the simulated executor emits — so [`crate::gui`] and
+//! [`crate::trace::render_timeline`] replay live and simulated runs
+//! identically.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use scriptflow_simcluster::{SimDuration, SimTime};
+
+use crate::metrics::OperatorState;
+use crate::trace::{OperatorSnapshot, ProgressTrace};
+
+/// Monotone `u8` encoding of [`OperatorState`] for lock-free state
+/// transitions: states only ever move to a higher code, and `fetch_max`
+/// makes `Failed` sticky even when a concurrent worker reports
+/// completion. (`Paused` is unreachable in live runs — the pooled
+/// executor has no pause control — but keeps the codes aligned with the
+/// enum for exhaustiveness.)
+fn state_code(state: OperatorState) -> u8 {
+    match state {
+        OperatorState::Initializing => 0,
+        OperatorState::Running => 1,
+        OperatorState::Paused => 2,
+        OperatorState::Completed => 3,
+        OperatorState::Failed => 4,
+    }
+}
+
+fn code_state(code: u8) -> OperatorState {
+    match code {
+        0 => OperatorState::Initializing,
+        1 => OperatorState::Running,
+        2 => OperatorState::Paused,
+        3 => OperatorState::Completed,
+        _ => OperatorState::Failed,
+    }
+}
+
+/// Lock-free per-operator counters, written by pool threads through
+/// relaxed atomics and read by the sampler thread.
+///
+/// One probe aggregates every worker of one operator: the lifecycle
+/// state, the Fig.-9 tuple counters, summed busy time across workers,
+/// the combined depth of the workers' input mailboxes, and how often a
+/// producer stalled trying to deliver into those mailboxes.
+///
+/// # Examples
+///
+/// ```
+/// use scriptflow_workflow::trace_live::LiveTracer;
+/// use scriptflow_workflow::OperatorState;
+///
+/// let tracer = LiveTracer::new(vec!["scan".to_owned()], &[2]);
+/// tracer.on_output(0, 10);
+/// let probe = tracer.probe(0);
+/// assert_eq!(probe.output_tuples(), 10);
+/// assert_eq!(probe.state(), OperatorState::Running);
+/// ```
+#[derive(Debug)]
+pub struct OperatorProbe {
+    name: String,
+    state: AtomicU8,
+    input_tuples: AtomicU64,
+    output_tuples: AtomicU64,
+    busy_nanos: AtomicU64,
+    stalls: AtomicU64,
+    mailbox_depth: AtomicUsize,
+    peak_mailbox_depth: AtomicUsize,
+    workers_remaining: AtomicUsize,
+}
+
+impl OperatorProbe {
+    fn new(name: String, workers: usize) -> Self {
+        OperatorProbe {
+            name,
+            state: AtomicU8::new(state_code(OperatorState::Initializing)),
+            input_tuples: AtomicU64::new(0),
+            output_tuples: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            mailbox_depth: AtomicUsize::new(0),
+            peak_mailbox_depth: AtomicUsize::new(0),
+            workers_remaining: AtomicUsize::new(workers),
+        }
+    }
+
+    /// Operator display name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["sink".to_owned()], &[1]);
+    /// assert_eq!(tracer.probe(0).name(), "sink");
+    /// ```
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current lifecycle state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// use scriptflow_workflow::OperatorState;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// assert_eq!(tracer.probe(0).state(), OperatorState::Initializing);
+    /// ```
+    pub fn state(&self) -> OperatorState {
+        code_state(self.state.load(Ordering::Acquire))
+    }
+
+    /// Tuples received across all workers so far.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_input(0, 7);
+    /// assert_eq!(tracer.probe(0).input_tuples(), 7);
+    /// ```
+    pub fn input_tuples(&self) -> u64 {
+        self.input_tuples.load(Ordering::Relaxed)
+    }
+
+    /// Tuples emitted across all workers so far.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_output(0, 3);
+    /// assert_eq!(tracer.probe(0).output_tuples(), 3);
+    /// ```
+    pub fn output_tuples(&self) -> u64 {
+        self.output_tuples.load(Ordering::Relaxed)
+    }
+
+    /// Summed busy (run-quantum) time across this operator's workers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_busy(0, Duration::from_millis(2));
+    /// assert!(tracer.probe(0).busy().as_secs_f64() >= 0.002);
+    /// ```
+    pub fn busy(&self) -> SimDuration {
+        SimDuration::from_micros(self.busy_nanos.load(Ordering::Relaxed) / 1_000)
+    }
+
+    /// Times a producer found one of this operator's mailboxes full and
+    /// had to yield its pool thread.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_stall(0);
+    /// assert_eq!(tracer.probe(0).stalls(), 1);
+    /// ```
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Messages currently queued across this operator's worker mailboxes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_mailbox_push(0);
+    /// assert_eq!(tracer.probe(0).mailbox_depth(), 1);
+    /// tracer.on_mailbox_pop(0);
+    /// assert_eq!(tracer.probe(0).mailbox_depth(), 0);
+    /// ```
+    pub fn mailbox_depth(&self) -> usize {
+        self.mailbox_depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`OperatorProbe::mailbox_depth`] over the run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_mailbox_push(0);
+    /// tracer.on_mailbox_pop(0);
+    /// assert_eq!(tracer.probe(0).peak_mailbox_depth(), 1);
+    /// ```
+    pub fn peak_mailbox_depth(&self) -> usize {
+        self.peak_mailbox_depth.load(Ordering::Relaxed)
+    }
+
+    /// One point-in-time [`OperatorSnapshot`] of this probe.
+    fn snapshot(&self) -> OperatorSnapshot {
+        OperatorSnapshot {
+            name: self.name.clone(),
+            state: self.state(),
+            input_tuples: self.input_tuples(),
+            output_tuples: self.output_tuples(),
+        }
+    }
+
+    /// Monotone state promotion (see [`state_code`]).
+    fn promote(&self, to: OperatorState) {
+        self.state.fetch_max(state_code(to), Ordering::AcqRel);
+    }
+}
+
+/// The live event tracer: one [`OperatorProbe`] per operator plus the
+/// wall-clock epoch snapshots are timed against.
+///
+/// Hooks are safe to call from any pool thread concurrently; sampling
+/// never blocks a hook. Timestamps are wall-clock time since
+/// [`LiveTracer::new`], expressed as [`SimTime`] micros so live traces
+/// drop into every consumer built for simulated traces
+/// ([`crate::trace::render_timeline`], [`crate::trace::TraceJson`],
+/// [`crate::gui`]).
+///
+/// # Examples
+///
+/// ```
+/// use scriptflow_workflow::trace_live::LiveTracer;
+/// use scriptflow_workflow::OperatorState;
+///
+/// let tracer = LiveTracer::new(
+///     vec!["scan".to_owned(), "sink".to_owned()],
+///     &[1, 1],
+/// );
+/// tracer.on_output(0, 5);
+/// tracer.on_input(1, 5);
+/// tracer.on_worker_done(0);
+/// tracer.on_worker_done(1);
+///
+/// let (at, snaps) = tracer.snapshot();
+/// assert_eq!(snaps.len(), 2);
+/// assert_eq!(snaps[0].output_tuples, 5);
+/// assert_eq!(snaps[1].state, OperatorState::Completed);
+/// assert!(at.as_micros() < 1_000_000, "snapshot is stamped with elapsed time");
+/// ```
+#[derive(Debug)]
+pub struct LiveTracer {
+    started: Instant,
+    probes: Vec<OperatorProbe>,
+}
+
+impl LiveTracer {
+    /// A tracer for operators named `names`, where operator `i` runs
+    /// `workers[i]` parallel workers. Every operator starts
+    /// [`OperatorState::Initializing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` and `workers` disagree in length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["a".to_owned(), "b".to_owned()], &[2, 1]);
+    /// assert_eq!(tracer.operator_count(), 2);
+    /// ```
+    pub fn new(names: Vec<String>, workers: &[usize]) -> Self {
+        assert_eq!(names.len(), workers.len(), "one worker count per operator");
+        LiveTracer {
+            started: Instant::now(),
+            probes: names
+                .into_iter()
+                .zip(workers)
+                .map(|(n, &w)| OperatorProbe::new(n, w))
+                .collect(),
+        }
+    }
+
+    /// Number of traced operators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["only".to_owned()], &[4]);
+    /// assert_eq!(tracer.operator_count(), 1);
+    /// ```
+    pub fn operator_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// The probe of operator `op`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["x".to_owned()], &[1]);
+    /// assert_eq!(tracer.probe(0).input_tuples(), 0);
+    /// ```
+    pub fn probe(&self, op: usize) -> &OperatorProbe {
+        &self.probes[op]
+    }
+
+    /// Hook: `n` tuples arrived at a worker of `op`. Promotes the
+    /// operator to [`OperatorState::Running`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// use scriptflow_workflow::OperatorState;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_input(0, 2);
+    /// assert_eq!(tracer.probe(0).state(), OperatorState::Running);
+    /// ```
+    pub fn on_input(&self, op: usize, n: u64) {
+        self.probes[op].input_tuples.fetch_add(n, Ordering::Relaxed);
+        self.probes[op].promote(OperatorState::Running);
+    }
+
+    /// Hook: a worker of `op` emitted `n` tuples. Promotes the operator
+    /// to [`OperatorState::Running`] (sources never receive input, so
+    /// this is their only Running transition).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// use scriptflow_workflow::OperatorState;
+    /// let tracer = LiveTracer::new(vec!["source".to_owned()], &[1]);
+    /// tracer.on_output(0, 8);
+    /// assert_eq!(tracer.probe(0).state(), OperatorState::Running);
+    /// ```
+    pub fn on_output(&self, op: usize, n: u64) {
+        self.probes[op]
+            .output_tuples
+            .fetch_add(n, Ordering::Relaxed);
+        self.probes[op].promote(OperatorState::Running);
+    }
+
+    /// Hook: a worker of `op` spent `elapsed` inside a run quantum.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_busy(0, Duration::from_micros(500));
+    /// tracer.on_busy(0, Duration::from_micros(500));
+    /// assert_eq!(tracer.probe(0).busy().as_micros(), 1_000);
+    /// ```
+    pub fn on_busy(&self, op: usize, elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.probes[op]
+            .busy_nanos
+            .fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Hook: a producer found a mailbox of `op` full and yielded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_stall(0);
+    /// tracer.on_stall(0);
+    /// assert_eq!(tracer.probe(0).stalls(), 2);
+    /// ```
+    pub fn on_stall(&self, op: usize) {
+        self.probes[op].stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hook: a message entered a mailbox of `op`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_mailbox_push(0);
+    /// assert_eq!(tracer.probe(0).mailbox_depth(), 1);
+    /// ```
+    pub fn on_mailbox_push(&self, op: usize) {
+        let probe = &self.probes[op];
+        let depth = probe.mailbox_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        probe.peak_mailbox_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Hook: a message left a mailbox of `op`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_mailbox_push(0);
+    /// tracer.on_mailbox_pop(0);
+    /// assert_eq!(tracer.probe(0).mailbox_depth(), 0);
+    /// ```
+    pub fn on_mailbox_pop(&self, op: usize) {
+        self.probes[op]
+            .mailbox_depth
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Hook: one worker of `op` finished. When the last worker finishes
+    /// the operator is promoted to [`OperatorState::Completed`] (unless
+    /// it already [`OperatorState::Failed`] — failure is sticky).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// use scriptflow_workflow::OperatorState;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[2]);
+    /// tracer.on_worker_done(0);
+    /// assert_ne!(tracer.probe(0).state(), OperatorState::Completed);
+    /// tracer.on_worker_done(0);
+    /// assert_eq!(tracer.probe(0).state(), OperatorState::Completed);
+    /// ```
+    pub fn on_worker_done(&self, op: usize) {
+        let probe = &self.probes[op];
+        if probe.workers_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            probe.promote(OperatorState::Completed);
+        }
+    }
+
+    /// Hook: a worker of `op` raised an error. The operator moves to
+    /// [`OperatorState::Failed`] and stays there.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// use scriptflow_workflow::OperatorState;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_failed(0);
+    /// tracer.on_worker_done(0); // completion after failure cannot mask it
+    /// assert_eq!(tracer.probe(0).state(), OperatorState::Failed);
+    /// ```
+    pub fn on_failed(&self, op: usize) {
+        self.probes[op].promote(OperatorState::Failed);
+    }
+
+    /// Total backpressure stalls across all operators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["a".to_owned(), "b".to_owned()], &[1, 1]);
+    /// tracer.on_stall(0);
+    /// tracer.on_stall(1);
+    /// assert_eq!(tracer.total_stalls(), 2);
+    /// ```
+    pub fn total_stalls(&self) -> u64 {
+        self.probes.iter().map(OperatorProbe::stalls).sum()
+    }
+
+    /// Peak combined mailbox depth observed at any single operator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["a".to_owned(), "b".to_owned()], &[1, 1]);
+    /// tracer.on_mailbox_push(1);
+    /// assert_eq!(tracer.peak_mailbox_depth(), 1);
+    /// ```
+    pub fn peak_mailbox_depth(&self) -> usize {
+        self.probes
+            .iter()
+            .map(OperatorProbe::peak_mailbox_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Wall-clock time since the tracer was created, as [`SimTime`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// let t = tracer.elapsed();
+    /// assert!(t.as_micros() < 60_000_000, "fresh tracer: {t}");
+    /// ```
+    pub fn elapsed(&self) -> SimTime {
+        let us = self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        SimTime::from_micros(us)
+    }
+
+    /// One sample: the current instant plus a snapshot of every
+    /// operator, in operator-id order — exactly one row of a
+    /// [`ProgressTrace`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// let (_, snaps) = tracer.snapshot();
+    /// assert_eq!(snaps.len(), 1);
+    /// assert_eq!(snaps[0].name, "op");
+    /// ```
+    pub fn snapshot(&self) -> (SimTime, Vec<OperatorSnapshot>) {
+        (
+            self.elapsed(),
+            self.probes.iter().map(OperatorProbe::snapshot).collect(),
+        )
+    }
+
+    /// Assemble a [`ProgressTrace`] from collected samples, appending
+    /// one final snapshot so the trace always ends with terminal
+    /// states and final counts (mirroring the simulated executor, which
+    /// samples once more at the makespan).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_worker_done(0);
+    /// let trace = tracer.finish(vec![]);
+    /// assert_eq!(trace.len(), 1); // the appended final sample
+    /// ```
+    pub fn finish(&self, mut samples: Vec<(SimTime, Vec<OperatorSnapshot>)>) -> ProgressTrace {
+        samples.push(self.snapshot());
+        ProgressTrace { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> LiveTracer {
+        LiveTracer::new(vec!["scan".into(), "sink".into()], &[2, 1])
+    }
+
+    #[test]
+    fn counters_accumulate_across_hooks() {
+        let t = tracer();
+        t.on_output(0, 10);
+        t.on_output(0, 5);
+        t.on_input(1, 15);
+        assert_eq!(t.probe(0).output_tuples(), 15);
+        assert_eq!(t.probe(1).input_tuples(), 15);
+        assert_eq!(t.probe(0).input_tuples(), 0);
+    }
+
+    #[test]
+    fn lifecycle_is_monotone_and_failure_sticky() {
+        let t = tracer();
+        assert_eq!(t.probe(0).state(), OperatorState::Initializing);
+        t.on_output(0, 1);
+        assert_eq!(t.probe(0).state(), OperatorState::Running);
+        t.on_failed(0);
+        t.on_worker_done(0);
+        t.on_worker_done(0);
+        assert_eq!(t.probe(0).state(), OperatorState::Failed);
+        // The other operator completes normally.
+        t.on_worker_done(1);
+        assert_eq!(t.probe(1).state(), OperatorState::Completed);
+    }
+
+    #[test]
+    fn mailbox_depth_tracks_peak() {
+        let t = tracer();
+        t.on_mailbox_push(1);
+        t.on_mailbox_push(1);
+        t.on_mailbox_pop(1);
+        t.on_mailbox_push(1);
+        assert_eq!(t.probe(1).mailbox_depth(), 2);
+        assert_eq!(t.probe(1).peak_mailbox_depth(), 2);
+        assert_eq!(t.peak_mailbox_depth(), 2);
+    }
+
+    #[test]
+    fn finish_appends_terminal_sample() {
+        let t = tracer();
+        t.on_output(0, 4);
+        let mid = t.snapshot();
+        t.on_worker_done(0);
+        t.on_worker_done(0);
+        t.on_worker_done(1);
+        let trace = t.finish(vec![mid]);
+        assert_eq!(trace.len(), 2);
+        let (_, last) = trace.samples.last().unwrap();
+        assert!(last.iter().all(|s| s.state == OperatorState::Completed));
+        assert_eq!(last[0].output_tuples, 4);
+    }
+
+    #[test]
+    fn snapshot_times_are_monotone() {
+        let t = tracer();
+        let (a, _) = t.snapshot();
+        let (b, _) = t.snapshot();
+        assert!(b >= a);
+    }
+}

@@ -24,6 +24,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo test --doc"
+cargo test -q --doc --workspace
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> engine throughput bench (quick)"
     BENCH_ENGINE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_engine
