@@ -5,16 +5,18 @@
 //! cargo run --release -p scriptflow-bench --bin repro            # everything
 //! cargo run --release -p scriptflow-bench --bin repro fig13a    # one artifact
 //! cargo run --release -p scriptflow-bench --bin repro --ablations
+//! cargo run --release -p scriptflow-bench --bin repro --fault    # §III-A fault comparison
 //! cargo run --release -p scriptflow-bench --bin repro --csv     # + artifacts/*.csv
 //! ```
 
 use scriptflow_bench::render_side_by_side;
-use scriptflow_study::{ablation_registry, conclusions, registry};
+use scriptflow_study::{ablation_registry, conclusions, fault_registry, registry};
 use scriptflow_core::Calibration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want_ablations = args.iter().any(|a| a == "--ablations");
+    let want_fault = args.iter().any(|a| a == "--fault");
     let want_csv = args.iter().any(|a| a == "--csv");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
@@ -47,6 +49,16 @@ fn main() {
         println!("\n#################### §VI CONCLUSIONS ####################\n");
         let claims = conclusions::evaluate(&Calibration::paper());
         println!("{}", conclusions::as_table(&claims));
+    }
+
+    if want_fault || filter.iter().any(|f| f.as_str() == "fault") {
+        println!("\n#################### FAULT TOLERANCE ####################\n");
+        for e in fault_registry().experiments() {
+            let meta = e.meta();
+            let measured = e.run();
+            let paper = e.paper_reference();
+            println!("{}", render_side_by_side(&meta, &measured, &paper));
+        }
     }
 
     if want_ablations || filter.iter().any(|f| f.starts_with("ablate")) {

@@ -250,7 +250,13 @@ impl Notebook {
             .ok_or_else(|| CellError::msg(format!("no cell {index}")))?;
         let n = kernel.next_execution_count();
         let start = kernel.now();
-        let result = (cell.body)(kernel);
+        // An armed kernel fault strikes the whole cell: the body never
+        // runs, so no partial work survives — cell granularity is the
+        // paradigm's failure unit.
+        let result = match kernel.take_fault(n) {
+            Some(msg) => Err(CellError::msg(msg)),
+            None => (cell.body)(kernel),
+        };
         // Failed runs are spans too: the paradigm's error display is the
         // cell trace, so the span records where the timeline stopped.
         kernel.record_span(crate::kernel::CellSpan {
@@ -435,6 +441,42 @@ Some prose."));
         assert_eq!(spans.len(), 1);
         assert!(!spans[0].ok);
         assert_eq!(spans[0].name, "incr");
+    }
+
+    #[test]
+    fn armed_fault_kills_the_whole_cell() {
+        let mut nb = counter_notebook();
+        let mut k = kernel();
+        // Strike the second execution (`In [2]:` = the incr cell).
+        k.arm_fault(2, "SimulatedKernelFault: worker died");
+        nb.run_cell(0, &mut k).unwrap();
+        let err = nb.run_cell(1, &mut k).unwrap_err();
+        assert_eq!(err.cell, Some(1));
+        assert_eq!(err.execution_count, Some(2));
+        assert!(err.to_string().contains("SimulatedKernelFault"), "{err}");
+        // The body never ran: x keeps its pre-fault value (whole-cell
+        // loss, not partial progress).
+        assert_eq!(*k.get::<i64>("x").unwrap(), 0);
+        // The failed run is still a span, marked not-ok.
+        let spans = k.cell_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].ok);
+        assert!(!spans[1].ok);
+        // The fault disarms after firing: re-running the cell succeeds.
+        nb.run_cell(1, &mut k).unwrap();
+        assert_eq!(*k.get::<i64>("x").unwrap(), 1);
+    }
+
+    #[test]
+    fn armed_fault_waits_for_its_execution_count() {
+        let mut nb = counter_notebook();
+        let mut k = kernel();
+        k.arm_fault(3, "boom");
+        nb.run_cell(0, &mut k).unwrap();
+        nb.run_cell(1, &mut k).unwrap();
+        let err = nb.run_cell(1, &mut k).unwrap_err();
+        assert_eq!(err.execution_count, Some(3));
+        assert_eq!(err.cell_name.as_deref(), Some("incr"));
     }
 
     #[test]

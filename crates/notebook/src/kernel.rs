@@ -54,6 +54,8 @@ pub struct Kernel {
     ray: RayRuntime,
     execution_count: u64,
     spans: Vec<CellSpan>,
+    /// Armed fault: (execution count to strike at, error message).
+    fault: Option<(u64, String)>,
 }
 
 impl Kernel {
@@ -64,6 +66,7 @@ impl Kernel {
             ray: RayRuntime::new(cluster, config).expect("valid kernel config"),
             execution_count: 0,
             spans: Vec::new(),
+            fault: None,
         }
     }
 
@@ -142,6 +145,27 @@ impl Kernel {
     /// Record one cell execution (called by the notebook runner).
     pub(crate) fn record_span(&mut self, span: CellSpan) {
         self.spans.push(span);
+    }
+
+    /// Arm a deterministic fault: the cell that runs under
+    /// `In [execution_count]:` fails with `message` before its body
+    /// executes. This is the script-paradigm counterpart of the workflow
+    /// engine's `FaultPlan`: the failure unit is the *whole cell* — no
+    /// partial results survive it, which is exactly the granularity gap
+    /// the `study::fault_tolerance` comparison measures.
+    ///
+    /// Only one fault can be armed at a time; arming again replaces the
+    /// previous one. The fault disarms once it fires.
+    pub fn arm_fault(&mut self, execution_count: u64, message: impl Into<String>) {
+        self.fault = Some((execution_count, message.into()));
+    }
+
+    /// Consume the armed fault if it strikes at execution count `n`.
+    pub(crate) fn take_fault(&mut self, n: u64) -> Option<String> {
+        if self.fault.as_ref().is_some_and(|(at, _)| *at == n) {
+            return self.fault.take().map(|(_, msg)| msg);
+        }
+        None
     }
 
     /// "Restart kernel": drop every variable binding (the execution

@@ -79,6 +79,11 @@ pub struct SpanEvent {
     pub end: SimTime,
     /// Object-store bytes moved, for `Put`/`Get` spans (0 otherwise).
     pub bytes: u64,
+    /// False if the activity aborted (a failed or injected-abort stage).
+    /// This is all the script paradigm can say about a failure: the
+    /// *whole stage* is lost at the barrier, with no per-task partial
+    /// progress to point at.
+    pub ok: bool,
 }
 
 /// Instrumentation counters for a run.
@@ -104,6 +109,10 @@ pub struct RayRuntime {
     config: RayConfig,
     metrics: RayMetrics,
     spans: Vec<SpanEvent>,
+    /// Stage barriers submitted so far (successful or aborted).
+    stages_started: u64,
+    /// Armed fault: (1-based stage number to strike at, error message).
+    stage_abort: Option<(u64, String)>,
 }
 
 impl RayRuntime {
@@ -122,6 +131,8 @@ impl RayRuntime {
             config,
             metrics: RayMetrics::default(),
             spans: Vec::new(),
+            stages_started: 0,
+            stage_abort: None,
         })
     }
 
@@ -160,14 +171,44 @@ impl RayRuntime {
         &self.spans
     }
 
-    fn record_span(&mut self, kind: SpanKind, label: String, start: SimTime, bytes: u64) {
+    fn record_span(&mut self, kind: SpanKind, label: String, start: SimTime, bytes: u64, ok: bool) {
         self.spans.push(SpanEvent {
             kind,
             label,
             start,
             end: self.clock,
             bytes,
+            ok,
         });
+    }
+
+    /// Arm a deterministic fault: the `nth_stage`-th call (1-based) to
+    /// [`RayRuntime::parallel_map`] aborts at its barrier with `message`
+    /// before any task runs. This is the script-paradigm counterpart of
+    /// the workflow engine's `FaultPlan`: the failure unit is the *whole
+    /// stage* — every task's work is lost at the barrier, the granularity
+    /// gap the `study::fault_tolerance` comparison measures.
+    ///
+    /// Only one abort can be armed at a time; arming again replaces the
+    /// previous one. The fault disarms once it fires.
+    pub fn arm_stage_abort(&mut self, nth_stage: u64, message: impl Into<String>) {
+        self.stage_abort = Some((nth_stage, message.into()));
+    }
+
+    /// Stage barriers submitted so far (successful or aborted).
+    pub fn stages_started(&self) -> u64 {
+        self.stages_started
+    }
+
+    fn take_stage_abort(&mut self) -> Option<String> {
+        if self
+            .stage_abort
+            .as_ref()
+            .is_some_and(|(at, _)| *at == self.stages_started)
+        {
+            return self.stage_abort.take().map(|(_, msg)| msg);
+        }
+        None
     }
 
     /// Advance the driver clock by local (in-driver) computation — the
@@ -182,7 +223,7 @@ impl RayRuntime {
         let start = self.clock;
         let (r, cost) = self.store.put(value, bytes);
         self.clock += cost;
-        self.record_span(SpanKind::Put, "put".into(), start, bytes);
+        self.record_span(SpanKind::Put, "put".into(), start, bytes, true);
         r
     }
 
@@ -193,7 +234,7 @@ impl RayRuntime {
         let bytes = self.store.size_of(r).unwrap_or(0);
         let (v, cost) = self.store.get(r)?;
         self.clock += cost;
-        self.record_span(SpanKind::Get, "get".into(), start, bytes);
+        self.record_span(SpanKind::Get, "get".into(), start, bytes, true);
         Ok(v)
     }
 
@@ -214,6 +255,46 @@ impl RayRuntime {
     pub fn parallel_map<R>(&mut self, tasks: Vec<RayTask<R>>) -> RayResult<Vec<R>> {
         let submit = self.clock;
         let n_tasks = tasks.len();
+        self.stages_started += 1;
+        if let Some(message) = self.take_stage_abort() {
+            // Injected abort: the stage dies at its barrier. The driver
+            // still pays the dispatch overhead, gets nothing back, and
+            // the only trace is one not-ok stage span.
+            self.clock += self.config.scheduling_overhead;
+            self.record_span(
+                SpanKind::Stage,
+                format!("stage[{n_tasks} tasks] ABORTED"),
+                submit,
+                0,
+                false,
+            );
+            return Err(RayError::TaskFailed {
+                task: format!("stage[{n_tasks} tasks]"),
+                message,
+            });
+        }
+        match self.run_stage(tasks, submit) {
+            Ok(results) => {
+                self.record_span(SpanKind::Stage, format!("stage[{n_tasks} tasks]"), submit, 0, true);
+                Ok(results)
+            }
+            Err(e) => {
+                // An organic task failure also surfaces at the barrier:
+                // the whole stage is lost, and the span says only that.
+                self.clock += self.config.scheduling_overhead;
+                self.record_span(
+                    SpanKind::Stage,
+                    format!("stage[{n_tasks} tasks] ABORTED"),
+                    submit,
+                    0,
+                    false,
+                );
+                Err(e)
+            }
+        }
+    }
+
+    fn run_stage<R>(&mut self, tasks: Vec<RayTask<R>>, submit: SimTime) -> RayResult<Vec<R>> {
         let mut results = Vec::with_capacity(tasks.len());
         let mut finishes: Vec<(SimTime, SimTime)> = Vec::with_capacity(tasks.len());
         let mut barrier = submit;
@@ -244,12 +325,6 @@ impl RayRuntime {
         }
         self.metrics.peak_parallel = self.metrics.peak_parallel.max(peak);
         self.clock = barrier;
-        self.record_span(
-            SpanKind::Stage,
-            format!("stage[{n_tasks} tasks]"),
-            submit,
-            0,
-        );
         Ok(results)
     }
 
@@ -288,6 +363,7 @@ impl RayRuntime {
             format!("actor[{n_calls} calls]"),
             submit,
             0,
+            true,
         );
         Ok(results)
     }
@@ -319,6 +395,7 @@ impl RayRuntime {
             format!("actors[{n_batches} batches]"),
             submit,
             0,
+            true,
         );
         Ok(all)
     }
@@ -603,6 +680,50 @@ mod tests {
         let span = rt.spans().last().unwrap();
         assert_eq!(span.kind, SpanKind::ActorStage);
         assert_eq!(span.label, "actor[2 calls]");
+    }
+
+    #[test]
+    fn armed_stage_abort_kills_the_whole_stage() {
+        let mut rt = runtime(2);
+        rt.arm_stage_abort(2, "node lost");
+        rt.parallel_map(vec![RayTask::new("t0", SimDuration::from_millis(1), |_| Ok(0))])
+            .unwrap();
+        let err = rt
+            .parallel_map(
+                (0..3)
+                    .map(|i| {
+                        RayTask::new(format!("t{i}"), SimDuration::from_millis(1), move |_| Ok(i))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("node lost"), "{err}");
+        assert_eq!(rt.stages_started(), 2);
+        let spans = rt.spans();
+        assert!(spans[spans.len() - 2].ok);
+        let last = spans.last().unwrap();
+        assert_eq!(last.kind, SpanKind::Stage);
+        assert_eq!(last.label, "stage[3 tasks] ABORTED");
+        assert!(!last.ok);
+        // The fault disarms after firing: the next stage runs normally.
+        rt.parallel_map(vec![RayTask::new("t1", SimDuration::from_millis(1), |_| Ok(1))])
+            .unwrap();
+        assert!(rt.spans().last().unwrap().ok);
+    }
+
+    #[test]
+    fn organic_task_failure_records_aborted_stage_span() {
+        let mut rt = runtime(1);
+        let err = rt
+            .parallel_map(vec![RayTask::new("bad", SimDuration::from_millis(1), |_| {
+                Err::<i64, _>(RayTask::<i64>::failure("bad", "boom"))
+            })])
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+        let span = rt.spans().last().unwrap();
+        assert!(!span.ok);
+        assert!(span.label.contains("ABORTED"), "{span:?}");
+        assert!(span.end >= span.start);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 pub mod ablate;
 pub mod anchors;
 pub mod conclusions;
+pub mod fault_tolerance;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
@@ -52,6 +53,15 @@ pub fn registry() -> Registry {
 pub fn observability_registry() -> Registry {
     let mut r = Registry::new();
     r.register(Box::new(observability::ObsComparison));
+    r
+}
+
+/// The fault-tolerance suite (§III-A, accountability under injected
+/// failure, measured on this reproduction's engines; not a numbered
+/// artifact).
+pub fn fault_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(fault_tolerance::FaultComparison));
     r
 }
 
@@ -92,5 +102,12 @@ mod tests {
         let r = observability_registry();
         assert_eq!(r.experiments().len(), 1);
         assert!(r.by_id("obs").is_some());
+    }
+
+    #[test]
+    fn fault_registry_is_populated() {
+        let r = fault_registry();
+        assert_eq!(r.experiments().len(), 1);
+        assert!(r.by_id("fault").is_some());
     }
 }

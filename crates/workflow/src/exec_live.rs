@@ -52,6 +52,23 @@
 //! without an interval, every pooled run ends with one terminal sample,
 //! and [`LiveExecutor::run_observed`] hands the trace back on failures
 //! too.
+//!
+//! # Failure semantics (pooled mode)
+//!
+//! Any operator failure — an organic error, an injected
+//! [`crate::fault::FaultPlan`] fault, or a captured worker panic — puts
+//! the owning task into **drain mode** instead of aborting the pool: the
+//! task discards its remaining input, propagates EOS downstream exactly
+//! once (marking direct consumers [`OperatorState::Degraded`] — their
+//! input is truncated), keeps its mailbox draining so upstream never
+//! blocks, and finishes once every input port has closed. The rest of
+//! the pipeline runs to completion on whatever data made it through, the
+//! run returns `Err` carrying the first failure, every pool thread
+//! joins, and the partial trace survives. A worker panic is caught in
+//! the pool thread's loop and surfaces as a `Failed` operator in the
+//! same way. If a fault starves the pipeline of EOS entirely (a dropped
+//! end-of-stream), the last idle pool thread detects quiescence and
+//! synthesizes the missing markers so the run still terminates.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -64,6 +81,7 @@ use scriptflow_datakit::{SharedBatch, Tuple};
 use scriptflow_simcluster::{SimDuration, SimTime};
 
 use crate::dag::{OpId, Workflow};
+use crate::fault::{CompiledFaults, FaultPlan, TupleAction, TupleTrigger};
 use crate::metrics::{OperatorMetrics, OperatorState, RunMetrics};
 use crate::operator::{Operator, OutputCollector, WorkflowError, WorkflowResult};
 use crate::partition::CompiledPartitioner;
@@ -130,6 +148,12 @@ pub struct PoolStats {
     /// High-water mark of messages queued at any single operator's
     /// worker mailboxes.
     pub peak_mailbox_depth: usize,
+    /// Injected faults that actually fired ([`crate::fault::FaultPlan`]
+    /// triggers; 0 without a plan).
+    pub faults_injected: u64,
+    /// Times the pool's quiescence detector had to recover a stalled
+    /// pipeline by synthesizing missing EOS markers (dropped-EOS faults).
+    pub stall_recoveries: u64,
 }
 
 /// Result of a live run.
@@ -195,6 +219,7 @@ pub struct LiveExecutor {
     pool_size: Option<usize>,
     channel_capacity: usize,
     trace_interval: Option<Duration>,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for LiveExecutor {
@@ -221,6 +246,7 @@ impl LiveExecutor {
             pool_size: None,
             channel_capacity: 64,
             trace_interval: None,
+            faults: None,
         }
     }
 
@@ -298,6 +324,35 @@ impl LiveExecutor {
     pub fn with_trace(mut self, interval: Duration) -> Self {
         assert!(!interval.is_zero(), "trace interval must be positive");
         self.trace_interval = Some(interval);
+        self
+    }
+
+    /// Inject a deterministic [`FaultPlan`] into the pooled run (see
+    /// [`crate::fault`]). The named operators fail as planned, the pool
+    /// drains, and the run returns `Err` with the partial trace intact.
+    /// Thread-per-worker mode ignores fault plans. A plan naming an
+    /// operator the workflow doesn't have fails the run upfront with
+    /// [`crate::WorkflowError::InvalidDag`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::fault::{random_chain, FaultPlan};
+    /// use scriptflow_workflow::{LiveExecutor, OperatorState};
+    ///
+    /// let (wf, _handle, _names) = random_chain(5);
+    /// let plan = FaultPlan::new(5).kill_worker("f0", 10);
+    /// let (trace, result) = LiveExecutor::new(8)
+    ///     .with_pool_size(1)
+    ///     .with_faults(plan)
+    ///     .run_observed(&wf);
+    /// assert!(result.is_err());
+    /// let (_, last) = trace.samples.last().unwrap();
+    /// let f0 = last.iter().find(|s| s.name == "f0").unwrap();
+    /// assert_eq!(f0.state, OperatorState::Failed);
+    /// ```
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -459,6 +514,9 @@ enum Msg {
     Batch { port: usize, batch: SharedBatch },
     /// One upstream producer worker is done with this edge.
     Eos { port: usize },
+    /// A corrupted payload planted by a fault plan; consuming it fails
+    /// the operator (exercises the "garbage in the mailbox" path).
+    Poison { port: usize },
 }
 
 /// Task state machine (Databend-style): a task is scheduled at most once
@@ -489,6 +547,8 @@ struct TaskStatic {
     downstream: Vec<EdgeOut>,
     blocking: Vec<usize>,
     batch_size: usize,
+    /// Injected latency per forwarded batch group (slow-edge fault).
+    slow_edge: Option<Duration>,
 }
 
 /// Mutable task state; locked only by the single pool thread running the
@@ -515,6 +575,14 @@ struct TaskInner {
     source: Option<VecDeque<Vec<Tuple>>>,
     eos_queued: bool,
     done: bool,
+    /// The task failed (organic error, injected fault, or captured
+    /// panic): subsequent quanta run the drain path instead of the
+    /// normal one.
+    failed: bool,
+    /// Fault plan: suppress this worker's EOS markers entirely.
+    drop_eos: bool,
+    /// Fault plan: run quanta left to burn before sending EOS.
+    eos_delay: u32,
 }
 
 /// Bounded mailbox feeding one task.
@@ -546,9 +614,16 @@ struct Pool {
     run_queue: Mutex<VecDeque<usize>>,
     cv: Condvar,
     shutdown: AtomicBool,
-    aborted: AtomicBool,
     error: Mutex<Option<WorkflowError>>,
     active: AtomicUsize,
+    /// Compiled fault plan consulted on the hot path (None = no faults).
+    faults: Option<CompiledFaults>,
+    /// Worker-thread count, for the quiescence (stall) detector.
+    pool_threads: usize,
+    /// Pool threads currently parked on the run-queue condvar.
+    idle_threads: AtomicUsize,
+    /// Times `recover_stall` ran (dropped-EOS recovery).
+    stall_recoveries: AtomicU64,
     /// Per-operator observability counters (tuple counts, states, busy
     /// time, mailbox depth, stalls) — fed inline by the hooks below.
     tracer: LiveTracer,
@@ -600,18 +675,23 @@ impl Pool {
         }
     }
 
-    fn fail(&self, op: usize, e: WorkflowError) {
+    /// Record a failure against operator `op`: sticky `Failed` state plus
+    /// the run's first error. The pool keeps running — draining (rather
+    /// than aborting) is what preserves the partial trace and lets the
+    /// untainted part of the pipeline finish.
+    fn fail_op(&self, op: usize, e: WorkflowError) {
         self.tracer.on_failed(op);
-        {
-            let mut g = self.error.lock();
-            if g.is_none() {
-                *g = Some(e);
-            }
+        let mut g = self.error.lock();
+        if g.is_none() {
+            *g = Some(e);
         }
-        self.aborted.store(true, Ordering::Release);
-        self.shutdown.store(true, Ordering::Release);
-        self.cv.notify_all();
-        self.sampler_cv.notify_all();
+    }
+
+    /// Fail the task currently being run: record the error and flip the
+    /// task into drain mode for its next quantum.
+    fn fail_task(&self, op: usize, inner: &mut TaskInner, e: WorkflowError) {
+        self.fail_op(op, e);
+        inner.failed = true;
     }
 
     fn wake_waiters(&self, tid: usize) {
@@ -621,13 +701,31 @@ impl Pool {
         }
     }
 
+    /// A finished task that still receives messages (possible only after
+    /// a forced finish) throws them away, keeping the mailbox-depth
+    /// accounting consistent and its producers unwedged.
+    fn discard_inbox(&self, tid: usize) {
+        let task = &self.tasks[tid];
+        let mut consumed = false;
+        while task.inbox.queue.lock().pop_front().is_some() {
+            consumed = true;
+            self.tracer.on_mailbox_pop(task.meta.op);
+        }
+        if consumed {
+            self.wake_waiters(tid);
+        }
+    }
+
     /// Deliver `msg` to `dest`'s mailbox, or hand it back if the mailbox
     /// is full. On the full path the sender is registered as a waiter
     /// first and the mailbox re-checked, so a concurrent drain cannot
     /// strand the sender without a wakeup.
     fn try_send(&self, from: usize, dest: usize, msg: Msg) -> Result<(), Msg> {
         let inbox = &self.tasks[dest].inbox;
-        let is_batch = matches!(msg, Msg::Batch { .. });
+        let batch_port = match &msg {
+            Msg::Batch { port, .. } => Some(*port),
+            _ => None,
+        };
         {
             let mut q = inbox.queue.lock();
             if q.len() < inbox.capacity {
@@ -636,8 +734,9 @@ impl Pool {
                 // (which runs after a later lock acquisition) can never
                 // observe the push-count behind the pop-count.
                 self.tracer.on_mailbox_push(self.tasks[dest].meta.op);
+                self.poison_after_push(dest, batch_port, &mut q);
                 drop(q);
-                if is_batch {
+                if batch_port.is_some() {
                     self.batches_sent.fetch_add(1, Ordering::Relaxed);
                 }
                 self.schedule(dest);
@@ -653,8 +752,9 @@ impl Pool {
                 // (which runs after a later lock acquisition) can never
                 // observe the push-count behind the pop-count.
                 self.tracer.on_mailbox_push(self.tasks[dest].meta.op);
+                self.poison_after_push(dest, batch_port, &mut q);
                 drop(q);
-                if is_batch {
+                if batch_port.is_some() {
                     self.batches_sent.fetch_add(1, Ordering::Relaxed);
                 }
                 self.schedule(dest);
@@ -662,6 +762,23 @@ impl Pool {
             }
         }
         Err(msg)
+    }
+
+    /// Poison-mailbox fault: counted on *successful* batch deliveries
+    /// only (a backpressure retry must not advance the count), planting
+    /// the poison right behind the armed batch — one slot of capacity
+    /// overshoot, same lock hold.
+    fn poison_after_push(&self, dest: usize, batch_port: Option<usize>, q: &mut VecDeque<Msg>) {
+        let Some(port) = batch_port else { return };
+        let dest_op = self.tasks[dest].meta.op;
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.check_poison(dest_op))
+        {
+            q.push_back(Msg::Poison { port });
+            self.tracer.on_mailbox_push(dest_op);
+        }
     }
 
     /// Drain the task's outbox in FIFO order. Returns `false` (and counts
@@ -764,6 +881,33 @@ impl Pool {
         Ok(())
     }
 
+    /// Fire a tuple-counted fault trigger: panic (captured by the pool
+    /// thread's `catch_unwind`) or kill the task cleanly, flipping it
+    /// into drain mode.
+    fn spring_trigger(&self, meta: &TaskStatic, inner: &mut TaskInner, t: TupleTrigger) -> RunOutcome {
+        let name = self.tracer.probe(meta.op).name().to_owned();
+        match t.action {
+            TupleAction::Panic => panic!(
+                "injected fault: operator `{name}` panicked at tuple {}",
+                t.at
+            ),
+            TupleAction::Kill => {
+                self.fail_task(
+                    meta.op,
+                    inner,
+                    WorkflowError::OperatorFailed {
+                        operator: name,
+                        message: format!(
+                            "worker killed mid-quantum at tuple {} (injected fault)",
+                            t.at
+                        ),
+                    },
+                );
+                RunOutcome::More
+            }
+        }
+    }
+
     /// One cooperative run quantum of task `tid`.
     fn run_task(&self, tid: usize) -> RunOutcome {
         let task = &self.tasks[tid];
@@ -771,8 +915,12 @@ impl Pool {
         let mut guard = task.inner.lock();
         let inner = &mut *guard;
 
-        if inner.done || self.aborted.load(Ordering::Acquire) {
+        if inner.done {
+            self.discard_inbox(tid);
             return RunOutcome::Yield;
+        }
+        if inner.failed {
+            return self.drain_failed(tid, meta, inner);
         }
 
         // Deliver whatever a previous quantum could not.
@@ -787,17 +935,36 @@ impl Pool {
                 if emitted >= QUANTUM {
                     return RunOutcome::More;
                 }
-                let chunk = match inner.source.as_mut().expect("checked above").pop_front() {
+                let mut chunk = match inner.source.as_mut().expect("checked above").pop_front() {
                     Some(c) => c,
                     None => break,
                 };
                 emitted += 1;
+                let trigger = self
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.check_tuples(meta.op, chunk.len() as u64));
+                if let Some(t) = &trigger {
+                    chunk.truncate(t.keep as usize);
+                }
                 if let Err(e) = self.forward(meta, inner, chunk) {
-                    self.fail(meta.op, e);
-                    return RunOutcome::Yield;
+                    self.fail_task(meta.op, inner, e);
+                    return RunOutcome::More;
                 }
                 if !self.flush_outbox(tid, inner) {
+                    // Fire even on a full downstream mailbox — the
+                    // trigger counter already advanced, and the drain
+                    // path clears the stuck outbox anyway.
+                    if let Some(t) = trigger {
+                        return self.spring_trigger(meta, inner, t);
+                    }
                     return RunOutcome::Yield;
+                }
+                if let Some(t) = trigger {
+                    return self.spring_trigger(meta, inner, t);
+                }
+                if let Some(d) = meta.slow_edge {
+                    std::thread::sleep(d);
                 }
             }
         }
@@ -806,9 +973,6 @@ impl Pool {
         let mut consumed_inbox = false;
         let mut processed = 0usize;
         let early = 'consume: loop {
-            if self.aborted.load(Ordering::Acquire) {
-                break 'consume Some(RunOutcome::Yield);
-            }
             if processed >= QUANTUM {
                 break 'consume Some(RunOutcome::More);
             }
@@ -824,8 +988,22 @@ impl Pool {
                 },
             };
             processed += 1;
+            if matches!(msg, Msg::Poison { .. }) {
+                // Poison bypasses the blocking gate: corruption in the
+                // mailbox fails the operator wherever it sits.
+                let name = self.tracer.probe(meta.op).name().to_owned();
+                self.fail_task(
+                    meta.op,
+                    inner,
+                    WorkflowError::OperatorFailed {
+                        operator: name,
+                        message: "poisoned mailbox payload (injected fault)".to_owned(),
+                    },
+                );
+                break 'consume Some(RunOutcome::More);
+            }
             let port = match &msg {
-                Msg::Batch { port, .. } | Msg::Eos { port } => *port,
+                Msg::Batch { port, .. } | Msg::Eos { port } | Msg::Poison { port } => *port,
             };
             let gate_open = meta.blocking.iter().all(|&p| inner.port_done[p]);
             if !gate_open && !meta.blocking.contains(&port) {
@@ -834,25 +1012,42 @@ impl Pool {
             }
             match msg {
                 Msg::Batch { port, batch } => {
-                    self.tracer.on_input(meta.op, batch.len() as u64);
+                    let n = batch.len() as u64;
+                    let trigger = self
+                        .faults
+                        .as_ref()
+                        .and_then(|f| f.check_tuples(meta.op, n));
+                    // A fired trigger truncates the batch: only the
+                    // tuples before the fault position count as input.
+                    let keep = trigger.as_ref().map_or(n, |t| t.keep);
+                    self.tracer.on_input(meta.op, keep);
                     // Sole-owner batches reclaim their tuples without
                     // copying; shared (broadcast) batches clone here, once
                     // per consumer that actually mutates them.
-                    for t in batch.into_tuples() {
+                    for t in batch.into_tuples().into_iter().take(keep as usize) {
                         if let Err(e) = inner.instance.on_tuple(t, port, &mut inner.collector) {
-                            self.fail(meta.op, e);
-                            break 'consume Some(RunOutcome::Yield);
+                            self.fail_task(meta.op, inner, e);
+                            break 'consume Some(RunOutcome::More);
                         }
                     }
                     if !inner.collector.is_empty() {
                         let out = inner.collector.take();
                         if let Err(e) = self.forward(meta, inner, out) {
-                            self.fail(meta.op, e);
-                            break 'consume Some(RunOutcome::Yield);
+                            self.fail_task(meta.op, inner, e);
+                            break 'consume Some(RunOutcome::More);
                         }
                         if !self.flush_outbox(tid, inner) {
+                            if let Some(t) = trigger {
+                                break 'consume Some(self.spring_trigger(meta, inner, t));
+                            }
                             break 'consume Some(RunOutcome::Yield);
                         }
+                    }
+                    if let Some(t) = trigger {
+                        break 'consume Some(self.spring_trigger(meta, inner, t));
+                    }
+                    if let Some(d) = meta.slow_edge {
+                        std::thread::sleep(d);
                     }
                 }
                 Msg::Eos { port } => {
@@ -861,14 +1056,14 @@ impl Pool {
                         inner.port_done[port] = true;
                         if let Err(e) = inner.instance.on_port_complete(port, &mut inner.collector)
                         {
-                            self.fail(meta.op, e);
-                            break 'consume Some(RunOutcome::Yield);
+                            self.fail_task(meta.op, inner, e);
+                            break 'consume Some(RunOutcome::More);
                         }
                         if !inner.collector.is_empty() {
                             let out = inner.collector.take();
                             if let Err(e) = self.forward(meta, inner, out) {
-                                self.fail(meta.op, e);
-                                break 'consume Some(RunOutcome::Yield);
+                                self.fail_task(meta.op, inner, e);
+                                break 'consume Some(RunOutcome::More);
                             }
                             if !self.flush_outbox(tid, inner) {
                                 break 'consume Some(RunOutcome::Yield);
@@ -882,6 +1077,7 @@ impl Pool {
                         }
                     }
                 }
+                Msg::Poison { .. } => unreachable!("poison handled before the gate"),
             }
         };
         if consumed_inbox {
@@ -901,10 +1097,46 @@ impl Pool {
             && inner.held.is_empty()
             && task.inbox.queue.lock().is_empty()
         {
+            if inner.eos_delay > 0 {
+                // Delayed-EOS fault: burn a run quantum before closing.
+                inner.eos_delay -= 1;
+                return RunOutcome::More;
+            }
+            if inner.drop_eos {
+                // Dropped-EOS fault: finish without telling downstream.
+                // The pool's stall detector eventually synthesizes the
+                // missing markers; the drop itself is the recorded
+                // failure.
+                if self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.report_eos_drop(meta.op))
+                {
+                    let name = self.tracer.probe(meta.op).name().to_owned();
+                    self.fail_op(
+                        meta.op,
+                        WorkflowError::OperatorFailed {
+                            operator: name,
+                            message: "end-of-stream markers dropped (injected fault)".to_owned(),
+                        },
+                    );
+                }
+                inner.done = true;
+                return RunOutcome::Done;
+            }
             if !inner.eos_queued {
                 inner.eos_queued = true;
+                // An operator that itself ran on truncated input passes
+                // the taint downstream with its EOS.
+                let tainted = matches!(
+                    self.tracer.probe(meta.op).state(),
+                    OperatorState::Degraded | OperatorState::Failed
+                );
                 for edge in &meta.downstream {
                     for &dest in &edge.dests {
+                        if tainted {
+                            self.tracer.on_degraded(self.tasks[dest].meta.op);
+                        }
                         inner
                             .outbox
                             .push_back((dest, Msg::Eos { port: edge.to_port }));
@@ -920,6 +1152,126 @@ impl Pool {
         RunOutcome::Yield
     }
 
+    /// Run quantum for a failed task: abandon its own output, close its
+    /// downstream edges exactly once (marking direct consumers
+    /// [`OperatorState::Degraded`] — their input is truncated), and keep
+    /// consuming input so upstream producers never wedge on a dead
+    /// consumer. Done once every input port has closed.
+    fn drain_failed(&self, tid: usize, meta: &TaskStatic, inner: &mut TaskInner) -> RunOutcome {
+        let task = &self.tasks[tid];
+        inner.source = None;
+        inner.pending.clear();
+        inner.held.clear();
+        if !inner.eos_queued {
+            inner.eos_queued = true;
+            inner.outbox.clear();
+            for edge in &meta.downstream {
+                for &dest in &edge.dests {
+                    self.tracer.on_degraded(self.tasks[dest].meta.op);
+                    inner
+                        .outbox
+                        .push_back((dest, Msg::Eos { port: edge.to_port }));
+                }
+            }
+        }
+        if !self.flush_outbox(tid, inner) {
+            return RunOutcome::Yield;
+        }
+        let mut consumed = false;
+        loop {
+            let msg = match task.inbox.queue.lock().pop_front() {
+                Some(m) => m,
+                None => break,
+            };
+            consumed = true;
+            self.tracer.on_mailbox_pop(meta.op);
+            // Data and poison are discarded unprocessed; EOS still
+            // counts toward closing the port.
+            if let Msg::Eos { port } = msg {
+                inner.eos_remaining[port] = inner.eos_remaining[port].saturating_sub(1);
+                if inner.eos_remaining[port] == 0 {
+                    inner.port_done[port] = true;
+                }
+            }
+        }
+        if consumed {
+            self.wake_waiters(tid);
+        }
+        if inner.port_done.iter().all(|d| *d) {
+            inner.done = true;
+            return RunOutcome::Done;
+        }
+        RunOutcome::Yield
+    }
+
+    /// Last-resort recovery, run by the final pool thread to go idle
+    /// while tasks are still active: some EOS markers were dropped (a
+    /// [`crate::fault::FaultKind::DropEos`] fault), so starving consumers
+    /// are handed synthesized EOS and marked [`OperatorState::Degraded`].
+    /// If there is nothing to synthesize, the stragglers are
+    /// force-finished so the run still terminates — once the pipeline is
+    /// wedged, termination beats completeness.
+    fn recover_stall(&self) {
+        self.stall_recoveries.fetch_add(1, Ordering::Relaxed);
+        let mut progressed = false;
+        for (tid, task) in self.tasks.iter().enumerate() {
+            let mut guard = task.inner.lock();
+            let inner = &mut *guard;
+            if inner.done {
+                continue;
+            }
+            let missing: usize = inner
+                .port_done
+                .iter()
+                .zip(&inner.eos_remaining)
+                .filter(|(done, _)| !**done)
+                .map(|(_, remaining)| *remaining)
+                .sum();
+            if missing == 0 {
+                continue;
+            }
+            for p in 0..inner.port_done.len() {
+                if inner.port_done[p] {
+                    continue;
+                }
+                for _ in 0..inner.eos_remaining[p] {
+                    inner.pending.push_back(Msg::Eos { port: p });
+                }
+            }
+            self.tracer.on_degraded(task.meta.op);
+            drop(guard);
+            self.schedule(tid);
+            progressed = true;
+        }
+        if progressed {
+            return;
+        }
+        // Nothing to synthesize — the wedge is structural. Force the
+        // stragglers over the line so every thread still joins.
+        for task in &self.tasks {
+            let mut inner = task.inner.lock();
+            if inner.done {
+                continue;
+            }
+            inner.done = true;
+            drop(inner);
+            let name = self.tracer.probe(task.meta.op).name().to_owned();
+            self.fail_op(
+                task.meta.op,
+                WorkflowError::OperatorFailed {
+                    operator: name,
+                    message: "pipeline stalled; task force-finished".to_owned(),
+                },
+            );
+            self.tracer.on_worker_done(task.meta.op);
+            if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.shutdown.store(true, Ordering::Release);
+                self.cv.notify_all();
+                self.sampler_cv.notify_all();
+            }
+        }
+    }
+
     fn worker_loop(&self) {
         loop {
             let tid = {
@@ -931,7 +1283,23 @@ impl Pool {
                     if let Some(t) = q.pop_front() {
                         break t;
                     }
+                    // Quiescence check: every pool thread parked, nothing
+                    // queued, tasks still nominally active — the pipeline
+                    // has stalled (a dropped EOS). The last thread to
+                    // park recovers it, outside the queue lock.
+                    let idle = self.idle_threads.fetch_add(1, Ordering::AcqRel) + 1;
+                    if idle == self.pool_threads
+                        && self.active.load(Ordering::Acquire) > 0
+                        && q.is_empty()
+                    {
+                        self.idle_threads.fetch_sub(1, Ordering::AcqRel);
+                        drop(q);
+                        self.recover_stall();
+                        q = self.run_queue.lock();
+                        continue;
+                    }
                     self.cv.wait(&mut q);
+                    self.idle_threads.fetch_sub(1, Ordering::AcqRel);
                 }
             };
             let task = &self.tasks[tid];
@@ -945,7 +1313,28 @@ impl Pool {
                 continue;
             }
             let quantum_start = Instant::now();
-            let outcome = self.run_task(tid);
+            // A panic inside the quantum — organic or injected — costs
+            // one operator, not the pool: capture it here, mark the
+            // owner `Failed`, and let the task drain like any other
+            // failure. This is what keeps a scoped-thread join from
+            // tearing the whole run down.
+            let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_task(tid)
+            })) {
+                Ok(o) => o,
+                Err(payload) => {
+                    let name = self.tracer.probe(task.meta.op).name().to_owned();
+                    self.fail_op(
+                        task.meta.op,
+                        WorkflowError::OperatorFailed {
+                            operator: name,
+                            message: format!("worker panicked: {}", panic_text(payload)),
+                        },
+                    );
+                    task.inner.lock().failed = true;
+                    RunOutcome::More
+                }
+            };
             self.tracer.on_busy(task.meta.op, quantum_start.elapsed());
             self.task_runs.fetch_add(1, Ordering::Relaxed);
             match outcome {
@@ -979,6 +1368,18 @@ impl Pool {
     }
 }
 
+/// Best-effort text of a panic payload (the `&str`/`String` cases the
+/// standard `panic!` macro produces).
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "non-string panic payload".to_owned(),
+        },
+    }
+}
+
 /// Split an owned tuple vector into `size`-bounded chunks without copying
 /// tuple data (each chunk is carved off by `split_off`).
 fn chunk_owned(mut tuples: Vec<Tuple>, size: usize, mut emit: impl FnMut(Vec<Tuple>)) {
@@ -1002,6 +1403,16 @@ fn default_pool_size() -> usize {
 impl LiveExecutor {
     fn run_pooled(&self, wf: &Workflow) -> (ProgressTrace, WorkflowResult<LiveRunResult>) {
         let start = Instant::now();
+
+        // A fault plan naming an unknown operator is a harness bug:
+        // refuse the run before spawning anything.
+        let faults = match &self.faults {
+            Some(plan) => match CompiledFaults::compile(plan, wf) {
+                Ok(f) => Some(f),
+                Err(e) => return (ProgressTrace::default(), Err(e)),
+            },
+            None => None,
+        };
 
         // Global task id per (operator, local worker).
         let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(wf.ops().len());
@@ -1048,6 +1459,7 @@ impl LiveExecutor {
                         downstream: downstream.clone(),
                         blocking: blocking.clone(),
                         batch_size: self.batch_size,
+                        slow_edge: faults.as_ref().and_then(|f| f.slow_edge(i)),
                     },
                     inner: Mutex::new(TaskInner {
                         instance: node.factory.create(),
@@ -1065,6 +1477,9 @@ impl LiveExecutor {
                         source,
                         eos_queued: false,
                         done: false,
+                        failed: false,
+                        drop_eos: faults.as_ref().is_some_and(|f| f.drops_eos(i)),
+                        eos_delay: faults.as_ref().map_or(0, |f| f.eos_delay(i)),
                     }),
                     inbox: Inbox {
                         queue: Mutex::new(VecDeque::new()),
@@ -1089,9 +1504,12 @@ impl LiveExecutor {
             run_queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            aborted: AtomicBool::new(false),
             error: Mutex::new(None),
             active: AtomicUsize::new(n_tasks),
+            faults,
+            pool_threads,
+            idle_threads: AtomicUsize::new(0),
+            stall_recoveries: AtomicU64::new(0),
             tracer: LiveTracer::new(names, &workers),
             task_runs: AtomicU64::new(0),
             batches_sent: AtomicU64::new(0),
@@ -1112,29 +1530,43 @@ impl LiveExecutor {
         // Interval samples collected by the sampler thread; the terminal
         // sample is appended by `finish` after the pool drains.
         let samples = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..pool_threads {
-                scope.spawn(|_| pool.worker_loop());
-            }
-            if let Some(interval) = self.trace_interval {
-                samples.lock().push(pool.tracer.snapshot());
-                let (pool, samples) = (&pool, &samples);
-                scope.spawn(move |_| {
-                    let mut seat = pool.sampler_seat.lock();
-                    while !pool.shutdown.load(Ordering::Acquire) {
-                        // Either the interval elapses (sample and loop) or
-                        // shutdown notifies the condvar (re-check and exit);
-                        // a missed notify costs at most one extra interval.
-                        pool.sampler_cv.wait_for(&mut seat, interval);
-                        if pool.shutdown.load(Ordering::Acquire) {
-                            break;
+        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..pool_threads {
+                    scope.spawn(|_| pool.worker_loop());
+                }
+                if let Some(interval) = self.trace_interval {
+                    samples.lock().push(pool.tracer.snapshot());
+                    let (pool, samples) = (&pool, &samples);
+                    scope.spawn(move |_| {
+                        let mut seat = pool.sampler_seat.lock();
+                        while !pool.shutdown.load(Ordering::Acquire) {
+                            // Either the interval elapses (sample and loop) or
+                            // shutdown notifies the condvar (re-check and exit);
+                            // a missed notify costs at most one extra interval.
+                            pool.sampler_cv.wait_for(&mut seat, interval);
+                            if pool.shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            samples.lock().push(pool.tracer.snapshot());
                         }
-                        samples.lock().push(pool.tracer.snapshot());
-                    }
+                    });
+                }
+            })
+        }));
+        // Task panics are captured inside `worker_loop`, so reaching this
+        // arm means the pool infrastructure itself panicked mid-join.
+        // Record it as the run's error instead of propagating the abort;
+        // the trace assembled below is still intact.
+        if !matches!(&joined, Ok(Ok(()))) {
+            let mut g = pool.error.lock();
+            if g.is_none() {
+                *g = Some(WorkflowError::OperatorFailed {
+                    operator: "<pool>".to_owned(),
+                    message: "a pool thread panicked outside task execution".to_owned(),
                 });
             }
-        })
-        .expect("a pool thread panicked");
+        }
 
         let trace = pool.tracer.finish(samples.into_inner());
 
@@ -1150,6 +1582,8 @@ impl LiveExecutor {
             backpressure_stalls: pool.tracer.total_stalls(),
             batches_sent: pool.batches_sent.load(Ordering::Relaxed),
             peak_mailbox_depth: pool.tracer.peak_mailbox_depth(),
+            faults_injected: pool.faults.as_ref().map_or(0, |f| f.triggered()),
+            stall_recoveries: pool.stall_recoveries.load(Ordering::Relaxed),
         };
         let result = Self::result_pooled(wf, elapsed, &pool.tracer, stats, trace.clone());
         (trace, Ok(result))

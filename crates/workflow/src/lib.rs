@@ -31,6 +31,13 @@
 //!   [`trace_live::LiveTracer`] from per-task hooks and samples it on a
 //!   wall-clock interval — so [`trace::render_timeline`] and
 //!   [`trace::TraceJson`] replay either run identically.
+//! * **Accountability under failure** — a seeded [`fault::FaultPlan`]
+//!   injects operator panics, killed workers, poisoned mailboxes,
+//!   dropped/delayed EOS, and slow edges into the pooled executor; the
+//!   pool drains deterministically, pins the fault to one
+//!   [`OperatorState::Failed`] operator, marks downstream operators
+//!   [`OperatorState::Degraded`] on their truncated input, and preserves
+//!   the partial trace ([`exec_live::LiveExecutor::run_observed`]).
 //!
 //! [`Language`]: scriptflow_simcluster::Language
 
@@ -40,6 +47,7 @@ pub mod cost;
 pub mod dag;
 pub mod exec_live;
 pub mod exec_sim;
+pub mod fault;
 pub mod gui;
 pub mod metrics;
 pub mod operator;
@@ -53,6 +61,7 @@ pub use cost::{CostProfile, EngineConfig};
 pub use dag::{EdgeId, OpId, Workflow, WorkflowBuilder};
 pub use exec_live::{ExecMode, LiveExecutor, LiveRunResult, PoolStats};
 pub use exec_sim::{SimExecutor, SimRunResult};
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{OperatorMetrics, OperatorState, RunMetrics};
 pub use operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 pub use partition::{CompiledPartitioner, PartitionStrategy};

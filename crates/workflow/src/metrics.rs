@@ -18,6 +18,10 @@ pub enum OperatorState {
     Paused,
     /// All workers finished.
     Completed,
+    /// All workers finished, but an upstream failure truncated this
+    /// operator's input: its output covers only the data that arrived
+    /// before the failure (the drain path's partial-result marker).
+    Degraded,
     /// A worker hit an error; the error is reported at this operator.
     Failed,
 }
@@ -30,6 +34,7 @@ impl OperatorState {
             OperatorState::Running => "blue",
             OperatorState::Paused => "yellow",
             OperatorState::Completed => "green",
+            OperatorState::Degraded => "orange",
             OperatorState::Failed => "red",
         }
     }
@@ -42,6 +47,7 @@ impl OperatorState {
             OperatorState::Running => "Running",
             OperatorState::Paused => "Paused",
             OperatorState::Completed => "Completed",
+            OperatorState::Degraded => "Degraded",
             OperatorState::Failed => "Failed",
         }
     }
@@ -54,14 +60,19 @@ impl OperatorState {
             "Running" => Some(OperatorState::Running),
             "Paused" => Some(OperatorState::Paused),
             "Completed" => Some(OperatorState::Completed),
+            "Degraded" => Some(OperatorState::Degraded),
             "Failed" => Some(OperatorState::Failed),
             _ => None,
         }
     }
 
-    /// True for states an operator never leaves (`Completed`/`Failed`).
+    /// True for states an operator never leaves
+    /// (`Completed`/`Degraded`/`Failed`).
     pub fn is_terminal(&self) -> bool {
-        matches!(self, OperatorState::Completed | OperatorState::Failed)
+        matches!(
+            self,
+            OperatorState::Completed | OperatorState::Degraded | OperatorState::Failed
+        )
     }
 }
 
@@ -149,6 +160,7 @@ mod tests {
     fn state_colors() {
         assert_eq!(OperatorState::Running.color(), "blue");
         assert_eq!(OperatorState::Completed.color(), "green");
+        assert_eq!(OperatorState::Degraded.color(), "orange");
         assert_eq!(OperatorState::Failed.color(), "red");
     }
 
@@ -159,12 +171,14 @@ mod tests {
             OperatorState::Running,
             OperatorState::Paused,
             OperatorState::Completed,
+            OperatorState::Degraded,
             OperatorState::Failed,
         ] {
             assert_eq!(OperatorState::parse(s.label()), Some(s));
         }
         assert_eq!(OperatorState::parse("nope"), None);
         assert!(OperatorState::Failed.is_terminal());
+        assert!(OperatorState::Degraded.is_terminal());
         assert!(!OperatorState::Running.is_terminal());
     }
 

@@ -82,6 +82,7 @@ pub fn render_timeline(trace: &ProgressTrace) -> String {
                 OperatorState::Running => 'R',
                 OperatorState::Paused => 'P',
                 OperatorState::Completed => 'C',
+                OperatorState::Degraded => 'D',
                 OperatorState::Failed => 'F',
             };
             out.push(ch);

@@ -29,17 +29,19 @@ use crate::trace::{OperatorSnapshot, ProgressTrace};
 
 /// Monotone `u8` encoding of [`OperatorState`] for lock-free state
 /// transitions: states only ever move to a higher code, and `fetch_max`
-/// makes `Failed` sticky even when a concurrent worker reports
-/// completion. (`Paused` is unreachable in live runs — the pooled
-/// executor has no pause control — but keeps the codes aligned with the
-/// enum for exhaustiveness.)
+/// makes the failure states sticky even when a concurrent worker reports
+/// completion — `Degraded` outranks `Completed` (a clean finish cannot
+/// mask truncated input) and `Failed` outranks everything. (`Paused` is
+/// unreachable in live runs — the pooled executor has no pause control —
+/// but keeps the codes aligned with the enum for exhaustiveness.)
 fn state_code(state: OperatorState) -> u8 {
     match state {
         OperatorState::Initializing => 0,
         OperatorState::Running => 1,
         OperatorState::Paused => 2,
         OperatorState::Completed => 3,
-        OperatorState::Failed => 4,
+        OperatorState::Degraded => 4,
+        OperatorState::Failed => 5,
     }
 }
 
@@ -49,6 +51,7 @@ fn code_state(code: u8) -> OperatorState {
         1 => OperatorState::Running,
         2 => OperatorState::Paused,
         3 => OperatorState::Completed,
+        4 => OperatorState::Degraded,
         _ => OperatorState::Failed,
     }
 }
@@ -467,6 +470,26 @@ impl LiveTracer {
         self.probes[op].promote(OperatorState::Failed);
     }
 
+    /// Hook: `op`'s input was truncated by an upstream failure (the
+    /// executor's drain path sends EOS on behalf of a failed producer).
+    /// The operator finishes [`OperatorState::Degraded`] instead of
+    /// `Completed` — partial output, surfaced as such. A direct failure
+    /// of the operator itself still outranks this (`Failed` is stickier).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// use scriptflow_workflow::OperatorState;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_degraded(0);
+    /// tracer.on_worker_done(0); // completion cannot mask the truncation
+    /// assert_eq!(tracer.probe(0).state(), OperatorState::Degraded);
+    /// ```
+    pub fn on_degraded(&self, op: usize) {
+        self.probes[op].promote(OperatorState::Degraded);
+    }
+
     /// Total backpressure stalls across all operators.
     ///
     /// # Examples
@@ -587,6 +610,19 @@ mod tests {
         // The other operator completes normally.
         t.on_worker_done(1);
         assert_eq!(t.probe(1).state(), OperatorState::Completed);
+    }
+
+    #[test]
+    fn degraded_is_sticky_over_completed_but_yields_to_failed() {
+        let t = tracer();
+        t.on_degraded(0);
+        t.on_worker_done(0);
+        t.on_worker_done(0);
+        assert_eq!(t.probe(0).state(), OperatorState::Degraded);
+        // A direct failure of the same operator outranks degradation.
+        t.on_failed(0);
+        t.on_degraded(0);
+        assert_eq!(t.probe(0).state(), OperatorState::Failed);
     }
 
     #[test]

@@ -30,6 +30,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo test --doc"
 cargo test -q --doc --workspace
 
+echo "==> chaos suite (fault injection, single-threaded for determinism)"
+cargo test -q --test chaos_faults -- --test-threads=1
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> engine throughput bench (quick)"
     BENCH_ENGINE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_engine

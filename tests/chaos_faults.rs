@@ -1,0 +1,267 @@
+//! Chaos suite for the pooled executor's deterministic fault-injection
+//! harness: every [`scriptflow::workflow::FaultKind`] must drain the
+//! pool cleanly (no leaked threads, no deadlock), pin the failure to one
+//! `Failed` operator, keep the partial trace consistent, and — with a
+//! single pool thread — reproduce the identical failure trace from the
+//! same seed.
+
+use std::time::{Duration, Instant};
+
+use scriptflow::workflow::fault::{random_chain, FaultPlan};
+use scriptflow::workflow::{
+    render_timeline, LiveExecutor, OperatorState, ProgressTrace, TraceJson,
+};
+
+/// `(name, state, input, output)` per operator in the final snapshot.
+fn final_states(trace: &ProgressTrace) -> Vec<(String, OperatorState, u64, u64)> {
+    let (_, last) = trace
+        .samples
+        .last()
+        .expect("a faulted run still produces a trace");
+    last.iter()
+        .map(|s| (s.name.clone(), s.state, s.input_tuples, s.output_tuples))
+        .collect()
+}
+
+/// Everything that must be reproducible from a seeded single-thread run:
+/// the final operator states and counts, the error, and the rendered
+/// timeline minus its wall-clock footer (the `(time)` line carries real
+/// seconds, which legitimately vary run to run).
+fn fingerprint(trace: &ProgressTrace, err: &str) -> String {
+    let timeline: String = render_timeline(trace)
+        .lines()
+        .filter(|l| !l.starts_with("(time)"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!("{:?} | {} | {}", final_states(trace), err, timeline)
+}
+
+/// Live threads in this process (Linux: one entry per task).
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("procfs is available on the test platform")
+        .count()
+}
+
+/// Assert the process thread count returns to at most `baseline`,
+/// polling briefly: pool threads are joined before `run_observed`
+/// returns, but the OS may report the task entry a beat longer.
+fn assert_threads_drained(baseline: usize, context: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let now = live_threads();
+        if now <= baseline {
+            return;
+        }
+        if Instant::now() > deadline {
+            panic!("{context}: {now} threads alive, baseline {baseline}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn same_seed_reproduces_identical_failure_trace() {
+    let baseline = live_threads();
+    let mut prints = Vec::new();
+    for _ in 0..10 {
+        let (wf, _h, _names) = random_chain(5);
+        let plan = FaultPlan::new(5).kill_worker("f0", 10);
+        let (trace, result) = LiveExecutor::new(8)
+            .with_pool_size(1)
+            .with_faults(plan)
+            .run_observed(&wf);
+        let err = result.expect_err("the kill fails the run").to_string();
+        prints.push(fingerprint(&trace, &err));
+    }
+    for (i, w) in prints.windows(2).enumerate() {
+        assert_eq!(
+            w[0], w[1],
+            "runs {i} and {} diverged under the same seed",
+            i + 1
+        );
+    }
+    assert_threads_drained(baseline, "same-seed determinism");
+}
+
+#[test]
+fn panic_capture_surfaces_as_failed_operator() {
+    let baseline = live_threads();
+    let (wf, _h, _names) = random_chain(7);
+    let plan = FaultPlan::new(7).panic_at("f0", 21);
+    let (trace, result) = LiveExecutor::new(8)
+        .with_pool_size(2)
+        .with_faults(plan)
+        .run_observed(&wf);
+    let err = result.expect_err("the panic fails the run").to_string();
+    assert!(err.contains("panicked"), "panic text surfaces: {err}");
+    assert!(err.contains("f0"), "error names the operator: {err}");
+    let st = final_states(&trace);
+    assert!(
+        st.iter()
+            .any(|(n, s, _, _)| n == "f0" && *s == OperatorState::Failed),
+        "the panicking operator ends Failed, not aborted: {st:?}"
+    );
+    assert_threads_drained(baseline, "panic capture");
+}
+
+#[test]
+fn every_fault_kind_drains_and_joins_threads() {
+    let baseline = live_threads();
+    let plans: Vec<FaultPlan> = vec![
+        FaultPlan::new(41).panic_at("f0", 10),
+        FaultPlan::new(41).kill_worker("f0", 10),
+        FaultPlan::new(41).poison_mailbox("sink", 1),
+        FaultPlan::new(41).drop_eos("scan"),
+        FaultPlan::new(41).delay_eos("f0", 2),
+        FaultPlan::new(41).slow_edge("scan", 50),
+    ];
+    for plan in plans {
+        let desc = plan.describe();
+        let (wf, _h, _names) = random_chain(41);
+        let (trace, _result) = LiveExecutor::new(8)
+            .with_pool_size(2)
+            .with_faults(plan)
+            .run_observed(&wf);
+        assert!(
+            !trace.samples.is_empty(),
+            "{desc}: the trace survives the fault"
+        );
+        assert_threads_drained(baseline, &desc);
+    }
+}
+
+#[test]
+fn chaos_random_plans_terminate_with_consistent_traces() {
+    let baseline = live_threads();
+    for seed in 0..32u64 {
+        let (wf, _h, names) = random_chain(seed);
+        let plan = FaultPlan::random(seed, &names);
+        let desc = plan.describe();
+        let (trace, _result) = LiveExecutor::new(8)
+            .with_pool_size(1 + (seed % 3) as usize)
+            .with_faults(plan)
+            .run_observed(&wf);
+        let st = final_states(&trace);
+        // The chain is linear: each operator's input is bounded by its
+        // upstream's output, faulted or not.
+        for w in st.windows(2) {
+            assert!(
+                w[1].2 <= w[0].3,
+                "seed {seed} ({desc}): {} read {} tuples but {} only wrote {}\n{st:?}",
+                w[1].0,
+                w[1].2,
+                w[0].0,
+                w[0].3
+            );
+        }
+        assert!(
+            st.iter().all(|(_, s, _, _)| s.is_terminal()),
+            "seed {seed} ({desc}): operator left non-terminal: {st:?}"
+        );
+        assert_threads_drained(baseline, &format!("chaos seed {seed}"));
+    }
+}
+
+#[test]
+fn trace_parity_under_failure_roundtrips_json() {
+    let baseline = live_threads();
+    let (wf, _h, _names) = random_chain(9);
+    let plan = FaultPlan::new(9).panic_at("f0", 15);
+    let (trace, result) = LiveExecutor::new(8)
+        .with_pool_size(1)
+        .with_faults(plan)
+        .run_observed(&wf);
+    assert!(result.is_err());
+    let st = final_states(&trace);
+    assert!(
+        st.iter().any(|(_, s, _, _)| *s == OperatorState::Failed),
+        "{st:?}"
+    );
+    assert!(
+        st.iter().any(|(_, s, _, _)| *s == OperatorState::Degraded),
+        "downstream of the fault ends Degraded: {st:?}"
+    );
+    // The failure states survive the JSON wire format losslessly.
+    let text = TraceJson::from_trace(&trace).to_string_compact();
+    let back = TraceJson::parse(&text).expect("failure trace parses back");
+    assert_eq!(back.samples, trace.samples);
+    assert_threads_drained(baseline, "trace parity");
+}
+
+#[test]
+fn drop_eos_recovers_without_deadlock() {
+    let baseline = live_threads();
+    let (wf, _h, _names) = random_chain(11);
+    let plan = FaultPlan::new(11).drop_eos("scan");
+    let (trace, result) = LiveExecutor::new(8)
+        .with_pool_size(2)
+        .with_faults(plan)
+        .run_observed(&wf);
+    let err = result.expect_err("dropping EOS fails the run").to_string();
+    assert!(err.contains("end-of-stream"), "{err}");
+    let st = final_states(&trace);
+    assert!(st.iter().all(|(_, s, _, _)| s.is_terminal()), "{st:?}");
+    assert_threads_drained(baseline, "drop EOS");
+}
+
+#[test]
+fn poisoned_mailbox_fails_the_consumer() {
+    let baseline = live_threads();
+    let (wf, _h, _names) = random_chain(9);
+    let plan = FaultPlan::new(9).poison_mailbox("sink", 2);
+    let (trace, result) = LiveExecutor::new(8)
+        .with_pool_size(1)
+        .with_faults(plan)
+        .run_observed(&wf);
+    let err = result.expect_err("the poison fails the run").to_string();
+    assert!(err.contains("poisoned"), "{err}");
+    let st = final_states(&trace);
+    assert!(
+        st.iter()
+            .any(|(n, s, _, _)| n == "sink" && *s == OperatorState::Failed),
+        "the consumer of the poisoned mailbox fails: {st:?}"
+    );
+    assert_threads_drained(baseline, "poisoned mailbox");
+}
+
+#[test]
+fn kill_worker_truncates_but_downstream_still_terminates() {
+    let baseline = live_threads();
+    let (wf, h, _names) = random_chain(5);
+    let plan = FaultPlan::new(5).kill_worker("f0", 10);
+    let (trace, result) = LiveExecutor::new(8)
+        .with_pool_size(1)
+        .with_faults(plan)
+        .run_observed(&wf);
+    assert!(result.is_err());
+    let st = final_states(&trace);
+    let f0 = st.iter().find(|(n, ..)| n == "f0").unwrap();
+    assert_eq!(f0.1, OperatorState::Failed);
+    let sink = st.iter().find(|(n, ..)| n == "sink").unwrap();
+    assert!(sink.1.is_terminal(), "{st:?}");
+    // The sink kept whatever flowed before the kill — no more.
+    assert!(h.len() as u64 <= f0.3, "{} rows vs f0 output {}", h.len(), f0.3);
+    assert_threads_drained(baseline, "kill worker");
+}
+
+#[test]
+fn benign_faults_preserve_every_row() {
+    let baseline = live_threads();
+    let (wf, h, _names) = random_chain(13);
+    let (_trace, clean) = LiveExecutor::new(8).with_pool_size(1).run_observed(&wf);
+    assert!(clean.is_ok());
+    let clean_rows = h.len();
+
+    let (wf, h, _names) = random_chain(13);
+    let plan = FaultPlan::new(13).slow_edge("scan", 50).delay_eos("f0", 3);
+    let (_trace, result) = LiveExecutor::new(8)
+        .with_pool_size(1)
+        .with_faults(plan)
+        .run_observed(&wf);
+    let res = result.expect("benign faults do not fail the run");
+    assert_eq!(h.len(), clean_rows, "benign faults lose nothing");
+    let stats = res.pool.expect("pooled mode reports stats");
+    assert_eq!(stats.faults_injected, 2, "both benign faults counted");
+    assert_threads_drained(baseline, "benign faults");
+}

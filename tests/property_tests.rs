@@ -351,4 +351,28 @@ proptest! {
 
         prop_assert_eq!(sorted(&h_sim), sorted(&h_live));
     }
+
+    /// Chaos: any seeded fault plan against any random chain terminates
+    /// (the drain path and stall detector always converge), keeps the
+    /// final trace monotone (downstream input never exceeds upstream
+    /// output), and leaves every operator in a terminal state.
+    #[test]
+    fn seeded_fault_plans_always_drain(seed in any::<u64>(), pool in 1usize..4) {
+        use scriptflow::workflow::fault::{random_chain, FaultPlan};
+        let (wf, _handle, names) = random_chain(seed);
+        let plan = FaultPlan::random(seed, &names);
+        let (trace, _result) = LiveExecutor::new(8)
+            .with_pool_size(pool)
+            .with_faults(plan)
+            .run_observed(&wf);
+        let (_, last) = trace.samples.last().expect("faulted runs keep a trace");
+        for w in last.windows(2) {
+            prop_assert!(
+                w[1].input_tuples <= w[0].output_tuples,
+                "{} read {} but {} wrote {}",
+                w[1].name, w[1].input_tuples, w[0].name, w[0].output_tuples
+            );
+        }
+        prop_assert!(last.iter().all(|s| s.state.is_terminal()));
+    }
 }
