@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run --release -p scriptflow-bench --bin bench_engine
 //! BENCH_ENGINE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_engine
+//! cargo run --release -p scriptflow-bench --bin bench_engine -- --backend both
 //! ```
 //!
 //! Writes `BENCH_engine.json`: tuples/sec for every (workload, mode,
@@ -18,11 +19,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use scriptflow_bench::backend;
+use scriptflow_core::{BackendChoice, BackendKind};
 use scriptflow_datakit::codec::Json;
 use scriptflow_datakit::{Batch, DataType, Schema, Value};
 use scriptflow_workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
 use scriptflow_workflow::{
-    ExecMode, LiveExecutor, PartitionStrategy, RunMetrics, TraceJson, Workflow, WorkflowBuilder,
+    EngineConfig, ExecMode, PartitionStrategy, RunMetrics, TraceJson, Workflow, WorkflowBuilder,
 };
 
 fn int_batch(n: i64) -> Batch {
@@ -112,7 +115,7 @@ fn measure(
     reps: usize,
     build: impl Fn() -> Workflow,
 ) -> Json {
-    let exec = LiveExecutor::new(1024).with_mode(mode);
+    let exec = backend::live_executor(backend::LIVE_BATCH).with_mode(mode);
     // Warm-up run (thread spawn, allocator churn) not measured.
     exec.run(&build()).expect("bench workflow must run");
     let mut best = f64::INFINITY;
@@ -155,7 +158,41 @@ fn measure(
     Json::Object(fields)
 }
 
+/// A virtual-clock reference point for one workload: the same DAG run
+/// once on the simulator, reporting virtual seconds instead of measured
+/// wall-clock.
+fn measure_sim(workload: &str, parallelism: usize, tuples: i64, wf: &Workflow) -> Json {
+    let run = backend::engine_of(BackendKind::Sim, EngineConfig::default())
+        .run_detached(wf)
+        .expect("bench workflow must run");
+    let secs = run.seconds();
+    println!(
+        "{workload:>16}  {:>8}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms (virtual)",
+        "sim",
+        secs * 1e3
+    );
+    Json::Object(vec![
+        ("workload".into(), Json::Str(workload.into())),
+        ("mode".into(), Json::Str("sim".into())),
+        ("parallelism".into(), Json::Int(parallelism as i64)),
+        ("tuples".into(), Json::Int(tuples)),
+        ("virtual_secs".into(), Json::Float(secs)),
+        ("operators".into(), operators_json(&run.metrics)),
+    ])
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The engine bench defaults to the live executor (that is what it
+    // measures); `--backend both` adds a virtual-clock reference row per
+    // workload, `--backend sim` runs only those.
+    let choice = match backend::parse_backend_flag(&args) {
+        Ok(flag) => flag.unwrap_or(BackendChoice::Live),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let quick = std::env::var("BENCH_ENGINE_QUICK").is_ok();
     let (n, reps) = if quick {
         (5_000i64, 2)
@@ -164,22 +201,36 @@ fn main() {
     };
 
     let mut configs = Vec::new();
-    for &workers in &[1usize, 2, 4, 8] {
+    if choice.includes(BackendKind::Sim) {
+        for &workers in &[1usize, 2, 4, 8] {
+            configs.push(measure_sim(
+                "filter_pipeline",
+                workers,
+                n,
+                &filter_pipeline(n, workers),
+            ));
+        }
+        configs.push(measure_sim("broadcast_join", 4, n, &broadcast_join(n, 4)));
+    }
+    if choice.includes(BackendKind::Live) {
+        for &workers in &[1usize, 2, 4, 8] {
+            for &mode in &[ExecMode::Pooled, ExecMode::ThreadPerWorker] {
+                configs.push(measure("filter_pipeline", mode, workers, n, reps, || {
+                    filter_pipeline(n, workers)
+                }));
+            }
+        }
         for &mode in &[ExecMode::Pooled, ExecMode::ThreadPerWorker] {
-            configs.push(measure("filter_pipeline", mode, workers, n, reps, || {
-                filter_pipeline(n, workers)
+            configs.push(measure("broadcast_join", mode, 4, n, reps, || {
+                broadcast_join(n, 4)
             }));
         }
-    }
-    for &mode in &[ExecMode::Pooled, ExecMode::ThreadPerWorker] {
-        configs.push(measure("broadcast_join", mode, 4, n, reps, || {
-            broadcast_join(n, 4)
-        }));
     }
 
     let doc = Json::Object(vec![
         ("bench".into(), Json::Str("engine".into())),
         ("quick".into(), Json::Bool(quick)),
+        ("backend".into(), Json::Str(choice.label().into())),
         ("configs".into(), Json::Array(configs)),
     ]);
     let path = "BENCH_engine.json";

@@ -7,18 +7,117 @@
 //! cargo run --release -p scriptflow-bench --bin repro --ablations
 //! cargo run --release -p scriptflow-bench --bin repro --fault    # §III-A fault comparison
 //! cargo run --release -p scriptflow-bench --bin repro --csv     # + artifacts/*.csv
+//! cargo run --release -p scriptflow-bench --bin repro fig12a --backend both
 //! ```
+//!
+//! `--backend {sim,live,both}` re-runs the workflow side of each
+//! experiment on the chosen engine(s): `sim` reports virtual seconds
+//! from the calibrated cost model (the default; reproduces the paper),
+//! `live` reports measured wall-clock from the pooled executor, and
+//! `both` prints the two side by side. Any live selection also runs the
+//! four paper tasks on both engines at probe scale and archives each
+//! live run's sampled trace under `artifacts/trace_live_<task>.json`.
 
-use scriptflow_bench::render_side_by_side;
+use scriptflow_bench::{backend, render_side_by_side};
+use scriptflow_core::{BackendChoice, BackendKind, Calibration, Table};
 use scriptflow_study::{ablation_registry, conclusions, fault_registry, registry};
-use scriptflow_core::Calibration;
+use scriptflow_tasks::dice::{self, DiceParams};
+use scriptflow_tasks::gotta::{self, GottaParams};
+use scriptflow_tasks::kge::{self, KgeParams};
+use scriptflow_tasks::wef::{self, WefParams};
+use scriptflow_tasks::BackendRun;
+
+/// Run the four paper tasks at probe scale on every selected backend,
+/// print virtual vs wall-clock seconds side by side, and archive the
+/// live traces.
+fn backend_comparison(choice: BackendChoice) {
+    let cal = Calibration::paper();
+    let runs: [(&str, Box<dyn Fn(BackendKind) -> BackendRun>); 4] = [
+        (
+            "dice",
+            Box::new(|k| {
+                dice::workflow::run_workflow_on(&DiceParams::new(10, 1), &cal, k)
+                    .expect("DICE runs")
+            }),
+        ),
+        (
+            "wef",
+            Box::new(|k| {
+                wef::workflow::run_workflow_on(&WefParams::new(80), &cal, k).expect("WEF runs")
+            }),
+        ),
+        (
+            "gotta",
+            Box::new(|k| {
+                gotta::workflow::run_workflow_on(&GottaParams::new(1, 1), &cal, k)
+                    .expect("GOTTA runs")
+            }),
+        ),
+        (
+            "kge",
+            Box::new(|k| {
+                kge::workflow::run_workflow_on(&KgeParams::new(600, 1), &cal, k)
+                    .expect("KGE runs")
+            }),
+        ),
+    ];
+
+    let headers: Vec<String> = std::iter::once("task".to_owned())
+        .chain(
+            choice
+                .kinds()
+                .iter()
+                .map(|k| format!("{} ({})", k.label(), k.time_unit())),
+        )
+        .chain(std::iter::once("rows".to_owned()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!("probe-scale tasks [backend: {choice}]"),
+        &header_refs,
+    );
+
+    for (task, run_on) in &runs {
+        let mut cells = vec![(*task).to_owned()];
+        let mut rows = None;
+        for kind in choice.kinds() {
+            let run = run_on(*kind);
+            cells.push(format!("{:.3}", run.seconds()));
+            rows = Some(run.run.output.len());
+            if *kind == BackendKind::Live {
+                match backend::archive_live_trace(task, &run.trace) {
+                    Ok(path) => eprintln!("archived live trace: {path}"),
+                    Err(err) => eprintln!("could not archive live trace for {task}: {err}"),
+                }
+            }
+        }
+        cells.push(rows.unwrap_or(0).to_string());
+        t.push_row(cells);
+    }
+    println!("{t}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want_ablations = args.iter().any(|a| a == "--ablations");
     let want_fault = args.iter().any(|a| a == "--fault");
     let want_csv = args.iter().any(|a| a == "--csv");
-    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let backend_flag = match backend::parse_backend_flag(&args) {
+        Ok(flag) => flag,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let choice = backend_flag.unwrap_or_default();
+    let filter: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // Skip the value of a space-separated `--backend <value>`.
+            BackendChoice::parse(a).is_none() || backend_flag.is_none()
+        })
+        .collect();
 
     if want_csv {
         let _ = std::fs::create_dir_all("artifacts");
@@ -30,7 +129,7 @@ fn main() {
         if !filter.is_empty() && !filter.iter().any(|f| meta.id == f.as_str()) {
             continue;
         }
-        let measured = e.run();
+        let measured = e.run_on(choice);
         let paper = e.paper_reference();
         println!("{}", render_side_by_side(&meta, &measured, &paper));
         if want_csv {
@@ -45,6 +144,11 @@ fn main() {
         }
     }
 
+    if choice.includes(BackendKind::Live) {
+        println!("\n################ BACKEND COMPARISON (probe scale) ################\n");
+        backend_comparison(choice);
+    }
+
     if filter.is_empty() {
         println!("\n#################### §VI CONCLUSIONS ####################\n");
         let claims = conclusions::evaluate(&Calibration::paper());
@@ -55,7 +159,7 @@ fn main() {
         println!("\n#################### FAULT TOLERANCE ####################\n");
         for e in fault_registry().experiments() {
             let meta = e.meta();
-            let measured = e.run();
+            let measured = e.run_on(choice);
             let paper = e.paper_reference();
             println!("{}", render_side_by_side(&meta, &measured, &paper));
         }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::backend::BackendChoice;
 use crate::report::{Figure, Table};
 
 /// What an experiment produces: a table or a figure.
@@ -41,6 +42,17 @@ pub trait Experiment {
     /// Run (deterministically) and produce the artifact.
     fn run(&self) -> Artifact;
 
+    /// Run on a specific execution backend (simulator, live pooled
+    /// executor, or both side by side). Experiments that execute
+    /// workflows override this to add per-backend columns/series;
+    /// backend-independent experiments (e.g. lines-of-code counts) keep
+    /// the default, which ignores the choice and delegates to
+    /// [`Experiment::run`].
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        let _ = backend;
+        self.run()
+    }
+
     /// The paper's own numbers for the same artifact, for side-by-side
     /// reporting in EXPERIMENTS.md.
     fn paper_reference(&self) -> Artifact;
@@ -78,9 +90,14 @@ impl Registry {
 
     /// Run every experiment, returning `(meta, measured, reference)`.
     pub fn run_all(&self) -> Vec<(ExperimentMeta, Artifact, Artifact)> {
+        self.run_all_on(BackendChoice::Sim)
+    }
+
+    /// Run every experiment on an explicit backend choice.
+    pub fn run_all_on(&self, backend: BackendChoice) -> Vec<(ExperimentMeta, Artifact, Artifact)> {
         self.experiments
             .iter()
-            .map(|e| (e.meta(), e.run(), e.paper_reference()))
+            .map(|e| (e.meta(), e.run_on(backend), e.paper_reference()))
             .collect()
     }
 }
@@ -119,6 +136,12 @@ mod tests {
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].0.id, "dummy");
         assert_eq!(all[0].1, all[0].2);
+    }
+
+    #[test]
+    fn run_on_defaults_to_backend_agnostic_run() {
+        assert_eq!(Dummy.run_on(BackendChoice::Both), Dummy.run());
+        assert_eq!(Dummy.run_on(BackendChoice::Live), Dummy.run());
     }
 
     #[test]

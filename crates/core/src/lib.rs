@@ -18,17 +18,23 @@
 //! * [`experiment`] — a registry of runnable experiments, each producing
 //!   one paper artifact plus the paper's reference numbers for
 //!   side-by-side comparison,
+//! * [`backend`] — the execution-substrate vocabulary
+//!   ([`backend::BackendKind`]: deterministic simulator vs pooled live
+//!   executor) that experiment configs and CLI flags thread down to the
+//!   task drivers,
 //! * [`calibration`] — the single home of every tunable cost constant
 //!   used by the task implementations.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod calibration;
 pub mod experiment;
 pub mod metrics;
 pub mod paradigm;
 pub mod report;
 
+pub use backend::{BackendChoice, BackendKind};
 pub use calibration::Calibration;
 pub use experiment::{Artifact, Experiment, ExperimentMeta, Registry};
 pub use metrics::{ExecutionMetrics, RunReport};

@@ -13,19 +13,23 @@
 //! [`scriptflow_raysim::RayRuntime::arm_stage_abort`] — and counts what
 //! each paradigm can say afterwards.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use scriptflow_core::{Artifact, Experiment, ExperimentMeta, Table};
-use scriptflow_datakit::{Batch, DataType, Schema, Value};
+use scriptflow_core::{
+    Artifact, BackendChoice, BackendKind, Experiment, ExperimentMeta, Table,
+};
+use scriptflow_datakit::{Batch, DataError, DataType, Schema, Value};
 use scriptflow_notebook::{Cell, Kernel, Notebook};
 use scriptflow_raysim::RayTask;
 use scriptflow_simcluster::SimDuration;
-use scriptflow_workflow::ops::{FilterOp, ScanOp, SinkOp};
+use scriptflow_workflow::ops::{FilterOp, ScanOp, SinkHandle, SinkOp};
 use scriptflow_workflow::{
-    FaultPlan, LiveExecutor, OperatorState, PartitionStrategy, WorkflowBuilder,
+    EngineConfig, ExecBackend, FaultPlan, LiveExecutor, OperatorState, PartitionStrategy,
+    ProgressTrace, Workflow, WorkflowBuilder,
 };
 
-use crate::{SCRIPT_LABEL, WORKFLOW_LABEL};
+use crate::{backend_workflow_label, SCRIPT_LABEL, WORKFLOW_LABEL};
 
 /// Rows the load stage produces (identical for both paradigms).
 const ROWS: i64 = 512;
@@ -47,10 +51,10 @@ pub struct FaultReport {
     pub salvaged_rows: u64,
 }
 
-/// Run a load → parse → count → sink pipeline on the pooled live
-/// executor with a seeded fault plan that panics the parse operator at
-/// tuple [`FAULT_AT`], then read the partial trace back.
-pub fn observe_workflow_fault(seed: u64) -> FaultReport {
+/// Build the load → parse → count → sink fault pipeline around the
+/// given parse operator (the stage both backends inject their fault
+/// into).
+fn fault_pipeline(parse_op: FilterOp) -> (Workflow, SinkHandle) {
     let schema = Schema::of(&[("id", DataType::Int)]);
     let batch = Batch::from_rows(
         schema,
@@ -60,11 +64,7 @@ pub fn observe_workflow_fault(seed: u64) -> FaultReport {
 
     let mut b = WorkflowBuilder::new();
     let load = b.add(Arc::new(ScanOp::new("load", batch)), 1);
-    // "parse" drops malformed rows (every 7th id).
-    let parse = b.add(
-        Arc::new(FilterOp::new("parse", |t| Ok(t.get_int("id")? % 7 != 0))),
-        1,
-    );
+    let parse = b.add(Arc::new(parse_op), 1);
     // "count" passes everything through; the sink tallies what arrives.
     let count = b.add(Arc::new(FilterOp::new("count", |_| Ok(true))), 1);
     let sink_op = SinkOp::new("sink");
@@ -73,15 +73,12 @@ pub fn observe_workflow_fault(seed: u64) -> FaultReport {
     b.connect(load, parse, 0, PartitionStrategy::RoundRobin);
     b.connect(parse, count, 0, PartitionStrategy::RoundRobin);
     b.connect(count, sink, 0, PartitionStrategy::Single);
-    let wf = b.build().expect("fault pipeline is a valid DAG");
+    (b.build().expect("fault pipeline is a valid DAG"), handle)
+}
 
-    let plan = FaultPlan::new(seed).panic_at("parse", FAULT_AT);
-    let (trace, result) = LiveExecutor::new(32)
-        .with_pool_size(1)
-        .with_faults(plan)
-        .run_observed(&wf);
-    assert!(result.is_err(), "the injected panic fails the run");
-
+/// Read a [`FaultReport`] out of the partial trace a failed run left
+/// behind.
+fn report_from_trace(trace: &ProgressTrace, salvaged_rows: u64) -> FaultReport {
     let (_, last) = trace
         .samples
         .last()
@@ -105,8 +102,55 @@ pub fn observe_workflow_fault(seed: u64) -> FaultReport {
         pinned_to,
         units_finished,
         units_lost: last.len() - units_finished,
-        salvaged_rows: handle.len() as u64,
+        salvaged_rows,
     }
+}
+
+/// Run a load → parse → count → sink pipeline on the pooled live
+/// executor with a seeded fault plan that panics the parse operator at
+/// tuple [`FAULT_AT`], then read the partial trace back.
+pub fn observe_workflow_fault(seed: u64) -> FaultReport {
+    // "parse" drops malformed rows (every 7th id); the fault plan kills
+    // it from outside at tuple FAULT_AT.
+    let (wf, handle) = fault_pipeline(FilterOp::new("parse", |t| {
+        Ok(t.get_int("id")? % 7 != 0)
+    }));
+
+    let plan = FaultPlan::new(seed).panic_at("parse", FAULT_AT);
+    let (trace, result) = LiveExecutor::new(32)
+        .with_pool_size(1)
+        .with_faults(plan)
+        .run_observed(&wf);
+    assert!(result.is_err(), "the injected panic fails the run");
+    report_from_trace(&trace, handle.len() as u64)
+}
+
+/// [`observe_workflow_fault`] on an explicit backend. The live path
+/// injects the fault from outside via the seeded [`FaultPlan`]; the
+/// fault plan hooks the live worker pool, so the simulator's equivalent
+/// fault is a parse operator whose decode fails at the same tuple
+/// index. Both runs end with the failure pinned to `parse` in the
+/// terminal trace sample.
+pub fn observe_workflow_fault_on(kind: BackendKind, seed: u64) -> FaultReport {
+    if kind == BackendKind::Live {
+        return observe_workflow_fault(seed);
+    }
+    let calls = AtomicU64::new(0);
+    let (wf, handle) = fault_pipeline(FilterOp::new("parse", move |t| {
+        let n = calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= FAULT_AT {
+            return Err(DataError::Decode {
+                line: n as usize,
+                message: "injected decode fault".into(),
+            });
+        }
+        Ok(t.get_int("id")? % 7 != 0)
+    }));
+
+    let (trace, result) =
+        ExecBackend::sim(EngineConfig::default()).run_observed(&wf);
+    assert!(result.is_err(), "the injected decode fault fails the run");
+    report_from_trace(&trace, handle.len() as u64)
 }
 
 /// Run the script-paradigm equivalent: a three-cell notebook (load,
@@ -224,6 +268,37 @@ impl Experiment for FaultComparison {
         Artifact::Table(t)
     }
 
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let mut t = Table::new(
+            format!("§III-A — fault accountability [backend: {backend}]"),
+            &COLUMNS,
+        );
+        for kind in backend.kinds() {
+            let r = observe_workflow_fault_on(*kind, 7);
+            t.push_row(vec![
+                backend_workflow_label(*kind),
+                r.unit.to_owned(),
+                r.pinned_to.clone(),
+                r.units_finished.to_string(),
+                r.units_lost.to_string(),
+                r.salvaged_rows.to_string(),
+            ]);
+        }
+        let sc = observe_script_fault();
+        t.push_row(vec![
+            SCRIPT_LABEL.to_owned(),
+            sc.unit.to_owned(),
+            sc.pinned_to.clone(),
+            sc.units_finished.to_string(),
+            sc.units_lost.to_string(),
+            sc.salvaged_rows.to_string(),
+        ]);
+        Artifact::Table(t)
+    }
+
     fn paper_reference(&self) -> Artifact {
         let mut t = Table::new("§III-A — fault accountability (paper)", &COLUMNS);
         t.push_row(vec![
@@ -268,6 +343,21 @@ mod tests {
     #[test]
     fn workflow_fault_report_is_deterministic() {
         assert_eq!(observe_workflow_fault(7), observe_workflow_fault(7));
+    }
+
+    #[test]
+    fn sim_backend_fault_is_also_pinned_to_parse() {
+        let r = observe_workflow_fault_on(BackendKind::Sim, 7);
+        assert_eq!(r.unit, "operator");
+        assert_eq!(r.pinned_to, "operator `parse`");
+        // The simulator's terminal sample covers the whole DAG; at
+        // minimum the parse operator itself is lost.
+        assert!(r.units_lost >= 1, "{r:?}");
+        assert_eq!(
+            r.units_finished + r.units_lost,
+            4,
+            "all four operators accounted for: {r:?}"
+        );
     }
 
     #[test]

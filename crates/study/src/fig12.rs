@@ -2,12 +2,12 @@
 //! time vs operator count).
 
 use scriptflow_core::{
-    Artifact, Calibration, Experiment, ExperimentMeta, Figure, Series, Table,
+    Artifact, BackendChoice, Calibration, Experiment, ExperimentMeta, Figure, Series, Table,
 };
 use scriptflow_tasks::kge::{self, KgeParams};
 use scriptflow_tasks::listing;
 
-use crate::{anchors, SCRIPT_LABEL, WORKFLOW_LABEL};
+use crate::{anchors, backend_workflow_label, SCRIPT_LABEL, WORKFLOW_LABEL};
 
 /// Fig. 12a: lines of code per task under both paradigms.
 pub struct Fig12a;
@@ -90,6 +90,31 @@ impl Experiment for Fig12b {
             format!("{SCRIPT_LABEL} (reference)"),
             (1..=6).map(|x| (x as f64, script)).collect(),
         ));
+        Artifact::Figure(fig)
+    }
+
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        let mut fig = Figure::new(
+            "fig12b",
+            format!("KGE modularity [backend: {backend}]"),
+            "logical operators",
+            "execution time (s)",
+        );
+        for kind in backend.kinds() {
+            let points: Vec<(f64, f64)> = (1..=6)
+                .map(|fusion| {
+                    let p = KgeParams::new(6_800, 1).with_fusion(fusion);
+                    let run = kge::workflow::run_workflow_on(&p, &cal, *kind)
+                        .expect("workflow run");
+                    (fusion as f64, run.seconds())
+                })
+                .collect();
+            fig.push_series(Series::new(backend_workflow_label(*kind), points));
+        }
         Artifact::Figure(fig)
     }
 

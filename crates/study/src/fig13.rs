@@ -1,12 +1,14 @@
 //! Experiment #3 — dataset-size scaling (Fig. 13a–d).
 
-use scriptflow_core::{Artifact, Calibration, Experiment, ExperimentMeta, Figure, Series};
+use scriptflow_core::{
+    Artifact, BackendChoice, BackendKind, Calibration, Experiment, ExperimentMeta, Figure, Series,
+};
 use scriptflow_tasks::dice::{self, DiceParams};
 use scriptflow_tasks::gotta::{self, GottaParams};
 use scriptflow_tasks::kge::{self, KgeParams};
 use scriptflow_tasks::wef::{self, WefParams};
 
-use crate::{anchors, SCRIPT_LABEL, WORKFLOW_LABEL};
+use crate::{anchors, backend_workflow_label, SCRIPT_LABEL, WORKFLOW_LABEL};
 
 fn figure_from(
     id: &str,
@@ -23,6 +25,38 @@ fn figure_from(
         WORKFLOW_LABEL,
         points.iter().map(|(x, _, w)| (*x, *w)).collect(),
     ));
+    fig
+}
+
+/// Backend-aware variant of [`figure_from`]: the simulated script series
+/// stays the reference, while the workflow side gets one series per
+/// selected backend (virtual seconds for sim, measured wall-clock for
+/// live).
+fn backend_figure(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    backend: BackendChoice,
+    xs: &[usize],
+    script_at: impl Fn(usize) -> f64,
+    workflow_at: impl Fn(usize, BackendKind) -> f64,
+) -> Figure {
+    let mut fig = Figure::new(
+        id,
+        format!("{title} [backend: {backend}]"),
+        x_label,
+        "execution time (s)",
+    );
+    fig.push_series(Series::new(
+        SCRIPT_LABEL,
+        xs.iter().map(|&x| (x as f64, script_at(x))).collect(),
+    ));
+    for kind in backend.kinds() {
+        fig.push_series(Series::new(
+            backend_workflow_label(*kind),
+            xs.iter().map(|&x| (x as f64, workflow_at(x, *kind))).collect(),
+        ));
+    }
     fig
 }
 
@@ -66,6 +100,30 @@ impl Experiment for Fig13a {
         ))
     }
 
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        Artifact::Figure(backend_figure(
+            "fig13a",
+            "DICE scaling",
+            "file pairs",
+            backend,
+            &[10, 50, 100, 200],
+            |pairs| {
+                dice::script::run_script(&DiceParams::new(pairs, 1), &cal)
+                    .expect("script run")
+                    .seconds()
+            },
+            |pairs, kind| {
+                dice::workflow::run_workflow_on(&DiceParams::new(pairs, 1), &cal, kind)
+                    .expect("workflow run")
+                    .seconds()
+            },
+        ))
+    }
+
     fn paper_reference(&self) -> Artifact {
         reference_figure("fig13a", "DICE scaling (paper)", "file pairs", &anchors::FIG13A)
     }
@@ -97,6 +155,30 @@ impl Experiment for Fig13b {
         Artifact::Figure(figure_from("fig13b", "WEF scaling", "tweets", points))
     }
 
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        Artifact::Figure(backend_figure(
+            "fig13b",
+            "WEF scaling",
+            "tweets",
+            backend,
+            &[200, 300, 400],
+            |tweets| {
+                wef::script::run_script(&WefParams::new(tweets), &cal)
+                    .expect("script run")
+                    .seconds()
+            },
+            |tweets, kind| {
+                wef::workflow::run_workflow_on(&WefParams::new(tweets), &cal, kind)
+                    .expect("workflow run")
+                    .seconds()
+            },
+        ))
+    }
+
     fn paper_reference(&self) -> Artifact {
         reference_figure("fig13b", "WEF scaling (paper)", "tweets", &anchors::FIG13B)
     }
@@ -126,6 +208,34 @@ impl Experiment for Fig13c {
             })
             .collect();
         Artifact::Figure(figure_from("fig13c", "KGE scaling", "products", points))
+    }
+
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        Artifact::Figure(backend_figure(
+            "fig13c",
+            "KGE scaling",
+            "products",
+            backend,
+            &[6_800, 68_000],
+            |products| {
+                kge::script::run_script(&KgeParams::new(products, 1).with_fusion(3), &cal)
+                    .expect("script run")
+                    .seconds()
+            },
+            |products, kind| {
+                kge::workflow::run_workflow_on(
+                    &KgeParams::new(products, 1).with_fusion(3),
+                    &cal,
+                    kind,
+                )
+                .expect("workflow run")
+                .seconds()
+            },
+        ))
     }
 
     fn paper_reference(&self) -> Artifact {
@@ -161,6 +271,30 @@ impl Experiment for Fig13d {
             "GOTTA scaling",
             "paragraphs",
             points,
+        ))
+    }
+
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        Artifact::Figure(backend_figure(
+            "fig13d",
+            "GOTTA scaling",
+            "paragraphs",
+            backend,
+            &[1, 4, 16],
+            |paragraphs| {
+                gotta::script::run_script(&GottaParams::new(paragraphs, 1), &cal)
+                    .expect("script run")
+                    .seconds()
+            },
+            |paragraphs, kind| {
+                gotta::workflow::run_workflow_on(&GottaParams::new(paragraphs, 1), &cal, kind)
+                    .expect("workflow run")
+                    .seconds()
+            },
         ))
     }
 

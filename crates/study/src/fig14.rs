@@ -1,11 +1,13 @@
 //! Experiment #4 — worker scaling (Fig. 14a–c).
 
-use scriptflow_core::{Artifact, Calibration, Experiment, ExperimentMeta, Figure, Series};
+use scriptflow_core::{
+    Artifact, BackendChoice, BackendKind, Calibration, Experiment, ExperimentMeta, Figure, Series,
+};
 use scriptflow_tasks::dice::{self, DiceParams};
 use scriptflow_tasks::gotta::{self, GottaParams};
 use scriptflow_tasks::kge::{self, KgeParams};
 
-use crate::{anchors, SCRIPT_LABEL, WORKFLOW_LABEL};
+use crate::{anchors, backend_workflow_label, SCRIPT_LABEL, WORKFLOW_LABEL};
 
 const WORKERS: [usize; 3] = [1, 2, 4];
 
@@ -19,6 +21,37 @@ fn figure_from(id: &str, title: &str, points: Vec<(f64, f64, f64)>) -> Figure {
         WORKFLOW_LABEL,
         points.iter().map(|(x, _, w)| (*x, *w)).collect(),
     ));
+    fig
+}
+
+/// Backend-aware worker-scaling figure: simulated script reference plus
+/// one workflow series per selected backend over the [`WORKERS`] sweep.
+fn backend_figure(
+    id: &str,
+    title: &str,
+    backend: BackendChoice,
+    script_at: impl Fn(usize) -> f64,
+    workflow_at: impl Fn(usize, BackendKind) -> f64,
+) -> Figure {
+    let mut fig = Figure::new(
+        id,
+        format!("{title} [backend: {backend}]"),
+        "workers",
+        "execution time (s)",
+    );
+    fig.push_series(Series::new(
+        SCRIPT_LABEL,
+        WORKERS.iter().map(|&w| (w as f64, script_at(w))).collect(),
+    ));
+    for kind in backend.kinds() {
+        fig.push_series(Series::new(
+            backend_workflow_label(*kind),
+            WORKERS
+                .iter()
+                .map(|&w| (w as f64, workflow_at(w, *kind)))
+                .collect(),
+        ));
+    }
     fig
 }
 
@@ -56,6 +89,28 @@ impl Experiment for Fig14a {
         Artifact::Figure(figure_from("fig14a", "DICE workers", points))
     }
 
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        Artifact::Figure(backend_figure(
+            "fig14a",
+            "DICE workers",
+            backend,
+            |w| {
+                dice::script::run_script(&DiceParams::new(200, w), &cal)
+                    .expect("script run")
+                    .seconds()
+            },
+            |w, kind| {
+                dice::workflow::run_workflow_on(&DiceParams::new(200, w), &cal, kind)
+                    .expect("workflow run")
+                    .seconds()
+            },
+        ))
+    }
+
     fn paper_reference(&self) -> Artifact {
         reference("fig14a", "DICE workers (paper)", &anchors::FIG14A)
     }
@@ -87,6 +142,28 @@ impl Experiment for Fig14b {
         Artifact::Figure(figure_from("fig14b", "GOTTA workers", points))
     }
 
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        Artifact::Figure(backend_figure(
+            "fig14b",
+            "GOTTA workers",
+            backend,
+            |w| {
+                gotta::script::run_script(&GottaParams::new(4, w), &cal)
+                    .expect("script run")
+                    .seconds()
+            },
+            |w, kind| {
+                gotta::workflow::run_workflow_on(&GottaParams::new(4, w), &cal, kind)
+                    .expect("workflow run")
+                    .seconds()
+            },
+        ))
+    }
+
     fn paper_reference(&self) -> Artifact {
         reference("fig14b", "GOTTA workers (paper)", &anchors::FIG14B)
     }
@@ -116,6 +193,32 @@ impl Experiment for Fig14c {
             })
             .collect();
         Artifact::Figure(figure_from("fig14c", "KGE workers", points))
+    }
+
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        Artifact::Figure(backend_figure(
+            "fig14c",
+            "KGE workers",
+            backend,
+            |w| {
+                kge::script::run_script(&KgeParams::new(68_000, w).with_fusion(3), &cal)
+                    .expect("script run")
+                    .seconds()
+            },
+            |w, kind| {
+                kge::workflow::run_workflow_on(
+                    &KgeParams::new(68_000, w).with_fusion(3),
+                    &cal,
+                    kind,
+                )
+                .expect("workflow run")
+                .seconds()
+            },
+        ))
     }
 
     fn paper_reference(&self) -> Artifact {

@@ -25,12 +25,19 @@ pub mod report;
 pub mod sensitivity;
 pub mod table1;
 
-use scriptflow_core::Registry;
+use scriptflow_core::{BackendKind, Registry};
 
 /// Label used for the script paradigm series (the paper's legend).
 pub const SCRIPT_LABEL: &str = "Jupyter Notebook";
 /// Label used for the workflow paradigm series.
 pub const WORKFLOW_LABEL: &str = "Texera";
+
+/// Per-backend workflow series/row label for backend-aware reports,
+/// e.g. `"Texera (live, wall-clock s)"`. The script paradigm is always
+/// simulated, so only the workflow side fans out per backend.
+pub fn backend_workflow_label(kind: BackendKind) -> String {
+    format!("{WORKFLOW_LABEL} ({}, {})", kind.label(), kind.time_unit())
+}
 
 /// The full experiment suite, in the paper's order.
 pub fn registry() -> Registry {

@@ -14,14 +14,18 @@
 //!   [`scriptflow_raysim::SpanEvent`] per stage barrier or object-store
 //!   transfer — nothing finer exists to observe.
 
-use scriptflow_core::{Artifact, Calibration, Experiment, ExperimentMeta, Table};
+use std::time::Duration;
+
+use scriptflow_core::{
+    Artifact, BackendChoice, BackendKind, Calibration, Experiment, ExperimentMeta, Table,
+};
 use scriptflow_notebook::{Cell, Kernel, Notebook};
 use scriptflow_raysim::RayTask;
-use scriptflow_simcluster::{ClusterSpec, SimDuration};
-use scriptflow_tasks::dice::{workflow::build_dice_workflow, DiceParams};
-use scriptflow_workflow::{EngineConfig, SimExecutor};
+use scriptflow_simcluster::SimDuration;
+use scriptflow_tasks::dice::{self, workflow::build_dice_workflow, DiceParams};
+use scriptflow_workflow::{ExecBackend, LiveExecutor, SimExecutor};
 
-use crate::{SCRIPT_LABEL, WORKFLOW_LABEL};
+use crate::{backend_workflow_label, SCRIPT_LABEL, WORKFLOW_LABEL};
 
 /// What one paradigm exposes about a running DICE-sized job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,18 +44,29 @@ pub struct ObservationReport {
 /// Observe a DICE workflow run: simulate the DAG with progress tracing
 /// enabled and count what the GUI would have had to display.
 pub fn observe_workflow(params: &DiceParams, cal: &Calibration) -> ObservationReport {
+    observe_workflow_on(params, cal, BackendKind::Sim)
+}
+
+/// [`observe_workflow`] on an explicit backend: the simulator samples
+/// its virtual clock every 100 ms of simulated time, the live pooled
+/// executor samples its wall clock every millisecond. Either way the
+/// run ends with a terminal trace sample, so `events` is never zero.
+pub fn observe_workflow_on(
+    params: &DiceParams,
+    cal: &Calibration,
+    kind: BackendKind,
+) -> ObservationReport {
     let (wf, _handle) = build_dice_workflow(params, cal).expect("DICE workflow builds");
-    let cfg = EngineConfig {
-        cluster: ClusterSpec::paper_cluster(),
-        batch_size: cal.wf_batch_size,
-        serde_per_tuple: cal.wf_serde_per_tuple,
-        pipelining: cal.wf_pipelining,
-        ..EngineConfig::default()
+    let cfg = dice::workflow::engine_config(cal);
+    let backend = match kind {
+        BackendKind::Sim => ExecBackend::from_sim(
+            SimExecutor::new(cfg).with_trace(SimDuration::from_millis(100)),
+        ),
+        BackendKind::Live => ExecBackend::from_live(
+            LiveExecutor::new(cfg.batch_size.max(1)).with_trace(Duration::from_millis(1)),
+        ),
     };
-    let res = SimExecutor::new(cfg)
-        .with_trace(SimDuration::from_millis(100))
-        .run(&wf)
-        .expect("DICE workflow runs");
+    let res = backend.run_detached(&wf).expect("DICE workflow runs");
     let operators = res.metrics.operators.len();
     ObservationReport {
         unit: "operator",
@@ -158,6 +173,36 @@ impl Experiment for ObsComparison {
         Artifact::Table(t)
     }
 
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let cal = Calibration::paper();
+        let mut t = Table::new(
+            format!("§III-A — paradigm observability [backend: {backend}]"),
+            &COLUMNS,
+        );
+        for kind in backend.kinds() {
+            let r = observe_workflow_on(&DiceParams::new(40, 2), &cal, *kind);
+            t.push_row(vec![
+                backend_workflow_label(*kind),
+                r.unit.to_owned(),
+                r.units.to_string(),
+                r.events.to_string(),
+                r.failure_granularity.to_owned(),
+            ]);
+        }
+        let sc = observe_script();
+        t.push_row(vec![
+            SCRIPT_LABEL.to_owned(),
+            sc.unit.to_owned(),
+            sc.units.to_string(),
+            sc.events.to_string(),
+            sc.failure_granularity.to_owned(),
+        ]);
+        Artifact::Table(t)
+    }
+
     fn paper_reference(&self) -> Artifact {
         let mut t = Table::new("§III-A — paradigm observability (paper)", &COLUMNS);
         t.push_row(vec![
@@ -188,6 +233,18 @@ mod tests {
         assert_eq!(r.unit, "operator");
         assert!(r.units >= 5, "DICE has a multi-operator DAG: {r:?}");
         // At least the final trace sample covers all operators.
+        assert!(r.events >= r.units, "{r:?}");
+    }
+
+    #[test]
+    fn live_observation_also_covers_every_operator() {
+        let r = observe_workflow_on(
+            &DiceParams::new(20, 2),
+            &Calibration::paper(),
+            BackendKind::Live,
+        );
+        assert_eq!(r.unit, "operator");
+        assert!(r.units >= 5, "live DICE run tracks the full DAG: {r:?}");
         assert!(r.events >= r.units, "{r:?}");
     }
 

@@ -1,6 +1,8 @@
 //! Experiment #2 — language efficiency (Table I).
 
-use scriptflow_core::{Artifact, Calibration, Experiment, ExperimentMeta, Table};
+use scriptflow_core::{
+    Artifact, BackendChoice, BackendKind, Calibration, Experiment, ExperimentMeta, Table,
+};
 use scriptflow_simcluster::Language;
 use scriptflow_tasks::kge::{self, KgeParams};
 
@@ -14,21 +16,29 @@ impl Table1 {
     /// Run both variants; returns `(products, scala seconds, python
     /// seconds)` rows.
     pub fn measure() -> Vec<(usize, f64, f64)> {
+        Self::measure_on(BackendKind::Sim)
+    }
+
+    /// [`Table1::measure`] on an explicit backend: virtual seconds on
+    /// the simulator, measured wall-clock on the live executor.
+    pub fn measure_on(kind: BackendKind) -> Vec<(usize, f64, f64)> {
         let cal = Calibration::paper();
         [6_800usize, 68_000]
             .into_iter()
             .map(|products| {
-                let python = kge::workflow::run_workflow(
+                let python = kge::workflow::run_workflow_on(
                     &KgeParams::new(products, 1).with_fusion(3).with_pandas_join(),
                     &cal,
+                    kind,
                 )
                 .expect("python workflow")
                 .seconds();
-                let scala = kge::workflow::run_workflow(
+                let scala = kge::workflow::run_workflow_on(
                     &KgeParams::new(products, 1)
                         .with_fusion(3)
                         .with_join_language(Language::Scala),
                     &cal,
+                    kind,
                 )
                 .expect("scala workflow")
                 .seconds();
@@ -70,6 +80,36 @@ impl Experiment for Table1 {
             "TABLE I — KGE execution times, Scala vs Python operators",
             &Self::measure(),
         ))
+    }
+
+    fn run_on(&self, backend: BackendChoice) -> Artifact {
+        if backend == BackendChoice::Sim {
+            return self.run();
+        }
+        let mut t = Table::new(
+            format!(
+                "TABLE I — KGE execution times, Scala vs Python operators [backend: {backend}]"
+            ),
+            &["", "6.8K pairs", "68K pairs"],
+        );
+        for kind in backend.kinds() {
+            let rows = Self::measure_on(*kind);
+            let find = |n: usize| rows.iter().find(|(p, _, _)| *p == n).expect("row");
+            let (_, s_small, p_small) = find(6_800);
+            let (_, s_large, p_large) = find(68_000);
+            let suffix = format!("({}, {})", kind.label(), kind.time_unit());
+            t.push_row(vec![
+                format!("Time for Scala-based operators {suffix}"),
+                format!("{s_small:.2}"),
+                format!("{s_large:.2}"),
+            ]);
+            t.push_row(vec![
+                format!("Time for Python-based operators {suffix}"),
+                format!("{p_small:.2}"),
+                format!("{p_large:.2}"),
+            ]);
+        }
+        Artifact::Table(t)
     }
 
     fn paper_reference(&self) -> Artifact {

@@ -1,5 +1,9 @@
-use scriptflow_core::Calibration;
-use scriptflow_tasks::dice::{script::run_script, workflow::run_workflow, DiceParams};
+use scriptflow_core::{BackendKind, Calibration};
+use scriptflow_tasks::dice::{
+    script::run_script,
+    workflow::{run_workflow, run_workflow_on},
+    DiceParams,
+};
 
 fn main() {
     let cal = Calibration::paper();
@@ -17,4 +21,10 @@ fn main() {
         let w = run_workflow(&p, &cal).unwrap().seconds();
         println!("  workers={workers} script={s:8.2} workflow={w:8.2}");
     }
+    let live = run_workflow_on(&DiceParams::new(10, 1), &cal, BackendKind::Live).unwrap();
+    println!(
+        "live backend @10 pairs: wall-clock={:.3}s rows={}",
+        live.wall_clock.unwrap().as_secs_f64(),
+        live.run.output.len()
+    );
 }

@@ -1,5 +1,9 @@
-use scriptflow_core::Calibration;
-use scriptflow_tasks::gotta::{script::run_script, workflow::run_workflow, GottaParams};
+use scriptflow_core::{BackendKind, Calibration};
+use scriptflow_tasks::gotta::{
+    script::run_script,
+    workflow::{run_workflow, run_workflow_on},
+    GottaParams,
+};
 fn main() {
     let cal = Calibration::paper();
     println!("Fig13d (paper JN: 163.22/463.96/1389.93; Tex: 64.14/149.45/460.13)");
@@ -14,4 +18,10 @@ fn main() {
         let w = run_workflow(&GottaParams::new(4, wk), &cal).unwrap().seconds();
         println!("  workers={wk} script={s:8.2} workflow={w:8.2}");
     }
+    let live = run_workflow_on(&GottaParams::new(1, 1), &cal, BackendKind::Live).unwrap();
+    println!(
+        "live backend @1 paragraph: wall-clock={:.3}s rows={}",
+        live.wall_clock.unwrap().as_secs_f64(),
+        live.run.output.len()
+    );
 }

@@ -1,6 +1,10 @@
-use scriptflow_core::Calibration;
+use scriptflow_core::{BackendKind, Calibration};
 use scriptflow_simcluster::Language;
-use scriptflow_tasks::kge::{script::run_script, workflow::run_workflow, KgeParams};
+use scriptflow_tasks::kge::{
+    script::run_script,
+    workflow::{run_workflow, run_workflow_on},
+    KgeParams,
+};
 fn main() {
     let cal = Calibration::paper();
     println!("Fig13c (paper JN: 90.69/975.46; Tex: 135.85/1350.50)");
@@ -27,4 +31,10 @@ fn main() {
         let w = run_workflow(&KgeParams::new(68_000, wk).with_fusion(3), &cal).unwrap().seconds();
         println!("  workers={wk} script={s:8.2} workflow={w:8.2}");
     }
+    let live = run_workflow_on(&KgeParams::new(600, 1), &cal, BackendKind::Live).unwrap();
+    println!(
+        "live backend @600 products: wall-clock={:.3}s rows={}",
+        live.wall_clock.unwrap().as_secs_f64(),
+        live.run.output.len()
+    );
 }

@@ -1,5 +1,9 @@
-use scriptflow_core::Calibration;
-use scriptflow_tasks::wef::{script::run_script, workflow::run_workflow, WefParams};
+use scriptflow_core::{BackendKind, Calibration};
+use scriptflow_tasks::wef::{
+    script::run_script,
+    workflow::{run_workflow, run_workflow_on},
+    WefParams,
+};
 fn main() {
     let cal = Calibration::paper();
     println!("Fig13b (paper JN: 1285.82/1922.86/2587.94; Tex: 1264.93/1896.01/2525.96)");
@@ -9,4 +13,10 @@ fn main() {
         let w = run_workflow(&p, &cal).unwrap().seconds();
         println!("  tweets={n} script={s:9.2} workflow={w:9.2}");
     }
+    let live = run_workflow_on(&WefParams::new(80), &cal, BackendKind::Live).unwrap();
+    println!(
+        "live backend @80 tweets: wall-clock={:.3}s rows={}",
+        live.wall_clock.unwrap().as_secs_f64(),
+        live.run.output.len()
+    );
 }

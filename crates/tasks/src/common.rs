@@ -1,7 +1,10 @@
 //! Shared result types for task runs.
 
-use scriptflow_core::{ExecutionMetrics, Paradigm, RunReport};
+use std::time::Duration;
+
+use scriptflow_core::{BackendKind, ExecutionMetrics, Paradigm, RunReport};
 use scriptflow_simcluster::SimTime;
+use scriptflow_workflow::{EngineRun, PoolStats, ProgressTrace};
 
 /// One task execution: the comparable report plus the real output.
 #[derive(Debug, Clone)]
@@ -44,9 +47,51 @@ impl TaskRun {
         }
     }
 
-    /// Virtual seconds the run took.
+    /// Seconds the run took (virtual for simulated runs, wall-clock for
+    /// live-backend runs).
     pub fn seconds(&self) -> f64 {
         self.report.metrics.total_seconds
+    }
+}
+
+/// A workflow-paradigm task executed on an explicitly chosen backend:
+/// the paradigm-comparison record plus the backend's own observability.
+///
+/// Produced by each task's `run_workflow_on`; the backend-agnostic
+/// `run_workflow` entry points stay sim-only and return the inner
+/// [`TaskRun`] unchanged, so paper anchors are untouched.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Which backend executed the DAG.
+    pub kind: BackendKind,
+    /// The paradigm-comparison record; `total_seconds` is on the
+    /// backend's own clock ([`BackendKind::time_unit`]).
+    pub run: TaskRun,
+    /// Measured host time; `None` on the simulator.
+    pub wall_clock: Option<Duration>,
+    /// Per-operator progress samples; both backends guarantee at least
+    /// the terminal sample.
+    pub trace: ProgressTrace,
+    /// Pool scheduling counters; `Some` only on the pooled live backend.
+    pub pool: Option<PoolStats>,
+}
+
+impl BackendRun {
+    /// Pair a task's comparison record with the engine run that
+    /// produced it.
+    pub fn from_engine(run: TaskRun, engine: EngineRun) -> Self {
+        BackendRun {
+            kind: engine.kind,
+            run,
+            wall_clock: engine.wall_clock,
+            trace: engine.trace,
+            pool: engine.pool,
+        }
+    }
+
+    /// Seconds on the backend's own clock.
+    pub fn seconds(&self) -> f64 {
+        self.run.seconds()
     }
 }
 

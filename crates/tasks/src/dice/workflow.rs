@@ -18,17 +18,17 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use scriptflow_core::{Calibration, Paradigm};
+use scriptflow_core::{BackendKind, Calibration, Paradigm};
 use scriptflow_datakit::{DataType, Schema, Tuple, Value};
 use scriptflow_simcluster::ClusterSpec;
 use scriptflow_workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp, StatefulUdfOp, UdfOp};
 use scriptflow_workflow::{
-    CostProfile, EngineConfig, PartitionStrategy, SimExecutor, WorkflowBuilder, WorkflowError,
+    CostProfile, EngineConfig, ExecBackend, PartitionStrategy, WorkflowBuilder, WorkflowError,
     WorkflowResult,
 };
 
 use super::{row_fingerprint, DiceParams};
-use crate::common::TaskRun;
+use crate::common::{BackendRun, TaskRun};
 use crate::listing;
 
 /// The normalized annotation schema flowing into the union/link stage.
@@ -316,23 +316,37 @@ pub fn build_dice_workflow(
     Ok((b.build()?, handle))
 }
 
-/// Run DICE on the simulated workflow engine.
-pub fn run_workflow(params: &DiceParams, cal: &Calibration) -> WorkflowResult<TaskRun> {
-    let (wf, handle) = build_dice_workflow(params, cal)?;
-    let operator_count = wf.operator_count();
-    let total_workers = wf.total_workers();
-
-    let config = EngineConfig {
+/// The engine configuration DICE runs under (shared by both backends;
+/// only `batch_size` has a live analogue).
+pub fn engine_config(cal: &Calibration) -> EngineConfig {
+    EngineConfig {
         cluster: ClusterSpec::paper_cluster(),
         batch_size: cal.wf_batch_size,
         serde_per_tuple: cal.wf_serde_per_tuple,
         pipelining: cal.wf_pipelining,
         ..EngineConfig::default()
-    };
-    let result = SimExecutor::new(config).run(&wf)?;
+    }
+}
 
-    let output: Vec<String> = handle
-        .results()
+/// Run DICE on the simulated workflow engine.
+pub fn run_workflow(params: &DiceParams, cal: &Calibration) -> WorkflowResult<TaskRun> {
+    Ok(run_workflow_on(params, cal, BackendKind::Sim)?.run)
+}
+
+/// Run DICE on an explicitly chosen execution backend.
+pub fn run_workflow_on(
+    params: &DiceParams,
+    cal: &Calibration,
+    kind: BackendKind,
+) -> WorkflowResult<BackendRun> {
+    let (wf, handle) = build_dice_workflow(params, cal)?;
+    let operator_count = wf.operator_count();
+    let total_workers = wf.total_workers();
+
+    let engine = ExecBackend::of_kind(kind, engine_config(cal)).run(&wf, &handle)?;
+
+    let output: Vec<String> = engine
+        .rows
         .iter()
         .map(|t| {
             row_fingerprint(
@@ -347,16 +361,17 @@ pub fn run_workflow(params: &DiceParams, cal: &Calibration) -> WorkflowResult<Ta
         })
         .collect();
 
-    Ok(TaskRun::new(
+    let run = TaskRun::new(
         "DICE",
         Paradigm::Workflow,
         params.config_string(),
-        result.makespan,
+        engine.makespan,
         total_workers,
         listing::dice_workflow_listing().lines().count(),
         operator_count,
         output,
-    ))
+    );
+    Ok(BackendRun::from_engine(run, engine))
 }
 
 #[cfg(test)]

@@ -7,18 +7,18 @@
 
 use std::sync::Arc;
 
-use scriptflow_core::{Calibration, Paradigm};
+use scriptflow_core::{BackendKind, Calibration, Paradigm};
 use scriptflow_datakit::{DataType, Schema, Tuple, Value};
 use scriptflow_mlkit::ClozeAnswerer;
 use scriptflow_simcluster::ClusterSpec;
 use scriptflow_workflow::ops::{ScanOp, SinkOp, UdfOp};
 use scriptflow_workflow::{
-    CostProfile, EngineConfig, PartitionStrategy, SimExecutor, WorkflowBuilder, WorkflowError,
+    CostProfile, EngineConfig, ExecBackend, PartitionStrategy, WorkflowBuilder, WorkflowError,
     WorkflowResult,
 };
 
 use super::GottaParams;
-use crate::common::TaskRun;
+use crate::common::{BackendRun, TaskRun};
 use crate::listing;
 
 /// Build the GOTTA workflow DAG; returns it with the results handle.
@@ -118,37 +118,51 @@ pub fn build_gotta_workflow(
     Ok((b.build()?, handle))
 }
 
-/// Run GOTTA on the simulated workflow engine.
-pub fn run_workflow(params: &GottaParams, cal: &Calibration) -> WorkflowResult<TaskRun> {
-    let (wf, handle) = build_gotta_workflow(params, cal)?;
-    let operator_count = wf.operator_count();
-    let total_workers = wf.total_workers();
-
-    let config = EngineConfig {
+/// The engine configuration GOTTA runs under.
+pub fn engine_config(cal: &Calibration) -> EngineConfig {
+    EngineConfig {
         cluster: ClusterSpec::paper_cluster(),
         batch_size: 1, // generation streams question-by-question
         serde_per_tuple: cal.wf_serde_per_tuple,
         pipelining: cal.wf_pipelining,
         ..EngineConfig::default()
-    };
-    let result = SimExecutor::new(config).run(&wf)?;
+    }
+}
 
-    let output: Vec<String> = handle
-        .results()
+/// Run GOTTA on the simulated workflow engine.
+pub fn run_workflow(params: &GottaParams, cal: &Calibration) -> WorkflowResult<TaskRun> {
+    Ok(run_workflow_on(params, cal, BackendKind::Sim)?.run)
+}
+
+/// Run GOTTA on an explicitly chosen execution backend.
+pub fn run_workflow_on(
+    params: &GottaParams,
+    cal: &Calibration,
+    kind: BackendKind,
+) -> WorkflowResult<BackendRun> {
+    let (wf, handle) = build_gotta_workflow(params, cal)?;
+    let operator_count = wf.operator_count();
+    let total_workers = wf.total_workers();
+
+    let engine = ExecBackend::of_kind(kind, engine_config(cal)).run(&wf, &handle)?;
+
+    let output: Vec<String> = engine
+        .rows
         .iter()
         .map(|t| t.get_str("row").expect("schema").to_owned())
         .collect();
 
-    Ok(TaskRun::new(
+    let run = TaskRun::new(
         "GOTTA",
         Paradigm::Workflow,
         params.config_string(),
-        result.makespan,
+        engine.makespan,
         total_workers,
         listing::count_loc(&listing::gotta_workflow_listing()),
         operator_count,
         output,
-    ))
+    );
+    Ok(BackendRun::from_engine(run, engine))
 }
 
 #[cfg(test)]

@@ -16,18 +16,18 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use scriptflow_core::{Calibration, Paradigm};
+use scriptflow_core::{BackendKind, Calibration, Paradigm};
 use scriptflow_datakit::{DataType, Schema, SchemaRef, Tuple, Value};
 use scriptflow_mlkit::kge::KgeScorer;
 use scriptflow_simcluster::{ClusterSpec, Language, SimDuration};
 use scriptflow_workflow::ops::{HashJoinOp, ScanOp, SinkOp, StatefulUdfOp, UdfOp};
 use scriptflow_workflow::{
-    CostProfile, EngineConfig, OpId, PartitionStrategy, SimExecutor, WorkflowBuilder,
+    CostProfile, EngineConfig, ExecBackend, OpId, PartitionStrategy, WorkflowBuilder,
     WorkflowError, WorkflowResult,
 };
 
 use super::KgeParams;
-use crate::common::TaskRun;
+use crate::common::{BackendRun, TaskRun};
 use crate::listing;
 
 /// (id, name, score) rows flowing after scoring.
@@ -76,8 +76,12 @@ fn format_row(rank: usize, id: i64, name: &str, score: f64) -> String {
     format!("rank={rank}|id={id}|name={name}|score={score:.4}")
 }
 
-/// Run KGE on the simulated workflow engine.
-pub fn run_workflow(params: &KgeParams, cal: &Calibration) -> WorkflowResult<TaskRun> {
+/// Build the KGE workflow DAG at the params' fusion level; returns it
+/// with the results handle.
+pub fn build_kge_workflow(
+    params: &KgeParams,
+    cal: &Calibration,
+) -> WorkflowResult<(scriptflow_workflow::Workflow, scriptflow_workflow::ops::SinkHandle)> {
     assert!(
         (1..=6).contains(&params.fusion),
         "fusion level must be 1..=6"
@@ -444,35 +448,54 @@ pub fn run_workflow(params: &KgeParams, cal: &Calibration) -> WorkflowResult<Tas
     let sink = b.add(Arc::new(sink_op), 1);
     b.connect(rows_op, sink, 0, PartitionStrategy::Single);
 
-    let wf = b.build()?;
-    let operator_count = wf.operator_count();
-    let total_workers = wf.total_workers();
+    Ok((b.build()?, handle))
+}
 
-    let config = EngineConfig {
+/// The engine configuration KGE runs under.
+pub fn engine_config(cal: &Calibration) -> EngineConfig {
+    EngineConfig {
         cluster: ClusterSpec::paper_cluster(),
         batch_size: cal.wf_batch_size,
         serde_per_tuple: cal.wf_serde_per_tuple,
         pipelining: cal.wf_pipelining,
         ..EngineConfig::default()
-    };
-    let result = SimExecutor::new(config).run(&wf)?;
+    }
+}
 
-    let output: Vec<String> = handle
-        .results()
+/// Run KGE on the simulated workflow engine.
+pub fn run_workflow(params: &KgeParams, cal: &Calibration) -> WorkflowResult<TaskRun> {
+    Ok(run_workflow_on(params, cal, BackendKind::Sim)?.run)
+}
+
+/// Run KGE on an explicitly chosen execution backend.
+pub fn run_workflow_on(
+    params: &KgeParams,
+    cal: &Calibration,
+    kind: BackendKind,
+) -> WorkflowResult<BackendRun> {
+    let (wf, handle) = build_kge_workflow(params, cal)?;
+    let operator_count = wf.operator_count();
+    let total_workers = wf.total_workers();
+
+    let engine = ExecBackend::of_kind(kind, engine_config(cal)).run(&wf, &handle)?;
+
+    let output: Vec<String> = engine
+        .rows
         .iter()
         .map(|t| t.get_str("row").expect("schema").to_owned())
         .collect();
 
-    Ok(TaskRun::new(
+    let run = TaskRun::new(
         "KGE",
         Paradigm::Workflow,
         params.config_string(),
-        result.makespan,
+        engine.makespan,
         total_workers,
         listing::count_loc(&listing::kge_workflow_listing()),
         operator_count,
         output,
-    ))
+    );
+    Ok(BackendRun::from_engine(run, engine))
 }
 
 impl TopK {

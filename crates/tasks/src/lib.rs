@@ -29,4 +29,4 @@ pub mod kge;
 pub mod listing;
 pub mod wef;
 
-pub use common::TaskRun;
+pub use common::{BackendRun, TaskRun};

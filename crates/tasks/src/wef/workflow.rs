@@ -7,20 +7,23 @@
 
 use std::sync::Arc;
 
-use scriptflow_core::{Calibration, Paradigm};
+use scriptflow_core::{BackendKind, Calibration, Paradigm};
 use scriptflow_datakit::{DataType, Schema, Tuple, Value};
 use scriptflow_simcluster::{ClusterSpec, SimDuration};
 use scriptflow_workflow::ops::{ScanOp, SinkOp, StatefulUdfOp, UdfOp};
 use scriptflow_workflow::{
-    CostProfile, EngineConfig, PartitionStrategy, SimExecutor, WorkflowBuilder, WorkflowResult,
+    CostProfile, EngineConfig, ExecBackend, PartitionStrategy, WorkflowBuilder, WorkflowResult,
 };
 
 use super::WefParams;
-use crate::common::TaskRun;
+use crate::common::{BackendRun, TaskRun};
 use crate::listing;
 
-/// Run WEF on the simulated workflow engine.
-pub fn run_workflow(params: &WefParams, cal: &Calibration) -> WorkflowResult<TaskRun> {
+/// Build the WEF workflow DAG; returns it with the results handle.
+pub fn build_wef_workflow(
+    params: &WefParams,
+    cal: &Calibration,
+) -> WorkflowResult<(scriptflow_workflow::Workflow, scriptflow_workflow::ops::SinkHandle)> {
     let dataset = Arc::new(params.dataset());
 
     let out_schema = Schema::of(&[("row", DataType::Str)]);
@@ -95,35 +98,56 @@ pub fn run_workflow(params: &WefParams, cal: &Calibration) -> WorkflowResult<Tas
     b.connect(tokenize, train, 0, PartitionStrategy::Single);
     b.connect(train, sink, 0, PartitionStrategy::Single);
 
-    let wf = b.build()?;
-    let operator_count = wf.operator_count();
-    let total_workers = wf.total_workers();
+    Ok((b.build()?, handle))
+}
 
-    let config = EngineConfig {
+/// The engine configuration WEF runs under. The per-tuple serde cost is
+/// pinned: the blocking trainer amortizes Texera's per-batch overhead
+/// differently than the streaming tasks.
+pub fn engine_config(cal: &Calibration) -> EngineConfig {
+    EngineConfig {
         cluster: ClusterSpec::paper_cluster(),
         batch_size: cal.wf_batch_size,
         serde_per_tuple: SimDuration::from_micros(200),
         pipelining: cal.wf_pipelining,
         ..EngineConfig::default()
-    };
-    let result = SimExecutor::new(config).run(&wf)?;
+    }
+}
 
-    let output: Vec<String> = handle
-        .results()
+/// Run WEF on the simulated workflow engine.
+pub fn run_workflow(params: &WefParams, cal: &Calibration) -> WorkflowResult<TaskRun> {
+    Ok(run_workflow_on(params, cal, BackendKind::Sim)?.run)
+}
+
+/// Run WEF on an explicitly chosen execution backend.
+pub fn run_workflow_on(
+    params: &WefParams,
+    cal: &Calibration,
+    kind: BackendKind,
+) -> WorkflowResult<BackendRun> {
+    let (wf, handle) = build_wef_workflow(params, cal)?;
+    let operator_count = wf.operator_count();
+    let total_workers = wf.total_workers();
+
+    let engine = ExecBackend::of_kind(kind, engine_config(cal)).run(&wf, &handle)?;
+
+    let output: Vec<String> = engine
+        .rows
         .iter()
         .map(|t| t.get_str("row").expect("schema").to_owned())
         .collect();
 
-    Ok(TaskRun::new(
+    let run = TaskRun::new(
         "WEF",
         Paradigm::Workflow,
         params.config_string(),
-        result.makespan,
+        engine.makespan,
         total_workers,
         listing::count_loc(&listing::wef_workflow_listing()),
         operator_count,
         output,
-    ))
+    );
+    Ok(BackendRun::from_engine(run, engine))
 }
 
 #[cfg(test)]

@@ -1,0 +1,323 @@
+//! One execution surface over both engines.
+//!
+//! The crate ships two executors for the same [`Workflow`] DAG: the
+//! deterministic virtual-clock [`SimExecutor`] behind the paper figures,
+//! and the pooled [`LiveExecutor`] that runs the identical operators on
+//! real OS threads. They grew different result shapes
+//! ([`crate::exec_sim::SimRunResult`] vs
+//! [`crate::exec_live::LiveRunResult`]), so every caller that wanted to
+//! offer both had to duplicate construction and result handling.
+//!
+//! [`ExecBackend`] collapses that: pick a backend (usually from a
+//! [`BackendKind`] threaded down from a `--backend` flag), call
+//! [`ExecBackend::run`], and get one [`EngineRun`] — output rows, a
+//! [`ProgressTrace`] that always ends with a terminal sample, unified
+//! [`RunMetrics`], and the backend-specific extras (`wall_clock`,
+//! [`PoolStats`]) as `Option`s.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use scriptflow_core::BackendKind;
+//! use scriptflow_datakit::{Batch, DataType, Schema, Value};
+//! use scriptflow_workflow::ops::{ScanOp, SinkOp};
+//! use scriptflow_workflow::{EngineConfig, ExecBackend, PartitionStrategy, WorkflowBuilder};
+//!
+//! let schema = Schema::of(&[("id", DataType::Int)]);
+//! let batch = Batch::from_rows(schema, (0..6).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+//! let mut b = WorkflowBuilder::new();
+//! let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+//! let sink_op = SinkOp::new("sink");
+//! let handle = sink_op.handle();
+//! let sink = b.add(Arc::new(sink_op), 1);
+//! b.connect(scan, sink, 0, PartitionStrategy::Single);
+//! let wf = b.build().unwrap();
+//!
+//! for kind in BackendKind::ALL {
+//!     let run = ExecBackend::of_kind(kind, EngineConfig::default())
+//!         .run(&wf, &handle)
+//!         .unwrap();
+//!     assert_eq!(run.kind, kind);
+//!     assert_eq!(run.rows.len(), 6);
+//!     assert!(run.trace.completion_sample().is_some());
+//! }
+//! ```
+
+use std::time::Duration;
+
+use scriptflow_core::BackendKind;
+use scriptflow_datakit::Tuple;
+use scriptflow_simcluster::SimTime;
+
+use crate::cost::EngineConfig;
+use crate::dag::Workflow;
+use crate::exec_live::{LiveExecutor, PoolStats};
+use crate::exec_sim::SimExecutor;
+use crate::metrics::RunMetrics;
+use crate::operator::WorkflowResult;
+use crate::ops::SinkHandle;
+use crate::trace::ProgressTrace;
+
+/// The unified result of one workflow run on either backend.
+///
+/// Normalizes [`crate::exec_sim::SimRunResult`] and
+/// [`crate::exec_live::LiveRunResult`] into one shape so callers
+/// (task drivers, study experiments, `repro`/`bench_engine`) handle
+/// both backends with the same code path.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Which backend produced the run.
+    pub kind: BackendKind,
+    /// Rows collected from the sink handle passed to
+    /// [`ExecBackend::run`] (empty for [`ExecBackend::run_detached`]).
+    pub rows: Vec<Tuple>,
+    /// Completion time on the backend's own clock: virtual seconds for
+    /// [`BackendKind::Sim`], measured wall-clock mapped onto the same
+    /// axis for [`BackendKind::Live`] (see [`BackendKind::time_unit`]).
+    pub makespan: SimTime,
+    /// Measured host time; `None` for the simulator, whose wall-clock
+    /// cost is incidental.
+    pub wall_clock: Option<Duration>,
+    /// Per-operator instrumentation counters, identical in shape across
+    /// backends.
+    pub metrics: RunMetrics,
+    /// Per-operator progress samples. Both backends guarantee at least
+    /// the terminal sample, so `trace.completion_sample()` works on any
+    /// successful [`EngineRun`].
+    pub trace: ProgressTrace,
+    /// Pool scheduling counters; `Some` only for the pooled live
+    /// backend.
+    pub pool: Option<PoolStats>,
+}
+
+impl EngineRun {
+    /// Completion time in the backend's seconds (virtual or wall-clock;
+    /// [`BackendKind::time_unit`] names which).
+    pub fn seconds(&self) -> f64 {
+        match (self.kind, self.wall_clock) {
+            (BackendKind::Live, Some(elapsed)) => elapsed.as_secs_f64(),
+            _ => self.makespan.as_secs_f64(),
+        }
+    }
+}
+
+/// A builder-selected execution backend presenting one `run` surface
+/// over [`SimExecutor`] and the pooled [`LiveExecutor`].
+pub enum ExecBackend {
+    /// The deterministic virtual-clock simulator.
+    Sim(SimExecutor),
+    /// The pooled live executor (real OS threads, measured wall-clock).
+    Live(LiveExecutor),
+}
+
+impl ExecBackend {
+    /// Simulator backend over `config`.
+    pub fn sim(config: EngineConfig) -> Self {
+        ExecBackend::Sim(SimExecutor::new(config))
+    }
+
+    /// Pooled live backend reusing `config`'s edge batch size (the only
+    /// [`EngineConfig`] knob with a live analogue; virtual cost model
+    /// fields have no wall-clock meaning).
+    pub fn live(config: &EngineConfig) -> Self {
+        ExecBackend::Live(LiveExecutor::new(config.batch_size.max(1)))
+    }
+
+    /// Backend for a [`BackendKind`], the single selection point the
+    /// `--backend` flags in `repro` and `bench_engine` both route
+    /// through.
+    pub fn of_kind(kind: BackendKind, config: EngineConfig) -> Self {
+        match kind {
+            BackendKind::Sim => ExecBackend::sim(config),
+            BackendKind::Live => ExecBackend::live(&config),
+        }
+    }
+
+    /// Wrap an already-configured executor (custom pool size, faults,
+    /// trace interval, …).
+    pub fn from_live(exec: LiveExecutor) -> Self {
+        ExecBackend::Live(exec)
+    }
+
+    /// Wrap an already-configured simulator (pauses, trace interval, …).
+    pub fn from_sim(exec: SimExecutor) -> Self {
+        ExecBackend::Sim(exec)
+    }
+
+    /// Which backend this is.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            ExecBackend::Sim(_) => BackendKind::Sim,
+            ExecBackend::Live(_) => BackendKind::Live,
+        }
+    }
+
+    /// Execute `wf` and collect the rows that reached `sink`.
+    ///
+    /// The handle is cleared first, so re-running the same built
+    /// workflow (e.g. once per backend) never double-counts rows.
+    pub fn run(&self, wf: &Workflow, sink: &SinkHandle) -> WorkflowResult<EngineRun> {
+        sink.clear();
+        let mut run = self.run_detached(wf)?;
+        run.rows = sink.results();
+        Ok(run)
+    }
+
+    /// Execute `wf` without collecting sink rows (`rows` stays empty).
+    /// For callers that only want timing/metrics, e.g. `bench_engine`.
+    pub fn run_detached(&self, wf: &Workflow) -> WorkflowResult<EngineRun> {
+        let (_, result) = self.run_observed(wf);
+        result
+    }
+
+    /// Execute `wf`, handing the progress trace back even on failure —
+    /// the union of [`SimExecutor::run_observed`] and
+    /// [`LiveExecutor::run_observed`]. `rows` stays empty; snapshot the
+    /// sink handle afterwards if needed.
+    pub fn run_observed(&self, wf: &Workflow) -> (ProgressTrace, WorkflowResult<EngineRun>) {
+        match self {
+            ExecBackend::Sim(exec) => {
+                let (trace, result) = exec.run_observed(wf);
+                let result = result.map(|res| EngineRun {
+                    kind: BackendKind::Sim,
+                    rows: Vec::new(),
+                    makespan: res.makespan,
+                    wall_clock: None,
+                    metrics: res.metrics,
+                    trace: res.trace,
+                    pool: None,
+                });
+                (trace, result)
+            }
+            ExecBackend::Live(exec) => {
+                let (trace, result) = exec.run_observed(wf);
+                let result = result.map(|res| EngineRun {
+                    kind: BackendKind::Live,
+                    rows: Vec::new(),
+                    makespan: res.metrics.makespan,
+                    wall_clock: Some(res.elapsed),
+                    metrics: res.metrics,
+                    trace: res.trace,
+                    pool: res.pool,
+                });
+                (trace, result)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::WorkflowBuilder;
+    use crate::metrics::OperatorState;
+    use crate::ops::{FilterOp, ScanOp, SinkOp};
+    use crate::partition::PartitionStrategy;
+    use scriptflow_datakit::{Batch, DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn build_wf(n: i64) -> (Workflow, SinkHandle) {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let batch =
+            Batch::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 2);
+        let filt = b.add(
+            Arc::new(FilterOp::new("keep_even", |t| {
+                Ok(t.get_int("id").unwrap() % 2 == 0)
+            })),
+            2,
+        );
+        let sink_op = SinkOp::new("sink");
+        let handle = sink_op.handle();
+        let sink = b.add(Arc::new(sink_op), 1);
+        b.connect(scan, filt, 0, PartitionStrategy::RoundRobin);
+        b.connect(filt, sink, 0, PartitionStrategy::Single);
+        (b.build().unwrap(), handle)
+    }
+
+    #[test]
+    fn both_backends_agree_on_rows() {
+        let (wf, handle) = build_wf(100);
+        let sim = ExecBackend::of_kind(BackendKind::Sim, EngineConfig::default())
+            .run(&wf, &handle)
+            .unwrap();
+        let live = ExecBackend::of_kind(BackendKind::Live, EngineConfig::default())
+            .run(&wf, &handle)
+            .unwrap();
+        assert_eq!(sim.kind, BackendKind::Sim);
+        assert_eq!(live.kind, BackendKind::Live);
+        assert_eq!(sim.rows.len(), 50);
+        assert_eq!(live.rows.len(), 50);
+        assert!(sim.wall_clock.is_none() && sim.pool.is_none());
+        assert!(live.wall_clock.is_some() && live.pool.is_some());
+        assert!(sim.seconds() > 0.0);
+        assert!(live.seconds() > 0.0);
+    }
+
+    #[test]
+    fn run_clears_stale_sink_rows() {
+        let (wf, handle) = build_wf(10);
+        let backend = ExecBackend::sim(EngineConfig::default());
+        backend.run(&wf, &handle).unwrap();
+        let again = backend.run(&wf, &handle).unwrap();
+        assert_eq!(again.rows.len(), 5, "rerun must not double-count");
+    }
+
+    #[test]
+    fn traces_end_with_terminal_sample_on_both_backends() {
+        let (wf, _) = build_wf(40);
+        for kind in BackendKind::ALL {
+            let run = ExecBackend::of_kind(kind, EngineConfig::default())
+                .run_detached(&wf)
+                .unwrap();
+            let (_, snaps) = run
+                .trace
+                .samples
+                .last()
+                .unwrap_or_else(|| panic!("{kind} trace must not be empty"));
+            assert!(
+                snaps.iter().all(|s| s.state == OperatorState::Completed),
+                "{kind} terminal sample must show every operator Completed"
+            );
+        }
+    }
+
+    #[test]
+    fn run_observed_surfaces_trace_on_sim_failure() {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let batch =
+            Batch::from_rows(schema, (0..20).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+        let bad = b.add(
+            Arc::new(FilterOp::new("bad", |t| {
+                if t.get_int("id").unwrap() >= 10 {
+                    Err(scriptflow_datakit::DataError::Decode {
+                        line: 10,
+                        message: "boom".into(),
+                    })
+                } else {
+                    Ok(true)
+                }
+            })),
+            1,
+        );
+        let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+        b.connect(scan, bad, 0, PartitionStrategy::RoundRobin);
+        b.connect(bad, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+
+        let backend = ExecBackend::sim(EngineConfig::default());
+        let (trace, result) = backend.run_observed(&wf);
+        assert!(result.is_err(), "erroring filter must fail the run");
+        let (_, snaps) = trace.samples.last().expect("failed run keeps its trace");
+        assert!(
+            snaps
+                .iter()
+                .any(|s| s.name == "bad" && s.state == OperatorState::Failed),
+            "terminal sample pins the failure to the erroring operator"
+        );
+    }
+}

@@ -66,8 +66,8 @@ pub struct SimRunResult {
     pub makespan: SimTime,
     /// Instrumentation counters.
     pub metrics: RunMetrics,
-    /// Sampled progress timeline (empty unless
-    /// [`SimExecutor::with_trace`] was configured).
+    /// Sampled progress timeline. Always holds at least the terminal
+    /// sample; interval samples require [`SimExecutor::with_trace`].
     pub trace: ProgressTrace,
     /// Per-worker busy intervals (empty unless
     /// [`SimExecutor::with_worker_timeline`] was configured).
@@ -641,6 +641,21 @@ impl SimExecutor {
     /// Execute `wf` to completion; returns the makespan and metrics, or
     /// the first operator-level error.
     pub fn run(&self, wf: &Workflow) -> WorkflowResult<SimRunResult> {
+        self.run_observed(wf).1
+    }
+
+    /// Execute `wf`, returning the progress trace alongside the result.
+    ///
+    /// Unlike [`SimExecutor::run`] — whose trace travels inside
+    /// [`SimRunResult`] and is therefore lost on `Err` — this always
+    /// hands the trace back, so a failed run can still be replayed to
+    /// see which operator reached
+    /// [`crate::metrics::OperatorState::Failed`]. The trace always ends
+    /// with a terminal sample of every operator's final state, even
+    /// without [`SimExecutor::with_trace`]; this mirrors
+    /// [`crate::exec_live::LiveExecutor::run_observed`], so the two
+    /// executors present one observable surface.
+    pub fn run_observed(&self, wf: &Workflow) -> (ProgressTrace, WorkflowResult<SimRunResult>) {
         let machine_count = self.config.cluster.worker_count().max(1);
 
         // --- Static placement -------------------------------------------
@@ -762,15 +777,16 @@ impl SimExecutor {
         let t0 = SimTime::ZERO + self.config.cluster.submit_overhead;
         for src in wf.sources() {
             let node = wf.op(src);
-            let parts = node
-                .factory
-                .source_partitions(node.parallelism)
-                .ok_or_else(|| {
-                    WorkflowError::InvalidDag(format!(
+            let parts = match node.factory.source_partitions(node.parallelism) {
+                Some(parts) => parts,
+                None => {
+                    let err = WorkflowError::InvalidDag(format!(
                         "source `{}` produced no partitions",
                         node.factory.name()
-                    ))
-                })?;
+                    ));
+                    return (std::mem::take(&mut state.trace), Err(err));
+                }
+            };
             for (local, part) in parts.into_iter().enumerate() {
                 let worker = state.op_workers[src.0][local];
                 for chunk in part.chunks(self.config.batch_size.max(1)) {
@@ -795,13 +811,12 @@ impl SimExecutor {
         }
 
         let end = des::run(&mut state, &mut sched);
-        // One final sample at the makespan, so traces always end complete.
-        if state.next_sample.is_some() {
-            state.next_sample = Some(end);
-            state.maybe_sample(end);
-        }
+        // One final sample at the makespan, so traces always end with
+        // every operator's terminal state — even without `with_trace`.
+        state.next_sample = Some(end);
+        state.maybe_sample(end);
         if let Some(err) = state.error {
-            return Err(err);
+            return (std::mem::take(&mut state.trace), Err(err));
         }
         debug_assert_eq!(state.sinks_remaining, 0, "sinks never completed");
         let makespan = state.finish_time.max(end);
@@ -818,17 +833,21 @@ impl SimExecutor {
                 })
                 .unwrap_or(SimDuration::ZERO);
         }
-        Ok(SimRunResult {
-            makespan,
-            metrics: RunMetrics {
+        let trace = state.trace;
+        (
+            trace.clone(),
+            Ok(SimRunResult {
                 makespan,
-                operators,
-                total_workers,
-                events: sched.processed(),
-            },
-            trace: state.trace,
-            worker_timeline: state.timeline,
-        })
+                metrics: RunMetrics {
+                    makespan,
+                    operators,
+                    total_workers,
+                    events: sched.processed(),
+                },
+                trace,
+                worker_timeline: state.timeline,
+            }),
+        )
     }
 }
 

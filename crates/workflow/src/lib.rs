@@ -38,11 +38,19 @@
 //!   [`OperatorState::Failed`] operator, marks downstream operators
 //!   [`OperatorState::Degraded`] on their truncated input, and preserves
 //!   the partial trace ([`exec_live::LiveExecutor::run_observed`]).
+//! * **One execution surface over both engines** — a
+//!   [`backend::ExecBackend`] selected from a
+//!   [`scriptflow_core::BackendKind`] runs the same built DAG on either
+//!   executor and normalizes the result into one
+//!   [`backend::EngineRun`] (rows, trace, metrics, wall-clock/pool
+//!   extras), so task drivers and benches thread a `--backend` flag
+//!   instead of duplicating executor construction.
 //!
 //! [`Language`]: scriptflow_simcluster::Language
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 pub mod dag;
 pub mod exec_live;
@@ -57,6 +65,7 @@ pub mod spec;
 pub mod trace;
 pub mod trace_live;
 
+pub use backend::{EngineRun, ExecBackend};
 pub use cost::{CostProfile, EngineConfig};
 pub use dag::{EdgeId, OpId, Workflow, WorkflowBuilder};
 pub use exec_live::{ExecMode, LiveExecutor, LiveRunResult, PoolStats};

@@ -38,4 +38,25 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     BENCH_ENGINE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_engine
 fi
 
+echo "==> repro on both backends (fig12a + probe-scale task comparison)"
+cargo run --release -p scriptflow-bench --bin repro -- fig12a --backend both
+for task in dice wef gotta kge; do
+    trace="artifacts/trace_live_${task}.json"
+    if [[ ! -s "$trace" ]]; then
+        echo "missing or empty live trace: $trace" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -m json.tool "$trace" >/dev/null || {
+            echo "live trace is not valid JSON: $trace" >&2
+            exit 1
+        }
+    else
+        grep -q '"samples"' "$trace" || {
+            echo "live trace missing samples array: $trace" >&2
+            exit 1
+        }
+    fi
+done
+
 echo "==> CI gate passed"

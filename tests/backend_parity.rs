@@ -1,0 +1,102 @@
+//! Sim/live backend parity: the [`scriptflow::workflow::ExecBackend`]
+//! surface must make the two engines interchangeable for every paper
+//! task. For each of DICE, WEF, GOTTA and KGE, the same
+//! `run_workflow_on` call on the simulator and on the pooled live
+//! executor must produce identical output rows (the engines differ in
+//! clocks, never in data), the same operator set in the terminal trace
+//! sample, and — on a fault-free run — a live trace in which every
+//! operator ends `Completed`.
+
+use std::collections::BTreeSet;
+
+use scriptflow::core::{BackendKind, Calibration};
+use scriptflow::tasks::dice::{self, DiceParams};
+use scriptflow::tasks::gotta::{self, GottaParams};
+use scriptflow::tasks::kge::{self, KgeParams};
+use scriptflow::tasks::wef::{self, WefParams};
+use scriptflow::tasks::BackendRun;
+use scriptflow::workflow::OperatorState;
+
+fn operator_set(run: &BackendRun) -> BTreeSet<String> {
+    let (_, last) = run
+        .trace
+        .samples
+        .last()
+        .expect("every run ends with a terminal trace sample");
+    last.iter().map(|o| o.name.clone()).collect()
+}
+
+fn assert_parity(task: &str, run_on: impl Fn(BackendKind) -> BackendRun) {
+    let sim = run_on(BackendKind::Sim);
+    let live = run_on(BackendKind::Live);
+    assert_eq!(sim.kind, BackendKind::Sim, "{task}");
+    assert_eq!(live.kind, BackendKind::Live, "{task}");
+    assert!(sim.wall_clock.is_none(), "{task}: sim time is virtual");
+    assert!(
+        live.wall_clock.is_some(),
+        "{task}: live run measures wall-clock"
+    );
+
+    // Identical rows, order-independent (live thread interleaving may
+    // reorder a sink's arrivals).
+    let mut sim_rows = sim.run.output.clone();
+    let mut live_rows = live.run.output.clone();
+    sim_rows.sort_unstable();
+    live_rows.sort_unstable();
+    assert_eq!(
+        sim_rows.len(),
+        live_rows.len(),
+        "{task}: backends disagree on row count"
+    );
+    assert_eq!(sim_rows, live_rows, "{task}: backends disagree on rows");
+
+    // Both engines report the same DAG.
+    assert_eq!(
+        operator_set(&sim),
+        operator_set(&live),
+        "{task}: backends disagree on the operator set"
+    );
+
+    // A fault-free live run leaves no operator behind.
+    let (_, last) = live.trace.samples.last().expect("terminal sample");
+    for op in last {
+        assert_eq!(
+            op.state,
+            OperatorState::Completed,
+            "{task}: operator `{}` did not complete on the live backend",
+            op.name
+        );
+    }
+}
+
+#[test]
+fn dice_backends_agree() {
+    let cal = Calibration::paper();
+    assert_parity("dice", |kind| {
+        dice::workflow::run_workflow_on(&DiceParams::new(10, 2), &cal, kind).expect("DICE runs")
+    });
+}
+
+#[test]
+fn wef_backends_agree() {
+    let cal = Calibration::paper();
+    assert_parity("wef", |kind| {
+        wef::workflow::run_workflow_on(&WefParams::new(80), &cal, kind).expect("WEF runs")
+    });
+}
+
+#[test]
+fn gotta_backends_agree() {
+    let cal = Calibration::paper();
+    assert_parity("gotta", |kind| {
+        gotta::workflow::run_workflow_on(&GottaParams::new(2, 1), &cal, kind).expect("GOTTA runs")
+    });
+}
+
+#[test]
+fn kge_backends_agree() {
+    let cal = Calibration::paper();
+    assert_parity("kge", |kind| {
+        kge::workflow::run_workflow_on(&KgeParams::new(600, 1), &cal, kind).expect("KGE runs")
+    });
+}
