@@ -25,9 +25,7 @@ pub mod backend {
     //! [`ExecBackend`] and how a live run's trace is archived.
 
     use scriptflow_core::{BackendChoice, BackendKind};
-    use scriptflow_workflow::{
-        EngineConfig, ExecBackend, LiveExecutor, ProgressTrace, TraceJson,
-    };
+    use scriptflow_workflow::{EngineConfig, ExecBackend, LiveExecutor, ProgressTrace, TraceJson};
 
     /// Batch size the bench binaries hand the live executor.
     pub const LIVE_BATCH: usize = 1024;
@@ -39,13 +37,15 @@ pub mod backend {
     }
 
     /// An [`ExecBackend`] of `kind`, wired the way the bench binaries
-    /// use it (the live side gets [`live_executor`]).
+    /// use it (the live side gets [`live_executor`] plus the config's
+    /// retry policy — the one other [`EngineConfig`] knob with a
+    /// wall-clock analogue).
     pub fn engine_of(kind: BackendKind, config: EngineConfig) -> ExecBackend {
         match kind {
             BackendKind::Sim => ExecBackend::sim(config),
-            BackendKind::Live => {
-                ExecBackend::from_live(live_executor(config.batch_size.max(1)))
-            }
+            BackendKind::Live => ExecBackend::from_live(
+                live_executor(config.batch_size.max(1)).with_retry(config.retry.clone()),
+            ),
         }
     }
 

@@ -16,9 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use scriptflow_core::{
-    Artifact, BackendChoice, BackendKind, Experiment, ExperimentMeta, Table,
-};
+use scriptflow_core::{Artifact, BackendChoice, BackendKind, Experiment, ExperimentMeta, Table};
 use scriptflow_datakit::{Batch, DataError, DataType, Schema, Value};
 use scriptflow_notebook::{Cell, Kernel, Notebook};
 use scriptflow_raysim::RayTask;
@@ -26,7 +24,7 @@ use scriptflow_simcluster::SimDuration;
 use scriptflow_workflow::ops::{FilterOp, ScanOp, SinkHandle, SinkOp};
 use scriptflow_workflow::{
     EngineConfig, ExecBackend, FaultPlan, LiveExecutor, OperatorState, PartitionStrategy,
-    ProgressTrace, Workflow, WorkflowBuilder,
+    ProgressTrace, RetryConfig, RetryPolicy, Workflow, WorkflowBuilder,
 };
 
 use crate::{backend_workflow_label, SCRIPT_LABEL, WORKFLOW_LABEL};
@@ -49,6 +47,12 @@ pub struct FaultReport {
     pub units_lost: usize,
     /// Rows that survived downstream of the fault.
     pub salvaged_rows: u64,
+    /// Rows the same faulted run delivers once a
+    /// [`RetryPolicy::default`] budget replays the faulted quantum: the
+    /// workflow engine salvages *every* row, while the script paradigm
+    /// has no unit smaller than the cell to retry, so it still salvages
+    /// nothing.
+    pub retry_salvaged: u64,
 }
 
 /// Build the load → parse → count → sink fault pipeline around the
@@ -56,11 +60,8 @@ pub struct FaultReport {
 /// into).
 fn fault_pipeline(parse_op: FilterOp) -> (Workflow, SinkHandle) {
     let schema = Schema::of(&[("id", DataType::Int)]);
-    let batch = Batch::from_rows(
-        schema,
-        (0..ROWS).map(|i| vec![Value::Int(i)]).collect(),
-    )
-    .expect("schema matches rows");
+    let batch = Batch::from_rows(schema, (0..ROWS).map(|i| vec![Value::Int(i)]).collect())
+        .expect("schema matches rows");
 
     let mut b = WorkflowBuilder::new();
     let load = b.add(Arc::new(ScanOp::new("load", batch)), 1);
@@ -78,7 +79,11 @@ fn fault_pipeline(parse_op: FilterOp) -> (Workflow, SinkHandle) {
 
 /// Read a [`FaultReport`] out of the partial trace a failed run left
 /// behind.
-fn report_from_trace(trace: &ProgressTrace, salvaged_rows: u64) -> FaultReport {
+fn report_from_trace(
+    trace: &ProgressTrace,
+    salvaged_rows: u64,
+    retry_salvaged: u64,
+) -> FaultReport {
     let (_, last) = trace
         .samples
         .last()
@@ -90,12 +95,7 @@ fn report_from_trace(trace: &ProgressTrace, salvaged_rows: u64) -> FaultReport {
         .expect("the fault is pinned to one Failed operator");
     let units_finished = last
         .iter()
-        .filter(|s| {
-            matches!(
-                s.state,
-                OperatorState::Completed | OperatorState::Degraded
-            )
-        })
+        .filter(|s| matches!(s.state, OperatorState::Completed | OperatorState::Degraded))
         .count();
     FaultReport {
         unit: "operator",
@@ -103,6 +103,7 @@ fn report_from_trace(trace: &ProgressTrace, salvaged_rows: u64) -> FaultReport {
         units_finished,
         units_lost: last.len() - units_finished,
         salvaged_rows,
+        retry_salvaged,
     }
 }
 
@@ -112,9 +113,7 @@ fn report_from_trace(trace: &ProgressTrace, salvaged_rows: u64) -> FaultReport {
 pub fn observe_workflow_fault(seed: u64) -> FaultReport {
     // "parse" drops malformed rows (every 7th id); the fault plan kills
     // it from outside at tuple FAULT_AT.
-    let (wf, handle) = fault_pipeline(FilterOp::new("parse", |t| {
-        Ok(t.get_int("id")? % 7 != 0)
-    }));
+    let (wf, handle) = fault_pipeline(FilterOp::new("parse", |t| Ok(t.get_int("id")? % 7 != 0)));
 
     let plan = FaultPlan::new(seed).panic_at("parse", FAULT_AT);
     let (trace, result) = LiveExecutor::new(32)
@@ -122,7 +121,21 @@ pub fn observe_workflow_fault(seed: u64) -> FaultReport {
         .with_faults(plan)
         .run_observed(&wf);
     assert!(result.is_err(), "the injected panic fails the run");
-    report_from_trace(&trace, handle.len() as u64)
+
+    // Same fault, but with the default retry budget: the faulted
+    // quantum replays and the whole pipeline completes — every row is
+    // salvaged, exactly once.
+    let (wf, retry_handle) =
+        fault_pipeline(FilterOp::new("parse", |t| Ok(t.get_int("id")? % 7 != 0)));
+    let plan = FaultPlan::new(seed).panic_at("parse", FAULT_AT);
+    let (_, retried) = LiveExecutor::new(32)
+        .with_pool_size(1)
+        .with_faults(plan)
+        .with_retry(RetryConfig::uniform(RetryPolicy::default()))
+        .run_observed(&wf);
+    retried.expect("the default retry budget absorbs the injected panic");
+
+    report_from_trace(&trace, handle.len() as u64, retry_handle.len() as u64)
 }
 
 /// [`observe_workflow_fault`] on an explicit backend. The live path
@@ -135,22 +148,36 @@ pub fn observe_workflow_fault_on(kind: BackendKind, seed: u64) -> FaultReport {
     if kind == BackendKind::Live {
         return observe_workflow_fault(seed);
     }
-    let calls = AtomicU64::new(0);
-    let (wf, handle) = fault_pipeline(FilterOp::new("parse", move |t| {
-        let n = calls.fetch_add(1, Ordering::Relaxed) + 1;
-        if n >= FAULT_AT {
-            return Err(DataError::Decode {
-                line: n as usize,
-                message: "injected decode fault".into(),
-            });
-        }
-        Ok(t.get_int("id")? % 7 != 0)
-    }));
-
-    let (trace, result) =
-        ExecBackend::sim(EngineConfig::default()).run_observed(&wf);
+    // The fault is one-shot (`==`, not `>=`): without a retry budget the
+    // first error is sticky-fatal anyway, and with one the replayed
+    // quantum (fresh call counts) parses cleanly — the sim analogue of a
+    // transient crash.
+    let flaky_parse = || {
+        let calls = AtomicU64::new(0);
+        FilterOp::new("parse", move |t| {
+            let n = calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == FAULT_AT {
+                return Err(DataError::Decode {
+                    line: n as usize,
+                    message: "injected decode fault".into(),
+                });
+            }
+            Ok(t.get_int("id")? % 7 != 0)
+        })
+    };
+    let (wf, handle) = fault_pipeline(flaky_parse());
+    let (trace, result) = ExecBackend::sim(EngineConfig::default()).run_observed(&wf);
     assert!(result.is_err(), "the injected decode fault fails the run");
-    report_from_trace(&trace, handle.len() as u64)
+
+    let (wf, retry_handle) = fault_pipeline(flaky_parse());
+    let retry_cfg = EngineConfig {
+        retry: RetryConfig::uniform(RetryPolicy::default()),
+        ..EngineConfig::default()
+    };
+    let (_, retried) = ExecBackend::sim(retry_cfg).run_observed(&wf);
+    retried.expect("the default retry budget absorbs the decode fault");
+
+    report_from_trace(&trace, handle.len() as u64, retry_handle.len() as u64)
 }
 
 /// Run the script-paradigm equivalent: a three-cell notebook (load,
@@ -225,6 +252,10 @@ pub fn observe_script_fault() -> FaultReport {
         units_lost: nb.len() - units_finished,
         // Nothing survives the barrier: `parsed` was never bound.
         salvaged_rows: if kernel.contains("parsed") { 1 } else { 0 },
+        // The script has no retryable unit below the cell: re-running
+        // replays the whole cell from scratch, and the aborted stage
+        // left nothing behind to resume from.
+        retry_salvaged: 0,
     }
 }
 
@@ -233,13 +264,14 @@ pub fn observe_script_fault() -> FaultReport {
 /// real runs of the reproduction's engines.
 pub struct FaultComparison;
 
-const COLUMNS: [&str; 6] = [
+const COLUMNS: [&str; 7] = [
     "paradigm",
     "failure unit",
     "pinned to",
     "units finished",
     "units lost",
     "salvaged rows",
+    "salvaged w/ retry",
 ];
 
 impl Experiment for FaultComparison {
@@ -263,6 +295,7 @@ impl Experiment for FaultComparison {
                 r.units_finished.to_string(),
                 r.units_lost.to_string(),
                 r.salvaged_rows.to_string(),
+                r.retry_salvaged.to_string(),
             ]);
         }
         Artifact::Table(t)
@@ -285,6 +318,7 @@ impl Experiment for FaultComparison {
                 r.units_finished.to_string(),
                 r.units_lost.to_string(),
                 r.salvaged_rows.to_string(),
+                r.retry_salvaged.to_string(),
             ]);
         }
         let sc = observe_script_fault();
@@ -295,6 +329,7 @@ impl Experiment for FaultComparison {
             sc.units_finished.to_string(),
             sc.units_lost.to_string(),
             sc.salvaged_rows.to_string(),
+            sc.retry_salvaged.to_string(),
         ]);
         Artifact::Table(t)
     }
@@ -308,6 +343,7 @@ impl Experiment for FaultComparison {
             "all others keep progress".to_owned(),
             "one".to_owned(),
             "partial results visible".to_owned(),
+            "all rows (engine replays the quantum)".to_owned(),
         ]);
         t.push_row(vec![
             SCRIPT_LABEL.to_owned(),
@@ -316,6 +352,7 @@ impl Experiment for FaultComparison {
             "cells before the failure".to_owned(),
             "failed cell + everything after".to_owned(),
             "none past the stage barrier".to_owned(),
+            "none (only the whole cell can re-run)".to_owned(),
         ]);
         Artifact::Table(t)
     }
@@ -338,6 +375,9 @@ mod tests {
             r.salvaged_rows > 0,
             "rows flushed before the fault survive in the sink: {r:?}"
         );
+        // 512 rows minus the 74 ids divisible by 7 that parse drops:
+        // with the default retry budget nothing else is lost.
+        assert_eq!(r.retry_salvaged, 438, "{r:?}");
     }
 
     #[test]
@@ -358,6 +398,10 @@ mod tests {
             4,
             "all four operators accounted for: {r:?}"
         );
+        assert_eq!(
+            r.retry_salvaged, 438,
+            "the sim retry replay salvages every row: {r:?}"
+        );
     }
 
     #[test]
@@ -368,6 +412,10 @@ mod tests {
         assert_eq!(r.units_finished, 1, "only load survives: {r:?}");
         assert_eq!(r.units_lost, 2, "parse + count lost: {r:?}");
         assert_eq!(r.salvaged_rows, 0, "nothing crosses the barrier: {r:?}");
+        assert_eq!(
+            r.retry_salvaged, 0,
+            "no unit below the cell to retry: {r:?}"
+        );
     }
 
     #[test]
@@ -384,5 +432,9 @@ mod tests {
             wf_salvaged > sc_salvaged,
             "the workflow paradigm salvages rows the script loses: {wf_salvaged} vs {sc_salvaged}"
         );
+        let wf_retry: u64 = t.rows[0][6].parse().unwrap();
+        let sc_retry: u64 = t.rows[1][6].parse().unwrap();
+        assert_eq!(wf_retry, 438, "retry salvages every surviving row");
+        assert_eq!(sc_retry, 0, "the script still salvages nothing");
     }
 }

@@ -2,6 +2,8 @@
 
 use scriptflow_simcluster::{ClusterSpec, LanguageTable, SimDuration};
 
+use crate::retry::{RetryConfig, RetryPolicy};
+
 /// Per-operator virtual costs, calibrated in "Python time" — the
 /// language table scales them for other languages.
 #[derive(Debug, Clone)]
@@ -118,6 +120,13 @@ pub struct EngineConfig {
     /// start after upstream completion. Ablation knob isolating the
     /// pipelining benefit the paper credits for Fig. 13a.
     pub pipelining: bool,
+    /// Per-operator retry budgets for faulted run quanta (see
+    /// [`crate::retry`]). Disabled by default, so configurations that
+    /// never touch it reproduce the pre-retry engines exactly. Both
+    /// executors honor it: the pooled live executor replays the held
+    /// input batch after the backoff, the simulator re-delivers the
+    /// batch as a fresh virtual quantum.
+    pub retry: RetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +138,7 @@ impl Default for EngineConfig {
             serde_secs_per_byte: 4e-9,
             serde_per_tuple: SimDuration::from_micros(2),
             pipelining: true,
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -150,6 +160,12 @@ impl EngineConfig {
     /// Serde cost for `bytes` crossing one edge.
     pub fn serde_cost(&self, bytes: usize) -> SimDuration {
         SimDuration::from_secs_f64(bytes as f64 * self.serde_secs_per_byte)
+    }
+
+    /// Config with the same [`RetryPolicy`] for every operator.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = RetryConfig::uniform(policy);
+        self
     }
 }
 
@@ -187,5 +203,15 @@ mod tests {
         let cfg = EngineConfig::default().without_pipelining();
         assert!(!cfg.pipelining);
         assert!(EngineConfig::default().pipelining);
+    }
+
+    #[test]
+    fn retry_defaults_off_and_builder_enables() {
+        assert!(
+            !EngineConfig::default().retry.enabled(),
+            "default config must reproduce the pre-retry engines"
+        );
+        let cfg = EngineConfig::default().with_retry(RetryPolicy::attempts(3));
+        assert_eq!(cfg.retry.policy_for("anything").max_attempts, 3);
     }
 }

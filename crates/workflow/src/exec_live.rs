@@ -69,6 +69,13 @@
 //! same way. If a fault starves the pipeline of EOS entirely (a dropped
 //! end-of-stream), the last idle pool thread detects quiescence and
 //! synthesizes the missing markers so the run still terminates.
+//!
+//! With a [`crate::retry::RetryPolicy`] ([`LiveExecutor::with_retry`]),
+//! a faulted quantum is first charged against the operator's retry
+//! budget: the pool sleeps the backoff and replays the quantum's held
+//! input batch — exactly once per tuple — surfacing
+//! [`OperatorState::Retrying`] in the trace. Only an exhausted budget
+//! falls through to the drain path above.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -85,6 +92,7 @@ use crate::fault::{CompiledFaults, FaultPlan, TupleAction, TupleTrigger};
 use crate::metrics::{OperatorMetrics, OperatorState, RunMetrics};
 use crate::operator::{Operator, OutputCollector, WorkflowError, WorkflowResult};
 use crate::partition::CompiledPartitioner;
+use crate::retry::{RetryConfig, RetryPolicy};
 use crate::trace::ProgressTrace;
 use crate::trace_live::LiveTracer;
 
@@ -154,6 +162,12 @@ pub struct PoolStats {
     /// Times the pool's quiescence detector had to recover a stalled
     /// pipeline by synthesizing missing EOS markers (dropped-EOS faults).
     pub stall_recoveries: u64,
+    /// Faulted run quanta replayed under a [`crate::retry::RetryPolicy`]
+    /// budget (0 without a policy).
+    pub retries_attempted: u64,
+    /// Tasks that replayed at least one faulted quantum and still
+    /// finished cleanly (their operators end `Completed`, not `Failed`).
+    pub retries_succeeded: u64,
 }
 
 /// Result of a live run.
@@ -220,6 +234,7 @@ pub struct LiveExecutor {
     channel_capacity: usize,
     trace_interval: Option<Duration>,
     faults: Option<FaultPlan>,
+    retry: RetryConfig,
 }
 
 impl Default for LiveExecutor {
@@ -247,6 +262,7 @@ impl LiveExecutor {
             channel_capacity: 64,
             trace_interval: None,
             faults: None,
+            retry: RetryConfig::default(),
         }
     }
 
@@ -353,6 +369,39 @@ impl LiveExecutor {
     /// ```
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Per-operator retry budgets for faulted run quanta (pooled mode;
+    /// see [`crate::retry`]). When a quantum faults — a caught panic, a
+    /// killed worker, a poisoned mailbox payload, a decode error — and
+    /// the operator's [`RetryPolicy`] has budget left, the pool sleeps
+    /// the backoff and replays the quantum's held input batch instead of
+    /// flipping the operator to sticky `Failed`; tuples are delivered
+    /// exactly once across replays. Only an exhausted budget degrades to
+    /// the drain path. The default configuration is disabled, which is
+    /// byte-identical to the pre-retry executor.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::fault::{random_chain, FaultPlan};
+    /// use scriptflow_workflow::retry::{RetryConfig, RetryPolicy};
+    /// use scriptflow_workflow::{LiveExecutor, OperatorState};
+    ///
+    /// let (wf, _handle, _names) = random_chain(5);
+    /// let plan = FaultPlan::new(5).kill_worker("f0", 10);
+    /// let res = LiveExecutor::new(8)
+    ///     .with_pool_size(1)
+    ///     .with_faults(plan)
+    ///     .with_retry(RetryConfig::uniform(RetryPolicy::default()))
+    ///     .run(&wf)
+    ///     .expect("the retry budget absorbs the injected kill");
+    /// assert_eq!(res.metrics.by_name("f0").unwrap().state, OperatorState::Completed);
+    /// assert!(res.pool.unwrap().retries_succeeded >= 1);
+    /// ```
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -549,6 +598,21 @@ struct TaskStatic {
     batch_size: usize,
     /// Injected latency per forwarded batch group (slow-edge fault).
     slow_edge: Option<Duration>,
+    /// Retry budget for faulted run quanta (resolved per operator).
+    retry: RetryPolicy,
+}
+
+/// A faulted quantum's input, stashed so the replayed quantum can
+/// re-process it (see [`crate::retry`]).
+struct ReplayBatch {
+    port: usize,
+    /// The tuples to re-process: the full batch for an organic
+    /// `on_tuple` error (whose partial output was discarded), or the
+    /// truncated-off remainder for an injected panic/kill (whose prefix
+    /// was already processed and forwarded).
+    tuples: Vec<Tuple>,
+    /// Whether `on_input` already counted these tuples.
+    counted: bool,
 }
 
 /// Mutable task state; locked only by the single pool thread running the
@@ -583,6 +647,13 @@ struct TaskInner {
     drop_eos: bool,
     /// Fault plan: run quanta left to burn before sending EOS.
     eos_delay: u32,
+    /// Input of the last faulted quantum, awaiting replay.
+    replay: Option<ReplayBatch>,
+    /// Quantum replays consumed from the task's retry budget.
+    retries_used: u32,
+    /// The task replayed at least one faulted quantum (feeds
+    /// [`PoolStats::retries_succeeded`] if it still finishes cleanly).
+    retried: bool,
 }
 
 /// Bounded mailbox feeding one task.
@@ -629,6 +700,10 @@ struct Pool {
     tracer: LiveTracer,
     task_runs: AtomicU64,
     batches_sent: AtomicU64,
+    /// Faulted quanta replayed under a retry budget.
+    retries_attempted: AtomicU64,
+    /// Retried tasks that still finished cleanly.
+    retries_succeeded: AtomicU64,
     /// Seat for the sampler thread; the condvar lets the pool cut the
     /// sampler's final interval short at shutdown.
     sampler_seat: Mutex<()>,
@@ -692,6 +767,36 @@ impl Pool {
     fn fail_task(&self, op: usize, inner: &mut TaskInner, e: WorkflowError) {
         self.fail_op(op, e);
         inner.failed = true;
+    }
+
+    /// True when the task may still replay a faulted quantum. Checked
+    /// *before* faulting paths clone their input for replay, so a
+    /// disabled policy (`max_attempts = 0`, the default) adds one
+    /// integer compare to the hot path and nothing else.
+    fn budget_left(&self, meta: &TaskStatic, inner: &TaskInner) -> bool {
+        inner.retries_used < meta.retry.max_attempts
+    }
+
+    /// Consume one replay from the task's retry budget for a faulted
+    /// quantum: sleep the backoff (inside the task's own quantum, so the
+    /// rest of the pool keeps running), surface
+    /// [`OperatorState::Retrying`], and return `true` — the caller
+    /// replays instead of failing. Returns `false` with the budget
+    /// untouched once it is exhausted: the fault degrades to the drain
+    /// path exactly as it would without a policy.
+    fn try_retry(&self, meta: &TaskStatic, inner: &mut TaskInner) -> bool {
+        if !self.budget_left(meta, inner) {
+            return false;
+        }
+        let delay = meta.retry.backoff.delay(inner.retries_used);
+        inner.retries_used += 1;
+        inner.retried = true;
+        self.retries_attempted.fetch_add(1, Ordering::Relaxed);
+        self.tracer.on_retrying(meta.op);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        true
     }
 
     fn wake_waiters(&self, tid: usize) {
@@ -882,9 +987,15 @@ impl Pool {
     }
 
     /// Fire a tuple-counted fault trigger: panic (captured by the pool
-    /// thread's `catch_unwind`) or kill the task cleanly, flipping it
-    /// into drain mode.
-    fn spring_trigger(&self, meta: &TaskStatic, inner: &mut TaskInner, t: TupleTrigger) -> RunOutcome {
+    /// thread's `catch_unwind`, which consults the retry budget) or kill
+    /// the task — cleanly absorbed by a replay when budget remains,
+    /// otherwise flipping the task into drain mode.
+    fn spring_trigger(
+        &self,
+        meta: &TaskStatic,
+        inner: &mut TaskInner,
+        t: TupleTrigger,
+    ) -> RunOutcome {
         let name = self.tracer.probe(meta.op).name().to_owned();
         match t.action {
             TupleAction::Panic => panic!(
@@ -892,6 +1003,12 @@ impl Pool {
                 t.at
             ),
             TupleAction::Kill => {
+                if self.try_retry(meta, inner) {
+                    // The kill cost this quantum, not the operator: the
+                    // stashed remainder (or re-queued source chunk)
+                    // replays on the next quantum.
+                    return RunOutcome::More;
+                }
                 self.fail_task(
                     meta.op,
                     inner,
@@ -945,7 +1062,23 @@ impl Pool {
                     .as_ref()
                     .and_then(|f| f.check_tuples(meta.op, chunk.len() as u64));
                 if let Some(t) = &trigger {
-                    chunk.truncate(t.keep as usize);
+                    if self.budget_left(meta, inner) {
+                        // Under a retry budget the tuples behind the
+                        // fault are not lost: the remainder goes back to
+                        // the head of the source queue and replays next
+                        // quantum (the trigger's atomics fired exactly
+                        // once, so re-chunking cannot re-fire it).
+                        let rest = chunk.split_off((t.keep as usize).min(chunk.len()));
+                        if !rest.is_empty() {
+                            inner
+                                .source
+                                .as_mut()
+                                .expect("checked above")
+                                .push_front(rest);
+                        }
+                    } else {
+                        chunk.truncate(t.keep as usize);
+                    }
                 }
                 if let Err(e) = self.forward(meta, inner, chunk) {
                     self.fail_task(meta.op, inner, e);
@@ -966,6 +1099,48 @@ impl Pool {
                 if let Some(d) = meta.slow_edge {
                     std::thread::sleep(d);
                 }
+            }
+        }
+
+        // A replayed quantum (see `crate::retry`): re-process the
+        // faulted quantum's stashed input ahead of any new message.
+        // Injected triggers are not re-consulted — their atomics already
+        // fired — so the replay delivers each tuple exactly once.
+        if let Some(replay) = inner.replay.take() {
+            if !replay.counted {
+                self.tracer.on_input(meta.op, replay.tuples.len() as u64);
+            }
+            // Keep a copy only while a further replay is still possible.
+            let backup = if self.budget_left(meta, inner) {
+                replay.tuples.clone()
+            } else {
+                Vec::new()
+            };
+            let port = replay.port;
+            for t in replay.tuples {
+                if let Err(e) = inner.instance.on_tuple(t, port, &mut inner.collector) {
+                    let _ = inner.collector.take();
+                    if self.try_retry(meta, inner) {
+                        inner.replay = Some(ReplayBatch {
+                            port,
+                            tuples: backup,
+                            counted: true,
+                        });
+                        return RunOutcome::More;
+                    }
+                    self.fail_task(meta.op, inner, e);
+                    return RunOutcome::More;
+                }
+            }
+            if !inner.collector.is_empty() {
+                let out = inner.collector.take();
+                if let Err(e) = self.forward(meta, inner, out) {
+                    self.fail_task(meta.op, inner, e);
+                    return RunOutcome::More;
+                }
+            }
+            if !self.flush_outbox(tid, inner) {
+                return RunOutcome::Yield;
             }
         }
 
@@ -990,7 +1165,12 @@ impl Pool {
             processed += 1;
             if matches!(msg, Msg::Poison { .. }) {
                 // Poison bypasses the blocking gate: corruption in the
-                // mailbox fails the operator wherever it sits.
+                // mailbox fails the operator wherever it sits. A retry
+                // budget absorbs it — the corrupted payload carries no
+                // data, so discarding it and moving on loses nothing.
+                if self.try_retry(meta, inner) {
+                    continue;
+                }
                 let name = self.tracer.probe(meta.op).name().to_owned();
                 self.fail_task(
                     meta.op,
@@ -1024,8 +1204,40 @@ impl Pool {
                     // Sole-owner batches reclaim their tuples without
                     // copying; shared (broadcast) batches clone here, once
                     // per consumer that actually mutates them.
-                    for t in batch.into_tuples().into_iter().take(keep as usize) {
+                    let mut tuples = batch.into_tuples();
+                    if trigger.is_some() && self.budget_left(meta, inner) {
+                        // Under a retry budget the tuples behind the
+                        // injected fault are stashed for the replayed
+                        // quantum instead of being dropped.
+                        let rest = tuples.split_off((keep as usize).min(tuples.len()));
+                        inner.replay = Some(ReplayBatch {
+                            port,
+                            tuples: rest,
+                            counted: false,
+                        });
+                    } else {
+                        tuples.truncate(keep as usize);
+                    }
+                    // Kept only while an organic error could still be
+                    // retried (a pending trigger replays its own stash).
+                    let backup = if trigger.is_none() && self.budget_left(meta, inner) {
+                        tuples.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    for t in tuples {
                         if let Err(e) = inner.instance.on_tuple(t, port, &mut inner.collector) {
+                            if trigger.is_none() {
+                                let _ = inner.collector.take();
+                                if self.try_retry(meta, inner) {
+                                    inner.replay = Some(ReplayBatch {
+                                        port,
+                                        tuples: backup,
+                                        counted: true,
+                                    });
+                                    break 'consume Some(RunOutcome::More);
+                                }
+                            }
                             self.fail_task(meta.op, inner, e);
                             break 'consume Some(RunOutcome::More);
                         }
@@ -1160,8 +1372,21 @@ impl Pool {
     fn drain_failed(&self, tid: usize, meta: &TaskStatic, inner: &mut TaskInner) -> RunOutcome {
         let task = &self.tasks[tid];
         inner.source = None;
-        inner.pending.clear();
-        inner.held.clear();
+        inner.replay = None;
+        // EOS parked in the hold/pending buffers — including markers the
+        // stall detector synthesized — still counts toward closing the
+        // ports. Blindly clearing these buffers livelocked combined
+        // kill+drop-EOS plans: every recovery pass re-synthesized the
+        // markers into `pending`, every drain quantum discarded them,
+        // and `eos_remaining` never reached zero.
+        for msg in inner.pending.drain(..).chain(inner.held.drain(..)) {
+            if let Msg::Eos { port } = msg {
+                inner.eos_remaining[port] = inner.eos_remaining[port].saturating_sub(1);
+                if inner.eos_remaining[port] == 0 {
+                    inner.port_done[port] = true;
+                }
+            }
+        }
         if !inner.eos_queued {
             inner.eos_queued = true;
             inner.outbox.clear();
@@ -1256,13 +1481,20 @@ impl Pool {
             inner.done = true;
             drop(inner);
             let name = self.tracer.probe(task.meta.op).name().to_owned();
-            self.fail_op(
-                task.meta.op,
-                WorkflowError::OperatorFailed {
+            // A force-finished task never saw EOS: its input is
+            // truncated, so it must surface as `Degraded` — neither a
+            // clean `Completed` (which `on_worker_done` below would
+            // otherwise promote) nor `Failed` (the fault lies upstream).
+            // The stall itself is still recorded as the run's error.
+            self.tracer.on_degraded(task.meta.op);
+            let mut g = self.error.lock();
+            if g.is_none() {
+                *g = Some(WorkflowError::OperatorFailed {
                     operator: name,
                     message: "pipeline stalled; task force-finished".to_owned(),
-                },
-            );
+                });
+            }
+            drop(g);
             self.tracer.on_worker_done(task.meta.op);
             if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
                 self.shutdown.store(true, Ordering::Release);
@@ -1318,23 +1550,31 @@ impl Pool {
             // owner `Failed`, and let the task drain like any other
             // failure. This is what keeps a scoped-thread join from
             // tearing the whole run down.
-            let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.run_task(tid)
-            })) {
-                Ok(o) => o,
-                Err(payload) => {
-                    let name = self.tracer.probe(task.meta.op).name().to_owned();
-                    self.fail_op(
-                        task.meta.op,
-                        WorkflowError::OperatorFailed {
-                            operator: name,
-                            message: format!("worker panicked: {}", panic_text(payload)),
-                        },
-                    );
-                    task.inner.lock().failed = true;
-                    RunOutcome::More
-                }
-            };
+            let outcome =
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_task(tid)))
+                {
+                    Ok(o) => o,
+                    Err(payload) => {
+                        let mut inner = task.inner.lock();
+                        if self.try_retry(&task.meta, &mut inner) {
+                            // The faulted quantum's partial output is
+                            // discarded; the stashed replay (or re-queued
+                            // source chunk) regenerates it.
+                            let _ = inner.collector.take();
+                        } else {
+                            let name = self.tracer.probe(task.meta.op).name().to_owned();
+                            self.fail_task(
+                                task.meta.op,
+                                &mut inner,
+                                WorkflowError::OperatorFailed {
+                                    operator: name,
+                                    message: format!("worker panicked: {}", panic_text(payload)),
+                                },
+                            );
+                        }
+                        RunOutcome::More
+                    }
+                };
             self.tracer.on_busy(task.meta.op, quantum_start.elapsed());
             self.task_runs.fetch_add(1, Ordering::Relaxed);
             match outcome {
@@ -1356,6 +1596,12 @@ impl Pool {
                 }
                 RunOutcome::Done => {
                     task.state.store(IDLE, Ordering::Release);
+                    {
+                        let inner = task.inner.lock();
+                        if inner.retried && !inner.failed {
+                            self.retries_succeeded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     self.tracer.on_worker_done(task.meta.op);
                     if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
                         self.shutdown.store(true, Ordering::Release);
@@ -1460,6 +1706,7 @@ impl LiveExecutor {
                         blocking: blocking.clone(),
                         batch_size: self.batch_size,
                         slow_edge: faults.as_ref().and_then(|f| f.slow_edge(i)),
+                        retry: *self.retry.policy_for(node.factory.name()),
                     },
                     inner: Mutex::new(TaskInner {
                         instance: node.factory.create(),
@@ -1480,6 +1727,9 @@ impl LiveExecutor {
                         failed: false,
                         drop_eos: faults.as_ref().is_some_and(|f| f.drops_eos(i)),
                         eos_delay: faults.as_ref().map_or(0, |f| f.eos_delay(i)),
+                        replay: None,
+                        retries_used: 0,
+                        retried: false,
                     }),
                     inbox: Inbox {
                         queue: Mutex::new(VecDeque::new()),
@@ -1513,6 +1763,8 @@ impl LiveExecutor {
             tracer: LiveTracer::new(names, &workers),
             task_runs: AtomicU64::new(0),
             batches_sent: AtomicU64::new(0),
+            retries_attempted: AtomicU64::new(0),
+            retries_succeeded: AtomicU64::new(0),
             sampler_seat: Mutex::new(()),
             sampler_cv: Condvar::new(),
         };
@@ -1584,6 +1836,8 @@ impl LiveExecutor {
             peak_mailbox_depth: pool.tracer.peak_mailbox_depth(),
             faults_injected: pool.faults.as_ref().map_or(0, |f| f.triggered()),
             stall_recoveries: pool.stall_recoveries.load(Ordering::Relaxed),
+            retries_attempted: pool.retries_attempted.load(Ordering::Relaxed),
+            retries_succeeded: pool.retries_succeeded.load(Ordering::Relaxed),
         };
         let result = Self::result_pooled(wf, elapsed, &pool.tracer, stats, trace.clone());
         (trace, Ok(result))

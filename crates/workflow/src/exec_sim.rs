@@ -28,6 +28,11 @@ type WorkerId = usize;
 enum Item {
     /// Data tuples arriving on an input port.
     Batch { port: usize, tuples: Vec<Tuple> },
+    /// A faulted quantum's batch, re-delivered under a retry budget
+    /// (see [`crate::retry`]): serviced like a fresh batch — the replay
+    /// is a real virtual quantum — but its tuples were already counted
+    /// as input when the quantum first ran.
+    Retry { port: usize, tuples: Vec<Tuple> },
     /// End-of-stream marker from one upstream worker on a port.
     Eos { port: usize },
     /// A chunk of a source operator's own data.
@@ -72,6 +77,13 @@ pub struct SimRunResult {
     /// Per-worker busy intervals (empty unless
     /// [`SimExecutor::with_worker_timeline`] was configured).
     pub worker_timeline: Vec<WorkerInterval>,
+    /// Faulted quanta replayed under an [`EngineConfig::retry`] budget
+    /// (0 without a policy — and the run is then byte-identical to the
+    /// pre-retry engine).
+    pub retries_attempted: u64,
+    /// Workers that replayed at least one faulted quantum and still
+    /// finished cleanly.
+    pub retries_succeeded: u64,
 }
 
 /// Per-worker runtime state.
@@ -94,6 +106,10 @@ struct WorkerState {
     busy_time: SimDuration,
     /// Tuples this worker has serviced (drives warm-up accounting).
     processed: u64,
+    /// Quantum replays consumed from the worker's retry budget.
+    retries_used: u32,
+    /// The worker replayed at least one faulted quantum.
+    retried: bool,
 }
 
 impl WorkerState {
@@ -144,6 +160,10 @@ struct SimState<'a> {
     sample_interval: SimDuration,
     record_timeline: bool,
     timeline: Vec<WorkerInterval>,
+    /// Faulted quanta replayed under a retry budget.
+    retries_attempted: u64,
+    /// Retried workers that still finished cleanly.
+    retries_succeeded: u64,
 }
 
 impl<'a> SimState<'a> {
@@ -191,11 +211,13 @@ impl<'a> SimState<'a> {
         let cost = factory.cost();
         let lang = factory.language();
         let n = match item {
-            Item::Batch { tuples, .. } | Item::Source { tuples } => tuples.len() as u64,
+            Item::Batch { tuples, .. } | Item::Retry { tuples, .. } | Item::Source { tuples } => {
+                tuples.len() as u64
+            }
             Item::Eos { .. } | Item::SourceDone => 0,
         };
         let per_tuple = match item {
-            Item::Batch { port, .. } => cost.per_tuple_on(*port),
+            Item::Batch { port, .. } | Item::Retry { port, .. } => cost.per_tuple_on(*port),
             _ => cost.per_tuple,
         };
         let mut per_tuple_total = per_tuple * n;
@@ -216,10 +238,11 @@ impl<'a> SimState<'a> {
             .cfg
             .languages
             .compute(lang, cost.per_batch + per_tuple_total);
-        if matches!(item, Item::Batch { .. }) {
+        if matches!(item, Item::Batch { .. } | Item::Retry { .. }) {
             // Deserializing inbound tuples is real per-tuple work on the
             // consumer (§III-D runtime overhead) — it limits throughput,
-            // unlike the wire delay charged at delivery time.
+            // unlike the wire delay charged at delivery time. A retried
+            // quantum pays it again: the replay is fully re-serviced.
             dur += self.cfg.languages.serde(lang, self.cfg.serde_per_tuple * n);
         }
         if !w.started {
@@ -415,6 +438,11 @@ impl<'a> SimState<'a> {
             return;
         }
         self.workers[worker].finished = true;
+        if self.workers[worker].retried {
+            // Reaching completion at all means every replay the budget
+            // paid for eventually serviced cleanly.
+            self.retries_succeeded += 1;
+        }
         let op = self.workers[worker].op;
         self.op_remaining[op.0] -= 1;
         let op_done = self.op_remaining[op.0] == 0;
@@ -518,19 +546,65 @@ impl<'a> SimModel for SimState<'a> {
                 let op = self.workers[worker].op;
                 let mut outputs: Vec<Tuple> = Vec::new();
                 let mut collector = crate::operator::OutputCollector::new();
+                let is_replay = matches!(item, Item::Retry { .. });
                 match item {
                     Item::Source { tuples } => {
                         self.metrics[op.0].output_tuples += tuples.len() as u64;
                         outputs = tuples;
                     }
-                    Item::Batch { port, tuples } => {
-                        self.metrics[op.0].input_tuples += tuples.len() as u64;
+                    Item::Batch { port, tuples } | Item::Retry { port, tuples } => {
+                        if !is_replay {
+                            // A replay's tuples were counted when the
+                            // quantum first serviced them.
+                            self.metrics[op.0].input_tuples += tuples.len() as u64;
+                        }
+                        let policy = *self.cfg.retry.policy_for(&self.metrics[op.0].name);
+                        // Cloned only while the budget allows a(nother)
+                        // replay, so a disabled policy (the default)
+                        // leaves the hot path allocation-free.
+                        let backup = if self.workers[worker].retries_used < policy.max_attempts {
+                            tuples.clone()
+                        } else {
+                            Vec::new()
+                        };
                         let inst = &mut self.instances[worker];
+                        let mut fault = None;
                         for t in tuples {
                             if let Err(e) = inst.on_tuple(t, port, &mut collector) {
-                                self.fail(op, e);
+                                fault = Some(e);
+                                break;
+                            }
+                        }
+                        if let Some(e) = fault {
+                            let w = &mut self.workers[worker];
+                            if w.retries_used < policy.max_attempts {
+                                // Model the retry as a replayed virtual
+                                // quantum: the backoff elapses on the
+                                // virtual clock, then the same batch is
+                                // re-delivered and re-serviced in full.
+                                // Partial output from the faulted run is
+                                // discarded (the collector dies here), so
+                                // delivery stays exactly-once.
+                                let delay = policy.backoff.delay(w.retries_used);
+                                w.retries_used += 1;
+                                w.retried = true;
+                                self.retries_attempted += 1;
+                                self.metrics[op.0].state = OperatorState::Retrying;
+                                let micros = u64::try_from(delay.as_micros()).unwrap_or(u64::MAX);
+                                sched.schedule_at(
+                                    now + SimDuration::from_micros(micros),
+                                    Ev::Deliver {
+                                        worker,
+                                        item: Item::Retry {
+                                            port,
+                                            tuples: backup,
+                                        },
+                                    },
+                                );
                                 return;
                             }
+                            self.fail(op, e);
+                            return;
                         }
                         outputs = collector.take();
                         self.metrics[op.0].output_tuples += outputs.len() as u64;
@@ -695,6 +769,8 @@ impl SimExecutor {
                     finished: false,
                     busy_time: SimDuration::ZERO,
                     processed: 0,
+                    retries_used: 0,
+                    retried: false,
                 });
                 ids.push(global);
                 global += 1;
@@ -770,6 +846,8 @@ impl SimExecutor {
             sample_interval: self.trace_interval.unwrap_or(SimDuration::from_secs(1)),
             record_timeline: self.record_timeline,
             timeline: Vec::new(),
+            retries_attempted: 0,
+            retries_succeeded: 0,
         };
 
         // --- Seed sources -------------------------------------------------
@@ -846,6 +924,8 @@ impl SimExecutor {
                 },
                 trace,
                 worker_timeline: state.timeline,
+                retries_attempted: state.retries_attempted,
+                retries_succeeded: state.retries_succeeded,
             }),
         )
     }
@@ -999,6 +1079,89 @@ mod tests {
         let wf = b.build().unwrap();
         let err = SimExecutor::new(cfg()).run(&wf).unwrap_err();
         assert!(err.to_string().contains("exploder"), "{err}");
+    }
+
+    #[test]
+    fn retry_replays_transient_fault_and_completes() {
+        use crate::retry::{RetryConfig, RetryPolicy};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let run = |max_attempts: u32| {
+            let calls = Arc::new(AtomicU64::new(0));
+            let seen = calls.clone();
+            let mut b = WorkflowBuilder::new();
+            let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(40))), 1);
+            let flaky = b.add(
+                Arc::new(FilterOp::new("flaky", move |t| {
+                    // Exactly one transient fault: the 20th tuple ever
+                    // serviced errors once; the replay (fresh counts)
+                    // passes, so a single retry salvages the run.
+                    let _ = t.get_int("id")?;
+                    if seen.fetch_add(1, Ordering::SeqCst) + 1 == 20 {
+                        Err(scriptflow_datakit::DataError::Decode {
+                            line: 0,
+                            message: "transient".into(),
+                        })
+                    } else {
+                        Ok(true)
+                    }
+                })),
+                1,
+            );
+            let sink_op = SinkOp::new("sink");
+            let handle = sink_op.handle();
+            let sink = b.add(Arc::new(sink_op), 1);
+            b.connect(scan, flaky, 0, PartitionStrategy::RoundRobin);
+            b.connect(flaky, sink, 0, PartitionStrategy::Single);
+            let wf = b.build().unwrap();
+            let mut config = cfg();
+            config.retry = RetryConfig::uniform(RetryPolicy::attempts(max_attempts));
+            (SimExecutor::new(config).run(&wf), handle)
+        };
+
+        // No budget: the transient decode error is sticky-fatal.
+        let (res, _) = run(0);
+        let err = res.unwrap_err();
+        assert!(err.to_string().contains("flaky"), "{err}");
+
+        // One replay salvages every row exactly once.
+        let (res, handle) = run(3);
+        let res = res.unwrap();
+        assert_eq!(handle.len(), 40, "retry must not lose or duplicate rows");
+        assert_eq!(res.retries_attempted, 1);
+        assert_eq!(res.retries_succeeded, 1);
+        let m = res.metrics.by_name("flaky").unwrap();
+        assert_eq!(m.state, OperatorState::Completed);
+        assert_eq!(m.input_tuples, 40, "replayed tuples must not be recounted");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_still_fails() {
+        use crate::retry::{RetryConfig, RetryPolicy};
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(10))), 1);
+        let bad = b.add(
+            Arc::new(FilterOp::new("stuck", |t| {
+                if t.get_int("id")? == 7 {
+                    Err(scriptflow_datakit::DataError::Decode {
+                        line: 0,
+                        message: "persistent".into(),
+                    })
+                } else {
+                    Ok(true)
+                }
+            })),
+            1,
+        );
+        let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+        b.connect(scan, bad, 0, PartitionStrategy::RoundRobin);
+        b.connect(bad, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        let mut config = cfg();
+        config.retry = RetryConfig::uniform(RetryPolicy::attempts(2));
+        // A deterministic fault fails every replay: the budget drains and
+        // the operator degrades to the ordinary failure path.
+        let err = SimExecutor::new(config).run(&wf).unwrap_err();
+        assert!(err.to_string().contains("stuck"), "{err}");
     }
 
     #[test]

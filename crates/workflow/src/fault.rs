@@ -101,7 +101,10 @@ impl FaultKind {
     /// True for faults that only slow the run down without losing data
     /// (`DelayEos`, `SlowEdge`).
     pub fn is_benign(&self) -> bool {
-        matches!(self, FaultKind::DelayEos { .. } | FaultKind::SlowEdge { .. })
+        matches!(
+            self,
+            FaultKind::DelayEos { .. } | FaultKind::SlowEdge { .. }
+        )
     }
 }
 
@@ -242,8 +245,8 @@ impl FaultPlan {
     pub fn random(seed: u64, ops: &[String]) -> Self {
         assert!(!ops.is_empty(), "need at least one candidate operator");
         let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
-        let op = ops[(rng.next_u64() % ops.len() as u64) as usize].clone();
-        let kind = match rng.next_u64() % 6 {
+        let op = ops[rng.next_below(ops.len() as u64) as usize].clone();
+        let kind = match rng.next_below(6) {
             0 => FaultKind::PanicAt {
                 tuple: 1 + rng.next_u64() % 120,
             },
@@ -564,7 +567,10 @@ mod tests {
 
     #[test]
     fn random_plan_is_seed_deterministic() {
-        let ops: Vec<String> = ["scan", "f0", "sink"].iter().map(|s| s.to_string()).collect();
+        let ops: Vec<String> = ["scan", "f0", "sink"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         for seed in 0..64 {
             assert_eq!(FaultPlan::random(seed, &ops), FaultPlan::random(seed, &ops));
         }
@@ -572,7 +578,11 @@ mod tests {
         let distinct = (0..64)
             .map(|s| format!("{:?}", FaultPlan::random(s, &ops)))
             .collect::<std::collections::HashSet<_>>();
-        assert!(distinct.len() > 10, "only {} distinct plans", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct plans",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -38,6 +38,14 @@
 //!   [`OperatorState::Failed`] operator, marks downstream operators
 //!   [`OperatorState::Degraded`] on their truncated input, and preserves
 //!   the partial trace ([`exec_live::LiveExecutor::run_observed`]).
+//! * **Recovery under failure** — a per-operator [`retry::RetryPolicy`]
+//!   (bounded exponential backoff, carried by [`EngineConfig::retry`])
+//!   replays a faulted run quantum with its held input batch instead of
+//!   failing the operator: tuples are delivered exactly once across
+//!   replays, the operator surfaces [`OperatorState::Retrying`] while a
+//!   replay is pending, and only an exhausted budget degrades to the
+//!   drain path. Both engines model it — the simulator as replayed
+//!   virtual quanta — and report attempt counts.
 //! * **One execution surface over both engines** — a
 //!   [`backend::ExecBackend`] selected from a
 //!   [`scriptflow_core::BackendKind`] runs the same built DAG on either
@@ -61,6 +69,7 @@ pub mod metrics;
 pub mod operator;
 pub mod ops;
 pub mod partition;
+pub mod retry;
 pub mod spec;
 pub mod trace;
 pub mod trace_live;
@@ -74,6 +83,7 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{OperatorMetrics, OperatorState, RunMetrics};
 pub use operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 pub use partition::{CompiledPartitioner, PartitionStrategy};
+pub use retry::{Backoff, RetryConfig, RetryPolicy};
 pub use spec::SpecWorkflow;
 pub use trace::{render_timeline, OperatorSnapshot, ProgressTrace, TraceJson};
 pub use trace_live::{LiveTracer, OperatorProbe};

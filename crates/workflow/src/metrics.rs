@@ -16,6 +16,12 @@ pub enum OperatorState {
     Running,
     /// Execution paused by the user.
     Paused,
+    /// A worker's run quantum faulted and a retry budget remains: the
+    /// faulted quantum is being replayed with its held input batch (see
+    /// [`crate::retry`]). Clears to [`OperatorState::Completed`] when
+    /// the replay finishes the operator; exhausting the budget moves to
+    /// [`OperatorState::Failed`] instead.
+    Retrying,
     /// All workers finished.
     Completed,
     /// All workers finished, but an upstream failure truncated this
@@ -33,6 +39,7 @@ impl OperatorState {
             OperatorState::Initializing => "gray",
             OperatorState::Running => "blue",
             OperatorState::Paused => "yellow",
+            OperatorState::Retrying => "purple",
             OperatorState::Completed => "green",
             OperatorState::Degraded => "orange",
             OperatorState::Failed => "red",
@@ -46,6 +53,7 @@ impl OperatorState {
             OperatorState::Initializing => "Initializing",
             OperatorState::Running => "Running",
             OperatorState::Paused => "Paused",
+            OperatorState::Retrying => "Retrying",
             OperatorState::Completed => "Completed",
             OperatorState::Degraded => "Degraded",
             OperatorState::Failed => "Failed",
@@ -59,6 +67,7 @@ impl OperatorState {
             "Initializing" => Some(OperatorState::Initializing),
             "Running" => Some(OperatorState::Running),
             "Paused" => Some(OperatorState::Paused),
+            "Retrying" => Some(OperatorState::Retrying),
             "Completed" => Some(OperatorState::Completed),
             "Degraded" => Some(OperatorState::Degraded),
             "Failed" => Some(OperatorState::Failed),
@@ -159,6 +168,7 @@ mod tests {
     #[test]
     fn state_colors() {
         assert_eq!(OperatorState::Running.color(), "blue");
+        assert_eq!(OperatorState::Retrying.color(), "purple");
         assert_eq!(OperatorState::Completed.color(), "green");
         assert_eq!(OperatorState::Degraded.color(), "orange");
         assert_eq!(OperatorState::Failed.color(), "red");
@@ -170,6 +180,7 @@ mod tests {
             OperatorState::Initializing,
             OperatorState::Running,
             OperatorState::Paused,
+            OperatorState::Retrying,
             OperatorState::Completed,
             OperatorState::Degraded,
             OperatorState::Failed,
@@ -180,6 +191,7 @@ mod tests {
         assert!(OperatorState::Failed.is_terminal());
         assert!(OperatorState::Degraded.is_terminal());
         assert!(!OperatorState::Running.is_terminal());
+        assert!(!OperatorState::Retrying.is_terminal());
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Per-operator retry policy with bounded exponential backoff.
+//!
+//! The paper's GUI-paradigm pitch (§III-A) is operator-level isolation:
+//! a fault should cost one operator's quantum, not the pipeline. The
+//! fault harness ([`crate::fault`]) made injected failures deterministic
+//! and the drain path made them survivable; this module makes them
+//! *recoverable*. A [`RetryPolicy`] gives each operator a budget of
+//! quantum replays: when a task's run quantum faults (a caught panic, a
+//! poisoned mailbox payload, a decode error), the pooled executor
+//! re-runs the quantum with the held input batch replayed — exactly
+//! once per tuple — instead of flipping the operator to sticky
+//! `Failed`. Only an exhausted budget degrades to the drain path.
+//!
+//! Policies are carried by [`crate::EngineConfig::retry`] (so both
+//! engines share one configuration surface) or handed straight to
+//! [`crate::LiveExecutor::with_retry`]. The default [`RetryConfig`] is
+//! disabled (`max_attempts = 0`): runs without an explicit policy are
+//! byte-identical to the pre-retry engine.
+
+use std::time::Duration;
+
+/// Bounded exponential backoff between retry attempts.
+///
+/// The `i`-th retry (0-based) sleeps `base * factor^i`, capped at
+/// `cap`. The executor sleeps inside the retried task's own run
+/// quantum, so backoff throttles the faulting operator without
+/// blocking the rest of the pool.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use scriptflow_workflow::retry::Backoff;
+///
+/// let b = Backoff::default();
+/// assert_eq!(b.delay(0), Duration::from_millis(1));
+/// assert_eq!(b.delay(1), Duration::from_millis(2));
+/// assert_eq!(b.delay(30), b.cap, "growth is bounded by the cap");
+/// assert_eq!(Backoff::none().delay(5), Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub factor: u32,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl Backoff {
+    /// No delay between attempts (tests and latency-critical paths).
+    pub const fn none() -> Self {
+        Backoff {
+            base: Duration::ZERO,
+            factor: 1,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// The delay before the `retry`-th replay (0-based), bounded by
+    /// [`Backoff::cap`].
+    pub fn delay(&self, retry: u32) -> Duration {
+        let mult = self.factor.max(1).saturating_pow(retry.min(16));
+        self.base.saturating_mul(mult).min(self.cap)
+    }
+}
+
+impl Default for Backoff {
+    /// 1 ms doubling per retry, capped at 20 ms — long enough to let a
+    /// transient condition clear, short enough that a full default
+    /// budget costs single-digit milliseconds.
+    fn default() -> Self {
+        Backoff {
+            base: Duration::from_millis(1),
+            factor: 2,
+            cap: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Retry budget for one operator: how many times a faulted run quantum
+/// may be replayed before the operator degrades to the drain path.
+///
+/// # Examples
+///
+/// ```
+/// use scriptflow_workflow::retry::RetryPolicy;
+///
+/// assert_eq!(RetryPolicy::default().max_attempts, 3);
+/// assert!(RetryPolicy::default().enabled());
+/// assert!(!RetryPolicy::disabled().enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum quantum replays per operator worker. `0` disables
+    /// retries entirely (the pre-retry drain behavior, byte-identical).
+    pub max_attempts: u32,
+    /// Delay schedule between replays.
+    pub backoff: Backoff,
+}
+
+impl RetryPolicy {
+    /// No retries: every fault takes the drain path immediately.
+    pub const fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            backoff: Backoff::none(),
+        }
+    }
+
+    /// A policy with `max_attempts` replays and the default backoff.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Builder-style setter for the backoff schedule.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// True when this policy allows at least one replay.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 0
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three replays with the default exponential backoff.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::default(),
+        }
+    }
+}
+
+/// Engine-level retry configuration: one default [`RetryPolicy`] plus
+/// per-operator overrides, resolved by operator name.
+///
+/// The [`Default`] configuration is fully disabled, so an
+/// [`crate::EngineConfig`] built without touching `retry` reproduces
+/// the pre-retry engines exactly.
+///
+/// # Examples
+///
+/// ```
+/// use scriptflow_workflow::retry::{RetryConfig, RetryPolicy};
+///
+/// let cfg = RetryConfig::uniform(RetryPolicy::attempts(3))
+///     .with_override("sink", RetryPolicy::disabled());
+/// assert_eq!(cfg.policy_for("parse").max_attempts, 3);
+/// assert_eq!(cfg.policy_for("sink").max_attempts, 0);
+/// assert!(cfg.enabled());
+/// assert!(!RetryConfig::default().enabled());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Policy for operators without an override.
+    pub default: RetryPolicy,
+    /// Per-operator `(name, policy)` overrides; the first match wins.
+    pub overrides: Vec<(String, RetryPolicy)>,
+}
+
+impl Default for RetryConfig {
+    /// Disabled for every operator — deliberately *not* the derived
+    /// default (which would inherit `RetryPolicy::default()`'s three
+    /// attempts): `EngineConfig::default()` embeds this and must
+    /// reproduce the pre-retry engines byte-for-byte.
+    fn default() -> Self {
+        RetryConfig::uniform(RetryPolicy::disabled())
+    }
+}
+
+impl RetryConfig {
+    /// One policy for every operator.
+    pub fn uniform(policy: RetryPolicy) -> Self {
+        RetryConfig {
+            default: policy,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Builder-style per-operator override.
+    pub fn with_override(mut self, op: impl Into<String>, policy: RetryPolicy) -> Self {
+        self.overrides.push((op.into(), policy));
+        self
+    }
+
+    /// The policy effective for operator `op`.
+    pub fn policy_for(&self, op: &str) -> &RetryPolicy {
+        self.overrides
+            .iter()
+            .find(|(name, _)| name == op)
+            .map(|(_, p)| p)
+            .unwrap_or(&self.default)
+    }
+
+    /// True when any operator may retry.
+    pub fn enabled(&self) -> bool {
+        self.default.enabled() || self.overrides.iter().any(|(_, p)| p.enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = Backoff::default();
+        assert_eq!(b.delay(0), Duration::from_millis(1));
+        assert_eq!(b.delay(2), Duration::from_millis(4));
+        assert_eq!(b.delay(10), Duration::from_millis(20));
+        // A huge retry index must not overflow.
+        assert_eq!(b.delay(u32::MAX), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn default_config_is_disabled() {
+        // The wire-format guarantee: `EngineConfig::default()` (which
+        // embeds `RetryConfig::default()`) must reproduce the
+        // pre-retry engines byte-for-byte, so the derived default has
+        // to be the disabled policy.
+        let cfg = RetryConfig::default();
+        assert_eq!(cfg.default.max_attempts, 0);
+        assert!(cfg.overrides.is_empty());
+        assert!(!cfg.enabled());
+    }
+
+    #[test]
+    fn overrides_resolve_by_name() {
+        let cfg = RetryConfig::uniform(RetryPolicy::attempts(2))
+            .with_override("parse", RetryPolicy::attempts(5))
+            .with_override("parse", RetryPolicy::disabled());
+        // First match wins.
+        assert_eq!(cfg.policy_for("parse").max_attempts, 5);
+        assert_eq!(cfg.policy_for("other").max_attempts, 2);
+    }
+
+    #[test]
+    fn policy_builders() {
+        let p = RetryPolicy::attempts(7).with_backoff(Backoff::none());
+        assert_eq!(p.max_attempts, 7);
+        assert_eq!(p.backoff.delay(3), Duration::ZERO);
+        assert!(p.enabled());
+    }
+}

@@ -66,7 +66,7 @@ impl ProgressTrace {
 
 /// Render the trace as a compact text timeline: one row per operator,
 /// one column per sample, with the state's initial letter
-/// (I/R/P/C/F).
+/// (I/R/P/Y/C/D/F — `Y` is `Retrying`, whose `R` is taken).
 pub fn render_timeline(trace: &ProgressTrace) -> String {
     let mut out = String::new();
     if trace.is_empty() {
@@ -81,6 +81,7 @@ pub fn render_timeline(trace: &ProgressTrace) -> String {
                 OperatorState::Initializing => 'I',
                 OperatorState::Running => 'R',
                 OperatorState::Paused => 'P',
+                OperatorState::Retrying => 'Y',
                 OperatorState::Completed => 'C',
                 OperatorState::Degraded => 'D',
                 OperatorState::Failed => 'F',

@@ -30,18 +30,21 @@ use crate::trace::{OperatorSnapshot, ProgressTrace};
 /// Monotone `u8` encoding of [`OperatorState`] for lock-free state
 /// transitions: states only ever move to a higher code, and `fetch_max`
 /// makes the failure states sticky even when a concurrent worker reports
-/// completion — `Degraded` outranks `Completed` (a clean finish cannot
-/// mask truncated input) and `Failed` outranks everything. (`Paused` is
-/// unreachable in live runs — the pooled executor has no pause control —
-/// but keeps the codes aligned with the enum for exhaustiveness.)
+/// completion — `Retrying` outranks `Running` (the badge stays visible
+/// until a terminal state clears it), `Degraded` outranks `Completed`
+/// (a clean finish cannot mask truncated input) and `Failed` outranks
+/// everything. (`Paused` is unreachable in live runs — the pooled
+/// executor has no pause control — but keeps the codes aligned with the
+/// enum for exhaustiveness.)
 fn state_code(state: OperatorState) -> u8 {
     match state {
         OperatorState::Initializing => 0,
         OperatorState::Running => 1,
         OperatorState::Paused => 2,
-        OperatorState::Completed => 3,
-        OperatorState::Degraded => 4,
-        OperatorState::Failed => 5,
+        OperatorState::Retrying => 3,
+        OperatorState::Completed => 4,
+        OperatorState::Degraded => 5,
+        OperatorState::Failed => 6,
     }
 }
 
@@ -50,8 +53,9 @@ fn code_state(code: u8) -> OperatorState {
         0 => OperatorState::Initializing,
         1 => OperatorState::Running,
         2 => OperatorState::Paused,
-        3 => OperatorState::Completed,
-        4 => OperatorState::Degraded,
+        3 => OperatorState::Retrying,
+        4 => OperatorState::Completed,
+        5 => OperatorState::Degraded,
         _ => OperatorState::Failed,
     }
 }
@@ -83,6 +87,8 @@ pub struct OperatorProbe {
     input_tuples: AtomicU64,
     output_tuples: AtomicU64,
     busy_nanos: AtomicU64,
+    attempts: AtomicU64,
+    retries: AtomicU64,
     stalls: AtomicU64,
     mailbox_depth: AtomicUsize,
     peak_mailbox_depth: AtomicUsize,
@@ -97,6 +103,8 @@ impl OperatorProbe {
             input_tuples: AtomicU64::new(0),
             output_tuples: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
+            attempts: AtomicU64::new(workers as u64),
+            retries: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
             mailbox_depth: AtomicUsize::new(0),
             peak_mailbox_depth: AtomicUsize::new(0),
@@ -172,6 +180,39 @@ impl OperatorProbe {
     /// ```
     pub fn busy(&self) -> SimDuration {
         SimDuration::from_micros(self.busy_nanos.load(Ordering::Relaxed) / 1_000)
+    }
+
+    /// Run attempts across this operator's workers: one per worker
+    /// launch plus one per retry, so `attempts() == workers + retries()`
+    /// by construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[2]);
+    /// assert_eq!(tracer.probe(0).attempts(), 2);
+    /// tracer.on_retrying(0);
+    /// assert_eq!(tracer.probe(0).attempts(), 3);
+    /// ```
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Faulted run quanta replayed under a retry budget (see
+    /// [`crate::retry`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// assert_eq!(tracer.probe(0).retries(), 0);
+    /// tracer.on_retrying(0);
+    /// assert_eq!(tracer.probe(0).retries(), 1);
+    /// ```
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Times a producer found one of this operator's mailboxes full and
@@ -453,6 +494,31 @@ impl LiveTracer {
         }
     }
 
+    /// Hook: a worker of `op` faulted but holds retry budget — its run
+    /// quantum is being replayed. Bumps the attempt/retry counters and
+    /// promotes the operator to [`OperatorState::Retrying`], which stays
+    /// visible (it outranks `Running`) until a terminal state clears it:
+    /// a successful replay ends in `Completed`, an exhausted budget in
+    /// `Failed`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// use scriptflow_workflow::OperatorState;
+    /// let tracer = LiveTracer::new(vec!["op".to_owned()], &[1]);
+    /// tracer.on_retrying(0);
+    /// assert_eq!(tracer.probe(0).state(), OperatorState::Retrying);
+    /// tracer.on_worker_done(0); // the replay finished the operator
+    /// assert_eq!(tracer.probe(0).state(), OperatorState::Completed);
+    /// ```
+    pub fn on_retrying(&self, op: usize) {
+        let probe = &self.probes[op];
+        probe.attempts.fetch_add(1, Ordering::Relaxed);
+        probe.retries.fetch_add(1, Ordering::Relaxed);
+        probe.promote(OperatorState::Retrying);
+    }
+
     /// Hook: a worker of `op` raised an error. The operator moves to
     /// [`OperatorState::Failed`] and stays there.
     ///
@@ -488,6 +554,21 @@ impl LiveTracer {
     /// ```
     pub fn on_degraded(&self, op: usize) {
         self.probes[op].promote(OperatorState::Degraded);
+    }
+
+    /// Total quantum replays across all operators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["a".to_owned(), "b".to_owned()], &[1, 1]);
+    /// tracer.on_retrying(0);
+    /// tracer.on_retrying(1);
+    /// assert_eq!(tracer.total_retries(), 2);
+    /// ```
+    pub fn total_retries(&self) -> u64 {
+        self.probes.iter().map(OperatorProbe::retries).sum()
     }
 
     /// Total backpressure stalls across all operators.
@@ -623,6 +704,39 @@ mod tests {
         t.on_failed(0);
         t.on_degraded(0);
         assert_eq!(t.probe(0).state(), OperatorState::Failed);
+    }
+
+    #[test]
+    fn retrying_outranks_running_but_yields_to_terminal_states() {
+        let t = tracer();
+        t.on_input(0, 1);
+        t.on_retrying(0);
+        assert_eq!(t.probe(0).state(), OperatorState::Retrying);
+        // A later Running promotion cannot demote the Retrying badge.
+        t.on_input(0, 1);
+        assert_eq!(t.probe(0).state(), OperatorState::Retrying);
+        // A successful replay completes the operator.
+        t.on_worker_done(0);
+        t.on_worker_done(0);
+        assert_eq!(t.probe(0).state(), OperatorState::Completed);
+        // Terminal failure on the other operator outranks Retrying.
+        t.on_retrying(1);
+        t.on_failed(1);
+        assert_eq!(t.probe(1).state(), OperatorState::Failed);
+    }
+
+    #[test]
+    fn attempt_counters_track_retries() {
+        let t = tracer(); // scan has 2 workers, sink has 1
+        assert_eq!(t.probe(0).attempts(), 2);
+        assert_eq!(t.probe(0).retries(), 0);
+        t.on_retrying(0);
+        t.on_retrying(0);
+        t.on_retrying(1);
+        assert_eq!(t.probe(0).attempts(), 4);
+        assert_eq!(t.probe(0).retries(), 2);
+        assert_eq!(t.probe(1).attempts(), 2);
+        assert_eq!(t.total_retries(), 3);
     }
 
     #[test]

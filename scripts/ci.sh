@@ -30,8 +30,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo test --doc"
 cargo test -q --doc --workspace
 
-echo "==> chaos suite (fault injection, single-threaded for determinism)"
-cargo test -q --test chaos_faults -- --test-threads=1
+echo "==> chaos suite, retries disabled (seeded fingerprints must be unchanged)"
+CHAOS_RETRIES=0 cargo test -q --test chaos_faults -- --test-threads=1
+
+echo "==> chaos suite, retries enabled (retryable faults must lose zero rows)"
+CHAOS_RETRIES=1 cargo test -q --test chaos_faults -- --test-threads=1
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> engine throughput bench (quick)"

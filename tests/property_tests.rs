@@ -375,4 +375,44 @@ proptest! {
         }
         prop_assert!(last.iter().all(|s| s.state.is_terminal()));
     }
+
+    /// Retry safety net over the same seeded chains: any retryable fault
+    /// (panic, kill, poisoned mailbox) under a sufficient budget yields
+    /// sorted rows identical to the fault-free run — the replayed
+    /// quantum delivers every tuple exactly once — and every operator
+    /// ends `Completed`.
+    #[test]
+    fn retryable_faults_with_budget_preserve_rows(seed in any::<u64>(), kind in 0usize..3) {
+        use scriptflow::workflow::fault::{random_chain, FaultPlan};
+        use scriptflow::workflow::{OperatorState, RetryConfig, RetryPolicy};
+        let (wf, handle, _names) = random_chain(seed);
+        let (_trace, clean) = LiveExecutor::new(8).with_pool_size(1).run_observed(&wf);
+        prop_assert!(clean.is_ok());
+        let mut want: Vec<String> =
+            handle.results().iter().map(|t| t.to_string()).collect();
+        want.sort_unstable();
+
+        let plan = match kind {
+            0 => FaultPlan::new(seed).panic_at("f0", 1 + seed % 50),
+            1 => FaultPlan::new(seed).kill_worker("f0", 1 + seed % 50),
+            _ => FaultPlan::new(seed).poison_mailbox("sink", 1 + seed % 3),
+        };
+        let (wf, handle, _names) = random_chain(seed);
+        let (trace, result) = LiveExecutor::new(8)
+            .with_pool_size(1)
+            .with_faults(plan)
+            .with_retry(RetryConfig::uniform(RetryPolicy::default()))
+            .run_observed(&wf);
+        prop_assert!(
+            result.is_ok(),
+            "the default budget absorbs the fault: {:?}",
+            result.err()
+        );
+        let mut got: Vec<String> =
+            handle.results().iter().map(|t| t.to_string()).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+        let (_, last) = trace.samples.last().expect("retried runs keep a trace");
+        prop_assert!(last.iter().all(|s| s.state == OperatorState::Completed));
+    }
 }
