@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use scriptflow_bench::backend;
 use scriptflow_core::{BackendChoice, BackendKind};
 use scriptflow_datakit::codec::Json;
-use scriptflow_datakit::{Batch, DataType, Schema, Value};
+use scriptflow_datakit::{Batch, CmpOp, DataType, Schema, Value};
 use scriptflow_workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
 use scriptflow_workflow::{
     EngineConfig, ExecMode, PartitionStrategy, RunMetrics, TraceJson, Workflow, WorkflowBuilder,
@@ -79,6 +79,27 @@ fn broadcast_join(facts: i64, workers: usize) -> Workflow {
     b.build().unwrap()
 }
 
+/// The zone-map acceptance workload: ascending ids with a top-percentile
+/// range predicate, so in columnar mode per-batch min/max statistics
+/// prove almost every sealed batch empty before a single row is read.
+fn selective_filter(n: i64, workers: usize) -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(n))), workers);
+    let sel = b.add(
+        Arc::new(FilterOp::cmp(
+            "sel",
+            "id",
+            CmpOp::Ge,
+            Value::Int(n - n / 100 - 1),
+        )),
+        workers,
+    );
+    let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+    b.connect(scan, sel, 0, PartitionStrategy::RoundRobin);
+    b.connect(sel, sink, 0, PartitionStrategy::Single);
+    b.build().unwrap()
+}
+
 fn mode_name(mode: ExecMode) -> &'static str {
     match mode {
         ExecMode::Pooled => "pooled",
@@ -98,6 +119,7 @@ fn operators_json(metrics: &RunMetrics) -> Json {
                     ("workers".into(), Json::Int(m.workers as i64)),
                     ("inputTuples".into(), Json::Int(m.input_tuples as i64)),
                     ("outputTuples".into(), Json::Int(m.output_tuples as i64)),
+                    ("batchesSkipped".into(), Json::Int(m.batches_skipped as i64)),
                     ("busySecs".into(), Json::Float(m.busy.as_secs_f64())),
                     ("state".into(), Json::Str(m.state.label().into())),
                 ])
@@ -110,12 +132,15 @@ fn operators_json(metrics: &RunMetrics) -> Json {
 fn measure(
     workload: &str,
     mode: ExecMode,
+    columnar: bool,
     parallelism: usize,
     tuples: i64,
     reps: usize,
     build: impl Fn() -> Workflow,
 ) -> Json {
-    let exec = backend::live_executor(backend::LIVE_BATCH).with_mode(mode);
+    let exec = backend::live_executor(backend::LIVE_BATCH)
+        .with_mode(mode)
+        .with_columnar(columnar);
     // Warm-up run (thread spawn, allocator churn) not measured.
     exec.run(&build()).expect("bench workflow must run");
     let mut best = f64::INFINITY;
@@ -127,9 +152,11 @@ fn measure(
         best = best.min(start.elapsed().as_secs_f64());
     }
     let last = last.expect("at least one rep");
+    let layout = if columnar { "columnar" } else { "row" };
+    let skipped = last.pool.as_ref().map_or(0, |p| p.batches_skipped);
     let tps = tuples as f64 / best.max(1e-9);
     println!(
-        "{workload:>16}  {:>8}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>12.0} tuples/s",
+        "{workload:>16}  {:>8}  {layout:>8}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>12.0} tuples/s  {skipped:>5} skipped",
         mode_name(mode),
         best * 1e3,
         tps
@@ -137,10 +164,12 @@ fn measure(
     let mut fields = vec![
         ("workload".into(), Json::Str(workload.into())),
         ("mode".into(), Json::Str(mode_name(mode).into())),
+        ("batchLayout".into(), Json::Str(layout.into())),
         ("parallelism".into(), Json::Int(parallelism as i64)),
         ("tuples".into(), Json::Int(tuples)),
         ("elapsed_secs".into(), Json::Float(best)),
         ("tuples_per_sec".into(), Json::Float(tps)),
+        ("batchesSkipped".into(), Json::Int(skipped as i64)),
         ("operators".into(), operators_json(&last.metrics)),
     ];
     // One extra observed run (untimed) to archive a sampled trace; only
@@ -211,19 +240,46 @@ fn main() {
             ));
         }
         configs.push(measure_sim("broadcast_join", 4, n, &broadcast_join(n, 4)));
+        configs.push(measure_sim(
+            "selective_filter",
+            4,
+            n,
+            &selective_filter(n, 4),
+        ));
     }
     if choice.includes(BackendKind::Live) {
         for &workers in &[1usize, 2, 4, 8] {
             for &mode in &[ExecMode::Pooled, ExecMode::ThreadPerWorker] {
-                configs.push(measure("filter_pipeline", mode, workers, n, reps, || {
-                    filter_pipeline(n, workers)
-                }));
+                configs.push(measure(
+                    "filter_pipeline",
+                    mode,
+                    false,
+                    workers,
+                    n,
+                    reps,
+                    || filter_pipeline(n, workers),
+                ));
             }
         }
         for &mode in &[ExecMode::Pooled, ExecMode::ThreadPerWorker] {
-            configs.push(measure("broadcast_join", mode, 4, n, reps, || {
+            configs.push(measure("broadcast_join", mode, false, 4, n, reps, || {
                 broadcast_join(n, 4)
             }));
+        }
+        // Row-vs-columnar acceptance pair: same DAG, same pooled
+        // executor, only the batch layout differs. The columnar row must
+        // show non-zero batchesSkipped (zone maps pruning the sorted
+        // scan) and higher throughput.
+        for &columnar in &[false, true] {
+            configs.push(measure(
+                "selective_filter",
+                ExecMode::Pooled,
+                columnar,
+                4,
+                n,
+                reps,
+                || selective_filter(n, 4),
+            ));
         }
     }
 

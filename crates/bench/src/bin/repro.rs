@@ -56,8 +56,7 @@ fn backend_comparison(choice: BackendChoice) {
         (
             "kge",
             Box::new(|k| {
-                kge::workflow::run_workflow_on(&KgeParams::new(600, 1), &cal, k)
-                    .expect("KGE runs")
+                kge::workflow::run_workflow_on(&KgeParams::new(600, 1), &cal, k).expect("KGE runs")
             }),
         ),
     ];
@@ -69,7 +68,7 @@ fn backend_comparison(choice: BackendChoice) {
                 .iter()
                 .map(|k| format!("{} ({})", k.label(), k.time_unit())),
         )
-        .chain(std::iter::once("rows".to_owned()))
+        .chain(["rows".to_owned(), "skips".to_owned()])
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(
@@ -80,10 +79,12 @@ fn backend_comparison(choice: BackendChoice) {
     for (task, run_on) in &runs {
         let mut cells = vec![(*task).to_owned()];
         let mut rows = None;
+        let mut skips = 0u64;
         for kind in choice.kinds() {
             let run = run_on(*kind);
             cells.push(format!("{:.3}", run.seconds()));
             rows = Some(run.run.output.len());
+            skips = skips.max(run.batches_skipped);
             if *kind == BackendKind::Live {
                 match backend::archive_live_trace(task, &run.trace) {
                     Ok(path) => eprintln!("archived live trace: {path}"),
@@ -92,6 +93,7 @@ fn backend_comparison(choice: BackendChoice) {
             }
         }
         cells.push(rows.unwrap_or(0).to_string());
+        cells.push(skips.to_string());
         t.push_row(cells);
     }
     println!("{t}");

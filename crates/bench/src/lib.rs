@@ -38,13 +38,15 @@ pub mod backend {
 
     /// An [`ExecBackend`] of `kind`, wired the way the bench binaries
     /// use it (the live side gets [`live_executor`] plus the config's
-    /// retry policy — the one other [`EngineConfig`] knob with a
-    /// wall-clock analogue).
+    /// retry policy and columnar flag — the only other [`EngineConfig`]
+    /// knobs with a wall-clock analogue).
     pub fn engine_of(kind: BackendKind, config: EngineConfig) -> ExecBackend {
         match kind {
             BackendKind::Sim => ExecBackend::sim(config),
             BackendKind::Live => ExecBackend::from_live(
-                live_executor(config.batch_size.max(1)).with_retry(config.retry.clone()),
+                live_executor(config.batch_size.max(1))
+                    .with_retry(config.retry.clone())
+                    .with_columnar(config.columnar),
             ),
         }
     }

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::column::ColumnarBatch;
 use crate::error::{DataError, DataResult};
 use crate::schema::SchemaRef;
 use crate::tuple::Tuple;
@@ -40,6 +41,22 @@ impl Batch {
             }
         }
         Ok(Batch { schema, tuples })
+    }
+
+    /// Build from already-validated tuples without re-walking them.
+    ///
+    /// [`Batch::new`] re-checks every tuple's schema, which profiling
+    /// shows re-walks the whole batch at every operator boundary even
+    /// though internal producers (operators whose output schema was
+    /// verified at DAG-build time, [`ColumnarBatch::to_batch`], chunk
+    /// re-assembly) have already proven conformance. Those paths use
+    /// this constructor; the check survives as a `debug_assert`.
+    pub fn new_unchecked(schema: SchemaRef, tuples: Vec<Tuple>) -> Self {
+        debug_assert!(
+            tuples.iter().all(|t| **t.schema() == *schema),
+            "new_unchecked requires schema-homogeneous tuples"
+        );
+        Batch { schema, tuples }
     }
 
     /// Build from rows of raw values, validating each against the schema.
@@ -137,48 +154,83 @@ impl Batch {
 /// clones the `Arc`, not the tuples, so every downstream worker reads the
 /// same allocation. A consumer that holds the only reference can reclaim
 /// the owned tuples without copying via [`SharedBatch::into_tuples`].
+///
+/// The payload is either row-oriented (`Vec<Tuple>`) or a sealed
+/// [`ColumnarBatch`]; the columnar form travels through the scheduler
+/// untouched, so a producer's seal (and its statistics) reach the
+/// consumer zero-copy. Consumers without a columnar kernel fall back to
+/// [`SharedBatch::into_tuples`], which materializes rows on demand.
 #[derive(Debug, Clone)]
 pub struct SharedBatch {
-    tuples: Arc<Vec<Tuple>>,
+    payload: SharedPayload,
+}
+
+#[derive(Debug, Clone)]
+enum SharedPayload {
+    Rows(Arc<Vec<Tuple>>),
+    Columnar(Arc<ColumnarBatch>),
 }
 
 impl SharedBatch {
     /// Wrap owned tuples into a shareable batch (no copy).
     pub fn new(tuples: Vec<Tuple>) -> Self {
         SharedBatch {
-            tuples: Arc::new(tuples),
+            payload: SharedPayload::Rows(Arc::new(tuples)),
+        }
+    }
+
+    /// Wrap a sealed columnar batch (no copy): its statistics travel
+    /// with it to every consumer.
+    pub fn from_columnar(batch: ColumnarBatch) -> Self {
+        SharedBatch {
+            payload: SharedPayload::Columnar(Arc::new(batch)),
         }
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        match &self.payload {
+            SharedPayload::Rows(t) => t.len(),
+            SharedPayload::Columnar(c) => c.len(),
+        }
     }
 
     /// True if the batch holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len() == 0
     }
 
-    /// The tuples, in insertion order.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The columnar payload, if this batch carries one.
+    pub fn columnar(&self) -> Option<&Arc<ColumnarBatch>> {
+        match &self.payload {
+            SharedPayload::Columnar(c) => Some(c),
+            SharedPayload::Rows(_) => None,
+        }
     }
 
     /// Number of live references to this allocation (diagnostics).
     pub fn ref_count(&self) -> usize {
-        Arc::strong_count(&self.tuples)
+        match &self.payload {
+            SharedPayload::Rows(t) => Arc::strong_count(t),
+            SharedPayload::Columnar(c) => Arc::strong_count(c),
+        }
     }
 
     /// Reclaim the owned tuples.
     ///
-    /// Free when this is the sole reference (the common case for
-    /// hash/round-robin routed batches, whose consumer is unique); clones
-    /// only when the allocation is still shared (broadcast edges, where
-    /// every consumer but the last pays the copy it actually needs to
-    /// mutate independently).
+    /// For row payloads: free when this is the sole reference (the
+    /// common case for hash/round-robin routed batches, whose consumer
+    /// is unique); clones only when the allocation is still shared
+    /// (broadcast edges, where every consumer but the last pays the copy
+    /// it actually needs to mutate independently). Columnar payloads
+    /// materialize rows.
     pub fn into_tuples(self) -> Vec<Tuple> {
-        Arc::try_unwrap(self.tuples).unwrap_or_else(|shared| (*shared).clone())
+        match self.payload {
+            SharedPayload::Rows(tuples) => {
+                Arc::try_unwrap(tuples).unwrap_or_else(|shared| (*shared).clone())
+            }
+            SharedPayload::Columnar(c) => c.to_tuples(),
+        }
     }
 }
 

@@ -11,6 +11,9 @@
 //! * [`Tuple`] — one row bound to a shared schema,
 //! * [`Batch`] — a schema-homogeneous group of tuples (the unit the
 //!   workflow engine pipelines),
+//! * [`ColumnarBatch`] — the same data as typed column vectors with
+//!   sealed per-column min/max/null statistics, the engine's fast path
+//!   (zone-map batch skipping + monomorphic kernels),
 //! * [`codec`] — CSV and JSONL encode/decode used by the synthetic dataset
 //!   generators and by the serialization-cost accounting,
 //! * [`key`] — hashable normalized key forms for joins and partitioning.
@@ -23,6 +26,7 @@
 
 pub mod batch;
 pub mod codec;
+pub mod column;
 pub mod error;
 pub mod frame;
 pub mod key;
@@ -31,6 +35,7 @@ pub mod tuple;
 pub mod value;
 
 pub use batch::{Batch, BatchBuilder, SharedBatch};
+pub use column::{BatchStats, Bitmap, CmpOp, ColStats, ColumnVec, ColumnarBatch};
 pub use error::{DataError, DataResult};
 pub use frame::{DataFrame, MergeHow};
 pub use key::HashKey;

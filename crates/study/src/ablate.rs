@@ -4,9 +4,7 @@
 //! them: pipelining (Fig. 13a), per-tuple serde overhead (Fig. 13c), the
 //! Ray object store (Fig. 13d), and language multipliers (Table I).
 
-use scriptflow_core::{
-    Artifact, Calibration, Experiment, ExperimentMeta, Figure, Series, Table,
-};
+use scriptflow_core::{Artifact, Calibration, Experiment, ExperimentMeta, Figure, Series, Table};
 use scriptflow_simcluster::SimDuration;
 use scriptflow_tasks::dice::{self, DiceParams};
 use scriptflow_tasks::gotta::{self, GottaParams};
@@ -42,9 +40,8 @@ impl Experiment for PipeliningAblation {
                 sizes
                     .iter()
                     .map(|&pairs| {
-                        let run =
-                            dice::workflow::run_workflow(&DiceParams::new(pairs, 1), cal)
-                                .expect("workflow run");
+                        let run = dice::workflow::run_workflow(&DiceParams::new(pairs, 1), cal)
+                            .expect("workflow run");
                         (pairs as f64, run.seconds())
                     })
                     .collect(),
@@ -56,10 +53,7 @@ impl Experiment for PipeliningAblation {
     }
 
     fn paper_reference(&self) -> Artifact {
-        Artifact::Table(Table::new(
-            "no paper artifact (mechanism ablation)",
-            &["-"],
-        ))
+        Artifact::Table(Table::new("no paper artifact (mechanism ablation)", &["-"]))
     }
 }
 
@@ -101,10 +95,7 @@ impl Experiment for SerdeAblation {
     }
 
     fn paper_reference(&self) -> Artifact {
-        Artifact::Table(Table::new(
-            "no paper artifact (mechanism ablation)",
-            &["-"],
-        ))
+        Artifact::Table(Table::new("no paper artifact (mechanism ablation)", &["-"]))
     }
 }
 
@@ -139,10 +130,7 @@ impl Experiment for ObjectStoreAblation {
     }
 
     fn paper_reference(&self) -> Artifact {
-        Artifact::Table(Table::new(
-            "no paper artifact (mechanism ablation)",
-            &["-"],
-        ))
+        Artifact::Table(Table::new("no paper artifact (mechanism ablation)", &["-"]))
     }
 }
 
@@ -164,7 +152,12 @@ impl Experiment for ActorExtension {
         let cal = Calibration::paper();
         let mut t = Table::new(
             "GOTTA script, tasks-with-gets vs actors",
-            &["paragraphs", "tasks + store gets (s)", "actors (s)", "workflow (s)"],
+            &[
+                "paragraphs",
+                "tasks + store gets (s)",
+                "actors (s)",
+                "workflow (s)",
+            ],
         );
         for paragraphs in [1usize, 4, 16] {
             let params = GottaParams::new(paragraphs, 1);
@@ -188,10 +181,54 @@ impl Experiment for ActorExtension {
     }
 
     fn paper_reference(&self) -> Artifact {
-        Artifact::Table(Table::new(
-            "no paper artifact (extension)",
-            &["-"],
-        ))
+        Artifact::Table(Table::new("no paper artifact (extension)", &["-"]))
+    }
+}
+
+/// Ablation 5: seal workflow edge batches as columnar vectors with
+/// per-batch statistics (the engine path behind DESIGN.md's "Batch
+/// representation" section) and re-run KGE — the task whose Fig. 13c
+/// loss the paper pins on per-tuple engine overhead. Everything the
+/// paper reports keeps the row engine; this isolates what the columnar
+/// path would buy.
+pub struct ColumnarAblation;
+
+impl Experiment for ColumnarAblation {
+    fn meta(&self) -> ExperimentMeta {
+        ExperimentMeta {
+            id: "ablate-columnar",
+            paper_artifact: "engine extension of Fig. 13c",
+            description: "KGE workflow with row vs columnar edge batches",
+        }
+    }
+
+    fn run(&self) -> Artifact {
+        let row = Calibration::paper();
+        let col = Calibration::paper_columnar();
+        let mut t = Table::new(
+            "KGE workflow: row vs columnar edge batches",
+            &["products", "row (s)", "columnar (s)", "speedup"],
+        );
+        for products in [1_700usize, 6_800] {
+            let run_with = |cal: &Calibration| {
+                kge::workflow::run_workflow(&KgeParams::new(products, 1).with_fusion(3), cal)
+                    .expect("workflow")
+                    .seconds()
+            };
+            let r = run_with(&row);
+            let c = run_with(&col);
+            t.push_row(vec![
+                products.to_string(),
+                format!("{r:.2}"),
+                format!("{c:.2}"),
+                format!("{:.2}x", r / c),
+            ]);
+        }
+        Artifact::Table(t)
+    }
+
+    fn paper_reference(&self) -> Artifact {
+        Artifact::Table(Table::new("no paper artifact (engine extension)", &["-"]))
     }
 }
 
@@ -232,10 +269,7 @@ impl Experiment for LanguageSweep {
     }
 
     fn paper_reference(&self) -> Artifact {
-        Artifact::Table(Table::new(
-            "no paper artifact (mechanism ablation)",
-            &["-"],
-        ))
+        Artifact::Table(Table::new("no paper artifact (mechanism ablation)", &["-"]))
     }
 }
 
@@ -265,7 +299,10 @@ mod tests {
         };
         let charged: f64 = t.rows[0][1].parse().unwrap();
         let free: f64 = t.rows[1][1].parse().unwrap();
-        assert!(free < charged * 0.97, "serde-free {free} vs charged {charged}");
+        assert!(
+            free < charged * 0.97,
+            "serde-free {free} vs charged {charged}"
+        );
     }
 
     #[test]
@@ -292,6 +329,22 @@ mod tests {
         let wf: f64 = row[3].parse().unwrap();
         assert!(actors < plain, "actors {actors} vs plain {plain}");
         assert!(wf < actors, "workflow {wf} vs actors {actors}");
+    }
+
+    #[test]
+    fn columnar_batches_speed_up_kge() {
+        let Artifact::Table(t) = ColumnarAblation.run() else {
+            panic!("expected table");
+        };
+        for row in &t.rows {
+            let r: f64 = row[1].parse().unwrap();
+            let c: f64 = row[2].parse().unwrap();
+            assert!(
+                c < r,
+                "at {} products: columnar {c} must beat row {r}",
+                row[0]
+            );
+        }
     }
 
     #[test]

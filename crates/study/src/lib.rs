@@ -80,6 +80,7 @@ pub fn ablation_registry() -> Registry {
     r.register(Box::new(ablate::ObjectStoreAblation));
     r.register(Box::new(ablate::LanguageSweep));
     r.register(Box::new(ablate::ActorExtension));
+    r.register(Box::new(ablate::ColumnarAblation));
     r
 }
 
@@ -101,7 +102,7 @@ mod tests {
 
     #[test]
     fn ablation_registry_is_populated() {
-        assert_eq!(ablation_registry().experiments().len(), 5);
+        assert_eq!(ablation_registry().experiments().len(), 6);
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct BackendRun {
     pub trace: ProgressTrace,
     /// Pool scheduling counters; `Some` only on the pooled live backend.
     pub pool: Option<PoolStats>,
+    /// Whole input batches dropped by zone-map checks across the DAG
+    /// (0 unless the calibration enables the columnar batch path).
+    pub batches_skipped: u64,
 }
 
 impl BackendRun {
@@ -86,6 +89,7 @@ impl BackendRun {
             wall_clock: engine.wall_clock,
             trace: engine.trace,
             pool: engine.pool,
+            batches_skipped: engine.batches_skipped,
         }
     }
 

@@ -56,14 +56,7 @@ fn output_schema() -> scriptflow_datakit::SchemaRef {
     ])
 }
 
-fn norm_tuple(
-    doc: i64,
-    key: &str,
-    kind: &str,
-    ann_type: &str,
-    pos: Value,
-    text: Value,
-) -> Tuple {
+fn norm_tuple(doc: i64, key: &str, kind: &str, ann_type: &str, pos: Value, text: Value) -> Tuple {
     Tuple::new_unchecked(
         normalized_schema(),
         vec![
@@ -82,7 +75,10 @@ fn norm_tuple(
 pub fn build_dice_workflow(
     params: &DiceParams,
     cal: &Calibration,
-) -> WorkflowResult<(scriptflow_workflow::Workflow, scriptflow_workflow::ops::SinkHandle)> {
+) -> WorkflowResult<(
+    scriptflow_workflow::Workflow,
+    scriptflow_workflow::ops::SinkHandle,
+)> {
     let dataset = params.dataset();
     let w = params.workers.max(1);
 
@@ -118,9 +114,7 @@ pub fn build_dice_workflow(
 
     // Three-way split.
     let entities = b.add(
-        Arc::new(FilterOp::new("Entities", |t| {
-            Ok(t.get_str("kind")? == "T")
-        })),
+        Arc::new(FilterOp::new("Entities", |t| Ok(t.get_str("kind")? == "T"))),
         w,
     );
     let triggered = b.add(
@@ -140,14 +134,18 @@ pub fn build_dice_workflow(
     // (doc_id, trigger) = (doc_id, key).
     let join = b.add(
         Arc::new(
-            HashJoinOp::new("Resolve Triggers", &["doc_id", "trigger"], &["doc_id", "key"])
-                .with_cost(
-                    CostProfile {
-                        per_tuple: cal.dice_wf_join_per_annotation,
-                        ..CostProfile::default()
-                    }
-                    .with_port_cost(0, scriptflow_simcluster::SimDuration::from_micros(2_000)),
-                ),
+            HashJoinOp::new(
+                "Resolve Triggers",
+                &["doc_id", "trigger"],
+                &["doc_id", "key"],
+            )
+            .with_cost(
+                CostProfile {
+                    per_tuple: cal.dice_wf_join_per_annotation,
+                    ..CostProfile::default()
+                }
+                .with_port_cost(0, scriptflow_simcluster::SimDuration::from_micros(2_000)),
+            ),
         ),
         w,
     );
@@ -159,12 +157,19 @@ pub fn build_dice_workflow(
             (*normalized_schema()).clone(),
             |t, _, out| {
                 out.emit(norm_tuple(
-                    t.get_int("doc_id").map_err(|e| WorkflowError::from_data("Normalize Entities", e))?,
-                    t.get_str("key").map_err(|e| WorkflowError::from_data("Normalize Entities", e))?,
+                    t.get_int("doc_id")
+                        .map_err(|e| WorkflowError::from_data("Normalize Entities", e))?,
+                    t.get_str("key")
+                        .map_err(|e| WorkflowError::from_data("Normalize Entities", e))?,
                     "T",
-                    t.get_str("ann_type").map_err(|e| WorkflowError::from_data("Normalize Entities", e))?,
-                    t.get("start").map_err(|e| WorkflowError::from_data("Normalize Entities", e))?.clone(),
-                    t.get("text").map_err(|e| WorkflowError::from_data("Normalize Entities", e))?.clone(),
+                    t.get_str("ann_type")
+                        .map_err(|e| WorkflowError::from_data("Normalize Entities", e))?,
+                    t.get("start")
+                        .map_err(|e| WorkflowError::from_data("Normalize Entities", e))?
+                        .clone(),
+                    t.get("text")
+                        .map_err(|e| WorkflowError::from_data("Normalize Entities", e))?
+                        .clone(),
                 ));
                 Ok(())
             },
@@ -238,12 +243,15 @@ pub fn build_dice_workflow(
                 move |index: &mut BoundaryIndex, t, port, out| {
                     let ctx = |e| WorkflowError::from_data("Link Sentences", e);
                     if port == 0 {
-                        index.entry(t.get_int("doc_id").map_err(ctx)?).or_default().push((
-                            t.get_int("sent_idx").map_err(ctx)?,
-                            t.get_int("start").map_err(ctx)?,
-                            t.get_int("end").map_err(ctx)?,
-                            t.get_str("sentence").map_err(ctx)?.to_owned(),
-                        ));
+                        index
+                            .entry(t.get_int("doc_id").map_err(ctx)?)
+                            .or_default()
+                            .push((
+                                t.get_int("sent_idx").map_err(ctx)?,
+                                t.get_int("start").map_err(ctx)?,
+                                t.get_int("end").map_err(ctx)?,
+                                t.get_str("sentence").map_err(ctx)?.to_owned(),
+                            ));
                         return Ok(());
                     }
                     let doc = t.get_int("doc_id").map_err(ctx)?;
@@ -252,9 +260,7 @@ pub fn build_dice_workflow(
                         Some(p) => {
                             let hit = index
                                 .get(&doc)
-                                .and_then(|v| {
-                                    v.iter().find(|(_, s, e, _)| *s <= p && p < *e)
-                                })
+                                .and_then(|v| v.iter().find(|(_, s, e, _)| *s <= p && p < *e))
                                 .ok_or_else(|| WorkflowError::OperatorFailed {
                                     operator: "Link Sentences".into(),
                                     message: format!("no sentence covers doc {doc} pos {p}"),
@@ -324,6 +330,8 @@ pub fn engine_config(cal: &Calibration) -> EngineConfig {
         batch_size: cal.wf_batch_size,
         serde_per_tuple: cal.wf_serde_per_tuple,
         pipelining: cal.wf_pipelining,
+        columnar: cal.wf_columnar,
+        columnar_discount: cal.wf_columnar_discount,
         ..EngineConfig::default()
     }
 }

@@ -25,7 +25,10 @@ use crate::listing;
 pub fn build_gotta_workflow(
     params: &GottaParams,
     cal: &Calibration,
-) -> WorkflowResult<(scriptflow_workflow::Workflow, scriptflow_workflow::ops::SinkHandle)> {
+) -> WorkflowResult<(
+    scriptflow_workflow::Workflow,
+    scriptflow_workflow::ops::SinkHandle,
+)> {
     let dataset = params.dataset(cal);
     let w = params.workers.max(1);
 
@@ -125,6 +128,8 @@ pub fn engine_config(cal: &Calibration) -> EngineConfig {
         batch_size: 1, // generation streams question-by-question
         serde_per_tuple: cal.wf_serde_per_tuple,
         pipelining: cal.wf_pipelining,
+        columnar: cal.wf_columnar,
+        columnar_discount: cal.wf_columnar_discount,
         ..EngineConfig::default()
     }
 }

@@ -81,7 +81,10 @@ fn format_row(rank: usize, id: i64, name: &str, score: f64) -> String {
 pub fn build_kge_workflow(
     params: &KgeParams,
     cal: &Calibration,
-) -> WorkflowResult<(scriptflow_workflow::Workflow, scriptflow_workflow::ops::SinkHandle)> {
+) -> WorkflowResult<(
+    scriptflow_workflow::Workflow,
+    scriptflow_workflow::ops::SinkHandle,
+)> {
     assert!(
         (1..=6).contains(&params.fusion),
         "fusion level must be 1..=6"
@@ -359,9 +362,7 @@ pub fn build_kge_workflow(
                                     Ok(())
                                 },
                                 move |state, _, out| {
-                                    for (i, (score, id, name)) in
-                                        state.top_rows().enumerate()
-                                    {
+                                    for (i, (score, id, name)) in state.top_rows().enumerate() {
                                         out.emit(Tuple::new_unchecked(
                                             schema.clone(),
                                             vec![Value::Str(format_row(i + 1, id, &name, score))],
@@ -408,14 +409,8 @@ pub fn build_kge_workflow(
                 }
                 _ => {
                     // 5, 6: [rank] local + merge, [lookup], (6: [format]).
-                    let local = add_local_rank(
-                        &mut b,
-                        scored,
-                        w,
-                        k,
-                        py_cost(rank_c),
-                        "Top-K Rank (local)",
-                    );
+                    let local =
+                        add_local_rank(&mut b, scored, w, k, py_cost(rank_c), "Top-K Rank (local)");
                     let merge = add_merge(&mut b, local, k);
                     if level == 5 {
                         add_format(&mut b, merge, "Reverse Lookup", py_cost(lookup_c))
@@ -436,7 +431,12 @@ pub fn build_kge_workflow(
                             1,
                         );
                         b.connect(merge, lookup, 0, PartitionStrategy::Single);
-                        add_format(&mut b, lookup, "Format", py_cost(SimDuration::from_micros(100)))
+                        add_format(
+                            &mut b,
+                            lookup,
+                            "Format",
+                            py_cost(SimDuration::from_micros(100)),
+                        )
                     }
                 }
             }
@@ -458,6 +458,8 @@ pub fn engine_config(cal: &Calibration) -> EngineConfig {
         batch_size: cal.wf_batch_size,
         serde_per_tuple: cal.wf_serde_per_tuple,
         pipelining: cal.wf_pipelining,
+        columnar: cal.wf_columnar,
+        columnar_discount: cal.wf_columnar_discount,
         ..EngineConfig::default()
     }
 }
@@ -734,9 +736,7 @@ fn build_join(
                         let value = if fuse_score {
                             Value::Float(f64::from(scorer.score(v)))
                         } else {
-                            Value::List(
-                                v.iter().map(|x| Value::Float(f64::from(*x))).collect(),
-                            )
+                            Value::List(v.iter().map(|x| Value::Float(f64::from(*x))).collect())
                         };
                         out.emit(Tuple::new_unchecked(
                             out_schema.clone(),
@@ -757,7 +757,12 @@ fn build_join(
             0,
             PartitionStrategy::Hash(vec!["id".into()]),
         );
-        b.connect(probe_src, join, 1, PartitionStrategy::Hash(vec!["id".into()]));
+        b.connect(
+            probe_src,
+            join,
+            1,
+            PartitionStrategy::Hash(vec!["id".into()]),
+        );
         return join;
     }
 
@@ -820,18 +825,22 @@ fn build_join(
     let schema = fused_out.clone();
     let merge = b.add(
         Arc::new(
-            UdfOp::new("Merge Columns (Scala)", (*fused_out).clone(), move |t, _, out| {
-                let ctx = |e| WorkflowError::from_data("Merge Columns (Scala)", e);
-                out.emit(Tuple::new_unchecked(
-                    schema.clone(),
-                    vec![
-                        Value::Int(t.get_int("id").map_err(ctx)?),
-                        Value::Str(t.get_str("name").map_err(ctx)?.to_owned()),
-                        t.get("embedding").map_err(ctx)?.clone(),
-                    ],
-                ));
-                Ok(())
-            })
+            UdfOp::new(
+                "Merge Columns (Scala)",
+                (*fused_out).clone(),
+                move |t, _, out| {
+                    let ctx = |e| WorkflowError::from_data("Merge Columns (Scala)", e);
+                    out.emit(Tuple::new_unchecked(
+                        schema.clone(),
+                        vec![
+                            Value::Int(t.get_int("id").map_err(ctx)?),
+                            Value::Str(t.get_str("name").map_err(ctx)?.to_owned()),
+                            t.get("embedding").map_err(ctx)?.clone(),
+                        ],
+                    ));
+                    Ok(())
+                },
+            )
             .with_cost(scala_cost())
             .with_language(Language::Scala),
         ),

@@ -23,7 +23,10 @@ use crate::listing;
 pub fn build_wef_workflow(
     params: &WefParams,
     cal: &Calibration,
-) -> WorkflowResult<(scriptflow_workflow::Workflow, scriptflow_workflow::ops::SinkHandle)> {
+) -> WorkflowResult<(
+    scriptflow_workflow::Workflow,
+    scriptflow_workflow::ops::SinkHandle,
+)> {
     let dataset = Arc::new(params.dataset());
 
     let out_schema = Schema::of(&[("row", DataType::Str)]);
@@ -79,13 +82,11 @@ pub fn build_wef_workflow(
                 },
             )
             .with_blocking_ports(vec![0])
-            .with_cost(
-                CostProfile {
-                    per_tuple: per_tweet,
-                    setup: cal.wef_model_load,
-                    ..CostProfile::default()
-                },
-            ),
+            .with_cost(CostProfile {
+                per_tuple: per_tweet,
+                setup: cal.wef_model_load,
+                ..CostProfile::default()
+            }),
         ),
         1,
     );
@@ -110,6 +111,8 @@ pub fn engine_config(cal: &Calibration) -> EngineConfig {
         batch_size: cal.wf_batch_size,
         serde_per_tuple: SimDuration::from_micros(200),
         pipelining: cal.wf_pipelining,
+        columnar: cal.wf_columnar,
+        columnar_discount: cal.wf_columnar_discount,
         ..EngineConfig::default()
     }
 }

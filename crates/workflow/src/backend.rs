@@ -95,6 +95,11 @@ pub struct EngineRun {
     pub retries_attempted: u64,
     /// Retried workers/tasks that still finished cleanly.
     pub retries_succeeded: u64,
+    /// Whole input batches dropped by zone-map checks, summed across
+    /// operators (0 unless [`EngineConfig::columnar`] is enabled and a
+    /// batch's min/max statistics proved no row could pass a filter or
+    /// join probe).
+    pub batches_skipped: u64,
 }
 
 impl EngineRun {
@@ -123,12 +128,15 @@ impl ExecBackend {
         ExecBackend::Sim(SimExecutor::new(config))
     }
 
-    /// Pooled live backend reusing `config`'s edge batch size and retry
-    /// policy (the only [`EngineConfig`] knobs with a live analogue;
-    /// virtual cost model fields have no wall-clock meaning).
+    /// Pooled live backend reusing `config`'s edge batch size, retry
+    /// policy, and columnar flag (the only [`EngineConfig`] knobs with a
+    /// live analogue; virtual cost model fields have no wall-clock
+    /// meaning).
     pub fn live(config: &EngineConfig) -> Self {
         ExecBackend::Live(
-            LiveExecutor::new(config.batch_size.max(1)).with_retry(config.retry.clone()),
+            LiveExecutor::new(config.batch_size.max(1))
+                .with_retry(config.retry.clone())
+                .with_columnar(config.columnar),
         )
     }
 
@@ -192,6 +200,12 @@ impl ExecBackend {
                     rows: Vec::new(),
                     makespan: res.makespan,
                     wall_clock: None,
+                    batches_skipped: res
+                        .metrics
+                        .operators
+                        .iter()
+                        .map(|m| m.batches_skipped)
+                        .sum(),
                     metrics: res.metrics,
                     trace: res.trace,
                     pool: None,
@@ -207,6 +221,7 @@ impl ExecBackend {
                     rows: Vec::new(),
                     makespan: res.metrics.makespan,
                     wall_clock: Some(res.elapsed),
+                    batches_skipped: res.pool.as_ref().map_or(0, |p| p.batches_skipped),
                     metrics: res.metrics,
                     trace: res.trace,
                     retries_attempted: res.pool.as_ref().map_or(0, |p| p.retries_attempted),
@@ -344,6 +359,55 @@ mod tests {
             );
             assert!(run.retries_attempted >= 1, "{kind} must report the replay");
             assert!(run.retries_succeeded >= 1, "{kind} must report the salvage");
+        }
+    }
+
+    #[test]
+    fn columnar_config_reaches_both_backends() {
+        use scriptflow_datakit::CmpOp;
+        for kind in BackendKind::ALL {
+            let build = |()| {
+                let schema = Schema::of(&[("id", DataType::Int)]);
+                let batch =
+                    Batch::from_rows(schema, (0..300).map(|i| vec![Value::Int(i)]).collect())
+                        .unwrap();
+                let mut b = WorkflowBuilder::new();
+                let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+                let filt = b.add(
+                    Arc::new(FilterOp::cmp("sel", "id", CmpOp::Lt, Value::Int(20))),
+                    1,
+                );
+                let sink_op = SinkOp::new("sink");
+                let handle = sink_op.handle();
+                let sink = b.add(Arc::new(sink_op), 1);
+                b.connect(scan, filt, 0, PartitionStrategy::RoundRobin);
+                b.connect(filt, sink, 0, PartitionStrategy::Single);
+                (b.build().unwrap(), handle)
+            };
+            let run_mode = |columnar: bool| {
+                let (wf, handle) = build(());
+                let config = EngineConfig {
+                    batch_size: 32,
+                    columnar,
+                    ..EngineConfig::default()
+                };
+                ExecBackend::of_kind(kind, config)
+                    .run(&wf, &handle)
+                    .unwrap()
+            };
+            let row = run_mode(false);
+            let col = run_mode(true);
+            let key = |r: &EngineRun| {
+                let mut v: Vec<String> = r.rows.iter().map(|t| t.to_string()).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(key(&row), key(&col), "{kind}: modes must agree on rows");
+            assert_eq!(row.batches_skipped, 0, "{kind}: row mode never skips");
+            assert!(
+                col.batches_skipped > 0,
+                "{kind}: columnar mode must prune batches past id=20"
+            );
         }
     }
 

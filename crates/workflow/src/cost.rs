@@ -127,6 +127,17 @@ pub struct EngineConfig {
     /// input batch after the backoff, the simulator re-delivers the
     /// batch as a fresh virtual quantum.
     pub retry: RetryConfig,
+    /// When true, edges carry sealed [`scriptflow_datakit::ColumnarBatch`]
+    /// payloads and operators run their `on_batch` columnar kernels
+    /// (zone-map batch skipping, monomorphic loops). Off by default: the
+    /// row path is the calibrated compatibility baseline and both paths
+    /// must produce identical rows (pinned by the parity suite).
+    pub columnar: bool,
+    /// Fraction of the row-path per-tuple compute cost that survives on
+    /// the columnar path in the simulator (< 1.0 is a speedup; the
+    /// calibrated value lives in `scriptflow_core::Calibration`). Ignored
+    /// unless [`EngineConfig::columnar`] is set.
+    pub columnar_discount: f64,
 }
 
 impl Default for EngineConfig {
@@ -139,6 +150,8 @@ impl Default for EngineConfig {
             serde_per_tuple: SimDuration::from_micros(2),
             pipelining: true,
             retry: RetryConfig::default(),
+            columnar: false,
+            columnar_discount: 0.55,
         }
     }
 }
@@ -165,6 +178,13 @@ impl EngineConfig {
     /// Config with the same [`RetryPolicy`] for every operator.
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = RetryConfig::uniform(policy);
+        self
+    }
+
+    /// Config with the columnar batch path toggled (see
+    /// [`EngineConfig::columnar`]).
+    pub fn with_columnar(mut self, enabled: bool) -> Self {
+        self.columnar = enabled;
         self
     }
 }
@@ -203,6 +223,17 @@ mod tests {
         let cfg = EngineConfig::default().without_pipelining();
         assert!(!cfg.pipelining);
         assert!(EngineConfig::default().pipelining);
+    }
+
+    #[test]
+    fn columnar_defaults_off_and_builder_enables() {
+        let cfg = EngineConfig::default();
+        assert!(
+            !cfg.columnar,
+            "default config must reproduce the row-path engines"
+        );
+        assert!(cfg.columnar_discount > 0.0 && cfg.columnar_discount < 1.0);
+        assert!(EngineConfig::default().with_columnar(true).columnar);
     }
 
     #[test]

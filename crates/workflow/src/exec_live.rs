@@ -84,7 +84,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use scriptflow_datakit::{SharedBatch, Tuple};
+use scriptflow_datakit::{ColumnarBatch, SharedBatch, Tuple};
 use scriptflow_simcluster::{SimDuration, SimTime};
 
 use crate::dag::{OpId, Workflow};
@@ -168,6 +168,10 @@ pub struct PoolStats {
     /// Tasks that replayed at least one faulted quantum and still
     /// finished cleanly (their operators end `Completed`, not `Failed`).
     pub retries_succeeded: u64,
+    /// Whole input batches dropped by zone-map checks across all
+    /// operators (0 unless [`LiveExecutor::with_columnar`] is enabled
+    /// and a batch's statistics proved no row could pass).
+    pub batches_skipped: u64,
 }
 
 /// Result of a live run.
@@ -235,6 +239,7 @@ pub struct LiveExecutor {
     trace_interval: Option<Duration>,
     faults: Option<FaultPlan>,
     retry: RetryConfig,
+    columnar: bool,
 }
 
 impl Default for LiveExecutor {
@@ -263,6 +268,7 @@ impl LiveExecutor {
             trace_interval: None,
             faults: None,
             retry: RetryConfig::default(),
+            columnar: false,
         }
     }
 
@@ -405,6 +411,27 @@ impl LiveExecutor {
         self
     }
 
+    /// Seal edge batches as [`ColumnarBatch`]es with per-column min/max
+    /// statistics (pooled mode). Downstream operators consume them
+    /// through [`crate::Operator::on_batch`], which lets the relational
+    /// kernels skip whole batches whose zone maps prove no row can pass.
+    /// Results are pinned to the row path by the backend parity suite;
+    /// only throughput and the `batches_skipped` counters change.
+    /// Batches with an armed fault trigger still take the row path so
+    /// the truncation/replay machinery is exercised unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::LiveExecutor;
+    /// let exec = LiveExecutor::new(64).with_columnar(true);
+    /// # let _ = exec;
+    /// ```
+    pub fn with_columnar(mut self, enabled: bool) -> Self {
+        self.columnar = enabled;
+        self
+    }
+
     /// Execute `wf`; blocks until completion.
     ///
     /// # Examples
@@ -496,6 +523,7 @@ impl LiveExecutor {
                     OperatorMetrics::new(n.factory.name(), n.factory.language(), n.parallelism);
                 m.input_tuples = probe.input_tuples();
                 m.output_tuples = probe.output_tuples();
+                m.batches_skipped = probe.batches_skipped();
                 m.busy = probe.busy();
                 m.state = probe.state();
                 m
@@ -600,6 +628,10 @@ struct TaskStatic {
     slow_edge: Option<Duration>,
     /// Retry budget for faulted run quanta (resolved per operator).
     retry: RetryPolicy,
+    /// Seal outgoing edge batches as columnar payloads with zone-map
+    /// statistics (every partitioning strategy; scatter edges seal each
+    /// per-destination chunk after routing).
+    columnar: bool,
 }
 
 /// A faulted quantum's input, stashed so the replayed quantum can
@@ -940,7 +972,7 @@ impl Pool {
             };
             if edge.partitioner.is_broadcast() {
                 chunk_owned(owned, meta.batch_size, |chunk| {
-                    let batch = SharedBatch::new(chunk);
+                    let batch = seal_chunk(meta.columnar, chunk);
                     for &dest in &edge.dests {
                         outbox.push_back((
                             dest,
@@ -958,7 +990,7 @@ impl Pool {
                         dest,
                         Msg::Batch {
                             port: edge.to_port,
-                            batch: SharedBatch::new(chunk),
+                            batch: seal_chunk(meta.columnar, chunk),
                         },
                     ));
                 });
@@ -976,7 +1008,7 @@ impl Pool {
                             dest,
                             Msg::Batch {
                                 port: edge.to_port,
-                                batch: SharedBatch::new(chunk),
+                                batch: seal_chunk(meta.columnar, chunk),
                             },
                         ));
                     });
@@ -1197,6 +1229,49 @@ impl Pool {
                         .faults
                         .as_ref()
                         .and_then(|f| f.check_tuples(meta.op, n));
+                    // Columnar fast path: hand the sealed batch to the
+                    // operator's `on_batch` kernel whole, so zone maps
+                    // can drop it without touching the rows. Fault-armed
+                    // batches fall through to the row path — truncation
+                    // and replay reason about tuple positions.
+                    if trigger.is_none() {
+                        if let Some(cb) = batch.columnar().cloned() {
+                            self.tracer.on_input(meta.op, n);
+                            if let Err(e) = inner.instance.on_batch(&cb, port, &mut inner.collector)
+                            {
+                                let _ = inner.collector.take();
+                                let _ = inner.collector.take_batches_skipped();
+                                if self.try_retry(meta, inner) {
+                                    inner.replay = Some(ReplayBatch {
+                                        port,
+                                        tuples: cb.to_tuples(),
+                                        counted: true,
+                                    });
+                                    break 'consume Some(RunOutcome::More);
+                                }
+                                self.fail_task(meta.op, inner, e);
+                                break 'consume Some(RunOutcome::More);
+                            }
+                            let skipped = inner.collector.take_batches_skipped();
+                            if skipped > 0 {
+                                self.tracer.on_batches_skipped(meta.op, skipped);
+                            }
+                            if !inner.collector.is_empty() {
+                                let out = inner.collector.take();
+                                if let Err(e) = self.forward(meta, inner, out) {
+                                    self.fail_task(meta.op, inner, e);
+                                    break 'consume Some(RunOutcome::More);
+                                }
+                                if !self.flush_outbox(tid, inner) {
+                                    break 'consume Some(RunOutcome::Yield);
+                                }
+                            }
+                            if let Some(d) = meta.slow_edge {
+                                std::thread::sleep(d);
+                            }
+                            continue;
+                        }
+                    }
                     // A fired trigger truncates the batch: only the
                     // tuples before the fault position count as input.
                     let keep = trigger.as_ref().map_or(n, |t| t.keep);
@@ -1626,6 +1701,19 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Seal one non-empty edge chunk as a [`SharedBatch`]: columnar (with
+/// per-column min/max statistics computed once here, on the producer
+/// side) when the executor runs in columnar mode, plain shared rows
+/// otherwise.
+fn seal_chunk(columnar: bool, chunk: Vec<Tuple>) -> SharedBatch {
+    if columnar {
+        let schema = chunk[0].schema().clone();
+        SharedBatch::from_columnar(ColumnarBatch::from_tuples(schema, &chunk))
+    } else {
+        SharedBatch::new(chunk)
+    }
+}
+
 /// Split an owned tuple vector into `size`-bounded chunks without copying
 /// tuple data (each chunk is carved off by `split_off`).
 fn chunk_owned(mut tuples: Vec<Tuple>, size: usize, mut emit: impl FnMut(Vec<Tuple>)) {
@@ -1707,6 +1795,7 @@ impl LiveExecutor {
                         batch_size: self.batch_size,
                         slow_edge: faults.as_ref().and_then(|f| f.slow_edge(i)),
                         retry: *self.retry.policy_for(node.factory.name()),
+                        columnar: self.columnar,
                     },
                     inner: Mutex::new(TaskInner {
                         instance: node.factory.create(),
@@ -1838,6 +1927,7 @@ impl LiveExecutor {
             stall_recoveries: pool.stall_recoveries.load(Ordering::Relaxed),
             retries_attempted: pool.retries_attempted.load(Ordering::Relaxed),
             retries_succeeded: pool.retries_succeeded.load(Ordering::Relaxed),
+            batches_skipped: pool.tracer.total_batches_skipped(),
         };
         let result = Self::result_pooled(wf, elapsed, &pool.tracer, stats, trace.clone());
         (trace, Ok(result))
@@ -2099,6 +2189,98 @@ mod tests {
         assert_eq!(handle.len(), 100);
         assert_eq!(res.metrics.by_name("mod7").unwrap().input_tuples, 700);
         assert_eq!(res.metrics.by_name("mod7").unwrap().output_tuples, 100);
+    }
+
+    #[test]
+    fn live_columnar_matches_row_results_and_counts_skips() {
+        use scriptflow_datakit::CmpOp;
+        let run = |columnar: bool| {
+            let mut b = WorkflowBuilder::new();
+            let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(800))), 1);
+            // Ascending ids, single worker, batch size 16: every sealed
+            // batch except the last two has max(id) < 770.
+            let filt = b.add(
+                Arc::new(FilterOp::cmp("sel", "id", CmpOp::Ge, Value::Int(770))),
+                1,
+            );
+            let sink_op = SinkOp::new("sink");
+            let handle = sink_op.handle();
+            let sink = b.add(Arc::new(sink_op), 1);
+            b.connect(scan, filt, 0, PartitionStrategy::RoundRobin);
+            b.connect(filt, sink, 0, PartitionStrategy::Single);
+            let wf = b.build().unwrap();
+            let res = LiveExecutor::new(16)
+                .with_pool_size(2)
+                .with_columnar(columnar)
+                .run(&wf)
+                .unwrap();
+            let mut rows: Vec<String> = handle.results().iter().map(|t| t.to_string()).collect();
+            rows.sort();
+            (rows, res)
+        };
+        let (rows_row, res_row) = run(false);
+        let (rows_col, res_col) = run(true);
+        assert_eq!(rows_row.len(), 30);
+        assert_eq!(rows_row, rows_col, "batch modes must agree on results");
+        assert_eq!(res_row.pool.unwrap().batches_skipped, 0);
+        let stats = res_col.pool.unwrap();
+        assert!(
+            stats.batches_skipped > 0,
+            "selective predicate over sorted ids must prune whole batches"
+        );
+        let m = res_col.metrics.by_name("sel").unwrap();
+        assert_eq!(m.batches_skipped, stats.batches_skipped);
+        assert_eq!(m.input_tuples, 800, "skipped batches still count as input");
+        // The terminal trace sample carries the per-operator counter too.
+        let (_, last) = res_col.trace.samples.last().unwrap();
+        let sel = last.iter().find(|s| s.name == "sel").unwrap();
+        assert_eq!(sel.batches_skipped, stats.batches_skipped);
+    }
+
+    #[test]
+    fn live_columnar_retry_replays_exactly_once() {
+        use crate::retry::{RetryConfig, RetryPolicy};
+        use std::sync::atomic::AtomicU64;
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = calls.clone();
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(120))), 1);
+        let flaky = b.add(
+            Arc::new(FilterOp::new("flaky", move |t| {
+                let id = t.get_int("id")?;
+                if seen.fetch_add(1, Ordering::SeqCst) + 1 == 50 {
+                    Err(scriptflow_datakit::DataError::Decode {
+                        line: 0,
+                        message: "transient".into(),
+                    })
+                } else {
+                    Ok(id % 2 == 0)
+                }
+            })),
+            1,
+        );
+        let sink_op = SinkOp::new("sink");
+        let handle = sink_op.handle();
+        let sink = b.add(Arc::new(sink_op), 1);
+        b.connect(scan, flaky, 0, PartitionStrategy::RoundRobin);
+        b.connect(flaky, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        let res = LiveExecutor::new(16)
+            .with_pool_size(1)
+            .with_columnar(true)
+            .with_retry(RetryConfig::uniform(RetryPolicy::attempts(3)))
+            .run(&wf)
+            .unwrap();
+        // An organic error mid-columnar-batch discards the quantum's
+        // partial output and replays the whole batch on the row path:
+        // no loss, no duplication.
+        assert_eq!(handle.len(), 60, "columnar retry must deliver exactly once");
+        let stats = res.pool.unwrap();
+        assert_eq!(stats.retries_attempted, 1);
+        assert_eq!(stats.retries_succeeded, 1);
+        let m = res.metrics.by_name("flaky").unwrap();
+        assert_eq!(m.state, OperatorState::Completed);
+        assert_eq!(m.input_tuples, 120, "replayed tuples must not recount");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use scriptflow_datakit::Tuple;
+use scriptflow_datakit::{ColumnarBatch, Tuple};
 use scriptflow_simcluster::des::{self, Scheduler, SimModel};
 use scriptflow_simcluster::{Language, SimDuration, SimTime};
 
@@ -197,6 +197,7 @@ impl<'a> SimState<'a> {
                     },
                     input_tuples: m.input_tuples,
                     output_tuples: m.output_tuples,
+                    batches_skipped: m.batches_skipped,
                 })
                 .collect();
             self.trace.samples.push((next, snaps));
@@ -233,6 +234,13 @@ impl<'a> SimState<'a> {
                 let warm = (cost.warmup_tuples - w.processed).min(n);
                 per_tuple_total += cost.warmup_extra * warm;
             }
+        }
+        if self.cfg.columnar && matches!(item, Item::Batch { .. }) {
+            // Columnar batches run the operators' monomorphic column
+            // kernels; the calibrated discount is the fraction of the
+            // row-path per-tuple work that survives. Replays are exempt:
+            // a faulted quantum is re-serviced on the row path.
+            per_tuple_total = per_tuple_total.scale(self.cfg.columnar_discount);
         }
         let mut dur = self
             .cfg
@@ -569,10 +577,29 @@ impl<'a> SimModel for SimState<'a> {
                         };
                         let inst = &mut self.instances[worker];
                         let mut fault = None;
-                        for t in tuples {
-                            if let Err(e) = inst.on_tuple(t, port, &mut collector) {
+                        if self.cfg.columnar && !is_replay && !tuples.is_empty() {
+                            // Columnar path: seal the delivered rows once
+                            // and hand the whole batch to the operator's
+                            // column kernel (zone-map skip, monomorphic
+                            // loop). On a fault the partial output is
+                            // discarded and the replay below re-services
+                            // the same rows on the row path.
+                            let schema = tuples[0].schema().clone();
+                            let cb = ColumnarBatch::from_tuples(schema, &tuples);
+                            if let Err(e) = inst.on_batch(&cb, port, &mut collector) {
+                                let _ = collector.take();
+                                let _ = collector.take_batches_skipped();
                                 fault = Some(e);
-                                break;
+                            } else {
+                                self.metrics[op.0].batches_skipped +=
+                                    collector.take_batches_skipped();
+                            }
+                        } else {
+                            for t in tuples {
+                                if let Err(e) = inst.on_tuple(t, port, &mut collector) {
+                                    fault = Some(e);
+                                    break;
+                                }
                             }
                         }
                         if let Some(e) = fault {
@@ -1162,6 +1189,96 @@ mod tests {
         // the operator degrades to the ordinary failure path.
         let err = SimExecutor::new(config).run(&wf).unwrap_err();
         assert!(err.to_string().contains("stuck"), "{err}");
+    }
+
+    #[test]
+    fn columnar_engine_matches_row_engine_and_prunes_batches() {
+        use scriptflow_datakit::CmpOp;
+        let run = |columnar: bool| {
+            let mut b = WorkflowBuilder::new();
+            let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(400))), 1);
+            // Ascending ids + a top-of-range predicate: almost every
+            // batch's zone map excludes the literal.
+            let filt = b.add(
+                Arc::new(FilterOp::cmp("sel", "id", CmpOp::Ge, Value::Int(390))),
+                1,
+            );
+            let sink_op = SinkOp::new("sink");
+            let handle = sink_op.handle();
+            let sink = b.add(Arc::new(sink_op), 1);
+            b.connect(scan, filt, 0, PartitionStrategy::RoundRobin);
+            b.connect(filt, sink, 0, PartitionStrategy::Single);
+            let wf = b.build().unwrap();
+            let mut config = cfg();
+            config.columnar = columnar;
+            let res = SimExecutor::new(config).run(&wf).unwrap();
+            let mut rows: Vec<String> = handle.results().iter().map(|t| t.to_string()).collect();
+            rows.sort();
+            (rows, res)
+        };
+        let (rows_row, res_row) = run(false);
+        let (rows_col, res_col) = run(true);
+        assert_eq!(rows_row.len(), 10);
+        assert_eq!(
+            rows_row, rows_col,
+            "both batch modes must emit identical rows"
+        );
+        assert_eq!(res_row.metrics.by_name("sel").unwrap().batches_skipped, 0);
+        let skipped = res_col.metrics.by_name("sel").unwrap().batches_skipped;
+        assert!(skipped > 0, "selective predicate must prune whole batches");
+        // The terminal trace sample carries the same counter.
+        let (_, last) = res_col.trace.samples.last().unwrap();
+        let sel = last.iter().find(|s| s.name == "sel").unwrap();
+        assert_eq!(sel.batches_skipped, skipped);
+        assert!(
+            res_col.makespan < res_row.makespan,
+            "columnar discount must shrink the makespan: {} vs {}",
+            res_col.makespan,
+            res_row.makespan
+        );
+    }
+
+    #[test]
+    fn columnar_retry_still_delivers_exactly_once() {
+        use crate::retry::{RetryConfig, RetryPolicy};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = calls.clone();
+        let mut b = WorkflowBuilder::new();
+        let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(40))), 1);
+        let flaky = b.add(
+            Arc::new(FilterOp::new("flaky", move |t| {
+                let _ = t.get_int("id")?;
+                if seen.fetch_add(1, Ordering::SeqCst) + 1 == 20 {
+                    Err(scriptflow_datakit::DataError::Decode {
+                        line: 0,
+                        message: "transient".into(),
+                    })
+                } else {
+                    Ok(true)
+                }
+            })),
+            1,
+        );
+        let sink_op = SinkOp::new("sink");
+        let handle = sink_op.handle();
+        let sink = b.add(Arc::new(sink_op), 1);
+        b.connect(scan, flaky, 0, PartitionStrategy::RoundRobin);
+        b.connect(flaky, sink, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        let mut config = cfg();
+        config.columnar = true;
+        config.retry = RetryConfig::uniform(RetryPolicy::attempts(3));
+        let res = SimExecutor::new(config).run(&wf).unwrap();
+        assert_eq!(
+            handle.len(),
+            40,
+            "columnar retry must not lose or duplicate rows"
+        );
+        assert_eq!(res.retries_attempted, 1);
+        let m = res.metrics.by_name("flaky").unwrap();
+        assert_eq!(m.state, OperatorState::Completed);
+        assert_eq!(m.input_tuples, 40, "replayed tuples must not be recounted");
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub struct OperatorMetrics {
     pub input_tuples: u64,
     /// Tuples emitted across all workers.
     pub output_tuples: u64,
+    /// Whole input batches dropped by the operator's zone-map check
+    /// (per-batch min/max statistics proved no row could pass) without
+    /// reading their columns. Non-zero only on the columnar path.
+    pub batches_skipped: u64,
     /// Summed busy time across workers.
     pub busy: SimDuration,
     /// Current lifecycle state.
@@ -125,6 +129,7 @@ impl OperatorMetrics {
             workers,
             input_tuples: 0,
             output_tuples: 0,
+            batches_skipped: 0,
             busy: SimDuration::ZERO,
             state: OperatorState::Initializing,
         }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use scriptflow_datakit::{DataError, Schema, SchemaRef, Tuple};
+use scriptflow_datakit::{ColumnarBatch, DataError, Schema, SchemaRef, Tuple};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
@@ -79,12 +79,16 @@ impl WorkflowError {
 #[derive(Debug, Default)]
 pub struct OutputCollector {
     tuples: Vec<Tuple>,
+    batches_skipped: u64,
 }
 
 impl OutputCollector {
     /// A fresh, empty collector.
     pub fn new() -> Self {
-        OutputCollector { tuples: Vec::new() }
+        OutputCollector {
+            tuples: Vec::new(),
+            batches_skipped: 0,
+        }
     }
 
     /// A collector pre-sized for roughly `n` emitted tuples; executors use
@@ -93,7 +97,26 @@ impl OutputCollector {
     pub fn with_capacity(n: usize) -> Self {
         OutputCollector {
             tuples: Vec::with_capacity(n),
+            batches_skipped: 0,
         }
+    }
+
+    /// Record one zone-map batch prune: the operator's statistics check
+    /// proved no row of an input batch could pass, so the whole batch was
+    /// dropped without reading its columns. Executors drain this via
+    /// [`OutputCollector::take_batches_skipped`] into their telemetry.
+    pub fn note_batch_skipped(&mut self) {
+        self.batches_skipped += 1;
+    }
+
+    /// Zone-map prunes recorded since the last drain.
+    pub fn batches_skipped(&self) -> u64 {
+        self.batches_skipped
+    }
+
+    /// Drain the zone-map prune counter.
+    pub fn take_batches_skipped(&mut self) -> u64 {
+        std::mem::take(&mut self.batches_skipped)
     }
 
     /// Emit one tuple downstream.
@@ -141,6 +164,27 @@ pub trait Operator: Send {
     /// All input on `port` has been delivered. Blocking operators (e.g. a
     /// hash join's build side, an aggregate) flush state here.
     fn on_port_complete(&mut self, _port: usize, _out: &mut OutputCollector) -> WorkflowResult<()> {
+        Ok(())
+    }
+
+    /// Process one columnar input batch arriving on `port`.
+    ///
+    /// The default materializes rows and delegates to
+    /// [`Operator::on_tuple`], so every operator is columnar-correct for
+    /// free. Hot operators (filter, hash join, aggregate) override this
+    /// with zone-map checks and monomorphic column kernels; an override
+    /// must emit exactly the rows the per-tuple path would, in the same
+    /// relative order, because the engines run either path depending on
+    /// configuration and the parity suite pins them together.
+    fn on_batch(
+        &mut self,
+        batch: &ColumnarBatch,
+        port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        for i in 0..batch.len() {
+            self.on_tuple(batch.tuple_at(i), port, out)?;
+        }
         Ok(())
     }
 }

@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use scriptflow_datakit::{DataType, Field, HashKey, Schema, SchemaRef, Tuple, Value};
+use scriptflow_datakit::{
+    ColumnVec, ColumnarBatch, DataType, Field, HashKey, Schema, SchemaRef, Tuple, Value,
+};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
@@ -68,6 +70,37 @@ impl AggState {
             self.sum += x;
             self.min = self.min.min(x);
             self.max = self.max.max(x);
+        }
+    }
+
+    /// Fold one typed column into the state in a single monomorphic
+    /// pass — the columnar sum/min/max/count kernel. Must accumulate
+    /// exactly as `update` called per row would.
+    fn update_column(&mut self, col: &ColumnVec) {
+        self.count += col.len() as u64;
+        match col {
+            ColumnVec::Float { data, validity } => {
+                for (i, &x) in data.iter().enumerate() {
+                    if validity.is_valid(i) {
+                        self.sum += x;
+                        self.min = self.min.min(x);
+                        self.max = self.max.max(x);
+                    }
+                }
+            }
+            ColumnVec::Int { data, validity } => {
+                for (i, &x) in data.iter().enumerate() {
+                    if validity.is_valid(i) {
+                        let x = x as f64;
+                        self.sum += x;
+                        self.min = self.min.min(x);
+                        self.max = self.max.max(x);
+                    }
+                }
+            }
+            // Non-numeric columns contribute rows to `count` only, the
+            // same as `Value::as_float() == None` on the row path.
+            _ => {}
         }
     }
 
@@ -202,6 +235,65 @@ impl Operator for AggregateInstance {
                 None => None,
             };
             state.update(x);
+        }
+        Ok(())
+    }
+
+    fn on_batch(
+        &mut self,
+        batch: &ColumnarBatch,
+        port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        if !self.group_by.is_empty() {
+            // Grouped aggregation keys per row; stay on the row path.
+            for i in 0..batch.len() {
+                self.on_tuple(batch.tuple_at(i), port, out)?;
+            }
+            return Ok(());
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.out_schema.is_none() {
+            let derived =
+                self.derive_schema(batch.schema())
+                    .map_err(|e| WorkflowError::SchemaError {
+                        operator: self.name.clone(),
+                        error: e,
+                    })?;
+            self.out_schema = Some(Arc::new(derived));
+        }
+        let mut idxs = Vec::with_capacity(self.aggs.len());
+        for a in &self.aggs {
+            idxs.push(match a.input_column() {
+                Some(c) => Some(
+                    batch
+                        .schema()
+                        .index_of(c)
+                        .map_err(|e| WorkflowError::from_data(&self.name, e))?,
+                ),
+                None => None,
+            });
+        }
+        let key = HashKey::Null;
+        if !self.groups.contains_key(&key) {
+            self.groups.insert(
+                key.clone(),
+                (
+                    Vec::new(),
+                    self.aggs.iter().map(|_| AggState::new()).collect(),
+                ),
+            );
+            self.order.push(key.clone());
+        }
+        let (_, states) = self.groups.get_mut(&key).expect("inserted above");
+        // Columnar kernels: one monomorphic pass per aggregation.
+        for (state, idx) in states.iter_mut().zip(idxs) {
+            match idx {
+                Some(i) => state.update_column(batch.column(i)),
+                None => state.count += batch.len() as u64,
+            }
         }
         Ok(())
     }
@@ -363,6 +455,67 @@ mod tests {
         let rows = out.take();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get_int("n").unwrap(), 5);
+    }
+
+    #[test]
+    fn columnar_global_kernels_match_row_path() {
+        let rows = [("a", 1.5), ("b", -2.0), ("c", 7.25), ("d", 0.0)];
+        let op = AggregateOp::new(
+            "agg",
+            &[],
+            vec![
+                AggFn::Count("n".into()),
+                AggFn::Sum("x".into()),
+                AggFn::Avg("x".into()),
+                AggFn::Min("x".into()),
+                AggFn::Max("x".into()),
+            ],
+        );
+        let mut by_row = op.create();
+        let mut row_out = OutputCollector::new();
+        for (c, x) in rows {
+            by_row.on_tuple(tuple(c, x), 0, &mut row_out).unwrap();
+        }
+        by_row.on_port_complete(0, &mut row_out).unwrap();
+
+        let cb = ColumnarBatch::from_rows(
+            Schema::of(&[("cat", DataType::Str), ("x", DataType::Float)]),
+            rows.iter()
+                .map(|(c, x)| vec![Value::Str((*c).into()), Value::Float(*x)])
+                .collect(),
+        )
+        .unwrap();
+        let mut by_col = op.create();
+        let mut col_out = OutputCollector::new();
+        by_col.on_batch(&cb, 0, &mut col_out).unwrap();
+        by_col.on_port_complete(0, &mut col_out).unwrap();
+
+        assert_eq!(row_out.take(), col_out.take());
+    }
+
+    #[test]
+    fn columnar_grouped_falls_back_to_rows() {
+        let op = agg_all();
+        let cb = ColumnarBatch::from_rows(
+            Schema::of(&[("cat", DataType::Str), ("x", DataType::Float)]),
+            vec![
+                vec![Value::Str("a".into()), Value::Float(1.0)],
+                vec![Value::Str("b".into()), Value::Float(10.0)],
+                vec![Value::Str("a".into()), Value::Float(3.0)],
+            ],
+        )
+        .unwrap();
+        let mut inst = op.create();
+        let mut out = OutputCollector::new();
+        inst.on_batch(&cb, 0, &mut out).unwrap();
+        inst.on_port_complete(0, &mut out).unwrap();
+        let rows = out.take();
+        assert_eq!(rows.len(), 2);
+        let a = rows
+            .iter()
+            .find(|t| t.get_str("cat").unwrap() == "a")
+            .unwrap();
+        assert_eq!(a.get_float("sum_x").unwrap(), 4.0);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use scriptflow_datakit::{HashKey, Schema, SchemaRef, Tuple, Value};
+use scriptflow_datakit::column::cmp_values;
+use scriptflow_datakit::{ColumnVec, ColumnarBatch, HashKey, Schema, SchemaRef, Tuple, Value};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
@@ -80,12 +81,79 @@ struct HashJoinInstance {
     join_type: JoinType,
     table: HashMap<HashKey, Vec<Tuple>>,
     out_schema: Option<SchemaRef>,
+    // Min/max of the build-side key column (single-key joins only),
+    // folded in while the hash table builds. Probe batches whose key
+    // zone map misses this range entirely are pruned (inner joins: a
+    // disjoint range proves zero matches).
+    build_key_range: BuildKeyRange,
+    // A null build key matches null probe keys (Texera's semantics), so
+    // probe batches containing null keys must not be pruned when one
+    // exists — the min/max range only covers non-null keys.
+    build_has_null_key: bool,
+}
+
+/// Running build-side key range. `Poisoned` is sticky: once an
+/// unorderable key (NaN, heterogeneous types) is seen, pruning stays off
+/// for the rest of the run — a later clean value must not resurrect a
+/// range that silently forgot the poisoned one.
+#[derive(Debug, Clone, PartialEq)]
+enum BuildKeyRange {
+    Empty,
+    Range(Value, Value),
+    Poisoned,
 }
 
 impl HashJoinInstance {
     fn key_of(&self, tuple: &Tuple, cols: &[String]) -> WorkflowResult<HashKey> {
         let names: Vec<&str> = cols.iter().map(String::as_str).collect();
         HashKey::from_tuple(tuple, &names).map_err(|e| WorkflowError::from_data(&self.name, e))
+    }
+
+    /// Fold one build-side key value into the running min/max.
+    fn widen_build_range(&mut self, v: &Value) {
+        if v.is_null() {
+            self.build_has_null_key = true;
+            return;
+        }
+        match &mut self.build_key_range {
+            BuildKeyRange::Poisoned => {}
+            BuildKeyRange::Empty => {
+                self.build_key_range = BuildKeyRange::Range(v.clone(), v.clone());
+            }
+            BuildKeyRange::Range(min, max) => match (cmp_values(v, min), cmp_values(v, max)) {
+                (Some(lo), Some(hi)) => {
+                    if lo == std::cmp::Ordering::Less {
+                        *min = v.clone();
+                    }
+                    if hi == std::cmp::Ordering::Greater {
+                        *max = v.clone();
+                    }
+                }
+                _ => self.build_key_range = BuildKeyRange::Poisoned,
+            },
+        }
+    }
+
+    /// True when the probe batch's key range cannot intersect the build
+    /// side's: `probe_max < build_min || probe_min > build_max`.
+    fn probe_batch_disjoint(&self, batch: &ColumnarBatch, key_idx: usize) -> bool {
+        let BuildKeyRange::Range(build_min, build_max) = &self.build_key_range else {
+            return false;
+        };
+        let stats = batch.stats().column(key_idx);
+        if self.build_has_null_key && stats.null_count > 0 {
+            return false;
+        }
+        let (Some(probe_min), Some(probe_max)) = (&stats.min, &stats.max) else {
+            return false;
+        };
+        matches!(
+            cmp_values(probe_max, build_min),
+            Some(std::cmp::Ordering::Less)
+        ) || matches!(
+            cmp_values(probe_min, build_max),
+            Some(std::cmp::Ordering::Greater)
+        )
     }
 }
 
@@ -98,6 +166,13 @@ impl Operator for HashJoinInstance {
     ) -> WorkflowResult<()> {
         match port {
             0 => {
+                if self.build_keys.len() == 1 {
+                    let v = tuple
+                        .get(&self.build_keys[0])
+                        .map_err(|e| WorkflowError::from_data(&self.name, e))?
+                        .clone();
+                    self.widen_build_range(&v);
+                }
                 let key = self.key_of(&tuple, &self.build_keys.clone())?;
                 self.table.entry(key).or_default().push(tuple);
                 Ok(())
@@ -155,6 +230,84 @@ impl Operator for HashJoinInstance {
             }),
         }
     }
+
+    fn on_batch(
+        &mut self,
+        batch: &ColumnarBatch,
+        port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        if port == 0 && self.build_keys.len() == 1 {
+            let idx = batch
+                .schema()
+                .index_of(&self.build_keys[0])
+                .map_err(|e| WorkflowError::from_data(&self.name, e))?;
+            // Fold the whole batch's key range from its sealed stats
+            // (one comparison pair instead of one per build row).
+            let stats = batch.stats().column(idx);
+            if stats.null_count > 0 {
+                self.build_has_null_key = true;
+            }
+            let non_null = batch.len() as u64 - stats.null_count;
+            match (&stats.min, &stats.max) {
+                (Some(min), Some(max)) => {
+                    self.widen_build_range(min);
+                    self.widen_build_range(max);
+                }
+                // Valid rows without an orderable range (NaN, Mixed):
+                // pruning would be unsound from here on.
+                _ if non_null > 0 => self.build_key_range = BuildKeyRange::Poisoned,
+                _ => {}
+            }
+            // Build the hash table from the typed key column: keys come
+            // straight off the dense vector, no per-tuple name lookup.
+            match batch.column(idx) {
+                ColumnVec::Int { data, validity } => {
+                    for (i, &k) in data.iter().enumerate() {
+                        let key = if validity.is_valid(i) {
+                            HashKey::Int(k)
+                        } else {
+                            HashKey::Null
+                        };
+                        self.table.entry(key).or_default().push(batch.tuple_at(i));
+                    }
+                }
+                ColumnVec::Str { data, validity } => {
+                    for (i, k) in data.iter().enumerate() {
+                        let key = if validity.is_valid(i) {
+                            HashKey::Str(k.clone())
+                        } else {
+                            HashKey::Null
+                        };
+                        self.table.entry(key).or_default().push(batch.tuple_at(i));
+                    }
+                }
+                col => {
+                    for i in 0..col.len() {
+                        let key = HashKey::from_value(&col.value_at(i))
+                            .map_err(|e| WorkflowError::from_data(&self.name, e))?;
+                        self.table.entry(key).or_default().push(batch.tuple_at(i));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        if port == 1 && self.join_type == JoinType::Inner && self.probe_keys.len() == 1 {
+            let idx = batch
+                .schema()
+                .index_of(&self.probe_keys[0])
+                .map_err(|e| WorkflowError::from_data(&self.name, e))?;
+            if self.probe_batch_disjoint(batch, idx) {
+                // Build-side zone map proves zero matches in this batch.
+                out.note_batch_skipped();
+                return Ok(());
+            }
+        }
+        for i in 0..batch.len() {
+            self.on_tuple(batch.tuple_at(i), port, out)?;
+        }
+        Ok(())
+    }
 }
 
 impl OperatorFactory for HashJoinOp {
@@ -208,6 +361,8 @@ impl OperatorFactory for HashJoinOp {
             join_type: self.join_type,
             table: HashMap::new(),
             out_schema: None,
+            build_key_range: BuildKeyRange::Empty,
+            build_has_null_key: false,
         })
     }
 }
@@ -268,6 +423,101 @@ mod tests {
         assert_eq!(unmatched.len(), 1);
         assert!(unmatched[0].get("tag").unwrap().is_null());
         assert!(unmatched[0].get("k_r").unwrap().is_null());
+    }
+
+    use scriptflow_datakit::ColumnarBatch;
+
+    fn build_cb(pairs: &[(i64, &str)]) -> ColumnarBatch {
+        ColumnarBatch::from_rows(
+            Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]),
+            pairs
+                .iter()
+                .map(|(k, t)| vec![Value::Int(*k), Value::Str((*t).into())])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn probe_cb(pairs: &[(i64, i64)]) -> ColumnarBatch {
+        ColumnarBatch::from_rows(
+            Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]),
+            pairs
+                .iter()
+                .map(|(id, k)| vec![Value::Int(*id), Value::Int(*k)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn columnar_build_and_probe_match_row_path() {
+        let j = HashJoinOp::new("j", &["k"], &["k"]);
+        let mut inst = j.create();
+        let mut out = OutputCollector::new();
+        inst.on_batch(&build_cb(&[(1, "a"), (2, "b"), (1, "c")]), 0, &mut out)
+            .unwrap();
+        inst.on_port_complete(0, &mut out).unwrap();
+        inst.on_batch(&probe_cb(&[(10, 1), (20, 2), (30, 9)]), 1, &mut out)
+            .unwrap();
+        let mut rows: Vec<String> = out.take().iter().map(|t| t.to_string()).collect();
+        rows.sort_unstable();
+        let mut expect: Vec<String> = run_join(JoinType::Inner)
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(rows, expect);
+    }
+
+    #[test]
+    fn disjoint_probe_batch_is_pruned() {
+        let j = HashJoinOp::new("j", &["k"], &["k"]);
+        let mut inst = j.create();
+        let mut out = OutputCollector::new();
+        // Build keys span [1, 2].
+        inst.on_batch(&build_cb(&[(1, "a"), (2, "b")]), 0, &mut out)
+            .unwrap();
+        inst.on_port_complete(0, &mut out).unwrap();
+        // Probe keys span [50, 60]: disjoint, skipped whole.
+        inst.on_batch(&probe_cb(&[(1, 50), (2, 60)]), 1, &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.batches_skipped(), 1);
+        // Overlapping batch still probes.
+        inst.on_batch(&probe_cb(&[(3, 2), (4, 40)]), 1, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.batches_skipped(), 1);
+    }
+
+    #[test]
+    fn left_outer_never_prunes() {
+        let j = HashJoinOp::new("j", &["k"], &["k"]).with_join_type(JoinType::LeftOuter);
+        let mut inst = j.create();
+        let mut out = OutputCollector::new();
+        inst.on_batch(&build_cb(&[(1, "a")]), 0, &mut out).unwrap();
+        inst.on_port_complete(0, &mut out).unwrap();
+        inst.on_batch(&probe_cb(&[(9, 50)]), 1, &mut out).unwrap();
+        // The unmatched probe row must still surface, null-padded.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.batches_skipped(), 0);
+    }
+
+    #[test]
+    fn row_built_table_still_prunes_probe_batches() {
+        // Build via on_tuple (row path), probe via on_batch: the range
+        // must have been tracked on the row path too.
+        let j = HashJoinOp::new("j", &["k"], &["k"]);
+        let mut inst = j.create();
+        let mut out = OutputCollector::new();
+        for (k, tag) in [(5, "a"), (7, "b")] {
+            inst.on_tuple(build_tuple(k, tag), 0, &mut out).unwrap();
+        }
+        inst.on_port_complete(0, &mut out).unwrap();
+        inst.on_batch(&probe_cb(&[(1, 100), (2, 200)]), 1, &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.batches_skipped(), 1);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use scriptflow_datakit::{DataResult, HashKey, Schema, SchemaRef, Tuple};
+use scriptflow_datakit::column::{cmp_value, CmpOp};
+use scriptflow_datakit::{
+    ColumnVec, ColumnarBatch, DataResult, HashKey, Schema, SchemaRef, Tuple, Value,
+};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
@@ -11,10 +14,22 @@ use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError,
 
 type Predicate = Arc<dyn Fn(&Tuple) -> DataResult<bool> + Send + Sync>;
 
+/// A structured `column op literal` comparison the engine can evaluate
+/// against a batch's zone map (opaque closure predicates cannot be
+/// reasoned about, so only filters built via [`FilterOp::cmp`] skip
+/// batches).
+#[derive(Debug, Clone)]
+struct CmpPredicate {
+    column: String,
+    op: CmpOp,
+    literal: Value,
+}
+
 /// Keep tuples matching a predicate.
 pub struct FilterOp {
     name: String,
     predicate: Predicate,
+    cmp: Option<CmpPredicate>,
     cost: CostProfile,
     language: Language,
 }
@@ -28,6 +43,36 @@ impl FilterOp {
         FilterOp {
             name: name.into(),
             predicate: Arc::new(predicate),
+            cmp: None,
+            cost: CostProfile::default(),
+            language: Language::Python,
+        }
+    }
+
+    /// A structured comparison filter: keep tuples where
+    /// `column op literal` (nulls and incomparable type mixes never
+    /// match). Unlike [`FilterOp::new`], the predicate's shape is known
+    /// to the engine, so the columnar path first consults the batch's
+    /// min/max zone map — batches whose range cannot satisfy the
+    /// comparison are skipped whole, batches whose range trivially
+    /// satisfies it pass through untouched, and only the remainder run
+    /// the tight typed-column loop.
+    pub fn cmp(
+        name: impl Into<String>,
+        column: impl Into<String>,
+        op: CmpOp,
+        literal: Value,
+    ) -> Self {
+        let column = column.into();
+        let cmp = CmpPredicate {
+            column: column.clone(),
+            op,
+            literal: literal.clone(),
+        };
+        FilterOp {
+            name: name.into(),
+            predicate: Arc::new(move |t: &Tuple| Ok(cmp_value(t.get(&column)?, op, &literal))),
+            cmp: Some(cmp),
             cost: CostProfile::default(),
             language: Language::Python,
         }
@@ -49,6 +94,36 @@ impl FilterOp {
 struct FilterInstance {
     name: String,
     predicate: Predicate,
+    cmp: Option<CmpPredicate>,
+}
+
+impl FilterInstance {
+    /// Tight monomorphic keep-mask loop for a comparison predicate over
+    /// one typed column; falls back to boxed comparison for `Mixed`.
+    fn columnar_mask(col: &ColumnVec, op: CmpOp, literal: &Value) -> Vec<bool> {
+        match (col, literal) {
+            (ColumnVec::Int { data, validity }, Value::Int(lit)) => data
+                .iter()
+                .enumerate()
+                .map(|(i, x)| validity.is_valid(i) && op.eval(x.cmp(lit)))
+                .collect(),
+            (ColumnVec::Float { data, validity }, Value::Float(lit)) => data
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    validity.is_valid(i) && x.partial_cmp(lit).is_some_and(|o| op.eval(o))
+                })
+                .collect(),
+            (ColumnVec::Str { data, validity }, Value::Str(lit)) => data
+                .iter()
+                .enumerate()
+                .map(|(i, s)| validity.is_valid(i) && op.eval(s.as_str().cmp(lit)))
+                .collect(),
+            _ => (0..col.len())
+                .map(|i| cmp_value(&col.value_at(i), op, literal))
+                .collect(),
+        }
+    }
 }
 
 impl Operator for FilterInstance {
@@ -64,6 +139,42 @@ impl Operator for FilterInstance {
         }
         Ok(())
     }
+
+    fn on_batch(
+        &mut self,
+        batch: &ColumnarBatch,
+        port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        let Some(cmp) = &self.cmp else {
+            // Opaque closure: row-at-a-time is the only option.
+            for i in 0..batch.len() {
+                self.on_tuple(batch.tuple_at(i), port, out)?;
+            }
+            return Ok(());
+        };
+        let idx = batch
+            .schema()
+            .index_of(&cmp.column)
+            .map_err(|e| WorkflowError::from_data(&self.name, e))?;
+        let stats = batch.stats().column(idx);
+        if stats.range_excludes(cmp.op, &cmp.literal) {
+            // Zone map proves no row matches: prune the whole batch.
+            out.note_batch_skipped();
+            return Ok(());
+        }
+        if stats.range_satisfies(cmp.op, &cmp.literal) {
+            out.emit_all(batch.to_tuples());
+            return Ok(());
+        }
+        let mask = Self::columnar_mask(batch.column(idx), cmp.op, &cmp.literal);
+        for (i, keep) in mask.into_iter().enumerate() {
+            if keep {
+                out.emit(batch.tuple_at(i));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl OperatorFactory for FilterOp {
@@ -74,6 +185,16 @@ impl OperatorFactory for FilterOp {
         1
     }
     fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        if let Some(cmp) = &self.cmp {
+            // Structured predicates validate their column eagerly — the
+            // workflow paradigm's early schema checking.
+            inputs[0]
+                .index_of(&cmp.column)
+                .map_err(|e| WorkflowError::SchemaError {
+                    operator: self.name.clone(),
+                    error: e,
+                })?;
+        }
         Ok((*inputs[0]).clone())
     }
     fn language(&self) -> Language {
@@ -86,6 +207,7 @@ impl OperatorFactory for FilterOp {
         Box::new(FilterInstance {
             name: self.name.clone(),
             predicate: self.predicate.clone(),
+            cmp: self.cmp.clone(),
         })
     }
 }
@@ -332,6 +454,81 @@ mod tests {
         let kept = out.take();
         assert_eq!(kept.len(), 2);
         assert_eq!(kept[0].get_int("id").unwrap(), 3);
+    }
+
+    fn columnar(ids: &[i64]) -> ColumnarBatch {
+        ColumnarBatch::from_rows(
+            Schema::of(&[("id", DataType::Int)]),
+            ids.iter().map(|&i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cmp_filter_skips_excluded_batches() {
+        let f = FilterOp::cmp("f", "id", CmpOp::Gt, Value::Int(100));
+        let mut inst = f.create();
+        let mut out = OutputCollector::new();
+        // ids in [0, 9]: the zone map excludes `> 100` outright.
+        inst.on_batch(&columnar(&(0..10).collect::<Vec<_>>()), 0, &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.batches_skipped(), 1);
+        // ids in [90, 110]: straddles the literal, runs the typed loop.
+        inst.on_batch(&columnar(&(90..=110).collect::<Vec<_>>()), 0, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.batches_skipped(), 1, "straddling batch is not a skip");
+        // ids in [101, 105]: the range satisfies, whole batch passes.
+        inst.on_batch(&columnar(&(101..=105).collect::<Vec<_>>()), 0, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 15);
+        assert_eq!(out.take_batches_skipped(), 1);
+        assert_eq!(out.batches_skipped(), 0);
+    }
+
+    #[test]
+    fn cmp_filter_row_and_columnar_paths_agree() {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            let f = FilterOp::cmp("f", "id", op, Value::Int(5));
+            let batch = columnar(&[1, 5, 9, 5, 3]);
+            let mut by_row = OutputCollector::new();
+            let mut by_col = OutputCollector::new();
+            let mut inst = f.create();
+            for t in batch.to_tuples() {
+                inst.on_tuple(t, 0, &mut by_row).unwrap();
+            }
+            let mut inst2 = f.create();
+            inst2.on_batch(&batch, 0, &mut by_col).unwrap();
+            assert_eq!(by_row.take(), by_col.take(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn cmp_filter_validates_column_at_schema_time() {
+        let f = FilterOp::cmp("f", "nope", CmpOp::Eq, Value::Int(1));
+        assert!(f
+            .output_schema(&[Schema::of(&[("id", DataType::Int)])])
+            .is_err());
+    }
+
+    #[test]
+    fn closure_filter_columnar_batch_falls_back_to_rows() {
+        let f = FilterOp::new("f", |t| Ok(t.get_int("id")? % 2 == 0));
+        let mut inst = f.create();
+        let mut out = OutputCollector::new();
+        inst.on_batch(&columnar(&[1, 2, 3, 4]), 0, &mut out)
+            .unwrap();
+        let kept = out.take();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(out.batches_skipped(), 0);
     }
 
     #[test]

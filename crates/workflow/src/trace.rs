@@ -27,6 +27,9 @@ pub struct OperatorSnapshot {
     pub input_tuples: u64,
     /// Tuples emitted so far.
     pub output_tuples: u64,
+    /// Whole batches pruned so far by the operator's zone-map check
+    /// (columnar path only; 0 on the row path).
+    pub batches_skipped: u64,
 }
 
 /// A sampled execution timeline.
@@ -152,6 +155,7 @@ impl TraceJson {
                             ("color".into(), Json::Str(s.state.color().into())),
                             ("inputTuples".into(), Json::Int(s.input_tuples as i64)),
                             ("outputTuples".into(), Json::Int(s.output_tuples as i64)),
+                            ("batchesSkipped".into(), Json::Int(s.batches_skipped as i64)),
                         ])
                     })
                     .collect();
@@ -231,6 +235,7 @@ impl TraceJson {
     ///             state: OperatorState::Completed,
     ///             input_tuples: 0,
     ///             output_tuples: 9,
+    ///             batches_skipped: 0,
     ///         }],
     ///     )],
     /// };
@@ -282,6 +287,9 @@ impl TraceJson {
                         .ok_or_else(|| format!("unknown operator state `{label}`"))?,
                     input_tuples: int(op, "inputTuples")?.max(0) as u64,
                     output_tuples: int(op, "outputTuples")?.max(0) as u64,
+                    // Absent in documents written before the columnar
+                    // path existed; default rather than reject them.
+                    batches_skipped: int(op, "batchesSkipped").unwrap_or(0).max(0) as u64,
                 });
             }
             out.samples.push((at, snaps));
@@ -300,6 +308,7 @@ mod tests {
             state,
             input_tuples: inp,
             output_tuples: out,
+            batches_skipped: 0,
         }
     }
 
@@ -359,6 +368,22 @@ mod tests {
         assert_eq!(back.samples, trace.samples);
         // The round-tripped trace renders identically.
         assert_eq!(render_timeline(&back), render_timeline(&trace));
+    }
+
+    #[test]
+    fn trace_json_roundtrips_skip_counts_and_defaults_when_absent() {
+        let mut trace = sample_trace();
+        trace.samples[1].1[0].batches_skipped = 7;
+        let text = TraceJson::from_trace(&trace).to_string_compact();
+        assert!(text.contains("\"batchesSkipped\":7"));
+        let back = TraceJson::parse(&text).unwrap();
+        assert_eq!(back.samples, trace.samples);
+        // Documents written before the columnar path carry no
+        // batchesSkipped key; they still parse, defaulting to 0.
+        let legacy = "{\"samples\":[{\"atMicros\":0,\"operators\":[{\"name\":\"x\",\
+                      \"state\":\"Completed\",\"inputTuples\":3,\"outputTuples\":2}]}]}";
+        let back = TraceJson::parse(legacy).unwrap();
+        assert_eq!(back.samples[0].1[0].batches_skipped, 0);
     }
 
     #[test]

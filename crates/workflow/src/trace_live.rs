@@ -86,6 +86,7 @@ pub struct OperatorProbe {
     state: AtomicU8,
     input_tuples: AtomicU64,
     output_tuples: AtomicU64,
+    batches_skipped: AtomicU64,
     busy_nanos: AtomicU64,
     attempts: AtomicU64,
     retries: AtomicU64,
@@ -102,6 +103,7 @@ impl OperatorProbe {
             state: AtomicU8::new(state_code(OperatorState::Initializing)),
             input_tuples: AtomicU64::new(0),
             output_tuples: AtomicU64::new(0),
+            batches_skipped: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             attempts: AtomicU64::new(workers as u64),
             retries: AtomicU64::new(0),
@@ -165,6 +167,22 @@ impl OperatorProbe {
     /// ```
     pub fn output_tuples(&self) -> u64 {
         self.output_tuples.load(Ordering::Relaxed)
+    }
+
+    /// Whole input batches this operator's zone-map checks pruned
+    /// (columnar path only; see
+    /// [`crate::OutputCollector::note_batch_skipped`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["filter".to_owned()], &[1]);
+    /// tracer.on_batches_skipped(0, 3);
+    /// assert_eq!(tracer.probe(0).batches_skipped(), 3);
+    /// ```
+    pub fn batches_skipped(&self) -> u64 {
+        self.batches_skipped.load(Ordering::Relaxed)
     }
 
     /// Summed busy (run-quantum) time across this operator's workers.
@@ -268,6 +286,7 @@ impl OperatorProbe {
             state: self.state(),
             input_tuples: self.input_tuples(),
             output_tuples: self.output_tuples(),
+            batches_skipped: self.batches_skipped(),
         }
     }
 
@@ -424,6 +443,25 @@ impl LiveTracer {
             .fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// Hook: `n` whole input batches at a worker of `op` were pruned by
+    /// its zone-map statistics check (the executor drains the
+    /// [`crate::OutputCollector`] skip counter here after each
+    /// `on_batch` call).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["filter".to_owned()], &[1]);
+    /// tracer.on_batches_skipped(0, 2);
+    /// assert_eq!(tracer.probe(0).batches_skipped(), 2);
+    /// ```
+    pub fn on_batches_skipped(&self, op: usize, n: u64) {
+        self.probes[op]
+            .batches_skipped
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Hook: a producer found a mailbox of `op` full and yielded.
     ///
     /// # Examples
@@ -569,6 +607,21 @@ impl LiveTracer {
     /// ```
     pub fn total_retries(&self) -> u64 {
         self.probes.iter().map(OperatorProbe::retries).sum()
+    }
+
+    /// Total zone-map batch prunes across all operators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["a".to_owned(), "b".to_owned()], &[1, 1]);
+    /// tracer.on_batches_skipped(0, 2);
+    /// tracer.on_batches_skipped(1, 1);
+    /// assert_eq!(tracer.total_batches_skipped(), 3);
+    /// ```
+    pub fn total_batches_skipped(&self) -> u64 {
+        self.probes.iter().map(OperatorProbe::batches_skipped).sum()
     }
 
     /// Total backpressure stalls across all operators.
@@ -737,6 +790,19 @@ mod tests {
         assert_eq!(t.probe(0).retries(), 2);
         assert_eq!(t.probe(1).attempts(), 2);
         assert_eq!(t.total_retries(), 3);
+    }
+
+    #[test]
+    fn batch_skip_counts_accumulate_and_total() {
+        let t = tracer();
+        t.on_batches_skipped(0, 2);
+        t.on_batches_skipped(0, 1);
+        t.on_batches_skipped(1, 4);
+        assert_eq!(t.probe(0).batches_skipped(), 3);
+        assert_eq!(t.probe(1).batches_skipped(), 4);
+        assert_eq!(t.total_batches_skipped(), 7);
+        let (_, snaps) = t.snapshot();
+        assert_eq!(snaps[0].batches_skipped, 3);
     }
 
     #[test]

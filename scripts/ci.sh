@@ -36,9 +36,35 @@ CHAOS_RETRIES=0 cargo test -q --test chaos_faults -- --test-threads=1
 echo "==> chaos suite, retries enabled (retryable faults must lose zero rows)"
 CHAOS_RETRIES=1 cargo test -q --test chaos_faults -- --test-threads=1
 
+echo "==> backend parity, row batches (paper engine)"
+SCRIPTFLOW_BATCH_MODE=row cargo test -q --test backend_parity
+
+echo "==> backend parity, columnar batches (identical rows required)"
+SCRIPTFLOW_BATCH_MODE=columnar cargo test -q --test backend_parity
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> engine throughput bench (quick)"
     BENCH_ENGINE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_engine
+    echo "==> columnar smoke: BENCH_engine.json must carry columnar rows with batch skips"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
+import json
+
+with open("BENCH_engine.json") as f:
+    doc = json.load(f)
+rows = doc["configs"]
+columnar = [r for r in rows if r.get("batchLayout") == "columnar"]
+assert columnar, "no columnar measurement rows in BENCH_engine.json"
+skipped = sum(r.get("batchesSkipped", 0) for r in columnar)
+assert skipped > 0, "columnar rows report zero skipped batches"
+print(f"columnar rows: {len(columnar)}, batches skipped: {skipped}")
+PY
+    else
+        grep -q '"batchLayout": *"columnar"' BENCH_engine.json || {
+            echo "BENCH_engine.json missing columnar rows" >&2
+            exit 1
+        }
+    fi
 fi
 
 echo "==> repro on both backends (fig12a + probe-scale task comparison)"

@@ -6,6 +6,12 @@
 //! clocks, never in data), the same operator set in the terminal trace
 //! sample, and — on a fault-free run — a live trace in which every
 //! operator ends `Completed`.
+//!
+//! The suite honours `SCRIPTFLOW_BATCH_MODE`: unset or `row` runs the
+//! paper calibration (row batches), `columnar` re-runs every parity
+//! check with the columnar batch path enabled. `ci.sh` runs it in both
+//! modes; results must be identical because the columnar path only
+//! changes the batch layout, never the rows.
 
 use std::collections::BTreeSet;
 
@@ -16,6 +22,16 @@ use scriptflow::tasks::kge::{self, KgeParams};
 use scriptflow::tasks::wef::{self, WefParams};
 use scriptflow::tasks::BackendRun;
 use scriptflow::workflow::OperatorState;
+
+/// The calibration under test: `SCRIPTFLOW_BATCH_MODE=columnar` flips
+/// the engine to columnar edge batches, anything else (including unset)
+/// keeps the paper's row engine.
+fn calibration() -> Calibration {
+    match std::env::var("SCRIPTFLOW_BATCH_MODE").as_deref() {
+        Ok("columnar") => Calibration::paper_columnar(),
+        _ => Calibration::paper(),
+    }
+}
 
 fn operator_set(run: &BackendRun) -> BTreeSet<String> {
     let (_, last) = run
@@ -71,7 +87,7 @@ fn assert_parity(task: &str, run_on: impl Fn(BackendKind) -> BackendRun) {
 
 #[test]
 fn dice_backends_agree() {
-    let cal = Calibration::paper();
+    let cal = calibration();
     assert_parity("dice", |kind| {
         dice::workflow::run_workflow_on(&DiceParams::new(10, 2), &cal, kind).expect("DICE runs")
     });
@@ -79,7 +95,7 @@ fn dice_backends_agree() {
 
 #[test]
 fn wef_backends_agree() {
-    let cal = Calibration::paper();
+    let cal = calibration();
     assert_parity("wef", |kind| {
         wef::workflow::run_workflow_on(&WefParams::new(80), &cal, kind).expect("WEF runs")
     });
@@ -87,7 +103,7 @@ fn wef_backends_agree() {
 
 #[test]
 fn gotta_backends_agree() {
-    let cal = Calibration::paper();
+    let cal = calibration();
     assert_parity("gotta", |kind| {
         gotta::workflow::run_workflow_on(&GottaParams::new(2, 1), &cal, kind).expect("GOTTA runs")
     });
@@ -95,8 +111,68 @@ fn gotta_backends_agree() {
 
 #[test]
 fn kge_backends_agree() {
-    let cal = Calibration::paper();
+    let cal = calibration();
     assert_parity("kge", |kind| {
         kge::workflow::run_workflow_on(&KgeParams::new(600, 1), &cal, kind).expect("KGE runs")
     });
+}
+
+/// Direct row-vs-columnar parity, independent of `SCRIPTFLOW_BATCH_MODE`:
+/// for every paper task, the columnar calibration must produce exactly
+/// the rows the row calibration does on both backends.
+#[test]
+fn columnar_mode_changes_no_rows_on_any_task() {
+    let row = Calibration::paper();
+    let col = Calibration::paper_columnar();
+    let tasks: [(&str, Box<dyn Fn(&Calibration, BackendKind) -> BackendRun>); 4] = [
+        (
+            "dice",
+            Box::new(|cal, k| {
+                dice::workflow::run_workflow_on(&DiceParams::new(6, 2), cal, k).expect("DICE runs")
+            }),
+        ),
+        (
+            "wef",
+            Box::new(|cal, k| {
+                wef::workflow::run_workflow_on(&WefParams::new(40), cal, k).expect("WEF runs")
+            }),
+        ),
+        (
+            "gotta",
+            Box::new(|cal, k| {
+                gotta::workflow::run_workflow_on(&GottaParams::new(1, 1), cal, k)
+                    .expect("GOTTA runs")
+            }),
+        ),
+        (
+            "kge",
+            Box::new(|cal, k| {
+                kge::workflow::run_workflow_on(&KgeParams::new(300, 1), cal, k).expect("KGE runs")
+            }),
+        ),
+    ];
+    for (task, run_on) in &tasks {
+        for kind in [BackendKind::Sim, BackendKind::Live] {
+            let r = run_on(&row, kind);
+            let c = run_on(&col, kind);
+            // TaskRun::output is already sorted.
+            assert_eq!(
+                r.run.output, c.run.output,
+                "{task}/{kind}: columnar mode must not change task results"
+            );
+            assert_eq!(
+                r.batches_skipped, 0,
+                "{task}/{kind}: the row engine never consults zone maps"
+            );
+        }
+        // The virtual clock must show the calibrated columnar win.
+        let r = run_on(&row, BackendKind::Sim);
+        let c = run_on(&col, BackendKind::Sim);
+        assert!(
+            c.seconds() < r.seconds(),
+            "{task}: columnar sim run ({}) should beat row ({})",
+            c.seconds(),
+            r.seconds()
+        );
+    }
 }

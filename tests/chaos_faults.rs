@@ -464,6 +464,79 @@ fn same_seed_retry_run_fingerprint_is_identical_across_10_reps() {
     }
 }
 
+#[test]
+fn columnar_batches_under_faults_retry_exactly_once() {
+    // Regression for the columnar batch path: a fault landing while the
+    // engine seals edge batches as column vectors must behave exactly
+    // like the row engine — the armed batch takes the row path, the
+    // replay quantum re-delivers every tuple once, and nothing about the
+    // drain changes. Rows must match the *row-engine* clean run, pinning
+    // that columnar sealing never alters data even across a retry.
+    let baseline = live_threads();
+    for seed in [5u64, 17, 23] {
+        let clean = clean_rows(seed);
+
+        // Fault-free columnar run: identical rows to the row engine.
+        let (wf, h, _names) = random_chain(seed);
+        let (_trace, res) = LiveExecutor::new(8)
+            .with_pool_size(2)
+            .with_columnar(true)
+            .run_observed(&wf);
+        res.expect("fault-free columnar run succeeds");
+        assert_eq!(sorted_rows(&h), clean, "seed {seed}: columnar parity");
+
+        for kind in ["panic", "kill", "poison"] {
+            let plan = match kind {
+                "panic" => FaultPlan::new(seed).panic_at("f0", 5 + seed % 40),
+                "kill" => FaultPlan::new(seed).kill_worker("f0", 5 + seed % 40),
+                _ => FaultPlan::new(seed).poison_mailbox("sink", 1 + seed % 3),
+            };
+            let (wf, h, _names) = random_chain(seed);
+            let (trace, result) = LiveExecutor::new(8)
+                .with_pool_size(1)
+                .with_columnar(true)
+                .with_faults(plan)
+                .with_retry(RetryConfig::uniform(RetryPolicy::default()))
+                .run_observed(&wf);
+            result.unwrap_or_else(|e| panic!("seed {seed} {kind} (columnar): {e}"));
+            assert_eq!(
+                sorted_rows(&h),
+                clean,
+                "seed {seed} {kind}: columnar retry is exactly-once"
+            );
+            let st = final_states(&trace);
+            assert!(
+                st.iter().all(|(_, s, _, _)| *s == OperatorState::Completed),
+                "seed {seed} {kind}: {st:?}"
+            );
+        }
+    }
+    assert_threads_drained(baseline, "columnar chaos sweep");
+}
+
+#[test]
+fn columnar_mode_without_budget_drains_like_the_row_engine() {
+    // An unbudgeted kill mid-columnar-stream must still converge: one
+    // Failed operator, terminal states everywhere, threads joined.
+    let baseline = live_threads();
+    let (wf, _h, _names) = random_chain(5);
+    let plan = FaultPlan::new(5).kill_worker("f0", 10);
+    let (trace, result) = LiveExecutor::new(8)
+        .with_pool_size(2)
+        .with_columnar(true)
+        .with_faults(plan)
+        .run_observed(&wf);
+    assert!(result.is_err(), "no budget: the kill fails the run");
+    let st = final_states(&trace);
+    assert!(
+        st.iter()
+            .any(|(n, s, _, _)| n == "f0" && *s == OperatorState::Failed),
+        "{st:?}"
+    );
+    assert!(st.iter().all(|(_, s, _, _)| s.is_terminal()), "{st:?}");
+    assert_threads_drained(baseline, "columnar kill without budget");
+}
+
 /// CI (`scripts/ci.sh`) runs this suite twice: `CHAOS_RETRIES=0` — the
 /// default-disabled policy must leave the PR 3 seeded fingerprints
 /// unchanged — and `CHAOS_RETRIES=1`, which arms the sweep below to

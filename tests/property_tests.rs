@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use scriptflow::datakit::codec::{from_csv, from_jsonl, to_csv, to_jsonl, Json};
-use scriptflow::datakit::{Batch, DataFrame, DataType, HashKey, MergeHow, Schema, Tuple, Value};
+use scriptflow::datakit::{
+    Batch, CmpOp, ColumnarBatch, DataFrame, DataType, HashKey, MergeHow, Schema, Tuple, Value,
+};
 use scriptflow::mlkit::kge::{EmbeddingTable, KgeScorer};
 use scriptflow::workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
 use scriptflow::workflow::{
@@ -261,6 +263,64 @@ proptest! {
         }
     }
 
+    /// The columnar batch representation is lossless: `from_rows` then
+    /// `to_rows` is the identity for arbitrary int/float/str/bool rows
+    /// with arbitrary null patterns, and the sealed per-column
+    /// statistics agree with a direct fold over the same rows.
+    #[test]
+    fn columnar_from_rows_to_rows_is_identity(
+        rows in prop::collection::vec(
+            (
+                prop::option::of(any::<i64>()),
+                prop::option::of(-1.0e9f64..1.0e9),
+                prop::option::of("[a-z]{0,8}"),
+                prop::option::of(any::<bool>()),
+            ),
+            0..60,
+        )
+    ) {
+        let schema = Schema::of(&[
+            ("i", DataType::Int),
+            ("x", DataType::Float),
+            ("s", DataType::Str),
+            ("b", DataType::Bool),
+        ]);
+        let values: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|(i, x, s, b)| {
+                vec![
+                    i.map_or(Value::Null, Value::Int),
+                    x.map_or(Value::Null, Value::Float),
+                    s.clone().map_or(Value::Null, Value::Str),
+                    b.map_or(Value::Null, Value::Bool),
+                ]
+            })
+            .collect();
+        let cb = ColumnarBatch::from_rows(schema.clone(), values.clone()).unwrap();
+        prop_assert_eq!(cb.len(), values.len());
+        prop_assert_eq!(cb.to_rows(), values.clone());
+
+        // Sealed stats vs a direct fold: null counts per column, and
+        // min/max over the non-null ints.
+        let int_nulls = values.iter().filter(|r| r[0] == Value::Null).count() as u64;
+        let ints: Vec<i64> = rows.iter().filter_map(|(i, ..)| *i).collect();
+        let col = cb.stats().column(0);
+        prop_assert_eq!(col.null_count, int_nulls);
+        match (&col.min, &col.max) {
+            (Some(Value::Int(lo)), Some(Value::Int(hi))) => {
+                prop_assert_eq!(*lo, *ints.iter().min().unwrap());
+                prop_assert_eq!(*hi, *ints.iter().max().unwrap());
+            }
+            (None, None) => prop_assert!(ints.is_empty()),
+            other => prop_assert!(false, "inconsistent int stats: {:?}", other),
+        }
+
+        // And through the tuple path too.
+        let tuples = cb.to_tuples();
+        let back = ColumnarBatch::from_tuples(schema, &tuples);
+        prop_assert_eq!(back.to_rows(), values);
+    }
+
     /// Schema join + tuple concat always produce conforming tuples.
     #[test]
     fn schema_join_soundness(a in 1usize..6, bcols in 1usize..6) {
@@ -350,6 +410,66 @@ proptest! {
             .unwrap();
 
         prop_assert_eq!(sorted(&h_sim), sorted(&h_live));
+    }
+
+    /// Columnar batches are a pure layout change: on random filter/join
+    /// DAGs over random data — including a zone-map-eligible range
+    /// filter — the live executor produces identical rows with columnar
+    /// sealing on and off, for any batch size and parallelism.
+    #[test]
+    fn live_columnar_matches_row_on_random_dag(
+        n in 1i64..300,
+        dim_keys in 1i64..12,
+        threshold in 0i64..300,
+        workers in 1usize..4,
+        batch in 1usize..64,
+        pool in 1usize..5,
+    ) {
+        let fact_schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+        let facts = Batch::from_rows(
+            fact_schema,
+            (0..n)
+                .map(|i| vec![Value::Int(i), Value::Int(i % (2 * dim_keys))])
+                .collect(),
+        ).unwrap();
+        let dim_schema = Schema::of(&[("k", DataType::Int), ("tag", DataType::Int)]);
+        let dims = Batch::from_rows(
+            dim_schema,
+            (0..dim_keys).map(|k| vec![Value::Int(k), Value::Int(-k)]).collect(),
+        ).unwrap();
+
+        let build = || {
+            let mut b = WorkflowBuilder::new();
+            let fsrc = b.add(Arc::new(ScanOp::new("facts", facts.clone())), workers);
+            let dsrc = b.add(Arc::new(ScanOp::new("dims", dims.clone())), 1);
+            let filt = b.add(
+                Arc::new(FilterOp::cmp("filt", "id", CmpOp::Lt, Value::Int(threshold))),
+                workers,
+            );
+            let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), workers);
+            let sink_op = SinkOp::new("sink");
+            let handle = sink_op.handle();
+            let sink = b.add(Arc::new(sink_op), 1);
+            let by_k = PartitionStrategy::Hash(vec!["k".into()]);
+            b.connect(fsrc, filt, 0, PartitionStrategy::RoundRobin);
+            b.connect(dsrc, join, 0, by_k.clone());
+            b.connect(filt, join, 1, by_k);
+            b.connect(join, sink, 0, PartitionStrategy::Single);
+            (b.build().unwrap(), handle)
+        };
+        let run_mode = |columnar: bool| {
+            let (wf, handle) = build();
+            LiveExecutor::new(batch)
+                .with_pool_size(pool)
+                .with_columnar(columnar)
+                .run(&wf)
+                .unwrap();
+            let mut rows: Vec<String> =
+                handle.results().iter().map(|t| t.to_string()).collect();
+            rows.sort_unstable();
+            rows
+        };
+        prop_assert_eq!(run_mode(false), run_mode(true));
     }
 
     /// Chaos: any seeded fault plan against any random chain terminates
