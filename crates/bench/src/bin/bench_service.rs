@@ -1,0 +1,193 @@
+//! Multi-tenant service harness: closed-loop clients on one shared pool.
+//!
+//! `N` client threads each submit `M` workflows back-to-back (one
+//! outstanding run per client — a classic closed loop) against a single
+//! process-wide [`WorkflowService`]. The harness sweeps the tenant
+//! count and reports per-submission latency percentiles and aggregate
+//! throughput, so the latency-vs-tenant-count curve of the service's
+//! weighted-fair time-slicing is machine-readable:
+//!
+//! ```text
+//! cargo run --release -p scriptflow-bench --bin bench_service
+//! BENCH_SERVICE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_service
+//! ```
+//!
+//! Every submission's sink rows are asserted byte-identical to a solo
+//! [`LiveExecutor`] anchor of the same DAG — sharing the pool must
+//! never change what a run computes, only when it finishes. Results
+//! merge into `BENCH_engine.json` under a `"service"` key, preserving
+//! whatever `bench_engine` already wrote there.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use scriptflow_datakit::codec::Json;
+use scriptflow_datakit::{Batch, DataType, Schema, Value};
+use scriptflow_workflow::ops::{FilterOp, ScanOp, SinkHandle, SinkOp};
+use scriptflow_workflow::service::{RunOptions, ServiceConfig, WorkflowService};
+use scriptflow_workflow::{LiveExecutor, PartitionStrategy, Workflow, WorkflowBuilder};
+
+/// Concurrent submissions per client: the closed loop's depth.
+const SUBMISSIONS_PER_CLIENT: usize = 8;
+
+/// Tenant counts swept for the latency curve.
+const TENANT_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn int_batch(n: i64) -> Batch {
+    let schema = Schema::of(&[("id", DataType::Int)]);
+    Batch::from_rows(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap()
+}
+
+/// The per-submission workload: scan → mod3 → mod5 → sink, a fresh
+/// sink per build so concurrent runs never clash on shared state.
+fn pipeline(n: i64, workers: usize) -> (Workflow, SinkHandle) {
+    let mut b = WorkflowBuilder::new();
+    let scan = b.add(Arc::new(ScanOp::new("scan", int_batch(n))), workers);
+    let f1 = b.add(
+        Arc::new(FilterOp::new("mod3", |t| Ok(t.get_int("id")? % 3 != 0))),
+        workers,
+    );
+    let f2 = b.add(
+        Arc::new(FilterOp::new("mod5", |t| Ok(t.get_int("id")? % 5 != 0))),
+        workers,
+    );
+    let sink_op = Arc::new(SinkOp::new("sink"));
+    let handle = sink_op.handle();
+    let sink = b.add(sink_op, 1);
+    b.connect(scan, f1, 0, PartitionStrategy::RoundRobin);
+    b.connect(f1, f2, 0, PartitionStrategy::RoundRobin);
+    b.connect(f2, sink, 0, PartitionStrategy::Single);
+    (b.build().unwrap(), handle)
+}
+
+fn sorted_rows(h: &SinkHandle) -> Vec<String> {
+    let mut rows: Vec<String> = h.results().iter().map(|t| format!("{t:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// Index-based percentile over pre-sorted latencies.
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// One point on the curve: `tenants` closed-loop clients sharing one
+/// service, every submission checked against the solo anchor.
+fn sweep_point(tenants: usize, rows: i64, anchor: &[String]) -> Json {
+    let svc = WorkflowService::new(
+        ServiceConfig::default()
+            .with_max_active_runs(tenants.max(4))
+            .with_queue_capacity(tenants * SUBMISSIONS_PER_CLIENT),
+    );
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|c| {
+                let svc = &svc;
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(SUBMISSIONS_PER_CLIENT);
+                    for _ in 0..SUBMISSIONS_PER_CLIENT {
+                        let (wf, handle) = pipeline(rows, 2);
+                        let t0 = Instant::now();
+                        let run = svc
+                            .submit(&format!("client-{c}"), &wf, RunOptions::default())
+                            .expect("closed loop stays under quota");
+                        let report = run.wait();
+                        lats.push(t0.elapsed());
+                        report.result.expect("bench workflow must run");
+                        assert_eq!(
+                            sorted_rows(&handle),
+                            anchor,
+                            "client-{c}: shared-pool rows diverged from the solo anchor"
+                        );
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread must not panic"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let stats = svc.service_stats();
+    assert_eq!(
+        stats.completed_runs as usize,
+        tenants * SUBMISSIONS_PER_CLIENT
+    );
+    assert_eq!(stats.rejected_runs, 0, "closed loop must never be rejected");
+    svc.shutdown();
+
+    latencies.sort();
+    let p50 = percentile(&latencies, 50).as_secs_f64() * 1e3;
+    let p99 = percentile(&latencies, 99).as_secs_f64() * 1e3;
+    let submissions = tenants * SUBMISSIONS_PER_CLIENT;
+    let tps = (submissions as i64 * rows) as f64 / wall.max(1e-9);
+    println!(
+        "tenants={tenants}  submissions={submissions:>3}  p50={p50:>9.3} ms  p99={p99:>9.3} ms  {tps:>12.0} tuples/s  anchor rows={}",
+        anchor.len()
+    );
+    Json::Object(vec![
+        ("tenants".into(), Json::Int(tenants as i64)),
+        ("submissions".into(), Json::Int(submissions as i64)),
+        ("p50_ms".into(), Json::Float(p50)),
+        ("p99_ms".into(), Json::Float(p99)),
+        ("tuples_per_sec".into(), Json::Float(tps)),
+        ("rows_per_run".into(), Json::Int(anchor.len() as i64)),
+        ("rows_match_anchor".into(), Json::Bool(true)),
+    ])
+}
+
+/// Merge `service` into `BENCH_engine.json`, preserving any fields an
+/// earlier `bench_engine` run wrote; start a fresh document otherwise.
+fn merge_into_bench_json(service: Json) -> Json {
+    let existing = std::fs::read_to_string("BENCH_engine.json")
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
+    let mut fields = match existing {
+        Some(Json::Object(fields)) => fields.into_iter().filter(|(k, _)| k != "service").collect(),
+        _ => vec![("bench".into(), Json::Str("engine".into()))],
+    };
+    fields.push(("service".into(), service));
+    Json::Object(fields)
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_SERVICE_QUICK").is_ok();
+    let rows = if quick { 1_500i64 } else { 20_000i64 };
+
+    // Solo anchor: the same DAG once through the plain live executor.
+    let (anchor_wf, anchor_sink) = pipeline(rows, 2);
+    LiveExecutor::new(256)
+        .run(&anchor_wf)
+        .expect("anchor workflow must run");
+    let anchor = sorted_rows(&anchor_sink);
+
+    let points: Vec<Json> = TENANT_COUNTS
+        .iter()
+        .map(|&tenants| sweep_point(tenants, rows, &anchor))
+        .collect();
+
+    let service = Json::Object(vec![
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "submissions_per_client".into(),
+            Json::Int(SUBMISSIONS_PER_CLIENT as i64),
+        ),
+        ("rows_per_submission".into(), Json::Int(rows)),
+        ("anchor_rows".into(), Json::Int(anchor.len() as i64)),
+        ("points".into(), Json::Array(points)),
+    ]);
+
+    let doc = merge_into_bench_json(service);
+    let path = "BENCH_engine.json";
+    match std::fs::write(path, doc.to_string_compact()) {
+        Ok(()) => println!("merged service results into {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

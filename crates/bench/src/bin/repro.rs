@@ -6,6 +6,7 @@
 //! cargo run --release -p scriptflow-bench --bin repro fig13a    # one artifact
 //! cargo run --release -p scriptflow-bench --bin repro --ablations
 //! cargo run --release -p scriptflow-bench --bin repro --fault    # §III-A fault comparison
+//! cargo run --release -p scriptflow-bench --bin repro --service  # multi-tenant isolation
 //! cargo run --release -p scriptflow-bench --bin repro --csv     # + artifacts/*.csv
 //! cargo run --release -p scriptflow-bench --bin repro fig12a --backend both
 //! ```
@@ -20,7 +21,9 @@
 
 use scriptflow_bench::{backend, render_side_by_side};
 use scriptflow_core::{BackendChoice, BackendKind, Calibration, Table};
-use scriptflow_study::{ablation_registry, conclusions, fault_registry, registry};
+use scriptflow_study::{
+    ablation_registry, conclusions, fault_registry, registry, service_registry,
+};
 use scriptflow_tasks::dice::{self, DiceParams};
 use scriptflow_tasks::gotta::{self, GottaParams};
 use scriptflow_tasks::kge::{self, KgeParams};
@@ -103,6 +106,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want_ablations = args.iter().any(|a| a == "--ablations");
     let want_fault = args.iter().any(|a| a == "--fault");
+    let want_service = args.iter().any(|a| a == "--service");
     let want_csv = args.iter().any(|a| a == "--csv");
     let backend_flag = match backend::parse_backend_flag(&args) {
         Ok(flag) => flag,
@@ -160,6 +164,16 @@ fn main() {
     if want_fault || filter.iter().any(|f| f.as_str() == "fault") {
         println!("\n#################### FAULT TOLERANCE ####################\n");
         for e in fault_registry().experiments() {
+            let meta = e.meta();
+            let measured = e.run_on(choice);
+            let paper = e.paper_reference();
+            println!("{}", render_side_by_side(&meta, &measured, &paper));
+        }
+    }
+
+    if want_service || filter.iter().any(|f| f.as_str() == "service") {
+        println!("\n#################### MULTI-TENANT SERVICE ####################\n");
+        for e in service_registry().experiments() {
             let meta = e.meta();
             let measured = e.run_on(choice);
             let paper = e.paper_reference();

@@ -14,8 +14,7 @@ pub const FIG12A_LOC: [(&str, usize, usize); 4] = [
 pub const FIG12B_POINTS: [(f64, f64); 3] = [(1.0, 138.97), (5.0, 114.05), (6.0, 115.143)];
 
 /// Table I: KGE seconds — `(products, scala, python)`.
-pub const TABLE1: [(usize, f64, f64); 2] =
-    [(6_800, 98.67, 126.28), (68_000, 1_159.82, 1_170.57)];
+pub const TABLE1: [(usize, f64, f64); 2] = [(6_800, 98.67, 126.28), (68_000, 1_159.82, 1_170.57)];
 
 /// Fig. 13a: DICE seconds by file pairs — `(pairs, notebook, texera)`.
 pub const FIG13A: [(usize, f64, f64); 2] = [(10, 14.71, 10.73), (200, 239.54, 107.83)];
@@ -40,18 +39,12 @@ pub const FIG13D: [(usize, f64, f64); 3] = [
 
 /// Fig. 14a: DICE seconds at 200 pairs by workers — `(workers, notebook,
 /// texera)`.
-pub const FIG14A: [(usize, f64, f64); 3] = [
-    (1, 239.54, 107.82),
-    (2, 148.04, 87.13),
-    (4, 85.65, 57.21),
-];
+pub const FIG14A: [(usize, f64, f64); 3] =
+    [(1, 239.54, 107.82), (2, 148.04, 87.13), (4, 85.65, 57.21)];
 
 /// Fig. 14b: GOTTA seconds at 4 paragraphs by workers.
-pub const FIG14B: [(usize, f64, f64); 3] = [
-    (1, 463.96, 149.45),
-    (2, 234.68, 104.16),
-    (4, 139.66, 83.37),
-];
+pub const FIG14B: [(usize, f64, f64); 3] =
+    [(1, 463.96, 149.45), (2, 234.68, 104.16), (4, 139.66, 83.37)];
 
 /// Fig. 14c: KGE seconds at 68k products by workers.
 pub const FIG14C: [(usize, f64, f64); 3] = [

@@ -54,10 +54,18 @@ pub fn evaluate(cal: &Calibration) -> Vec<Claim> {
     // script's 1→4-worker speedup exceeds Texera's on DICE and GOTTA.
     {
         let speedup = |one: f64, four: f64| one / four;
-        let ds1 = dice::script::run_script(&DiceParams::new(50, 1), cal).expect("run").seconds();
-        let ds4 = dice::script::run_script(&DiceParams::new(50, 4), cal).expect("run").seconds();
-        let dw1 = dice::workflow::run_workflow(&DiceParams::new(50, 1), cal).expect("run").seconds();
-        let dw4 = dice::workflow::run_workflow(&DiceParams::new(50, 4), cal).expect("run").seconds();
+        let ds1 = dice::script::run_script(&DiceParams::new(50, 1), cal)
+            .expect("run")
+            .seconds();
+        let ds4 = dice::script::run_script(&DiceParams::new(50, 4), cal)
+            .expect("run")
+            .seconds();
+        let dw1 = dice::workflow::run_workflow(&DiceParams::new(50, 1), cal)
+            .expect("run")
+            .seconds();
+        let dw4 = dice::workflow::run_workflow(&DiceParams::new(50, 4), cal)
+            .expect("run")
+            .seconds();
         let script_gain = speedup(ds1, ds4);
         let workflow_gain = speedup(dw1, dw4);
         claims.push(Claim {
@@ -72,12 +80,19 @@ pub fn evaluate(cal: &Calibration) -> Vec<Claim> {
     // Claim 3: "Texera users achieve similar or improved performance"
     // on training (WEF within a few percent).
     {
-        let s = wef::script::run_script(&WefParams::new(100), cal).expect("run").seconds();
-        let w = wef::workflow::run_workflow(&WefParams::new(100), cal).expect("run").seconds();
+        let s = wef::script::run_script(&WefParams::new(100), cal)
+            .expect("run")
+            .seconds();
+        let w = wef::workflow::run_workflow(&WefParams::new(100), cal)
+            .expect("run")
+            .seconds();
         let gap = (s - w).abs() / s;
         claims.push(Claim {
             statement: "Training performance is similar across paradigms",
-            evidence: format!("WEF @100 tweets: script {s:.1}s vs workflow {w:.1}s ({:.1}% gap)", gap * 100.0),
+            evidence: format!(
+                "WEF @100 tweets: script {s:.1}s vs workflow {w:.1}s ({:.1}% gap)",
+                gap * 100.0
+            ),
             holds: gap < 0.05,
         });
     }
@@ -85,7 +100,9 @@ pub fn evaluate(cal: &Calibration) -> Vec<Claim> {
     // Claim 4: "in some cases [Texera] outperforms, in others the
     // notebook does" — the KGE counterexample must also reproduce.
     {
-        let s = kge::script::run_script(&KgeParams::new(6_800, 1), cal).expect("run").seconds();
+        let s = kge::script::run_script(&KgeParams::new(6_800, 1), cal)
+            .expect("run")
+            .seconds();
         let w = kge::workflow::run_workflow(&KgeParams::new(6_800, 1).with_fusion(3), cal)
             .expect("run")
             .seconds();

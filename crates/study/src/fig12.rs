@@ -27,10 +27,26 @@ impl Experiment for Fig12a {
             &["task", SCRIPT_LABEL, WORKFLOW_LABEL],
         );
         let rows: [(&str, String, String); 4] = [
-            ("DICE", listing::dice_script_listing(), listing::dice_workflow_listing()),
-            ("WEF", listing::wef_script_listing(), listing::wef_workflow_listing()),
-            ("GOTTA", listing::gotta_script_listing(), listing::gotta_workflow_listing()),
-            ("KGE", listing::kge_script_listing(), listing::kge_workflow_listing()),
+            (
+                "DICE",
+                listing::dice_script_listing(),
+                listing::dice_workflow_listing(),
+            ),
+            (
+                "WEF",
+                listing::wef_script_listing(),
+                listing::wef_workflow_listing(),
+            ),
+            (
+                "GOTTA",
+                listing::gotta_script_listing(),
+                listing::gotta_workflow_listing(),
+            ),
+            (
+                "KGE",
+                listing::kge_script_listing(),
+                listing::kge_workflow_listing(),
+            ),
         ];
         for (task, script, workflow) in rows {
             t.push_row(vec![
@@ -108,8 +124,8 @@ impl Experiment for Fig12b {
             let points: Vec<(f64, f64)> = (1..=6)
                 .map(|fusion| {
                     let p = KgeParams::new(6_800, 1).with_fusion(fusion);
-                    let run = kge::workflow::run_workflow_on(&p, &cal, *kind)
-                        .expect("workflow run");
+                    let run =
+                        kge::workflow::run_workflow_on(&p, &cal, *kind).expect("workflow run");
                     (fusion as f64, run.seconds())
                 })
                 .collect();

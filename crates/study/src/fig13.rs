@@ -10,12 +10,7 @@ use scriptflow_tasks::wef::{self, WefParams};
 
 use crate::{anchors, backend_workflow_label, SCRIPT_LABEL, WORKFLOW_LABEL};
 
-fn figure_from(
-    id: &str,
-    title: &str,
-    x_label: &str,
-    points: Vec<(f64, f64, f64)>,
-) -> Figure {
+fn figure_from(id: &str, title: &str, x_label: &str, points: Vec<(f64, f64, f64)>) -> Figure {
     let mut fig = Figure::new(id, title, x_label, "execution time (s)");
     fig.push_series(Series::new(
         SCRIPT_LABEL,
@@ -54,7 +49,9 @@ fn backend_figure(
     for kind in backend.kinds() {
         fig.push_series(Series::new(
             backend_workflow_label(*kind),
-            xs.iter().map(|&x| (x as f64, workflow_at(x, *kind))).collect(),
+            xs.iter()
+                .map(|&x| (x as f64, workflow_at(x, *kind)))
+                .collect(),
         ));
     }
     fig
@@ -92,12 +89,7 @@ impl Experiment for Fig13a {
                 (pairs as f64, s.seconds(), w.seconds())
             })
             .collect();
-        Artifact::Figure(figure_from(
-            "fig13a",
-            "DICE scaling",
-            "file pairs",
-            points,
-        ))
+        Artifact::Figure(figure_from("fig13a", "DICE scaling", "file pairs", points))
     }
 
     fn run_on(&self, backend: BackendChoice) -> Artifact {
@@ -125,7 +117,12 @@ impl Experiment for Fig13a {
     }
 
     fn paper_reference(&self) -> Artifact {
-        reference_figure("fig13a", "DICE scaling (paper)", "file pairs", &anchors::FIG13A)
+        reference_figure(
+            "fig13a",
+            "DICE scaling (paper)",
+            "file pairs",
+            &anchors::FIG13A,
+        )
     }
 }
 
@@ -239,7 +236,12 @@ impl Experiment for Fig13c {
     }
 
     fn paper_reference(&self) -> Artifact {
-        reference_figure("fig13c", "KGE scaling (paper)", "products", &anchors::FIG13C)
+        reference_figure(
+            "fig13c",
+            "KGE scaling (paper)",
+            "products",
+            &anchors::FIG13C,
+        )
     }
 }
 
@@ -266,12 +268,7 @@ impl Experiment for Fig13d {
                 (paragraphs as f64, s.seconds(), w.seconds())
             })
             .collect();
-        Artifact::Figure(figure_from(
-            "fig13d",
-            "GOTTA scaling",
-            "paragraphs",
-            points,
-        ))
+        Artifact::Figure(figure_from("fig13d", "GOTTA scaling", "paragraphs", points))
     }
 
     fn run_on(&self, backend: BackendChoice) -> Artifact {

@@ -244,11 +244,7 @@ mod tests {
 
     fn assert_monotone_decreasing(points: &[(f64, f64)], what: &str) {
         for pair in points.windows(2) {
-            assert!(
-                pair[1].1 < pair[0].1,
-                "{what}: {:?} not decreasing",
-                points
-            );
+            assert!(pair[1].1 < pair[0].1, "{what}: {:?} not decreasing", points);
         }
     }
 

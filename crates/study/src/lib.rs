@@ -23,6 +23,7 @@ pub mod fig14;
 pub mod observability;
 pub mod report;
 pub mod sensitivity;
+pub mod service;
 pub mod table1;
 
 use scriptflow_core::{BackendKind, Registry};
@@ -72,6 +73,15 @@ pub fn fault_registry() -> Registry {
     r
 }
 
+/// The multi-tenant service suite (§I, the shared-deployment story
+/// quantified on this reproduction's workflow service; not a numbered
+/// artifact).
+pub fn service_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(service::ServiceIsolation));
+    r
+}
+
 /// The ablation suite (not paper artifacts; they explain them).
 pub fn ablation_registry() -> Registry {
     let mut r = Registry::new();
@@ -117,5 +127,12 @@ mod tests {
         let r = fault_registry();
         assert_eq!(r.experiments().len(), 1);
         assert!(r.by_id("fault").is_some());
+    }
+
+    #[test]
+    fn service_registry_is_populated() {
+        let r = service_registry();
+        assert_eq!(r.experiments().len(), 1);
+        assert!(r.by_id("service").is_some());
     }
 }

@@ -59,9 +59,9 @@ pub fn observe_workflow_on(
     let (wf, _handle) = build_dice_workflow(params, cal).expect("DICE workflow builds");
     let cfg = dice::workflow::engine_config(cal);
     let backend = match kind {
-        BackendKind::Sim => ExecBackend::from_sim(
-            SimExecutor::new(cfg).with_trace(SimDuration::from_millis(100)),
-        ),
+        BackendKind::Sim => {
+            ExecBackend::from_sim(SimExecutor::new(cfg).with_trace(SimDuration::from_millis(100)))
+        }
         BackendKind::Live => ExecBackend::from_live(
             LiveExecutor::new(cfg.batch_size.max(1)).with_trace(Duration::from_millis(1)),
         ),

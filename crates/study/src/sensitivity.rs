@@ -110,20 +110,32 @@ impl Outcome {
 pub fn check(cal: &Calibration) -> (bool, bool, bool, bool) {
     let dice = {
         let p = DiceParams::new(30, 1);
-        let s = dice::script::run_script(&p, cal).expect("dice script").seconds();
-        let w = dice::workflow::run_workflow(&p, cal).expect("dice workflow").seconds();
+        let s = dice::script::run_script(&p, cal)
+            .expect("dice script")
+            .seconds();
+        let w = dice::workflow::run_workflow(&p, cal)
+            .expect("dice workflow")
+            .seconds();
         w < s
     };
     let gotta = {
         let p = GottaParams::new(4, 1);
-        let s = gotta::script::run_script(&p, cal).expect("gotta script").seconds();
-        let w = gotta::workflow::run_workflow(&p, cal).expect("gotta workflow").seconds();
+        let s = gotta::script::run_script(&p, cal)
+            .expect("gotta script")
+            .seconds();
+        let w = gotta::workflow::run_workflow(&p, cal)
+            .expect("gotta workflow")
+            .seconds();
         w < s
     };
     let kge = {
         let p = KgeParams::new(3_000, 1).with_fusion(3);
-        let s = kge::script::run_script(&p, cal).expect("kge script").seconds();
-        let w = kge::workflow::run_workflow(&p, cal).expect("kge workflow").seconds();
+        let s = kge::script::run_script(&p, cal)
+            .expect("kge script")
+            .seconds();
+        let w = kge::workflow::run_workflow(&p, cal)
+            .expect("kge workflow")
+            .seconds();
         s < w
     };
     let scala = {

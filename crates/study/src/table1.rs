@@ -27,7 +27,9 @@ impl Table1 {
             .into_iter()
             .map(|products| {
                 let python = kge::workflow::run_workflow_on(
-                    &KgeParams::new(products, 1).with_fusion(3).with_pandas_join(),
+                    &KgeParams::new(products, 1)
+                        .with_fusion(3)
+                        .with_pandas_join(),
                     &cal,
                     kind,
                 )
@@ -127,8 +129,14 @@ mod tests {
         let (_, s_small, p_small) = rows[0];
         let (_, s_large, p_large) = rows[1];
         // Scala is faster at both scales…
-        assert!(s_small < p_small, "6.8k: scala {s_small} vs python {p_small}");
-        assert!(s_large < p_large, "68k: scala {s_large} vs python {p_large}");
+        assert!(
+            s_small < p_small,
+            "6.8k: scala {s_small} vs python {p_small}"
+        );
+        assert!(
+            s_large < p_large,
+            "68k: scala {s_large} vs python {p_large}"
+        );
         // …but the relative advantage shrinks as data grows (the paper's
         // 24.5% → 0.92%).
         let rel_small = p_small / s_small - 1.0;
@@ -137,6 +145,9 @@ mod tests {
             rel_large < rel_small,
             "advantage must shrink: {rel_small:.3} -> {rel_large:.3}"
         );
-        assert!(rel_large < 0.06, "large-scale advantage {rel_large} not small");
+        assert!(
+            rel_large < 0.06,
+            "large-scale advantage {rel_large} not small"
+        );
     }
 }

@@ -79,13 +79,13 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use scriptflow_datakit::{ColumnarBatch, SharedBatch, Tuple};
-use scriptflow_simcluster::{SimDuration, SimTime};
+use scriptflow_simcluster::{Language, SimDuration, SimTime};
 
 use crate::dag::{OpId, Workflow};
 use crate::fault::{CompiledFaults, FaultPlan, TupleAction, TupleTrigger};
@@ -93,7 +93,7 @@ use crate::metrics::{OperatorMetrics, OperatorState, RunMetrics};
 use crate::operator::{Operator, OutputCollector, WorkflowError, WorkflowResult};
 use crate::partition::CompiledPartitioner;
 use crate::retry::{RetryConfig, RetryPolicy};
-use crate::trace::ProgressTrace;
+use crate::trace::{OperatorSnapshot, ProgressTrace};
 use crate::trace_live::LiveTracer;
 
 /// Which concurrency model [`LiveExecutor::run`] uses.
@@ -513,33 +513,14 @@ impl LiveExecutor {
         pool: PoolStats,
         trace: ProgressTrace,
     ) -> LiveRunResult {
-        let operators: Vec<OperatorMetrics> = wf
-            .ops()
-            .iter()
-            .enumerate()
-            .map(|(i, n)| {
-                let probe = tracer.probe(i);
-                let mut m =
-                    OperatorMetrics::new(n.factory.name(), n.factory.language(), n.parallelism);
-                m.input_tuples = probe.input_tuples();
-                m.output_tuples = probe.output_tuples();
-                m.batches_skipped = probe.batches_skipped();
-                m.busy = probe.busy();
-                m.state = probe.state();
-                m
-            })
-            .collect();
-        LiveRunResult {
+        assemble_live_result(
+            &ops_meta(wf),
+            wf.total_workers(),
             elapsed,
-            metrics: RunMetrics {
-                makespan: Self::makespan_of(elapsed),
-                operators,
-                total_workers: wf.total_workers(),
-                events: 0,
-            },
-            pool: Some(pool),
+            tracer,
+            pool,
             trace,
-        }
+        )
     }
 
     /// Assemble metrics for a thread-per-worker run from raw counters.
@@ -565,7 +546,7 @@ impl LiveExecutor {
         LiveRunResult {
             elapsed,
             metrics: RunMetrics {
-                makespan: Self::makespan_of(elapsed),
+                makespan: makespan_of(elapsed),
                 operators,
                 total_workers: wf.total_workers(),
                 events: 0,
@@ -574,10 +555,63 @@ impl LiveExecutor {
             trace: ProgressTrace::default(),
         }
     }
+}
 
-    fn makespan_of(elapsed: Duration) -> SimTime {
-        SimTime::ZERO
-            + SimDuration::from_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64)
+fn makespan_of(elapsed: Duration) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64)
+}
+
+/// `(name, language, parallelism)` per operator — everything metrics
+/// assembly needs from a workflow, captured so a run finalized long
+/// after submission (service mode) does not have to hold the DAG.
+pub(crate) fn ops_meta(wf: &Workflow) -> Vec<(String, Language, usize)> {
+    wf.ops()
+        .iter()
+        .map(|n| {
+            (
+                n.factory.name().to_owned(),
+                n.factory.language(),
+                n.parallelism,
+            )
+        })
+        .collect()
+}
+
+/// Assemble a [`LiveRunResult`] from a finished run core's probes.
+/// Shared by the single-run pooled path and the multi-tenant service's
+/// per-run finalizer.
+pub(crate) fn assemble_live_result(
+    ops: &[(String, Language, usize)],
+    total_workers: usize,
+    elapsed: Duration,
+    tracer: &LiveTracer,
+    pool: PoolStats,
+    trace: ProgressTrace,
+) -> LiveRunResult {
+    let operators: Vec<OperatorMetrics> = ops
+        .iter()
+        .enumerate()
+        .map(|(i, (name, language, workers))| {
+            let probe = tracer.probe(i);
+            let mut m = OperatorMetrics::new(name.clone(), *language, *workers);
+            m.input_tuples = probe.input_tuples();
+            m.output_tuples = probe.output_tuples();
+            m.batches_skipped = probe.batches_skipped();
+            m.busy = probe.busy();
+            m.state = probe.state();
+            m
+        })
+        .collect();
+    LiveRunResult {
+        elapsed,
+        metrics: RunMetrics {
+            makespan: makespan_of(elapsed),
+            operators,
+            total_workers,
+            events: 0,
+        },
+        pool: Some(pool),
+        trace,
     }
 }
 
@@ -686,6 +720,10 @@ struct TaskInner {
     /// The task replayed at least one faulted quantum (feeds
     /// [`PoolStats::retries_succeeded`] if it still finishes cleanly).
     retried: bool,
+    /// Deferred retry backoff (shared-pool mode): the task must not run
+    /// again before this instant. `None` everywhere else — single-run
+    /// pools sleep the backoff inside the quantum instead.
+    park_until: Option<Instant>,
 }
 
 /// Bounded mailbox feeding one task.
@@ -694,7 +732,7 @@ struct Inbox {
     capacity: usize,
 }
 
-struct Task {
+pub(crate) struct Task {
     meta: TaskStatic,
     inner: Mutex<TaskInner>,
     inbox: Inbox,
@@ -712,7 +750,23 @@ enum RunOutcome {
     Done,
 }
 
-struct Pool {
+/// Scheduler half of a run executing on a *shared* worker pool (see
+/// [`crate::service`]). A [`Pool`] constructed with
+/// [`Pool::for_service`] owns no worker threads and no run queue of its
+/// own: ready tasks, deferred-retry parks, and run completion are
+/// reported here, and the process-wide service decides which run's
+/// quantum each shared worker executes next.
+pub(crate) trait QuantumScheduler: Send + Sync {
+    /// Task `tid` of run `run` is ready to execute a quantum.
+    fn task_ready(&self, run: u64, tid: usize);
+    /// Task `tid` of run `run` must not run again before `until` — a
+    /// retry backoff served by the timer instead of a sleeping worker.
+    fn task_parked(&self, run: u64, tid: usize, until: Instant);
+    /// Every task of run `run` reached `Done`; the run can be finalized.
+    fn run_finished(&self, run: u64);
+}
+
+pub(crate) struct Pool {
     tasks: Vec<Task>,
     run_queue: Mutex<VecDeque<usize>>,
     cv: Condvar,
@@ -740,12 +794,147 @@ struct Pool {
     /// sampler's final interval short at shutdown.
     sampler_seat: Mutex<()>,
     sampler_cv: Condvar,
+    /// Shared-pool mode: scheduling events route to the service
+    /// scheduler under this run id instead of the local run queue. The
+    /// `Weak` breaks the service ↔ run reference cycle.
+    sched: Option<(Weak<dyn QuantumScheduler>, u64)>,
+    /// Convert retry backoffs into timed parks instead of sleeping the
+    /// worker thread (shared-pool mode: a worker sleeping one tenant's
+    /// backoff would stall every other tenant's quanta).
+    defer_retries: bool,
 }
 
 impl Pool {
     fn enqueue(&self, tid: usize) {
+        if let Some((sched, run)) = &self.sched {
+            if let Some(s) = sched.upgrade() {
+                s.task_ready(*run, tid);
+            }
+            return;
+        }
         self.run_queue.lock().push_back(tid);
         self.cv.notify_one();
+    }
+
+    /// Account one task reaching `Done`. The last one flips the run's
+    /// shutdown flag and notifies whoever owns the worker threads: the
+    /// local pool's condvars, or the service scheduler.
+    fn task_done(&self) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shutdown.store(true, Ordering::Release);
+            if let Some((sched, run)) = &self.sched {
+                if let Some(s) = sched.upgrade() {
+                    s.run_finished(*run);
+                }
+            } else {
+                self.cv.notify_all();
+                self.sampler_cv.notify_all();
+            }
+        }
+    }
+
+    /// Build a pool core for one run executing on the *shared* service
+    /// pool: no local worker threads, no local run queue — every
+    /// scheduling event routes to `sched` under `run`, and retry
+    /// backoffs become timed parks instead of worker sleeps.
+    /// `pool_threads` records the shared pool's width (it feeds
+    /// [`PoolStats`] and the stall detector's quiescence math, which
+    /// the service replicates externally via [`Pool::has_active_tasks`]).
+    pub(crate) fn for_service(
+        tasks: Vec<Task>,
+        faults: Option<CompiledFaults>,
+        pool_threads: usize,
+        tracer: LiveTracer,
+        sched: Weak<dyn QuantumScheduler>,
+        run: u64,
+    ) -> Self {
+        let n_tasks = tasks.len();
+        Pool {
+            tasks,
+            run_queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            error: Mutex::new(None),
+            active: AtomicUsize::new(n_tasks),
+            faults,
+            pool_threads,
+            idle_threads: AtomicUsize::new(0),
+            stall_recoveries: AtomicU64::new(0),
+            tracer,
+            task_runs: AtomicU64::new(0),
+            batches_sent: AtomicU64::new(0),
+            retries_attempted: AtomicU64::new(0),
+            retries_succeeded: AtomicU64::new(0),
+            sampler_seat: Mutex::new(()),
+            sampler_cv: Condvar::new(),
+            sched: Some((sched, run)),
+            defer_retries: true,
+        }
+    }
+
+    /// Mark every task `QUEUED` and return the task ids, in order. The
+    /// service feeds them straight into the run's ready list (the local
+    /// executor seeds its own run queue under the queue lock instead).
+    pub(crate) fn seed_all(&self) -> Vec<usize> {
+        for task in &self.tasks {
+            task.state.store(QUEUED, Ordering::Release);
+        }
+        (0..self.tasks.len()).collect()
+    }
+
+    /// Number of tasks in this run.
+    pub(crate) fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Every task reached `Done` (the shutdown flag flipped).
+    pub(crate) fn finished(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Tasks still nominally active — used by the service's quiescence
+    /// detector: a run with active tasks, an empty ready list, and no
+    /// running quanta has stalled (dropped EOS) and needs
+    /// [`Pool::recover_stall`].
+    pub(crate) fn has_active_tasks(&self) -> bool {
+        self.active.load(Ordering::Acquire) > 0
+    }
+
+    /// Take the run's first recorded error, if any.
+    pub(crate) fn take_error(&self) -> Option<WorkflowError> {
+        self.error.lock().take()
+    }
+
+    /// The run's live observability probes.
+    pub(crate) fn tracer(&self) -> &LiveTracer {
+        &self.tracer
+    }
+
+    /// Assemble the run's terminal [`ProgressTrace`]. Service runs are
+    /// not interval-sampled (the terminal sample still captures final
+    /// states and counters); pass any interval samples collected.
+    pub(crate) fn finish_trace(
+        &self,
+        samples: Vec<(SimTime, Vec<OperatorSnapshot>)>,
+    ) -> ProgressTrace {
+        self.tracer.finish(samples)
+    }
+
+    /// Snapshot the run's executor counters into [`PoolStats`].
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            pool_threads: self.pool_threads,
+            tasks: self.tasks.len(),
+            task_runs: self.task_runs.load(Ordering::Relaxed),
+            backpressure_stalls: self.tracer.total_stalls(),
+            batches_sent: self.batches_sent.load(Ordering::Relaxed),
+            peak_mailbox_depth: self.tracer.peak_mailbox_depth(),
+            faults_injected: self.faults.as_ref().map_or(0, |f| f.triggered()),
+            stall_recoveries: self.stall_recoveries.load(Ordering::Relaxed),
+            retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
+            retries_succeeded: self.retries_succeeded.load(Ordering::Relaxed),
+            batches_skipped: self.tracer.total_batches_skipped(),
+        }
     }
 
     /// Request that `tid` runs (again) soon. Idempotent; safe from any
@@ -810,12 +999,18 @@ impl Pool {
     }
 
     /// Consume one replay from the task's retry budget for a faulted
-    /// quantum: sleep the backoff (inside the task's own quantum, so the
-    /// rest of the pool keeps running), surface
+    /// quantum: serve the backoff (see below), surface
     /// [`OperatorState::Retrying`], and return `true` — the caller
     /// replays instead of failing. Returns `false` with the budget
     /// untouched once it is exhausted: the fault degrades to the drain
     /// path exactly as it would without a policy.
+    ///
+    /// On a run-private pool the backoff is slept inside the task's own
+    /// quantum (the rest of the pool keeps running). On a shared service
+    /// pool sleeping would hand one tenant's backoff to every tenant, so
+    /// the task is *parked* instead: the quantum finishes, the service
+    /// timer re-queues the task once the backoff elapses, and the shared
+    /// workers stay available throughout.
     fn try_retry(&self, meta: &TaskStatic, inner: &mut TaskInner) -> bool {
         if !self.budget_left(meta, inner) {
             return false;
@@ -826,7 +1021,12 @@ impl Pool {
         self.retries_attempted.fetch_add(1, Ordering::Relaxed);
         self.tracer.on_retrying(meta.op);
         if !delay.is_zero() {
-            std::thread::sleep(delay);
+            if self.defer_retries {
+                let until = Instant::now() + delay;
+                inner.park_until = Some(inner.park_until.map_or(until, |u| u.max(until)));
+            } else {
+                std::thread::sleep(delay);
+            }
         }
         true
     }
@@ -1510,8 +1710,10 @@ impl Pool {
     /// are handed synthesized EOS and marked [`OperatorState::Degraded`].
     /// If there is nothing to synthesize, the stragglers are
     /// force-finished so the run still terminates — once the pipeline is
-    /// wedged, termination beats completeness.
-    fn recover_stall(&self) {
+    /// wedged, termination beats completeness. On a run-private pool the
+    /// last idle worker calls this; on a shared service pool the service
+    /// invokes it for each wedged run once the whole pool goes quiet.
+    pub(crate) fn recover_stall(&self) {
         self.stall_recoveries.fetch_add(1, Ordering::Relaxed);
         let mut progressed = false;
         for (tid, task) in self.tasks.iter().enumerate() {
@@ -1571,11 +1773,7 @@ impl Pool {
             }
             drop(g);
             self.tracer.on_worker_done(task.meta.op);
-            if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.shutdown.store(true, Ordering::Release);
-                self.cv.notify_all();
-                self.sampler_cv.notify_all();
-            }
+            self.task_done();
         }
     }
 
@@ -1609,81 +1807,96 @@ impl Pool {
                     self.idle_threads.fetch_sub(1, Ordering::AcqRel);
                 }
             };
-            let task = &self.tasks[tid];
-            // Stale queue entries (task already claimed or re-queued) are
-            // skipped here.
-            if task
-                .state
-                .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
-                .is_err()
-            {
-                continue;
-            }
-            let quantum_start = Instant::now();
-            // A panic inside the quantum — organic or injected — costs
-            // one operator, not the pool: capture it here, mark the
-            // owner `Failed`, and let the task drain like any other
-            // failure. This is what keeps a scoped-thread join from
-            // tearing the whole run down.
-            let outcome =
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_task(tid)))
-                {
-                    Ok(o) => o,
-                    Err(payload) => {
-                        let mut inner = task.inner.lock();
-                        if self.try_retry(&task.meta, &mut inner) {
-                            // The faulted quantum's partial output is
-                            // discarded; the stashed replay (or re-queued
-                            // source chunk) regenerates it.
-                            let _ = inner.collector.take();
-                        } else {
-                            let name = self.tracer.probe(task.meta.op).name().to_owned();
-                            self.fail_task(
-                                task.meta.op,
-                                &mut inner,
-                                WorkflowError::OperatorFailed {
-                                    operator: name,
-                                    message: format!("worker panicked: {}", panic_text(payload)),
-                                },
-                            );
-                        }
-                        RunOutcome::More
+            self.step(tid);
+        }
+    }
+
+    /// Execute one scheduling round of task `tid`: claim it
+    /// (`QUEUED → RUNNING`), run one quantum with panic capture, and
+    /// dispatch the outcome — re-queue, park (deferred retry backoff),
+    /// idle, or completion accounting. Stale queue entries (the task was
+    /// already claimed or re-queued) are skipped. Shared by the local
+    /// [`Pool::worker_loop`] and the service's pool-wide workers.
+    pub(crate) fn step(&self, tid: usize) {
+        let task = &self.tasks[tid];
+        if task
+            .state
+            .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let quantum_start = Instant::now();
+        // A panic inside the quantum — organic or injected — costs
+        // one operator, not the pool: capture it here, mark the
+        // owner `Failed`, and let the task drain like any other
+        // failure. This is what keeps a scoped-thread join from
+        // tearing the whole run down.
+        let outcome =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_task(tid))) {
+                Ok(o) => o,
+                Err(payload) => {
+                    let mut inner = task.inner.lock();
+                    if self.try_retry(&task.meta, &mut inner) {
+                        // The faulted quantum's partial output is
+                        // discarded; the stashed replay (or re-queued
+                        // source chunk) regenerates it.
+                        let _ = inner.collector.take();
+                    } else {
+                        let name = self.tracer.probe(task.meta.op).name().to_owned();
+                        self.fail_task(
+                            task.meta.op,
+                            &mut inner,
+                            WorkflowError::OperatorFailed {
+                                operator: name,
+                                message: format!("worker panicked: {}", panic_text(payload)),
+                            },
+                        );
                     }
-                };
-            self.tracer.on_busy(task.meta.op, quantum_start.elapsed());
-            self.task_runs.fetch_add(1, Ordering::Relaxed);
-            match outcome {
-                RunOutcome::More => {
+                    RunOutcome::More
+                }
+            };
+        self.tracer.on_busy(task.meta.op, quantum_start.elapsed());
+        self.task_runs.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            RunOutcome::More => {
+                task.state.store(QUEUED, Ordering::Release);
+                // A deferred retry parks the task until its backoff
+                // elapses instead of re-queuing it immediately. The
+                // QUEUED state it keeps while parked means later
+                // `schedule` calls treat it as already queued.
+                let park = task.inner.lock().park_until.take();
+                match (park, &self.sched) {
+                    (Some(until), Some((sched, run))) => {
+                        if let Some(s) = sched.upgrade() {
+                            s.task_parked(*run, tid, until);
+                        }
+                    }
+                    _ => self.enqueue(tid),
+                }
+            }
+            RunOutcome::Yield => {
+                // A schedule request that arrived mid-run dirtied the
+                // state; honor it by re-queuing instead of idling.
+                if task
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
                     task.state.store(QUEUED, Ordering::Release);
                     self.enqueue(tid);
                 }
-                RunOutcome::Yield => {
-                    // A schedule request that arrived mid-run dirtied the
-                    // state; honor it by re-queuing instead of idling.
-                    if task
-                        .state
-                        .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
-                        .is_err()
-                    {
-                        task.state.store(QUEUED, Ordering::Release);
-                        self.enqueue(tid);
+            }
+            RunOutcome::Done => {
+                task.state.store(IDLE, Ordering::Release);
+                {
+                    let inner = task.inner.lock();
+                    if inner.retried && !inner.failed {
+                        self.retries_succeeded.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                RunOutcome::Done => {
-                    task.state.store(IDLE, Ordering::Release);
-                    {
-                        let inner = task.inner.lock();
-                        if inner.retried && !inner.failed {
-                            self.retries_succeeded.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    self.tracer.on_worker_done(task.meta.op);
-                    if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        self.shutdown.store(true, Ordering::Release);
-                        self.cv.notify_all();
-                        self.sampler_cv.notify_all();
-                    }
-                }
+                self.tracer.on_worker_done(task.meta.op);
+                self.task_done();
             }
         }
     }
@@ -1728,10 +1941,108 @@ fn chunk_owned(mut tuples: Vec<Tuple>, size: usize, mut emit: impl FnMut(Vec<Tup
     }
 }
 
-fn default_pool_size() -> usize {
+pub(crate) fn default_pool_size() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// Build the per-(operator, worker) task set for `wf`: routing tables,
+/// mailboxes, pre-chunked source partitions, and the fault/retry knobs
+/// baked into each task's static half. Shared by the single-run pooled
+/// executor and the multi-tenant service (which builds tasks at submit
+/// time, before the run is admitted to the shared pool).
+pub(crate) fn build_tasks(
+    wf: &Workflow,
+    batch_size: usize,
+    channel_capacity: usize,
+    faults: Option<&CompiledFaults>,
+    retry: &RetryConfig,
+    columnar: bool,
+) -> Vec<Task> {
+    // Global task id per (operator, local worker).
+    let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(wf.ops().len());
+    let mut next = 0usize;
+    for node in wf.ops() {
+        task_of.push((next..next + node.parallelism).collect());
+        next += node.parallelism;
+    }
+
+    let mut tasks: Vec<Task> = Vec::with_capacity(next);
+    for (i, node) in wf.ops().iter().enumerate() {
+        let op = OpId(i);
+        let downstream: Vec<EdgeOut> = wf
+            .out_edges(op)
+            .into_iter()
+            .map(|(eid, e)| EdgeOut {
+                to_port: e.to_port,
+                partitioner: wf.partitioner(eid).clone(),
+                dests: task_of[e.to.0].clone(),
+            })
+            .collect();
+        let ports = node.factory.input_ports();
+        let mut expected_eos = vec![0usize; ports];
+        for (_, e) in wf.in_edges(op) {
+            expected_eos[e.to_port] += wf.op(e.from).parallelism;
+        }
+        let blocking = node.factory.blocking_ports();
+        for local in 0..node.parallelism {
+            let source = if ports == 0 {
+                let parts = node
+                    .factory
+                    .source_partitions(node.parallelism)
+                    .expect("validated at build time");
+                let mine = parts.into_iter().nth(local).unwrap_or_default();
+                let mut chunks = VecDeque::new();
+                chunk_owned(mine, batch_size, |c| chunks.push_back(c));
+                Some(chunks)
+            } else {
+                None
+            };
+            tasks.push(Task {
+                meta: TaskStatic {
+                    op: i,
+                    downstream: downstream.clone(),
+                    blocking: blocking.clone(),
+                    batch_size,
+                    slow_edge: faults.and_then(|f| f.slow_edge(i)),
+                    retry: *retry.policy_for(node.factory.name()),
+                    columnar,
+                },
+                inner: Mutex::new(TaskInner {
+                    instance: node.factory.create(),
+                    collector: OutputCollector::with_capacity(batch_size),
+                    seqs: vec![0; downstream.len()],
+                    scatter: downstream
+                        .iter()
+                        .map(|e| vec![Vec::new(); e.dests.len()])
+                        .collect(),
+                    outbox: VecDeque::new(),
+                    eos_remaining: expected_eos.clone(),
+                    port_done: vec![false; ports],
+                    held: VecDeque::new(),
+                    pending: VecDeque::new(),
+                    source,
+                    eos_queued: false,
+                    done: false,
+                    failed: false,
+                    drop_eos: faults.is_some_and(|f| f.drops_eos(i)),
+                    eos_delay: faults.map_or(0, |f| f.eos_delay(i)),
+                    replay: None,
+                    retries_used: 0,
+                    retried: false,
+                    park_until: None,
+                }),
+                inbox: Inbox {
+                    queue: Mutex::new(VecDeque::new()),
+                    capacity: channel_capacity,
+                },
+                waiters: Mutex::new(Vec::new()),
+                state: AtomicU8::new(IDLE),
+            });
+        }
+    }
+    tasks
 }
 
 impl LiveExecutor {
@@ -1748,87 +2059,14 @@ impl LiveExecutor {
             None => None,
         };
 
-        // Global task id per (operator, local worker).
-        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(wf.ops().len());
-        let mut next = 0usize;
-        for node in wf.ops() {
-            task_of.push((next..next + node.parallelism).collect());
-            next += node.parallelism;
-        }
-
-        let mut tasks: Vec<Task> = Vec::with_capacity(next);
-        for (i, node) in wf.ops().iter().enumerate() {
-            let op = OpId(i);
-            let downstream: Vec<EdgeOut> = wf
-                .out_edges(op)
-                .into_iter()
-                .map(|(eid, e)| EdgeOut {
-                    to_port: e.to_port,
-                    partitioner: wf.partitioner(eid).clone(),
-                    dests: task_of[e.to.0].clone(),
-                })
-                .collect();
-            let ports = node.factory.input_ports();
-            let mut expected_eos = vec![0usize; ports];
-            for (_, e) in wf.in_edges(op) {
-                expected_eos[e.to_port] += wf.op(e.from).parallelism;
-            }
-            let blocking = node.factory.blocking_ports();
-            for local in 0..node.parallelism {
-                let source = if ports == 0 {
-                    let parts = node
-                        .factory
-                        .source_partitions(node.parallelism)
-                        .expect("validated at build time");
-                    let mine = parts.into_iter().nth(local).unwrap_or_default();
-                    let mut chunks = VecDeque::new();
-                    chunk_owned(mine, self.batch_size, |c| chunks.push_back(c));
-                    Some(chunks)
-                } else {
-                    None
-                };
-                tasks.push(Task {
-                    meta: TaskStatic {
-                        op: i,
-                        downstream: downstream.clone(),
-                        blocking: blocking.clone(),
-                        batch_size: self.batch_size,
-                        slow_edge: faults.as_ref().and_then(|f| f.slow_edge(i)),
-                        retry: *self.retry.policy_for(node.factory.name()),
-                        columnar: self.columnar,
-                    },
-                    inner: Mutex::new(TaskInner {
-                        instance: node.factory.create(),
-                        collector: OutputCollector::with_capacity(self.batch_size),
-                        seqs: vec![0; downstream.len()],
-                        scatter: downstream
-                            .iter()
-                            .map(|e| vec![Vec::new(); e.dests.len()])
-                            .collect(),
-                        outbox: VecDeque::new(),
-                        eos_remaining: expected_eos.clone(),
-                        port_done: vec![false; ports],
-                        held: VecDeque::new(),
-                        pending: VecDeque::new(),
-                        source,
-                        eos_queued: false,
-                        done: false,
-                        failed: false,
-                        drop_eos: faults.as_ref().is_some_and(|f| f.drops_eos(i)),
-                        eos_delay: faults.as_ref().map_or(0, |f| f.eos_delay(i)),
-                        replay: None,
-                        retries_used: 0,
-                        retried: false,
-                    }),
-                    inbox: Inbox {
-                        queue: Mutex::new(VecDeque::new()),
-                        capacity: self.channel_capacity,
-                    },
-                    waiters: Mutex::new(Vec::new()),
-                    state: AtomicU8::new(IDLE),
-                });
-            }
-        }
+        let tasks = build_tasks(
+            wf,
+            self.batch_size,
+            self.channel_capacity,
+            faults.as_ref(),
+            &self.retry,
+            self.columnar,
+        );
 
         let n_tasks = tasks.len();
         let pool_threads = self.pool_size.unwrap_or_else(default_pool_size).max(1);
@@ -1856,6 +2094,8 @@ impl LiveExecutor {
             retries_succeeded: AtomicU64::new(0),
             sampler_seat: Mutex::new(()),
             sampler_cv: Condvar::new(),
+            sched: None,
+            defer_retries: false,
         };
 
         // Seed: every task gets one initial run (sources start emitting,
@@ -1916,20 +2156,7 @@ impl LiveExecutor {
         }
 
         let elapsed = start.elapsed();
-        let stats = PoolStats {
-            pool_threads,
-            tasks: n_tasks,
-            task_runs: pool.task_runs.load(Ordering::Relaxed),
-            backpressure_stalls: pool.tracer.total_stalls(),
-            batches_sent: pool.batches_sent.load(Ordering::Relaxed),
-            peak_mailbox_depth: pool.tracer.peak_mailbox_depth(),
-            faults_injected: pool.faults.as_ref().map_or(0, |f| f.triggered()),
-            stall_recoveries: pool.stall_recoveries.load(Ordering::Relaxed),
-            retries_attempted: pool.retries_attempted.load(Ordering::Relaxed),
-            retries_succeeded: pool.retries_succeeded.load(Ordering::Relaxed),
-            batches_skipped: pool.tracer.total_batches_skipped(),
-        };
-        let result = Self::result_pooled(wf, elapsed, &pool.tracer, stats, trace.clone());
+        let result = Self::result_pooled(wf, elapsed, &pool.tracer, pool.stats(), trace.clone());
         (trace, Ok(result))
     }
 }

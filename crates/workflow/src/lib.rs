@@ -46,6 +46,13 @@
 //!   replay is pending, and only an exhausted budget degrades to the
 //!   drain path. Both engines model it — the simulator as replayed
 //!   virtual quanta — and report attempt counts.
+//! * **Many concurrent pipelines on one shared pool** — a process-wide
+//!   [`service::WorkflowService`] owns a single fixed worker pool and
+//!   admits many concurrent DAG submissions, time-slicing operator
+//!   quanta across runs with weighted-fair queueing, per-tenant quotas
+//!   and mailbox budgets, a bounded admission queue with explicit
+//!   rejection, and per-run fault/retry isolation (one tenant's retry
+//!   storm parks on a timer instead of sleeping a shared worker).
 //! * **One execution surface over both engines** — a
 //!   [`backend::ExecBackend`] selected from a
 //!   [`scriptflow_core::BackendKind`] runs the same built DAG on either
@@ -70,6 +77,7 @@ pub mod operator;
 pub mod ops;
 pub mod partition;
 pub mod retry;
+pub mod service;
 pub mod spec;
 pub mod trace;
 pub mod trace_live;
@@ -84,6 +92,10 @@ pub use metrics::{OperatorMetrics, OperatorState, RunMetrics};
 pub use operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
 pub use partition::{CompiledPartitioner, PartitionStrategy};
 pub use retry::{Backoff, RetryConfig, RetryPolicy};
+pub use service::{
+    RunHandle, RunOptions, RunReport, RunStatus, ServiceConfig, ServiceStats, SubmitError,
+    TenantQuota, TenantStats, WorkflowService,
+};
 pub use spec::SpecWorkflow;
 pub use trace::{render_timeline, OperatorSnapshot, ProgressTrace, TraceJson};
 pub use trace_live::{LiveTracer, OperatorProbe};

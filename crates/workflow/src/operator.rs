@@ -233,6 +233,21 @@ pub trait OperatorFactory: Send + Sync {
     fn source_partitions(&self, _workers: usize) -> Option<Vec<Vec<Tuple>>> {
         None
     }
+
+    /// Identity of run-visible shared state owned by this factory (e.g.
+    /// a sink's result buffer), or `None` if every worker instance is
+    /// self-contained. Two factories reporting the same id alias the
+    /// same storage: the multi-tenant service ([`crate::service`]) uses
+    /// this to refuse concurrent submissions that would interleave rows
+    /// into one buffer, and to know which state to clear per run.
+    fn shared_state_id(&self) -> Option<usize> {
+        None
+    }
+
+    /// Reset the factory's shared state ahead of a fresh run, restoring
+    /// the "sink cleared per run" invariant for factories that report a
+    /// [`OperatorFactory::shared_state_id`]. Default: nothing to reset.
+    fn reset_shared_state(&self) {}
 }
 
 #[cfg(test)]

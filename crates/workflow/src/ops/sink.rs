@@ -109,6 +109,18 @@ impl OperatorFactory for SinkOp {
             results: self.results.clone(),
         })
     }
+
+    /// The result buffer is shared across instances *and* across clones
+    /// of the workflow holding this factory: its address is the identity
+    /// the service uses to serialize runs that would interleave rows.
+    fn shared_state_id(&self) -> Option<usize> {
+        Some(Arc::as_ptr(&self.results) as usize)
+    }
+
+    /// Re-assert the "sink cleared per run" invariant before a dispatch.
+    fn reset_shared_state(&self) {
+        self.results.lock().clear();
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +152,28 @@ mod tests {
         assert_eq!(sink.results().len(), 2);
         handle.clear();
         assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn shared_state_identity_and_reset() {
+        let sink = SinkOp::new("sink");
+        let other = SinkOp::new("other");
+        // Identity follows the shared buffer, not the factory value.
+        assert_eq!(sink.shared_state_id(), sink.shared_state_id());
+        assert_ne!(sink.shared_state_id(), other.shared_state_id());
+        assert!(sink.shared_state_id().is_some());
+
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let mut w = sink.create();
+        let mut out = OutputCollector::new();
+        w.on_tuple(
+            Tuple::new(schema, vec![Value::Int(7)]).unwrap(),
+            0,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(sink.results().len(), 1);
+        sink.reset_shared_state();
+        assert!(sink.results().is_empty());
     }
 }

@@ -173,6 +173,33 @@ impl TraceJson {
         }
     }
 
+    /// Export `trace` tagged with the multi-tenant identity that
+    /// produced it: a `tenant` / `run` pair inserted right after the
+    /// document kind, so archived traces from a shared-pool service
+    /// ([`crate::service::WorkflowService`]) stay attributable.
+    /// [`TraceJson::parse`] looks fields up by key and round-trips
+    /// labeled documents unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace::{ProgressTrace, TraceJson};
+    ///
+    /// let text = TraceJson::from_trace_labeled(&ProgressTrace::default(), "acme", 7)
+    ///     .to_string_compact();
+    /// assert!(text.contains("\"tenant\":\"acme\""));
+    /// assert!(text.contains("\"run\":7"));
+    /// assert!(TraceJson::parse(&text).is_ok());
+    /// ```
+    pub fn from_trace_labeled(trace: &ProgressTrace, tenant: &str, run: u64) -> Self {
+        let mut doc = Self::from_trace(trace);
+        if let Json::Object(kv) = &mut doc.document {
+            kv.insert(1, ("tenant".into(), Json::Str(tenant.to_owned())));
+            kv.insert(2, ("run".into(), Json::Int(run as i64)));
+        }
+        doc
+    }
+
     /// The underlying JSON document (for embedding into larger
     /// documents, e.g. [`crate::gui::observability_json`]).
     ///
@@ -384,6 +411,17 @@ mod tests {
                       \"state\":\"Completed\",\"inputTuples\":3,\"outputTuples\":2}]}]}";
         let back = TraceJson::parse(legacy).unwrap();
         assert_eq!(back.samples[0].1[0].batches_skipped, 0);
+    }
+
+    #[test]
+    fn trace_json_labeled_roundtrips_losslessly() {
+        let trace = sample_trace();
+        let text = TraceJson::from_trace_labeled(&trace, "tenant-a", 42).to_string_compact();
+        assert!(text.contains("\"tenant\":\"tenant-a\""));
+        assert!(text.contains("\"run\":42"));
+        // The tenant/run tags ride along; the samples parse unchanged.
+        let back = TraceJson::parse(&text).unwrap();
+        assert_eq!(back.samples, trace.samples);
     }
 
     #[test]

@@ -36,6 +36,12 @@ CHAOS_RETRIES=0 cargo test -q --test chaos_faults -- --test-threads=1
 echo "==> chaos suite, retries enabled (retryable faults must lose zero rows)"
 CHAOS_RETRIES=1 cargo test -q --test chaos_faults -- --test-threads=1
 
+echo "==> service chaos suite, retries disabled (noisy tenant must not corrupt a neighbor)"
+CHAOS_RETRIES=0 cargo test -q --test service_chaos -- --test-threads=1
+
+echo "==> service chaos suite, retries enabled (the storm parks on the timer, neighbors drain)"
+CHAOS_RETRIES=1 cargo test -q --test service_chaos -- --test-threads=1
+
 echo "==> backend parity, row batches (paper engine)"
 SCRIPTFLOW_BATCH_MODE=row cargo test -q --test backend_parity
 
@@ -65,7 +71,37 @@ PY
             exit 1
         }
     fi
+    echo "==> multi-tenant service bench (quick closed loop)"
+    BENCH_SERVICE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_service
+    echo "==> service smoke: BENCH_engine.json must carry the latency-vs-tenant-count curve"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
+import json
+
+with open("BENCH_engine.json") as f:
+    doc = json.load(f)
+assert "configs" in doc, "bench_service merge dropped the engine configs"
+svc = doc["service"]
+points = svc["points"]
+assert len(points) >= 3, f"expected a tenant sweep, got {len(points)} points"
+for p in points:
+    assert p["p50_ms"] > 0 and p["p99_ms"] >= p["p50_ms"], f"bad percentiles: {p}"
+    assert p["tuples_per_sec"] > 0, f"bad throughput: {p}"
+    assert p["rows_match_anchor"], f"rows diverged from the solo anchor: {p}"
+    assert p["rows_per_run"] == svc["anchor_rows"], f"row count mismatch: {p}"
+tenants = [p["tenants"] for p in points]
+print(f"service sweep tenants={tenants}, anchor rows per run: {svc['anchor_rows']}")
+PY
+    else
+        grep -q '"service"' BENCH_engine.json || {
+            echo "BENCH_engine.json missing service results" >&2
+            exit 1
+        }
+    fi
 fi
+
+echo "==> multi-tenant isolation experiment (noisy vs quiet tenant, shared pool)"
+cargo run --release -p scriptflow-bench --bin repro -- service
 
 echo "==> repro on both backends (fig12a + probe-scale task comparison)"
 cargo run --release -p scriptflow-bench --bin repro -- fig12a --backend both
