@@ -100,6 +100,36 @@ fn selective_filter(n: i64, workers: usize) -> Workflow {
     b.build().unwrap()
 }
 
+/// The bounded-memory acceptance workload: a hash join whose build side
+/// (every fact row) dwarfs any small memory budget, forcing the grace
+/// join to seal build partitions into compressed spill blocks.
+fn spill_join(rows: i64, workers: usize) -> Workflow {
+    let schema = Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]);
+    let build = Batch::from_rows(
+        schema.clone(),
+        (0..rows)
+            .map(|i| vec![Value::Int(i % 97), Value::Str(format!("b{i}"))])
+            .collect(),
+    )
+    .unwrap();
+    let probe = Batch::from_rows(
+        schema,
+        (0..rows)
+            .map(|i| vec![Value::Int(i % 113), Value::Str(format!("p{i}"))])
+            .collect(),
+    )
+    .unwrap();
+    let mut b = WorkflowBuilder::new();
+    let bs = b.add(Arc::new(ScanOp::new("build", build)), workers);
+    let ps = b.add(Arc::new(ScanOp::new("probe", probe)), workers);
+    let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), workers);
+    let sink = b.add(Arc::new(SinkOp::new("sink")), 1);
+    b.connect(bs, join, 0, PartitionStrategy::Hash(vec!["k".into()]));
+    b.connect(ps, join, 1, PartitionStrategy::Hash(vec!["k".into()]));
+    b.connect(join, sink, 0, PartitionStrategy::Single);
+    b.build().unwrap()
+}
+
 fn mode_name(mode: ExecMode) -> &'static str {
     match mode {
         ExecMode::Pooled => "pooled",
@@ -120,6 +150,7 @@ fn operators_json(metrics: &RunMetrics) -> Json {
                     ("inputTuples".into(), Json::Int(m.input_tuples as i64)),
                     ("outputTuples".into(), Json::Int(m.output_tuples as i64)),
                     ("batchesSkipped".into(), Json::Int(m.batches_skipped as i64)),
+                    ("spilledBlocks".into(), Json::Int(m.spilled_blocks as i64)),
                     ("busySecs".into(), Json::Float(m.busy.as_secs_f64())),
                     ("state".into(), Json::Str(m.state.label().into())),
                 ])
@@ -129,10 +160,12 @@ fn operators_json(metrics: &RunMetrics) -> Json {
 }
 
 /// Best-of-`reps` tuples/sec for one configuration.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     workload: &str,
     mode: ExecMode,
     columnar: bool,
+    memory_budget: Option<usize>,
     parallelism: usize,
     tuples: i64,
     reps: usize,
@@ -140,7 +173,8 @@ fn measure(
 ) -> Json {
     let exec = backend::live_executor(backend::LIVE_BATCH)
         .with_mode(mode)
-        .with_columnar(columnar);
+        .with_columnar(columnar)
+        .with_memory_budget(memory_budget);
     // Warm-up run (thread spawn, allocator churn) not measured.
     exec.run(&build()).expect("bench workflow must run");
     let mut best = f64::INFINITY;
@@ -154,9 +188,10 @@ fn measure(
     let last = last.expect("at least one rep");
     let layout = if columnar { "columnar" } else { "row" };
     let skipped = last.pool.as_ref().map_or(0, |p| p.batches_skipped);
+    let spilled = last.pool.as_ref().map_or(0, |p| p.spilled_blocks);
     let tps = tuples as f64 / best.max(1e-9);
     println!(
-        "{workload:>16}  {:>8}  {layout:>8}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>12.0} tuples/s  {skipped:>5} skipped",
+        "{workload:>16}  {:>8}  {layout:>8}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>12.0} tuples/s  {skipped:>5} skipped  {spilled:>5} spilled",
         mode_name(mode),
         best * 1e3,
         tps
@@ -165,11 +200,16 @@ fn measure(
         ("workload".into(), Json::Str(workload.into())),
         ("mode".into(), Json::Str(mode_name(mode).into())),
         ("batchLayout".into(), Json::Str(layout.into())),
+        (
+            "memoryBudget".into(),
+            memory_budget.map_or(Json::Null, |b| Json::Int(b as i64)),
+        ),
         ("parallelism".into(), Json::Int(parallelism as i64)),
         ("tuples".into(), Json::Int(tuples)),
         ("elapsed_secs".into(), Json::Float(best)),
         ("tuples_per_sec".into(), Json::Float(tps)),
         ("batchesSkipped".into(), Json::Int(skipped as i64)),
+        ("spilledBlocks".into(), Json::Int(spilled as i64)),
         ("operators".into(), operators_json(&last.metrics)),
     ];
     // One extra observed run (untimed) to archive a sampled trace; only
@@ -254,6 +294,7 @@ fn main() {
                     "filter_pipeline",
                     mode,
                     false,
+                    None,
                     workers,
                     n,
                     reps,
@@ -262,9 +303,16 @@ fn main() {
             }
         }
         for &mode in &[ExecMode::Pooled, ExecMode::ThreadPerWorker] {
-            configs.push(measure("broadcast_join", mode, false, 4, n, reps, || {
-                broadcast_join(n, 4)
-            }));
+            configs.push(measure(
+                "broadcast_join",
+                mode,
+                false,
+                None,
+                4,
+                n,
+                reps,
+                || broadcast_join(n, 4),
+            ));
         }
         // Row-vs-columnar acceptance pair: same DAG, same pooled
         // executor, only the batch layout differs. The columnar row must
@@ -275,10 +323,29 @@ fn main() {
                 "selective_filter",
                 ExecMode::Pooled,
                 columnar,
+                None,
                 4,
                 n,
                 reps,
                 || selective_filter(n, 4),
+            ));
+        }
+        // Bounded-memory acceptance pair: same grace hash join, once
+        // unbounded and once under a budget far below the build side's
+        // footprint. The budgeted row must show non-zero spilledBlocks
+        // (build partitions sealed to the compressed block store) while
+        // both rows produce the same join output.
+        let spill_n = n.min(20_000);
+        for &budget in &[None, Some(4usize << 10)] {
+            configs.push(measure(
+                "spill_join",
+                ExecMode::Pooled,
+                false,
+                budget,
+                4,
+                spill_n,
+                reps,
+                || spill_join(spill_n, 4),
             ));
         }
     }

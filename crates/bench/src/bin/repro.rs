@@ -7,6 +7,7 @@
 //! cargo run --release -p scriptflow-bench --bin repro --ablations
 //! cargo run --release -p scriptflow-bench --bin repro --fault    # §III-A fault comparison
 //! cargo run --release -p scriptflow-bench --bin repro --service  # multi-tenant isolation
+//! cargo run --release -p scriptflow-bench --bin repro --spill    # bounded-memory extension
 //! cargo run --release -p scriptflow-bench --bin repro --csv     # + artifacts/*.csv
 //! cargo run --release -p scriptflow-bench --bin repro fig12a --backend both
 //! ```
@@ -22,7 +23,7 @@
 use scriptflow_bench::{backend, render_side_by_side};
 use scriptflow_core::{BackendChoice, BackendKind, Calibration, Table};
 use scriptflow_study::{
-    ablation_registry, conclusions, fault_registry, registry, service_registry,
+    ablation_registry, conclusions, fault_registry, registry, service_registry, spill_registry,
 };
 use scriptflow_tasks::dice::{self, DiceParams};
 use scriptflow_tasks::gotta::{self, GottaParams};
@@ -107,6 +108,7 @@ fn main() {
     let want_ablations = args.iter().any(|a| a == "--ablations");
     let want_fault = args.iter().any(|a| a == "--fault");
     let want_service = args.iter().any(|a| a == "--service");
+    let want_spill = args.iter().any(|a| a == "--spill");
     let want_csv = args.iter().any(|a| a == "--csv");
     let backend_flag = match backend::parse_backend_flag(&args) {
         Ok(flag) => flag,
@@ -174,6 +176,16 @@ fn main() {
     if want_service || filter.iter().any(|f| f.as_str() == "service") {
         println!("\n#################### MULTI-TENANT SERVICE ####################\n");
         for e in service_registry().experiments() {
+            let meta = e.meta();
+            let measured = e.run_on(choice);
+            let paper = e.paper_reference();
+            println!("{}", render_side_by_side(&meta, &measured, &paper));
+        }
+    }
+
+    if want_spill || filter.iter().any(|f| f.as_str() == "fig13-spill") {
+        println!("\n#################### BOUNDED MEMORY (spill) ####################\n");
+        for e in spill_registry().experiments() {
             let meta = e.meta();
             let measured = e.run_on(choice);
             let paper = e.paper_reference();

@@ -38,15 +38,16 @@ pub mod backend {
 
     /// An [`ExecBackend`] of `kind`, wired the way the bench binaries
     /// use it (the live side gets [`live_executor`] plus the config's
-    /// retry policy and columnar flag — the only other [`EngineConfig`]
-    /// knobs with a wall-clock analogue).
+    /// retry policy, columnar flag and memory budget — the only other
+    /// [`EngineConfig`] knobs with a wall-clock analogue).
     pub fn engine_of(kind: BackendKind, config: EngineConfig) -> ExecBackend {
         match kind {
             BackendKind::Sim => ExecBackend::sim(config),
             BackendKind::Live => ExecBackend::from_live(
                 live_executor(config.batch_size.max(1))
                     .with_retry(config.retry.clone())
-                    .with_columnar(config.columnar),
+                    .with_columnar(config.columnar)
+                    .with_memory_budget(config.memory_budget),
             ),
         }
     }

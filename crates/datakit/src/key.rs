@@ -95,6 +95,18 @@ impl HashKey {
         self.hash(&mut h);
         (h.finish() % n as u64) as usize
     }
+
+    /// Like [`HashKey::bucket`], but salted: folding a different `salt`
+    /// into the hash yields an independent partition assignment. Recursive
+    /// spill partitioning relies on this — a partition whose keys all
+    /// collided under one salt splits under the next.
+    pub fn bucket_salted(&self, salt: u64, n: usize) -> usize {
+        assert!(n > 0, "bucket count must be positive");
+        let mut h = Fnv1a::default();
+        h.write(&salt.to_le_bytes());
+        self.hash(&mut h);
+        (h.finish() % n as u64) as usize
+    }
 }
 
 /// Minimal deterministic FNV-1a hasher (std's default hasher is seeded per
@@ -201,5 +213,20 @@ mod tests {
     #[should_panic(expected = "bucket count must be positive")]
     fn bucket_zero_panics() {
         HashKey::Int(1).bucket(0);
+    }
+
+    #[test]
+    fn salted_buckets_are_deterministic_and_independent() {
+        for i in 0..50i64 {
+            let k = HashKey::Int(i);
+            assert_eq!(k.bucket_salted(7, 8), k.bucket_salted(7, 8));
+        }
+        // Different salts must split at least some keys apart, otherwise
+        // recursive repartitioning could never make progress.
+        let differs = (0..200i64)
+            .map(HashKey::Int)
+            .filter(|k| k.bucket_salted(1, 8) != k.bucket_salted(2, 8))
+            .count();
+        assert!(differs > 50, "salts too correlated: {differs}/200 differ");
     }
 }

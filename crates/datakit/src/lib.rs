@@ -16,7 +16,10 @@
 //!   (zone-map batch skipping + monomorphic kernels),
 //! * [`codec`] — CSV and JSONL encode/decode used by the synthetic dataset
 //!   generators and by the serialization-cost accounting,
-//! * [`key`] — hashable normalized key forms for joins and partitioning.
+//! * [`key`] — hashable normalized key forms for joins and partitioning,
+//! * [`blockstore`] — compressed blocks with stat-carrying headers grouped
+//!   under segment manifests, the durable spill format blocking operators
+//!   use when they outgrow their memory budget.
 //!
 //! Everything here is deterministic and allocation-conscious: tuple byte
 //! sizes ([`Value::encoded_len`]) feed the cluster simulator's
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod blockstore;
 pub mod codec;
 pub mod column;
 pub mod error;
@@ -35,6 +39,7 @@ pub mod tuple;
 pub mod value;
 
 pub use batch::{Batch, BatchBuilder, SharedBatch};
+pub use blockstore::{BlockAppender, CompressedBlock, Segment, SegmentManifest};
 pub use column::{BatchStats, Bitmap, CmpOp, ColStats, ColumnVec, ColumnarBatch};
 pub use error::{DataError, DataResult};
 pub use frame::{DataFrame, MergeHow};

@@ -24,6 +24,7 @@ pub mod observability;
 pub mod report;
 pub mod sensitivity;
 pub mod service;
+pub mod spill;
 pub mod table1;
 
 use scriptflow_core::{BackendKind, Registry};
@@ -82,6 +83,15 @@ pub fn service_registry() -> Registry {
     r
 }
 
+/// The bounded-memory suite (engine extension of Fig. 13c: scaling past
+/// RAM by spilling blocking state to the compressed block store; not a
+/// numbered artifact, so it stays out of [`registry`]).
+pub fn spill_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(spill::Fig13Spill));
+    r
+}
+
 /// The ablation suite (not paper artifacts; they explain them).
 pub fn ablation_registry() -> Registry {
     let mut r = Registry::new();
@@ -134,5 +144,12 @@ mod tests {
         let r = service_registry();
         assert_eq!(r.experiments().len(), 1);
         assert!(r.by_id("service").is_some());
+    }
+
+    #[test]
+    fn spill_registry_is_populated() {
+        let r = spill_registry();
+        assert_eq!(r.experiments().len(), 1);
+        assert!(r.by_id("fig13-spill").is_some());
     }
 }

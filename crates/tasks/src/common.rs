@@ -77,6 +77,12 @@ pub struct BackendRun {
     /// Whole input batches dropped by zone-map checks across the DAG
     /// (0 unless the calibration enables the columnar batch path).
     pub batches_skipped: u64,
+    /// Compressed spill blocks written across the DAG (0 unless the
+    /// calibration sets a memory budget and a blocking operator
+    /// outgrew it).
+    pub spilled_blocks: u64,
+    /// Compressed bytes across all spilled blocks.
+    pub spilled_bytes: u64,
 }
 
 impl BackendRun {
@@ -90,6 +96,8 @@ impl BackendRun {
             trace: engine.trace,
             pool: engine.pool,
             batches_skipped: engine.batches_skipped,
+            spilled_blocks: engine.spilled_blocks,
+            spilled_bytes: engine.spilled_bytes,
         }
     }
 

@@ -460,6 +460,9 @@ pub fn engine_config(cal: &Calibration) -> EngineConfig {
         pipelining: cal.wf_pipelining,
         columnar: cal.wf_columnar,
         columnar_discount: cal.wf_columnar_discount,
+        memory_budget: cal.wf_memory_budget,
+        spill_write_per_block: cal.wf_spill_write_per_block,
+        spill_read_per_block: cal.wf_spill_read_per_block,
         ..EngineConfig::default()
     }
 }

@@ -100,6 +100,14 @@ pub struct EngineRun {
     /// batch's min/max statistics proved no row could pass a filter or
     /// join probe).
     pub batches_skipped: u64,
+    /// Compressed spill blocks written, summed across operators (0
+    /// unless [`EngineConfig::memory_budget`] — or a per-operator
+    /// override — forced a blocking operator past its budget).
+    pub spilled_blocks: u64,
+    /// Compressed bytes across all spilled blocks.
+    pub spilled_bytes: u64,
+    /// Spilled blocks read back (partition joins, run merges).
+    pub spill_reads: u64,
 }
 
 impl EngineRun {
@@ -129,14 +137,15 @@ impl ExecBackend {
     }
 
     /// Pooled live backend reusing `config`'s edge batch size, retry
-    /// policy, and columnar flag (the only [`EngineConfig`] knobs with a
-    /// live analogue; virtual cost model fields have no wall-clock
-    /// meaning).
+    /// policy, columnar flag, and memory budget (the only
+    /// [`EngineConfig`] knobs with a live analogue; virtual cost model
+    /// fields have no wall-clock meaning).
     pub fn live(config: &EngineConfig) -> Self {
         ExecBackend::Live(
             LiveExecutor::new(config.batch_size.max(1))
                 .with_retry(config.retry.clone())
-                .with_columnar(config.columnar),
+                .with_columnar(config.columnar)
+                .with_memory_budget(config.memory_budget),
         )
     }
 
@@ -206,6 +215,14 @@ impl ExecBackend {
                         .iter()
                         .map(|m| m.batches_skipped)
                         .sum(),
+                    spilled_blocks: res
+                        .metrics
+                        .operators
+                        .iter()
+                        .map(|m| m.spilled_blocks)
+                        .sum(),
+                    spilled_bytes: res.metrics.operators.iter().map(|m| m.spilled_bytes).sum(),
+                    spill_reads: res.metrics.operators.iter().map(|m| m.spill_reads).sum(),
                     metrics: res.metrics,
                     trace: res.trace,
                     pool: None,
@@ -222,6 +239,9 @@ impl ExecBackend {
                     makespan: res.metrics.makespan,
                     wall_clock: Some(res.elapsed),
                     batches_skipped: res.pool.as_ref().map_or(0, |p| p.batches_skipped),
+                    spilled_blocks: res.pool.as_ref().map_or(0, |p| p.spilled_blocks),
+                    spilled_bytes: res.pool.as_ref().map_or(0, |p| p.spilled_bytes),
+                    spill_reads: res.pool.as_ref().map_or(0, |p| p.spill_reads),
                     metrics: res.metrics,
                     trace: res.trace,
                     retries_attempted: res.pool.as_ref().map_or(0, |p| p.retries_attempted),
@@ -408,6 +428,69 @@ mod tests {
                 col.batches_skipped > 0,
                 "{kind}: columnar mode must prune batches past id=20"
             );
+        }
+    }
+
+    #[test]
+    fn spill_counters_surface_on_both_backends() {
+        use crate::ops::HashJoinOp;
+        for kind in BackendKind::ALL {
+            let build = || {
+                let build_schema = Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]);
+                let build_rows = Batch::from_rows(
+                    build_schema,
+                    (0..70i64)
+                        .map(|i| vec![Value::Int(i % 11), Value::Str(format!("b{i}"))])
+                        .collect(),
+                )
+                .unwrap();
+                let probe_schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+                let probe_rows = Batch::from_rows(
+                    probe_schema,
+                    (0..50i64)
+                        .map(|i| vec![Value::Int(i), Value::Int(i % 14)])
+                        .collect(),
+                )
+                .unwrap();
+                let mut b = WorkflowBuilder::new();
+                let bs = b.add(Arc::new(ScanOp::new("build", build_rows)), 1);
+                let ps = b.add(Arc::new(ScanOp::new("probe", probe_rows)), 1);
+                let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), 1);
+                let sink_op = SinkOp::new("sink");
+                let handle = sink_op.handle();
+                let sink = b.add(Arc::new(sink_op), 1);
+                b.connect(bs, join, 0, PartitionStrategy::Hash(vec!["k".into()]));
+                b.connect(ps, join, 1, PartitionStrategy::Hash(vec!["k".into()]));
+                b.connect(join, sink, 0, PartitionStrategy::Single);
+                (b.build().unwrap(), handle)
+            };
+            let run_budget = |budget: Option<usize>| {
+                let (wf, handle) = build();
+                let config = EngineConfig {
+                    batch_size: 16,
+                    memory_budget: budget,
+                    ..EngineConfig::default()
+                };
+                ExecBackend::of_kind(kind, config).run(&wf, &handle).unwrap()
+            };
+            let unbounded = run_budget(None);
+            let bounded = run_budget(Some(256));
+            let key = |r: &EngineRun| {
+                let mut v: Vec<String> = r.rows.iter().map(|t| t.to_string()).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(
+                key(&unbounded),
+                key(&bounded),
+                "{kind}: spilling must not change rows"
+            );
+            assert_eq!(unbounded.spilled_blocks, 0, "{kind}: no budget, no spill");
+            assert!(bounded.spilled_blocks > 0, "{kind}: tiny budget must spill");
+            assert!(bounded.spilled_bytes > 0, "{kind}");
+            assert!(bounded.spill_reads > 0, "{kind}");
+            let m = bounded.metrics.by_name("join").unwrap();
+            assert_eq!(m.spilled_blocks, bounded.spilled_blocks, "{kind}");
         }
     }
 

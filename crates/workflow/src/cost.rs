@@ -138,6 +138,21 @@ pub struct EngineConfig {
     /// calibrated value lives in `scriptflow_core::Calibration`). Ignored
     /// unless [`EngineConfig::columnar`] is set.
     pub columnar_discount: f64,
+    /// Memory budget in bytes for each blocking operator's buffered state
+    /// (hash join build table, aggregation groups, sort buffer). `None`
+    /// (the default) means unbounded — the pre-spill behaviour, and the
+    /// setting under which every paper anchor is reproduced
+    /// byte-identically. Past the budget an operator hash-partitions its
+    /// state into the compressed block store and recurses on overflow
+    /// partitions. A per-operator override set on the operator factory
+    /// wins over this engine-level value.
+    pub memory_budget: Option<usize>,
+    /// Virtual time the simulator charges per compressed block written to
+    /// the spill store. Ignored when nothing spills.
+    pub spill_write_per_block: SimDuration,
+    /// Virtual time the simulator charges per compressed block read back
+    /// from the spill store. Ignored when nothing spills.
+    pub spill_read_per_block: SimDuration,
 }
 
 impl Default for EngineConfig {
@@ -152,6 +167,9 @@ impl Default for EngineConfig {
             retry: RetryConfig::default(),
             columnar: false,
             columnar_discount: 0.55,
+            memory_budget: None,
+            spill_write_per_block: SimDuration::from_micros(2_500),
+            spill_read_per_block: SimDuration::from_micros(1_200),
         }
     }
 }
@@ -185,6 +203,13 @@ impl EngineConfig {
     /// [`EngineConfig::columnar`]).
     pub fn with_columnar(mut self, enabled: bool) -> Self {
         self.columnar = enabled;
+        self
+    }
+
+    /// Config with a blocking-operator memory budget (see
+    /// [`EngineConfig::memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: Option<usize>) -> Self {
+        self.memory_budget = bytes;
         self
     }
 }
@@ -244,5 +269,18 @@ mod tests {
         );
         let cfg = EngineConfig::default().with_retry(RetryPolicy::attempts(3));
         assert_eq!(cfg.retry.policy_for("anything").max_attempts, 3);
+    }
+
+    #[test]
+    fn memory_budget_defaults_unbounded_and_builder_sets() {
+        let cfg = EngineConfig::default();
+        assert!(
+            cfg.memory_budget.is_none(),
+            "default config must reproduce the pre-spill engines"
+        );
+        assert!(cfg.spill_write_per_block > SimDuration::ZERO);
+        assert!(cfg.spill_read_per_block > SimDuration::ZERO);
+        let tiny = EngineConfig::default().with_memory_budget(Some(4096));
+        assert_eq!(tiny.memory_budget, Some(4096));
     }
 }

@@ -172,6 +172,13 @@ pub struct PoolStats {
     /// operators (0 unless [`LiveExecutor::with_columnar`] is enabled
     /// and a batch's statistics proved no row could pass).
     pub batches_skipped: u64,
+    /// Compressed blocks written to the spill store across all operators
+    /// (0 unless a memory budget forced a blocking operator to spill).
+    pub spilled_blocks: u64,
+    /// Compressed bytes across all spilled blocks.
+    pub spilled_bytes: u64,
+    /// Spilled blocks read back (partition joins, run merges).
+    pub spill_reads: u64,
 }
 
 /// Result of a live run.
@@ -240,6 +247,7 @@ pub struct LiveExecutor {
     faults: Option<FaultPlan>,
     retry: RetryConfig,
     columnar: bool,
+    memory_budget: Option<usize>,
 }
 
 impl Default for LiveExecutor {
@@ -269,6 +277,7 @@ impl LiveExecutor {
             faults: None,
             retry: RetryConfig::default(),
             columnar: false,
+            memory_budget: None,
         }
     }
 
@@ -429,6 +438,28 @@ impl LiveExecutor {
     /// ```
     pub fn with_columnar(mut self, enabled: bool) -> Self {
         self.columnar = enabled;
+        self
+    }
+
+    /// Bound every blocking operator's in-memory state to `bytes` (see
+    /// [`crate::spill`]). Past the budget an operator hash-partitions
+    /// its buffered state into compressed spill blocks and finishes the
+    /// work partition-by-partition; results are identical to the
+    /// unbounded run, only the `spilled_*` counters and throughput
+    /// change. `None` (the default) keeps execution fully in memory.
+    /// An operator carrying its own budget override (e.g.
+    /// [`crate::ops::HashJoinOp::with_memory_budget`]) ignores this
+    /// engine-level value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::LiveExecutor;
+    /// let exec = LiveExecutor::new(64).with_memory_budget(Some(1 << 20));
+    /// # let _ = exec;
+    /// ```
+    pub fn with_memory_budget(mut self, bytes: Option<usize>) -> Self {
+        self.memory_budget = bytes;
         self
     }
 
@@ -597,6 +628,9 @@ pub(crate) fn assemble_live_result(
             m.input_tuples = probe.input_tuples();
             m.output_tuples = probe.output_tuples();
             m.batches_skipped = probe.batches_skipped();
+            m.spilled_blocks = probe.spilled_blocks();
+            m.spilled_bytes = probe.spilled_bytes();
+            m.spill_reads = probe.spill_reads();
             m.busy = probe.busy();
             m.state = probe.state();
             m
@@ -934,7 +968,19 @@ impl Pool {
             retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
             retries_succeeded: self.retries_succeeded.load(Ordering::Relaxed),
             batches_skipped: self.tracer.total_batches_skipped(),
+            spilled_blocks: self.tracer.total_spilled_blocks(),
+            spilled_bytes: self.tracer.total_spilled_bytes(),
+            spill_reads: self.tracer.total_spill_reads(),
         }
+    }
+
+    /// Drain the quantum's spill counters into the tracer. Called on
+    /// every successful processing step; faulting paths discard the
+    /// counters instead (`collector.take_spill()`), mirroring how the
+    /// quantum's partial output is discarded before a replay.
+    fn drain_spill(&self, op: usize, collector: &mut OutputCollector) {
+        let (blocks, bytes, reads) = collector.take_spill();
+        self.tracer.on_spill(op, blocks, bytes, reads);
     }
 
     /// Request that `tid` runs (again) soon. Idempotent; safe from any
@@ -1352,6 +1398,7 @@ impl Pool {
             for t in replay.tuples {
                 if let Err(e) = inner.instance.on_tuple(t, port, &mut inner.collector) {
                     let _ = inner.collector.take();
+                    let _ = inner.collector.take_spill();
                     if self.try_retry(meta, inner) {
                         inner.replay = Some(ReplayBatch {
                             port,
@@ -1364,6 +1411,7 @@ impl Pool {
                     return RunOutcome::More;
                 }
             }
+            self.drain_spill(meta.op, &mut inner.collector);
             if !inner.collector.is_empty() {
                 let out = inner.collector.take();
                 if let Err(e) = self.forward(meta, inner, out) {
@@ -1441,6 +1489,7 @@ impl Pool {
                             {
                                 let _ = inner.collector.take();
                                 let _ = inner.collector.take_batches_skipped();
+                                let _ = inner.collector.take_spill();
                                 if self.try_retry(meta, inner) {
                                     inner.replay = Some(ReplayBatch {
                                         port,
@@ -1456,6 +1505,7 @@ impl Pool {
                             if skipped > 0 {
                                 self.tracer.on_batches_skipped(meta.op, skipped);
                             }
+                            self.drain_spill(meta.op, &mut inner.collector);
                             if !inner.collector.is_empty() {
                                 let out = inner.collector.take();
                                 if let Err(e) = self.forward(meta, inner, out) {
@@ -1504,6 +1554,7 @@ impl Pool {
                         if let Err(e) = inner.instance.on_tuple(t, port, &mut inner.collector) {
                             if trigger.is_none() {
                                 let _ = inner.collector.take();
+                                let _ = inner.collector.take_spill();
                                 if self.try_retry(meta, inner) {
                                     inner.replay = Some(ReplayBatch {
                                         port,
@@ -1517,6 +1568,7 @@ impl Pool {
                             break 'consume Some(RunOutcome::More);
                         }
                     }
+                    self.drain_spill(meta.op, &mut inner.collector);
                     if !inner.collector.is_empty() {
                         let out = inner.collector.take();
                         if let Err(e) = self.forward(meta, inner, out) {
@@ -1546,6 +1598,7 @@ impl Pool {
                             self.fail_task(meta.op, inner, e);
                             break 'consume Some(RunOutcome::More);
                         }
+                        self.drain_spill(meta.op, &mut inner.collector);
                         if !inner.collector.is_empty() {
                             let out = inner.collector.take();
                             if let Err(e) = self.forward(meta, inner, out) {
@@ -1842,6 +1895,7 @@ impl Pool {
                         // discarded; the stashed replay (or re-queued
                         // source chunk) regenerates it.
                         let _ = inner.collector.take();
+                        let _ = inner.collector.take_spill();
                     } else {
                         let name = self.tracer.probe(task.meta.op).name().to_owned();
                         self.fail_task(
@@ -1959,6 +2013,7 @@ pub(crate) fn build_tasks(
     faults: Option<&CompiledFaults>,
     retry: &RetryConfig,
     columnar: bool,
+    memory_budget: Option<usize>,
 ) -> Vec<Task> {
     // Global task id per (operator, local worker).
     let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(wf.ops().len());
@@ -2010,7 +2065,11 @@ pub(crate) fn build_tasks(
                     columnar,
                 },
                 inner: Mutex::new(TaskInner {
-                    instance: node.factory.create(),
+                    instance: {
+                        let mut inst = node.factory.create();
+                        inst.set_memory_budget(memory_budget);
+                        inst
+                    },
                     collector: OutputCollector::with_capacity(batch_size),
                     seqs: vec![0; downstream.len()],
                     scatter: downstream
@@ -2066,6 +2125,7 @@ impl LiveExecutor {
             faults.as_ref(),
             &self.retry,
             self.columnar,
+            self.memory_budget,
         );
 
         let n_tasks = tasks.len();
@@ -2225,9 +2285,11 @@ impl LiveExecutor {
                     let out_counts = &out_counts;
                     let batch_size = self.batch_size;
                     let parallelism = node.parallelism;
+                    let memory_budget = self.memory_budget;
 
                     scope.spawn(move |_| {
                         let mut instance = factory.create();
+                        instance.set_memory_budget(memory_budget);
                         let mut seqs = vec![0u64; downstream.len()];
                         let mut collector = OutputCollector::new();
                         let fail = |e: WorkflowError, error: &Mutex<Option<WorkflowError>>| {
@@ -2785,6 +2847,63 @@ mod tests {
             .map(|m| m.busy.as_secs_f64())
             .sum();
         assert!(total_busy > 0.0, "run quanta accumulate busy time");
+    }
+
+    #[test]
+    fn live_memory_budget_spills_and_matches_unbounded() {
+        let run = |budget: Option<usize>| {
+            let build_schema = Schema::of(&[("k", DataType::Int), ("tag", DataType::Str)]);
+            let build = Batch::from_rows(
+                build_schema,
+                (0..80i64)
+                    .map(|i| vec![Value::Int(i % 13), Value::Str(format!("b{i}"))])
+                    .collect(),
+            )
+            .unwrap();
+            let probe_schema = Schema::of(&[("id", DataType::Int), ("k", DataType::Int)]);
+            let probe = Batch::from_rows(
+                probe_schema,
+                (0..60i64)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 17)])
+                    .collect(),
+            )
+            .unwrap();
+            let mut b = WorkflowBuilder::new();
+            let bs = b.add(Arc::new(ScanOp::new("build", build)), 1);
+            let ps = b.add(Arc::new(ScanOp::new("probe", probe)), 1);
+            let join = b.add(Arc::new(HashJoinOp::new("join", &["k"], &["k"])), 1);
+            let sink_op = SinkOp::new("sink");
+            let handle = sink_op.handle();
+            let sink = b.add(Arc::new(sink_op), 1);
+            b.connect(bs, join, 0, PartitionStrategy::Hash(vec!["k".into()]));
+            b.connect(ps, join, 1, PartitionStrategy::Hash(vec!["k".into()]));
+            b.connect(join, sink, 0, PartitionStrategy::Single);
+            let wf = b.build().unwrap();
+            let res = LiveExecutor::new(16)
+                .with_pool_size(2)
+                .with_memory_budget(budget)
+                .run(&wf)
+                .unwrap();
+            let mut rows: Vec<String> = handle.results().iter().map(|t| t.to_string()).collect();
+            rows.sort();
+            (rows, res)
+        };
+        let (rows_mem, res_mem) = run(None);
+        let (rows_spill, res_spill) = run(Some(256));
+        assert!(!rows_mem.is_empty());
+        assert_eq!(rows_mem, rows_spill, "spilling must not change results");
+        assert_eq!(res_mem.pool.unwrap().spilled_blocks, 0);
+        let stats = res_spill.pool.unwrap();
+        assert!(stats.spilled_blocks > 0, "tiny budget must force a spill");
+        assert!(stats.spilled_bytes > 0);
+        assert!(stats.spill_reads > 0, "spilled partitions must be read back");
+        let m = res_spill.metrics.by_name("join").unwrap();
+        assert_eq!(m.spilled_blocks, stats.spilled_blocks);
+        assert_eq!(m.spill_reads, stats.spill_reads);
+        // The terminal trace sample carries the per-operator counter too.
+        let (_, last) = res_spill.trace.samples.last().unwrap();
+        let join_snap = last.iter().find(|s| s.name == "join").unwrap();
+        assert_eq!(join_snap.spilled_blocks, stats.spilled_blocks);
     }
 
     #[test]

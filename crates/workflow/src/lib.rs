@@ -79,6 +79,7 @@ pub mod partition;
 pub mod retry;
 pub mod service;
 pub mod spec;
+pub mod spill;
 pub mod trace;
 pub mod trace_live;
 

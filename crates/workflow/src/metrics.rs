@@ -103,6 +103,13 @@ pub struct OperatorMetrics {
     /// (per-batch min/max statistics proved no row could pass) without
     /// reading their columns. Non-zero only on the columnar path.
     pub batches_skipped: u64,
+    /// Compressed blocks written to the spill store when the operator's
+    /// buffered state outgrew its memory budget. 0 without a budget.
+    pub spilled_blocks: u64,
+    /// Compressed bytes across all spilled blocks.
+    pub spilled_bytes: u64,
+    /// Spilled blocks read back (partition joins, run merges).
+    pub spill_reads: u64,
     /// Summed busy time across workers.
     pub busy: SimDuration,
     /// Current lifecycle state.
@@ -130,6 +137,9 @@ impl OperatorMetrics {
             input_tuples: 0,
             output_tuples: 0,
             batches_skipped: 0,
+            spilled_blocks: 0,
+            spilled_bytes: 0,
+            spill_reads: 0,
             busy: SimDuration::ZERO,
             state: OperatorState::Initializing,
         }

@@ -80,15 +80,15 @@ impl WorkflowError {
 pub struct OutputCollector {
     tuples: Vec<Tuple>,
     batches_skipped: u64,
+    spilled_blocks: u64,
+    spilled_bytes: u64,
+    spill_reads: u64,
 }
 
 impl OutputCollector {
     /// A fresh, empty collector.
     pub fn new() -> Self {
-        OutputCollector {
-            tuples: Vec::new(),
-            batches_skipped: 0,
-        }
+        OutputCollector::default()
     }
 
     /// A collector pre-sized for roughly `n` emitted tuples; executors use
@@ -97,7 +97,7 @@ impl OutputCollector {
     pub fn with_capacity(n: usize) -> Self {
         OutputCollector {
             tuples: Vec::with_capacity(n),
-            batches_skipped: 0,
+            ..OutputCollector::default()
         }
     }
 
@@ -117,6 +117,44 @@ impl OutputCollector {
     /// Drain the zone-map prune counter.
     pub fn take_batches_skipped(&mut self) -> u64 {
         std::mem::take(&mut self.batches_skipped)
+    }
+
+    /// Record one spilled block of `bytes` compressed bytes: the operator
+    /// exceeded its memory budget and persisted part of its state to the
+    /// block store. Executors drain this via
+    /// [`OutputCollector::take_spill`] into their telemetry.
+    pub fn note_spill_write(&mut self, bytes: u64) {
+        self.spilled_blocks += 1;
+        self.spilled_bytes += bytes;
+    }
+
+    /// Record one block read back from a spilled segment.
+    pub fn note_spill_read(&mut self) {
+        self.spill_reads += 1;
+    }
+
+    /// Blocks spilled since the last drain.
+    pub fn spilled_blocks(&self) -> u64 {
+        self.spilled_blocks
+    }
+
+    /// Compressed bytes spilled since the last drain.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes
+    }
+
+    /// Spilled blocks read back since the last drain.
+    pub fn spill_reads(&self) -> u64 {
+        self.spill_reads
+    }
+
+    /// Drain the spill counters as `(blocks, bytes, reads)`.
+    pub fn take_spill(&mut self) -> (u64, u64, u64) {
+        (
+            std::mem::take(&mut self.spilled_blocks),
+            std::mem::take(&mut self.spilled_bytes),
+            std::mem::take(&mut self.spill_reads),
+        )
     }
 
     /// Emit one tuple downstream.
@@ -153,6 +191,15 @@ impl OutputCollector {
 /// therefore per-worker; correctness across workers is the partitioning
 /// strategy's job.
 pub trait Operator: Send {
+    /// Apply the engine-level memory budget to this instance. Called by
+    /// both executors right after [`OperatorFactory::create`], before any
+    /// input is delivered. Operators without spillable state ignore it;
+    /// blocking operators (join build tables, aggregation state, sort
+    /// buffers) spill to the block store once their state outgrows the
+    /// budget. A per-operator override set at build time wins over the
+    /// engine-level value.
+    fn set_memory_budget(&mut self, _bytes: Option<usize>) {}
+
     /// Process one input tuple arriving on `port`.
     fn on_tuple(
         &mut self,

@@ -1,4 +1,6 @@
-//! Grouped aggregation operator.
+//! Grouped aggregation operator. Under a memory budget, group state
+//! spills to the block store as partial-aggregate rows and partitions
+//! merge at completion.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -10,6 +12,7 @@ use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
 use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+use crate::spill::{read_segment, PartitionWriter, SPILL_FANOUT};
 
 /// One aggregation over a column.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +147,7 @@ pub struct AggregateOp {
     aggs: Vec<AggFn>,
     cost: CostProfile,
     language: Language,
+    memory_budget: Option<usize>,
 }
 
 impl AggregateOp {
@@ -157,7 +161,18 @@ impl AggregateOp {
             aggs,
             cost: CostProfile::per_tuple_micros(2),
             language: Language::Python,
+            memory_budget: None,
         }
+    }
+
+    /// Per-operator memory budget override: once group state exceeds
+    /// `bytes`, groups are flushed to the block store as hash-partitioned
+    /// partial-aggregate rows (count/sum/min/max per aggregation) and
+    /// merged partition-wise at completion. Takes precedence over the
+    /// engine-level [`crate::EngineConfig::memory_budget`].
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
     }
 
     /// Override the cost profile.
@@ -173,6 +188,15 @@ impl AggregateOp {
     }
 }
 
+// Spill state: partial-aggregate rows hash-partitioned by group key.
+// Each partial row is the group's representative values followed by
+// (count, sum, min, max) for every aggregation, so partials merge
+// losslessly regardless of how many flushes a group was split across.
+struct AggSpill {
+    partial_schema: SchemaRef,
+    parts: Vec<PartitionWriter>,
+}
+
 struct AggregateInstance {
     name: String,
     group_by: Vec<String>,
@@ -184,14 +208,24 @@ struct AggregateInstance {
     // order preserved for deterministic output.
     groups: HashMap<HashKey, (Vec<Value>, Vec<AggState>)>,
     order: Vec<HashKey>,
+    budget: Option<usize>,
+    budget_fixed: bool,
+    groups_bytes: usize,
+    spill: Option<AggSpill>,
 }
 
 impl Operator for AggregateInstance {
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        if !self.budget_fixed {
+            self.budget = bytes;
+        }
+    }
+
     fn on_tuple(
         &mut self,
         tuple: Tuple,
         _port: usize,
-        _out: &mut OutputCollector,
+        out: &mut OutputCollector,
     ) -> WorkflowResult<()> {
         if self.out_schema.is_none() {
             let derived =
@@ -219,6 +253,12 @@ impl Operator for AggregateInstance {
                         .clone(),
                 );
             }
+            // Per-group footprint: the representative values' stable wire
+            // size plus the fixed per-group bookkeeping (agg states, map
+            // entry). Updates to existing groups don't grow state.
+            self.groups_bytes += rep.iter().map(Value::encoded_len).sum::<usize>()
+                + 32 * self.aggs.len()
+                + 48;
             self.groups.insert(
                 key.clone(),
                 (rep, self.aggs.iter().map(|_| AggState::new()).collect()),
@@ -235,6 +275,9 @@ impl Operator for AggregateInstance {
                 None => None,
             };
             state.update(x);
+        }
+        if self.budget.is_some_and(|b| self.groups_bytes > b) {
+            self.flush_groups(out)?;
         }
         Ok(())
     }
@@ -305,6 +348,20 @@ impl Operator for AggregateInstance {
             // under).
             None => return Ok(()),
         };
+        if self.spill.is_some() {
+            // Funnel the in-memory remainder into the partitions too, so
+            // every group is finalized by exactly one partition-wise merge.
+            self.flush_groups(out)?;
+            let spill = self.spill.take().expect("checked above");
+            for writer in spill.parts {
+                let seg = writer.seal(out);
+                if seg.is_empty() {
+                    continue;
+                }
+                self.merge_and_emit_partition(&seg, &schema, out)?;
+            }
+            return Ok(());
+        }
         for key in &self.order {
             let (rep, states) = &self.groups[key];
             let mut values = rep.clone();
@@ -329,6 +386,118 @@ impl AggregateInstance {
             fields.push(a.output_field());
         }
         Schema::new(fields)
+    }
+
+    /// Lazily build the spill partitions and the partial-row schema:
+    /// group fields (shared with the output schema) followed by
+    /// `(__cnt, __sum, __min, __max)` per aggregation.
+    fn ensure_spill(&mut self) -> WorkflowResult<()> {
+        if self.spill.is_some() {
+            return Ok(());
+        }
+        let out_schema = self
+            .out_schema
+            .as_ref()
+            .expect("groups exist, so the schema was derived");
+        let g = self.group_by.len();
+        let mut fields: Vec<Field> = out_schema.fields()[..g].to_vec();
+        for i in 0..self.aggs.len() {
+            fields.push(Field::new(format!("__cnt{i}"), DataType::Int));
+            fields.push(Field::new(format!("__sum{i}"), DataType::Float));
+            fields.push(Field::new(format!("__min{i}"), DataType::Float));
+            fields.push(Field::new(format!("__max{i}"), DataType::Float));
+        }
+        let schema = Schema::new(fields).map_err(|e| WorkflowError::from_data(&self.name, e))?;
+        self.spill = Some(AggSpill {
+            partial_schema: Arc::new(schema),
+            parts: (0..SPILL_FANOUT).map(|_| PartitionWriter::new()).collect(),
+        });
+        Ok(())
+    }
+
+    /// Drain every in-memory group to its spill partition as one
+    /// partial-aggregate row and reset the in-memory footprint.
+    fn flush_groups(&mut self, out: &mut OutputCollector) -> WorkflowResult<()> {
+        if self.groups.is_empty() {
+            self.groups_bytes = 0;
+            return Ok(());
+        }
+        self.ensure_spill()?;
+        let flush_at = self
+            .budget
+            .map_or(usize::MAX, |b| (b / SPILL_FANOUT).max(1));
+        let spill = self.spill.as_mut().expect("ensured above");
+        let mut groups = std::mem::take(&mut self.groups);
+        for key in std::mem::take(&mut self.order) {
+            let (mut values, states) = groups.remove(&key).expect("order tracks group keys");
+            for st in &states {
+                values.push(Value::Int(st.count as i64));
+                values.push(Value::Float(st.sum));
+                values.push(Value::Float(st.min));
+                values.push(Value::Float(st.max));
+            }
+            let bucket = key.bucket_salted(0, SPILL_FANOUT);
+            spill.parts[bucket].push(
+                Tuple::new_unchecked(spill.partial_schema.clone(), values),
+                flush_at,
+                out,
+            );
+        }
+        self.groups_bytes = 0;
+        Ok(())
+    }
+
+    /// Decode one sealed partition, merge its partial rows by group key
+    /// (counts and sums add, min/max combine), and emit the finished
+    /// groups. Distinct keys never span partitions, so each merge is
+    /// final; the merged state is bounded by the partition's distinct
+    /// keys, so no recursion is needed.
+    fn merge_and_emit_partition(
+        &self,
+        seg: &scriptflow_datakit::blockstore::Segment,
+        schema: &SchemaRef,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        let tuples =
+            read_segment(seg, out).map_err(|e| WorkflowError::from_data(&self.name, e))?;
+        let cols: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
+        let g = cols.len();
+        let mut merged: HashMap<HashKey, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+        let mut order: Vec<HashKey> = Vec::new();
+        for t in tuples {
+            let key = if cols.is_empty() {
+                HashKey::Null
+            } else {
+                HashKey::from_tuple(&t, &cols)
+                    .map_err(|e| WorkflowError::from_data(&self.name, e))?
+            };
+            let vals = t.values();
+            let entry = merged.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (
+                    vals[..g].to_vec(),
+                    self.aggs.iter().map(|_| AggState::new()).collect(),
+                )
+            });
+            for (i, st) in entry.1.iter_mut().enumerate() {
+                let base = g + 4 * i;
+                st.count += vals[base].as_int().unwrap_or(0).max(0) as u64;
+                st.sum += vals[base + 1].as_float().unwrap_or(0.0);
+                st.min = st.min.min(vals[base + 2].as_float().unwrap_or(f64::INFINITY));
+                st.max = st
+                    .max
+                    .max(vals[base + 3].as_float().unwrap_or(f64::NEG_INFINITY));
+            }
+        }
+        for key in order {
+            let (rep, states) = &merged[&key];
+            let mut values = rep.clone();
+            for (agg, state) in self.aggs.iter().zip(states) {
+                values.push(state.finish(agg));
+            }
+            out.emit(Tuple::new_unchecked(schema.clone(), values));
+        }
+        Ok(())
     }
 }
 
@@ -390,6 +559,10 @@ impl OperatorFactory for AggregateOp {
             out_schema: None,
             groups: HashMap::new(),
             order: Vec::new(),
+            budget: self.memory_budget,
+            budget_fixed: self.memory_budget.is_some(),
+            groups_bytes: 0,
+            spill: None,
         })
     }
 }
@@ -552,5 +725,63 @@ mod tests {
         let mut out = OutputCollector::new();
         inst.on_port_complete(0, &mut out).unwrap();
         assert!(out.is_empty());
+    }
+
+    /// Run `op` over `n` tuples spread across 7 groups, optionally under
+    /// an engine-level budget, returning (sorted rows, blocks, reads).
+    fn run_agg_budgeted(op: &AggregateOp, budget: Option<usize>, n: i64) -> (Vec<String>, u64, u64) {
+        let mut inst = op.create();
+        inst.set_memory_budget(budget);
+        let mut out = OutputCollector::new();
+        for i in 0..n {
+            inst.on_tuple(tuple(&format!("c{}", i % 7), i as f64), 0, &mut out)
+                .unwrap();
+        }
+        inst.on_port_complete(0, &mut out).unwrap();
+        let mut rows: Vec<String> = out.take().iter().map(|t| format!("{t:?}")).collect();
+        rows.sort();
+        let blocks = out.spilled_blocks();
+        let reads = out.spill_reads();
+        (rows, blocks, reads)
+    }
+
+    #[test]
+    fn tiny_budget_spills_partials_and_matches_in_memory() {
+        let op = agg_all();
+        let (baseline, b0, _) = run_agg_budgeted(&op, None, 200);
+        assert_eq!(b0, 0, "unbounded run must not touch the block store");
+        let (spilled, blocks, reads) = run_agg_budgeted(&op, Some(96), 200);
+        assert!(blocks > 0, "tiny budget must flush partial blocks");
+        assert!(reads > 0, "merge must read the partitions back");
+        assert_eq!(spilled, baseline, "spilled groups must merge losslessly");
+    }
+
+    #[test]
+    fn global_aggregate_spills_and_merges() {
+        let op = AggregateOp::new(
+            "agg",
+            &[],
+            vec![AggFn::Count("n".into()), AggFn::Avg("x".into())],
+        );
+        let (baseline, _, _) = run_agg_budgeted(&op, None, 50);
+        let (spilled, blocks, _) = run_agg_budgeted(&op, Some(16), 50);
+        assert!(blocks > 0);
+        assert_eq!(spilled, baseline);
+        assert_eq!(spilled.len(), 1);
+    }
+
+    #[test]
+    fn engine_budget_applies_unless_operator_override_set() {
+        // Operator-level override wins: a huge fixed budget ignores the
+        // tiny engine-level one and never spills.
+        let fixed = agg_all().with_memory_budget(1 << 30);
+        let (_, blocks, _) = run_agg_budgeted(&fixed, Some(64), 200);
+        assert_eq!(blocks, 0, "fixed operator budget must win");
+        // And a tiny fixed budget spills even with no engine budget.
+        let tiny = agg_all().with_memory_budget(96);
+        let (rows, blocks, _) = run_agg_budgeted(&tiny, None, 200);
+        assert!(blocks > 0);
+        let (baseline, _, _) = run_agg_budgeted(&agg_all(), None, 200);
+        assert_eq!(rows, baseline);
     }
 }

@@ -1,14 +1,18 @@
-//! Hash join operator: build on port 0, probe on port 1.
+//! Hash join operator: build on port 0, probe on port 1. Under a memory
+//! budget it degrades to a grace hash join over the compressed block
+//! store, recursing on overflow partitions.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use scriptflow_datakit::blockstore::{ranges_disjoint, Segment};
 use scriptflow_datakit::column::cmp_values;
 use scriptflow_datakit::{ColumnVec, ColumnarBatch, HashKey, Schema, SchemaRef, Tuple, Value};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
 use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+use crate::spill::{tuple_footprint, PartitionWriter, SPILL_FANOUT, SPILL_MAX_DEPTH};
 
 /// Join semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +36,7 @@ pub struct HashJoinOp {
     join_type: JoinType,
     cost: CostProfile,
     language: Language,
+    memory_budget: Option<usize>,
 }
 
 impl HashJoinOp {
@@ -52,12 +57,23 @@ impl HashJoinOp {
             // Hash probe + tuple concat: ~3 µs per probe tuple in Python.
             cost: CostProfile::per_tuple_micros(3),
             language: Language::Python,
+            memory_budget: None,
         }
     }
 
     /// Change the join semantics.
     pub fn with_join_type(mut self, join_type: JoinType) -> Self {
         self.join_type = join_type;
+        self
+    }
+
+    /// Per-operator memory budget override: once the build table exceeds
+    /// `bytes` it is hash-partitioned to the block store and the join
+    /// proceeds grace-style, partition by partition, recursing on
+    /// overflow partitions. Takes precedence over the engine-level
+    /// [`crate::EngineConfig::memory_budget`].
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 
@@ -90,6 +106,30 @@ struct HashJoinInstance {
     // probe batches containing null keys must not be pruned when one
     // exists — the min/max range only covers non-null keys.
     build_has_null_key: bool,
+    // Memory budget for the build table; past it the join goes grace.
+    budget: Option<usize>,
+    budget_fixed: bool,
+    build_bytes: usize,
+    spill: Option<JoinSpill>,
+}
+
+/// Partitioned spill state of a grace hash join. Lives in the operator
+/// instance, so flushed blocks *and* not-yet-flushed buffers survive a
+/// faulted run quantum and are never rebuilt from upstream on replay.
+struct JoinSpill {
+    build: Vec<PartitionWriter>,
+    probe: Vec<PartitionWriter>,
+    build_sealed: Vec<Segment>,
+}
+
+impl JoinSpill {
+    fn new() -> JoinSpill {
+        JoinSpill {
+            build: (0..SPILL_FANOUT).map(|_| PartitionWriter::new()).collect(),
+            probe: (0..SPILL_FANOUT).map(|_| PartitionWriter::new()).collect(),
+            build_sealed: Vec::new(),
+        }
+    }
 }
 
 /// Running build-side key range. `Poisoned` is sticky: once an
@@ -155,9 +195,195 @@ impl HashJoinInstance {
             Some(std::cmp::Ordering::Greater)
         )
     }
+
+    /// Derive (once) the joined output schema from a probe tuple and the
+    /// build side's schema, falling back to the probe schema when the
+    /// build side is empty (nulls are only padded for LeftOuter anyway).
+    fn ensure_out_schema(
+        &mut self,
+        probe: &Tuple,
+        build_schema: Option<&Schema>,
+    ) -> WorkflowResult<SchemaRef> {
+        if let Some(s) = &self.out_schema {
+            return Ok(s.clone());
+        }
+        let joined = match build_schema {
+            Some(bs) => probe
+                .schema()
+                .join(bs, "_r")
+                .map_err(|e| WorkflowError::from_data(&self.name, e))?,
+            None => (**probe.schema()).clone(),
+        };
+        let schema = Arc::new(joined);
+        self.out_schema = Some(schema.clone());
+        Ok(schema)
+    }
+
+    /// Emit join output for one probe tuple against its key's matches.
+    fn emit_probe(
+        schema: &SchemaRef,
+        join_type: JoinType,
+        tuple: &Tuple,
+        matches: Option<&Vec<Tuple>>,
+        out: &mut OutputCollector,
+    ) {
+        match matches {
+            Some(matches) => {
+                for m in matches {
+                    let mut values = Vec::with_capacity(tuple.values().len() + m.values().len());
+                    values.extend_from_slice(tuple.values());
+                    values.extend_from_slice(m.values());
+                    out.emit(Tuple::new_unchecked(schema.clone(), values));
+                }
+            }
+            None if join_type == JoinType::LeftOuter => {
+                let mut values = Vec::with_capacity(schema.arity());
+                values.extend_from_slice(tuple.values());
+                values.extend(std::iter::repeat_n(
+                    Value::Null,
+                    schema.arity() - tuple.values().len(),
+                ));
+                out.emit(Tuple::new_unchecked(schema.clone(), values));
+            }
+            None => {}
+        }
+    }
+
+    /// Per-partition flush threshold: keep each partition's buffered
+    /// remainder within its share of the budget.
+    fn flush_at(&self) -> usize {
+        self.budget.map_or(usize::MAX, |b| (b / SPILL_FANOUT).max(1))
+    }
+
+    /// The build table hit the budget: switch to grace mode by draining
+    /// it hash-partitioned into the block store. Later build tuples go
+    /// straight to their partition; probing is deferred to
+    /// `on_port_complete(1)`.
+    fn activate_spill(&mut self, out: &mut OutputCollector) {
+        let mut spill = JoinSpill::new();
+        let flush_at = self.flush_at();
+        for (key, tuples) in std::mem::take(&mut self.table) {
+            let p = key.bucket_salted(0, SPILL_FANOUT);
+            for t in tuples {
+                spill.build[p].push(t, flush_at, out);
+            }
+        }
+        self.build_bytes = 0;
+        self.spill = Some(spill);
+    }
+
+    /// Join one spilled partition pair. Decodes the build side into an
+    /// in-memory table unless it still exceeds the budget, in which case
+    /// both sides are repartitioned under a fresh salt and the join
+    /// recurses (bounded by [`SPILL_MAX_DEPTH`]).
+    fn join_partition(
+        &mut self,
+        build_seg: Segment,
+        probe_seg: Segment,
+        depth: u32,
+        build_schema: Option<&Schema>,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        if probe_seg.is_empty() {
+            return Ok(());
+        }
+        let name = self.name.clone();
+        let key_col = if self.build_keys.len() == 1 && self.join_type == JoinType::Inner {
+            Some((self.build_keys[0].clone(), self.probe_keys[0].clone()))
+        } else {
+            None
+        };
+        // Build-side zone map of this partition, from the segment manifest.
+        let build_stats = key_col.as_ref().and_then(|(bk, _)| {
+            let schema = build_seg.blocks().first().map(|b| b.schema().clone())?;
+            let idx = schema.index_of(bk).ok()?;
+            build_seg.manifest().column_stats(idx).cloned()
+        });
+        let build_has_nulls = build_stats.as_ref().is_some_and(|s| s.null_count > 0);
+
+        // Overflow partition: repartition both sides under a fresh salt
+        // and recurse, rather than building a table over budget.
+        let over_budget = self
+            .budget
+            .is_some_and(|b| build_seg.manifest().raw_bytes as usize > b);
+        if over_budget && depth < SPILL_MAX_DEPTH {
+            let flush_at = self.flush_at();
+            let mut sub_build: Vec<PartitionWriter> =
+                (0..SPILL_FANOUT).map(|_| PartitionWriter::new()).collect();
+            let mut sub_probe: Vec<PartitionWriter> =
+                (0..SPILL_FANOUT).map(|_| PartitionWriter::new()).collect();
+            let salt = u64::from(depth);
+            for (seg, writers, keys) in [
+                (&build_seg, &mut sub_build, self.build_keys.clone()),
+                (&probe_seg, &mut sub_probe, self.probe_keys.clone()),
+            ] {
+                let names: Vec<&str> = keys.iter().map(String::as_str).collect();
+                for block in seg.blocks() {
+                    out.note_spill_read();
+                    let batch = block.decode().map_err(|e| WorkflowError::from_data(&name, e))?;
+                    for t in batch.to_tuples() {
+                        let key = HashKey::from_tuple(&t, &names)
+                            .map_err(|e| WorkflowError::from_data(&name, e))?;
+                        writers[key.bucket_salted(salt, SPILL_FANOUT)].push(t, flush_at, out);
+                    }
+                }
+            }
+            for (b, p) in sub_build.into_iter().zip(sub_probe) {
+                self.join_partition(b.seal(out), p.seal(out), depth + 1, build_schema, out)?;
+            }
+            return Ok(());
+        }
+
+        // In-memory leg: decode the build partition into a local table.
+        let mut local: HashMap<HashKey, Vec<Tuple>> = HashMap::new();
+        {
+            let names: Vec<&str> = self.build_keys.iter().map(String::as_str).collect();
+            for block in build_seg.blocks() {
+                out.note_spill_read();
+                let batch = block.decode().map_err(|e| WorkflowError::from_data(&name, e))?;
+                for t in batch.to_tuples() {
+                    let key = HashKey::from_tuple(&t, &names)
+                        .map_err(|e| WorkflowError::from_data(&name, e))?;
+                    local.entry(key).or_default().push(t);
+                }
+            }
+        }
+        let probe_names: Vec<String> = self.probe_keys.clone();
+        for block in probe_seg.blocks() {
+            // Zone-map partition skip: an inner probe block whose key
+            // range is disjoint from the build partition's merged range
+            // cannot match — drop it without decompressing.
+            if let (Some((_, pk)), Some(bs)) = (&key_col, &build_stats) {
+                if let Ok(idx) = block.schema().index_of(pk) {
+                    let ps = block.stats().column(idx);
+                    let null_safe = !(build_has_nulls && ps.null_count > 0);
+                    if null_safe && ranges_disjoint(bs, ps) {
+                        out.note_batch_skipped();
+                        continue;
+                    }
+                }
+            }
+            out.note_spill_read();
+            let batch = block.decode().map_err(|e| WorkflowError::from_data(&name, e))?;
+            let names: Vec<&str> = probe_names.iter().map(String::as_str).collect();
+            for t in batch.to_tuples() {
+                let schema = self.ensure_out_schema(&t, build_schema)?;
+                let key = HashKey::from_tuple(&t, &names)
+                    .map_err(|e| WorkflowError::from_data(&name, e))?;
+                Self::emit_probe(&schema, self.join_type, &t, local.get(&key), out);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Operator for HashJoinInstance {
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        if !self.budget_fixed {
+            self.budget = bytes;
+        }
+    }
+
     fn on_tuple(
         &mut self,
         tuple: Tuple,
@@ -174,54 +400,38 @@ impl Operator for HashJoinInstance {
                     self.widen_build_range(&v);
                 }
                 let key = self.key_of(&tuple, &self.build_keys.clone())?;
+                if let Some(spill) = self.spill.as_mut() {
+                    let flush_at = self.budget.map_or(usize::MAX, |b| (b / SPILL_FANOUT).max(1));
+                    spill.build[key.bucket_salted(0, SPILL_FANOUT)].push(tuple, flush_at, out);
+                    return Ok(());
+                }
+                self.build_bytes += tuple_footprint(&tuple);
                 self.table.entry(key).or_default().push(tuple);
+                if self.budget.is_some_and(|b| self.build_bytes > b) {
+                    self.activate_spill(out);
+                }
                 Ok(())
             }
             1 => {
-                if self.out_schema.is_none() {
-                    // Derive the joined schema lazily from the first probe
-                    // tuple + any build tuple (the executor checked it at
-                    // build time; this is the instance-local copy).
-                    let build_schema = self
-                        .table
-                        .values()
-                        .next()
-                        .and_then(|v| v.first())
-                        .map(|t| (**t.schema()).clone());
-                    let joined = match build_schema {
-                        Some(bs) => tuple
-                            .schema()
-                            .join(&bs, "_r")
-                            .map_err(|e| WorkflowError::from_data(&self.name, e))?,
-                        // Empty build side: schema only matters for
-                        // LeftOuter nulls; synthesize probe-only schema.
-                        None => (**tuple.schema()).clone(),
-                    };
-                    self.out_schema = Some(Arc::new(joined));
-                }
                 let key = self.key_of(&tuple, &self.probe_keys.clone())?;
-                let schema = self.out_schema.clone().expect("set above");
-                match self.table.get(&key) {
-                    Some(matches) => {
-                        for m in matches {
-                            let mut values =
-                                Vec::with_capacity(tuple.values().len() + m.values().len());
-                            values.extend_from_slice(tuple.values());
-                            values.extend_from_slice(m.values());
-                            out.emit(Tuple::new_unchecked(schema.clone(), values));
-                        }
-                    }
-                    None if self.join_type == JoinType::LeftOuter => {
-                        let mut values = Vec::with_capacity(schema.arity());
-                        values.extend_from_slice(tuple.values());
-                        values.extend(std::iter::repeat_n(
-                            Value::Null,
-                            schema.arity() - tuple.values().len(),
-                        ));
-                        out.emit(Tuple::new_unchecked(schema, values));
-                    }
-                    None => {}
+                if let Some(spill) = self.spill.as_mut() {
+                    // Grace mode: probing is deferred until the probe port
+                    // completes and partitions join pairwise.
+                    let flush_at = self.budget.map_or(usize::MAX, |b| (b / SPILL_FANOUT).max(1));
+                    spill.probe[key.bucket_salted(0, SPILL_FANOUT)].push(tuple, flush_at, out);
+                    return Ok(());
                 }
+                // Derive the joined schema lazily from the first probe
+                // tuple + any build tuple (the executor checked it at
+                // build time; this is the instance-local copy).
+                let build_schema = self
+                    .table
+                    .values()
+                    .next()
+                    .and_then(|v| v.first())
+                    .map(|t| (**t.schema()).clone());
+                let schema = self.ensure_out_schema(&tuple, build_schema.as_ref())?;
+                Self::emit_probe(&schema, self.join_type, &tuple, self.table.get(&key), out);
                 Ok(())
             }
             other => Err(WorkflowError::OperatorFailed {
@@ -231,12 +441,56 @@ impl Operator for HashJoinInstance {
         }
     }
 
+    fn on_port_complete(&mut self, port: usize, out: &mut OutputCollector) -> WorkflowResult<()> {
+        let Some(mut spill) = self.spill.take() else {
+            return Ok(());
+        };
+        match port {
+            0 => {
+                // Seal the build partitions under their manifests; probe
+                // tuples keep streaming into probe partitions.
+                spill.build_sealed = spill
+                    .build
+                    .drain(..)
+                    .map(|w| w.seal(out))
+                    .collect();
+                self.spill = Some(spill);
+            }
+            1 => {
+                let builds = std::mem::take(&mut spill.build_sealed);
+                let probes: Vec<Segment> =
+                    spill.probe.drain(..).map(|w| w.seal(out)).collect();
+                // The build schema is global to the join; per-partition
+                // derivation would mis-pad LeftOuter rows whose build
+                // partition happens to be empty.
+                let build_schema: Option<Schema> = builds
+                    .iter()
+                    .find_map(|s| s.blocks().first())
+                    .map(|b| (**b.schema()).clone());
+                for (b, p) in builds.into_iter().zip(probes) {
+                    self.join_partition(b, p, 1, build_schema.as_ref(), out)?;
+                }
+            }
+            _ => self.spill = Some(spill),
+        }
+        Ok(())
+    }
+
     fn on_batch(
         &mut self,
         batch: &ColumnarBatch,
         port: usize,
         out: &mut OutputCollector,
     ) -> WorkflowResult<()> {
+        if port == 0 && self.budget.is_some() {
+            // Budgeted build: the row path tracks byte accounting and the
+            // spill switch per tuple; the columnar fast path would bypass
+            // both.
+            for i in 0..batch.len() {
+                self.on_tuple(batch.tuple_at(i), port, out)?;
+            }
+            return Ok(());
+        }
         if port == 0 && self.build_keys.len() == 1 {
             let idx = batch
                 .schema()
@@ -363,6 +617,10 @@ impl OperatorFactory for HashJoinOp {
             out_schema: None,
             build_key_range: BuildKeyRange::Empty,
             build_has_null_key: false,
+            budget: self.memory_budget,
+            budget_fixed: self.memory_budget.is_some(),
+            build_bytes: 0,
+            spill: None,
         })
     }
 }
@@ -518,6 +776,100 @@ mod tests {
             .unwrap();
         assert!(out.is_empty());
         assert_eq!(out.batches_skipped(), 1);
+    }
+
+    fn run_join_budgeted(join_type: JoinType, budget: usize, n: i64) -> (Vec<Tuple>, u64, u64) {
+        let j = HashJoinOp::new("j", &["k"], &["k"])
+            .with_join_type(join_type)
+            .with_memory_budget(budget);
+        let mut inst = j.create();
+        let mut out = OutputCollector::new();
+        for i in 0..n {
+            inst.on_tuple(build_tuple(i % 13, &format!("b{i}")), 0, &mut out)
+                .unwrap();
+        }
+        inst.on_port_complete(0, &mut out).unwrap();
+        for i in 0..n {
+            inst.on_tuple(probe_tuple(i, i % 17), 1, &mut out).unwrap();
+        }
+        inst.on_port_complete(1, &mut out).unwrap();
+        (out.take(), out.take_spill().0, out.take_batches_skipped())
+    }
+
+    fn sorted_strings(rows: &[Tuple]) -> Vec<String> {
+        let mut v: Vec<String> = rows.iter().map(|t| t.to_string()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn grace_join_matches_in_memory_join() {
+        for join_type in [JoinType::Inner, JoinType::LeftOuter] {
+            let (in_mem, spilled_blocks, _) = run_join_budgeted(join_type, 1 << 30, 120);
+            assert_eq!(spilled_blocks, 0, "huge budget must not spill");
+            let (graced, spilled, _) = run_join_budgeted(join_type, 256, 120);
+            assert!(spilled > 0, "256-byte budget must spill the build table");
+            assert_eq!(sorted_strings(&graced), sorted_strings(&in_mem));
+        }
+    }
+
+    #[test]
+    fn overflow_partitions_recurse_and_still_match() {
+        // A budget small enough that every partition also overflows,
+        // forcing at least one recursive repartitioning round.
+        let (in_mem, _, _) = run_join_budgeted(JoinType::Inner, 1 << 30, 300);
+        let (graced, spilled, _) = run_join_budgeted(JoinType::Inner, 64, 300);
+        assert!(spilled > SPILL_FANOUT as u64);
+        assert_eq!(sorted_strings(&graced), sorted_strings(&in_mem));
+    }
+
+    #[test]
+    fn spilled_partitions_skip_disjoint_probe_blocks() {
+        // Build keys all < 100; probe keys all > 1000 → every probe
+        // block's range misses every build partition's range.
+        let j = HashJoinOp::new("j", &["k"], &["k"]).with_memory_budget(128);
+        let mut inst = j.create();
+        let mut out = OutputCollector::new();
+        for i in 0..60 {
+            inst.on_tuple(build_tuple(i, "b"), 0, &mut out).unwrap();
+        }
+        inst.on_port_complete(0, &mut out).unwrap();
+        for i in 0..60 {
+            inst.on_tuple(probe_tuple(i, 1000 + i), 1, &mut out).unwrap();
+        }
+        let reads_before_probe = out.spill_reads();
+        inst.on_port_complete(1, &mut out).unwrap();
+        assert!(out.is_empty(), "disjoint keys must produce no matches");
+        assert!(
+            out.batches_skipped() > 0,
+            "zone maps must skip disjoint probe blocks"
+        );
+        // Skipped probe blocks are never decompressed; only build blocks
+        // (and any repartitioning) pay reads.
+        assert!(out.spill_reads() >= reads_before_probe);
+    }
+
+    #[test]
+    fn engine_budget_reaches_join_unless_overridden() {
+        let j = HashJoinOp::new("j", &["k"], &["k"]);
+        let mut inst = j.create();
+        inst.set_memory_budget(Some(128));
+        let mut out = OutputCollector::new();
+        for i in 0..60 {
+            inst.on_tuple(build_tuple(i, "b"), 0, &mut out).unwrap();
+        }
+        inst.on_port_complete(0, &mut out).unwrap();
+        assert!(out.spilled_blocks() > 0);
+
+        let fixed = HashJoinOp::new("j", &["k"], &["k"]).with_memory_budget(1 << 30);
+        let mut inst = fixed.create();
+        inst.set_memory_budget(Some(128));
+        let mut out = OutputCollector::new();
+        for i in 0..60 {
+            inst.on_tuple(build_tuple(i, "b"), 0, &mut out).unwrap();
+        }
+        inst.on_port_complete(0, &mut out).unwrap();
+        assert_eq!(out.spilled_blocks(), 0, "override must shadow engine budget");
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! Sort operator (blocking).
+//! Sort operator (blocking), with external-sort spilling under a memory
+//! budget.
 
 use std::cmp::Ordering;
 
+use scriptflow_datakit::blockstore::Segment;
 use scriptflow_datakit::{Schema, SchemaRef, Tuple, Value};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
 use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+use crate::spill::{seal_run, tuple_footprint};
 
 /// Sort direction for one key column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +29,7 @@ pub struct SortOp {
     keys: Vec<(String, SortOrder)>,
     cost: CostProfile,
     language: Language,
+    memory_budget: Option<usize>,
 }
 
 impl SortOp {
@@ -37,6 +41,7 @@ impl SortOp {
             keys: keys.iter().map(|(c, o)| ((*c).to_owned(), *o)).collect(),
             cost: CostProfile::per_tuple_micros(3),
             language: Language::Python,
+            memory_budget: None,
         }
     }
 
@@ -49,6 +54,15 @@ impl SortOp {
     /// Override the implementation language.
     pub fn with_language(mut self, language: Language) -> Self {
         self.language = language;
+        self
+    }
+
+    /// Per-operator memory budget override: once the sort buffer exceeds
+    /// `bytes`, it is sorted and sealed to the block store as a run, and
+    /// runs are k-way merged at completion. Takes precedence over the
+    /// engine-level [`crate::EngineConfig::memory_budget`].
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 }
@@ -70,18 +84,115 @@ fn compare_values(a: &Value, b: &Value) -> Ordering {
     }
 }
 
+fn compare_by_keys(keys: &[(String, SortOrder)], a: &Tuple, b: &Tuple) -> Ordering {
+    for (k, order) in keys {
+        let av = a.get(k).expect("validated on ingest");
+        let bv = b.get(k).expect("validated on ingest");
+        let mut ord = compare_values(av, bv);
+        if *order == SortOrder::Descending {
+            ord = ord.reverse();
+        }
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Streaming reader over one sealed run: decodes one block at a time,
+/// charging a spill read per block.
+struct RunCursor {
+    segment: Segment,
+    next_block: usize,
+    current: Vec<Tuple>,
+    pos: usize,
+}
+
+impl RunCursor {
+    fn in_memory(tuples: Vec<Tuple>) -> RunCursor {
+        RunCursor {
+            segment: scriptflow_datakit::blockstore::BlockAppender::new().seal(),
+            next_block: 0,
+            current: tuples,
+            pos: 0,
+        }
+    }
+
+    fn spilled(segment: Segment) -> RunCursor {
+        RunCursor {
+            segment,
+            next_block: 0,
+            current: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Ensure a tuple is available, decoding the next block if needed.
+    fn peek(&mut self, name: &str, out: &mut OutputCollector) -> WorkflowResult<Option<&Tuple>> {
+        while self.pos >= self.current.len() {
+            let Some(block) = self.segment.blocks().get(self.next_block) else {
+                return Ok(None);
+            };
+            out.note_spill_read();
+            self.current = block
+                .decode()
+                .map_err(|e| WorkflowError::from_data(name, e))?
+                .to_tuples();
+            self.pos = 0;
+            self.next_block += 1;
+        }
+        Ok(self.current.get(self.pos))
+    }
+
+    fn pop(&mut self) -> Tuple {
+        let t = self.current[self.pos].clone();
+        self.pos += 1;
+        t
+    }
+}
+
 struct SortInstance {
     name: String,
     keys: Vec<(String, SortOrder)>,
     buffer: Vec<Tuple>,
+    buffer_bytes: usize,
+    budget: Option<usize>,
+    budget_fixed: bool,
+    runs: Vec<Segment>,
+}
+
+impl SortInstance {
+    fn sort_buffer(&mut self) {
+        let keys = self.keys.clone();
+        self.buffer.sort_by(|a, b| compare_by_keys(&keys, a, b));
+    }
+
+    /// Sort the buffer and seal it to the block store as one run.
+    fn spill_run(&mut self, out: &mut OutputCollector) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.sort_buffer();
+        let schema = self.buffer[0].schema().clone();
+        let seg = seal_run(&schema, &self.buffer, out);
+        self.runs.push(seg);
+        self.buffer.clear();
+        self.buffer_bytes = 0;
+    }
 }
 
 impl Operator for SortInstance {
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        if !self.budget_fixed {
+            self.budget = bytes;
+        }
+    }
+
     fn on_tuple(
         &mut self,
         tuple: Tuple,
         _port: usize,
-        _out: &mut OutputCollector,
+        out: &mut OutputCollector,
     ) -> WorkflowResult<()> {
         // Validate key columns exist up front (operator-level error).
         for (k, _) in &self.keys {
@@ -89,27 +200,55 @@ impl Operator for SortInstance {
                 .get(k)
                 .map_err(|e| WorkflowError::from_data(&self.name, e))?;
         }
+        self.buffer_bytes += tuple_footprint(&tuple);
         self.buffer.push(tuple);
+        if let Some(budget) = self.budget {
+            if self.buffer_bytes > budget {
+                self.spill_run(out);
+            }
+        }
         Ok(())
     }
 
     fn on_port_complete(&mut self, _port: usize, out: &mut OutputCollector) -> WorkflowResult<()> {
+        self.sort_buffer();
+        self.buffer_bytes = 0;
+        if self.runs.is_empty() {
+            out.emit_all(self.buffer.drain(..));
+            return Ok(());
+        }
+        // K-way merge of the sealed runs plus the final in-memory run.
+        let mut cursors: Vec<RunCursor> =
+            self.runs.drain(..).map(RunCursor::spilled).collect();
+        cursors.push(RunCursor::in_memory(std::mem::take(&mut self.buffer)));
         let keys = self.keys.clone();
-        self.buffer.sort_by(|a, b| {
-            for (k, order) in &keys {
-                let av = a.get(k).expect("validated on ingest");
-                let bv = b.get(k).expect("validated on ingest");
-                let mut ord = compare_values(av, bv);
-                if *order == SortOrder::Descending {
-                    ord = ord.reverse();
+        let name = self.name.clone();
+        loop {
+            let mut best: Option<usize> = None;
+            for i in 0..cursors.len() {
+                if cursors[i].peek(&name, out)?.is_none() {
+                    continue;
                 }
-                if ord != Ordering::Equal {
-                    return ord;
-                }
+                best = Some(match best {
+                    None => i,
+                    Some(j) => {
+                        // Both peeks succeeded above, so direct indexing
+                        // into the decoded buffers is safe here.
+                        let a = &cursors[i].current[cursors[i].pos];
+                        let b = &cursors[j].current[cursors[j].pos];
+                        if compare_by_keys(&keys, a, b) == Ordering::Less {
+                            i
+                        } else {
+                            j
+                        }
+                    }
+                });
             }
-            Ordering::Equal
-        });
-        out.emit_all(self.buffer.drain(..));
+            match best {
+                Some(i) => out.emit(cursors[i].pop()),
+                None => break,
+            }
+        }
         Ok(())
     }
 }
@@ -146,6 +285,10 @@ impl OperatorFactory for SortOp {
             name: self.name.clone(),
             keys: self.keys.clone(),
             buffer: Vec::new(),
+            buffer_bytes: 0,
+            budget: self.memory_budget,
+            budget_fixed: self.memory_budget.is_some(),
+            runs: Vec::new(),
         })
     }
 }
@@ -227,6 +370,55 @@ mod tests {
         assert!(op
             .output_schema(&[Schema::of(&[("a", DataType::Int)])])
             .is_err());
+    }
+
+    #[test]
+    fn tiny_budget_spills_runs_and_merges_identically() {
+        let rows: Vec<Tuple> = (0..200)
+            .map(|i| tuple((i * 37) % 101, if i % 2 == 0 { "even" } else { "odd" }))
+            .collect();
+        let in_memory = run_sort(&SortOp::new("s", &[("a", SortOrder::Ascending)]), rows.clone());
+
+        let op = SortOp::new("s", &[("a", SortOrder::Ascending)]).with_memory_budget(512);
+        let mut inst = op.create();
+        let mut out = OutputCollector::new();
+        for t in rows {
+            inst.on_tuple(t, 0, &mut out).unwrap();
+        }
+        assert!(
+            out.spilled_blocks() > 0,
+            "512-byte budget must force sorted runs to spill"
+        );
+        inst.on_port_complete(0, &mut out).unwrap();
+        assert!(out.spill_reads() > 0, "merge must read runs back");
+        let spilled = out.take();
+        let keys = |ts: &[Tuple]| -> Vec<i64> {
+            ts.iter().map(|t| t.get_int("a").unwrap()).collect()
+        };
+        assert_eq!(keys(&spilled), keys(&in_memory));
+    }
+
+    #[test]
+    fn engine_budget_applies_unless_operator_override_set() {
+        // Engine-level budget reaches an un-overridden instance...
+        let op = SortOp::new("s", &[("a", SortOrder::Ascending)]);
+        let mut inst = op.create();
+        inst.set_memory_budget(Some(256));
+        let mut out = OutputCollector::new();
+        for i in 0..100 {
+            inst.on_tuple(tuple(i, "x"), 0, &mut out).unwrap();
+        }
+        assert!(out.spilled_blocks() > 0);
+
+        // ...but a per-operator override wins over the engine value.
+        let fixed = SortOp::new("s", &[("a", SortOrder::Ascending)]).with_memory_budget(1 << 30);
+        let mut inst = fixed.create();
+        inst.set_memory_budget(Some(256));
+        let mut out = OutputCollector::new();
+        for i in 0..100 {
+            inst.on_tuple(tuple(i, "x"), 0, &mut out).unwrap();
+        }
+        assert_eq!(out.spilled_blocks(), 0, "override must shadow engine budget");
     }
 
     #[test]

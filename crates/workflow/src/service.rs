@@ -136,15 +136,18 @@ pub struct TenantQuota {
     weight: u32,
     max_in_flight: usize,
     mailbox_budget: usize,
+    spill_budget: Option<u64>,
 }
 
 impl Default for TenantQuota {
-    /// Weight 1, at most 8 in-flight submissions, 64-message mailboxes.
+    /// Weight 1, at most 8 in-flight submissions, 64-message mailboxes,
+    /// no spill-bytes ceiling.
     fn default() -> Self {
         TenantQuota {
             weight: 1,
             max_in_flight: 8,
             mailbox_budget: 64,
+            spill_budget: None,
         }
     }
 }
@@ -184,6 +187,22 @@ impl TenantQuota {
     /// The per-edge mailbox capacity.
     pub fn mailbox_budget(&self) -> usize {
         self.mailbox_budget
+    }
+
+    /// Ceiling on the tenant's *cumulative* spilled bytes across its
+    /// finished runs (see [`crate::spill`]). A tenant at or past the
+    /// ceiling has further submissions rejected with
+    /// [`SubmitError::SpillOverQuota`] until the operator raises its
+    /// quota — shared-pool disk is a budgeted resource, exactly like
+    /// in-flight slots. `None` (the default) leaves spill unmetered.
+    pub fn with_spill_budget(mut self, bytes: u64) -> Self {
+        self.spill_budget = Some(bytes);
+        self
+    }
+
+    /// The cumulative spill-bytes ceiling, if one is set.
+    pub fn spill_budget(&self) -> Option<u64> {
+        self.spill_budget
     }
 }
 
@@ -271,6 +290,7 @@ pub struct RunOptions {
     columnar: bool,
     faults: Option<FaultPlan>,
     retry: RetryConfig,
+    memory_budget: Option<usize>,
 }
 
 impl RunOptions {
@@ -301,6 +321,15 @@ impl RunOptions {
         self
     }
 
+    /// Bound every blocking operator's in-memory state for this run
+    /// (see [`crate::exec_live::LiveExecutor::with_memory_budget`]).
+    /// Spilled bytes are charged against the tenant's
+    /// [`TenantQuota::with_spill_budget`] ceiling when the run drains.
+    pub fn with_memory_budget(mut self, bytes: Option<usize>) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
     fn batch_size(&self) -> usize {
         self.batch_size.unwrap_or(256)
     }
@@ -326,6 +355,17 @@ pub enum SubmitError {
         /// Submissions already admitted or queued for it.
         in_flight: usize,
     },
+    /// The tenant's finished runs have already spilled at least its
+    /// [`TenantQuota::with_spill_budget`] ceiling in compressed bytes;
+    /// new submissions are refused until the quota is raised.
+    SpillOverQuota {
+        /// The over-quota tenant.
+        tenant: String,
+        /// Compressed bytes the tenant's runs have spilled so far.
+        spilled_bytes: u64,
+        /// The configured ceiling that was exhausted.
+        budget: u64,
+    },
     /// The workflow shares result storage with a run that is still
     /// admitted; running both concurrently would interleave rows.
     SinkBusy {
@@ -350,6 +390,16 @@ impl fmt::Display for SubmitError {
                 write!(
                     f,
                     "tenant `{tenant}` over quota ({in_flight} runs in flight)"
+                )
+            }
+            SubmitError::SpillOverQuota {
+                tenant,
+                spilled_bytes,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` over spill quota ({spilled_bytes} of {budget} bytes spilled)"
                 )
             }
             SubmitError::SinkBusy { operator } => {
@@ -526,6 +576,10 @@ pub struct TenantStats {
     pub quanta: u64,
     /// Wall-clock the pool spent inside this tenant's quanta.
     pub busy: Duration,
+    /// Compressed bytes this tenant's finished runs spilled under a
+    /// memory budget (charged against
+    /// [`TenantQuota::with_spill_budget`]).
+    pub spilled_bytes: u64,
 }
 
 /// Point-in-time service snapshot.
@@ -700,9 +754,13 @@ impl Shared {
                 trace.clone(),
             )),
         };
+        // Spill accounting comes from the tracer, not the result: a run
+        // that failed after spilling still consumed the disk.
+        let run_spill = run.core.tracer().total_spilled_bytes();
         if let Some(t) = st.tenants.get_mut(&run.tenant) {
             t.in_flight = t.in_flight.saturating_sub(1);
             t.stats.completed += 1;
+            t.stats.spilled_bytes += run_spill;
             if result.is_err() {
                 t.stats.failed += 1;
             }
@@ -960,6 +1018,7 @@ impl WorkflowService {
             faults.as_ref(),
             &opts.retry,
             opts.columnar,
+            opts.memory_budget,
         );
         let ops = ops_meta(wf);
         let total_workers = wf.total_workers();
@@ -981,6 +1040,20 @@ impl WorkflowService {
                 tenant: tenant.to_owned(),
                 in_flight,
             });
+        }
+        // A tenant whose drained runs already spilled its ceiling is a
+        // noisy spiller: refuse new work instead of letting it keep
+        // converting the shared pool's disk into its own buffer space.
+        let spilled_bytes = st.tenants.get(tenant).map_or(0, |t| t.stats.spilled_bytes);
+        if let Some(budget) = quota.spill_budget {
+            if spilled_bytes >= budget {
+                Self::reject(&mut st, tenant);
+                return Err(SubmitError::SpillOverQuota {
+                    tenant: tenant.to_owned(),
+                    spilled_bytes,
+                    budget,
+                });
+            }
         }
         // Two concurrent runs appending into one shared buffer would
         // interleave rows; refuse the later submission explicitly.

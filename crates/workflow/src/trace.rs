@@ -30,6 +30,9 @@ pub struct OperatorSnapshot {
     /// Whole batches pruned so far by the operator's zone-map check
     /// (columnar path only; 0 on the row path).
     pub batches_skipped: u64,
+    /// Compressed blocks spilled so far under a memory budget (0 when
+    /// the run is unbounded).
+    pub spilled_blocks: u64,
 }
 
 /// A sampled execution timeline.
@@ -156,6 +159,7 @@ impl TraceJson {
                             ("inputTuples".into(), Json::Int(s.input_tuples as i64)),
                             ("outputTuples".into(), Json::Int(s.output_tuples as i64)),
                             ("batchesSkipped".into(), Json::Int(s.batches_skipped as i64)),
+                            ("spilledBlocks".into(), Json::Int(s.spilled_blocks as i64)),
                         ])
                     })
                     .collect();
@@ -263,6 +267,7 @@ impl TraceJson {
     ///             input_tuples: 0,
     ///             output_tuples: 9,
     ///             batches_skipped: 0,
+    ///             spilled_blocks: 0,
     ///         }],
     ///     )],
     /// };
@@ -317,6 +322,8 @@ impl TraceJson {
                     // Absent in documents written before the columnar
                     // path existed; default rather than reject them.
                     batches_skipped: int(op, "batchesSkipped").unwrap_or(0).max(0) as u64,
+                    // Likewise absent in pre-spill documents.
+                    spilled_blocks: int(op, "spilledBlocks").unwrap_or(0).max(0) as u64,
                 });
             }
             out.samples.push((at, snaps));
@@ -336,6 +343,7 @@ mod tests {
             input_tuples: inp,
             output_tuples: out,
             batches_skipped: 0,
+            spilled_blocks: 0,
         }
     }
 
@@ -401,16 +409,19 @@ mod tests {
     fn trace_json_roundtrips_skip_counts_and_defaults_when_absent() {
         let mut trace = sample_trace();
         trace.samples[1].1[0].batches_skipped = 7;
+        trace.samples[1].1[0].spilled_blocks = 5;
         let text = TraceJson::from_trace(&trace).to_string_compact();
         assert!(text.contains("\"batchesSkipped\":7"));
+        assert!(text.contains("\"spilledBlocks\":5"));
         let back = TraceJson::parse(&text).unwrap();
         assert_eq!(back.samples, trace.samples);
-        // Documents written before the columnar path carry no
-        // batchesSkipped key; they still parse, defaulting to 0.
+        // Documents written before the columnar and spill paths carry
+        // neither key; they still parse, defaulting to 0.
         let legacy = "{\"samples\":[{\"atMicros\":0,\"operators\":[{\"name\":\"x\",\
                       \"state\":\"Completed\",\"inputTuples\":3,\"outputTuples\":2}]}]}";
         let back = TraceJson::parse(legacy).unwrap();
         assert_eq!(back.samples[0].1[0].batches_skipped, 0);
+        assert_eq!(back.samples[0].1[0].spilled_blocks, 0);
     }
 
     #[test]

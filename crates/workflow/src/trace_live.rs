@@ -87,6 +87,9 @@ pub struct OperatorProbe {
     input_tuples: AtomicU64,
     output_tuples: AtomicU64,
     batches_skipped: AtomicU64,
+    spilled_blocks: AtomicU64,
+    spilled_bytes: AtomicU64,
+    spill_reads: AtomicU64,
     busy_nanos: AtomicU64,
     attempts: AtomicU64,
     retries: AtomicU64,
@@ -104,6 +107,9 @@ impl OperatorProbe {
             input_tuples: AtomicU64::new(0),
             output_tuples: AtomicU64::new(0),
             batches_skipped: AtomicU64::new(0),
+            spilled_blocks: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            spill_reads: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             attempts: AtomicU64::new(workers as u64),
             retries: AtomicU64::new(0),
@@ -183,6 +189,50 @@ impl OperatorProbe {
     /// ```
     pub fn batches_skipped(&self) -> u64 {
         self.batches_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Compressed blocks this operator spilled past its memory budget
+    /// (see [`crate::OutputCollector::note_spill_write`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["join".to_owned()], &[1]);
+    /// tracer.on_spill(0, 2, 512, 0);
+    /// assert_eq!(tracer.probe(0).spilled_blocks(), 2);
+    /// ```
+    pub fn spilled_blocks(&self) -> u64 {
+        self.spilled_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Compressed bytes across this operator's spilled blocks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["join".to_owned()], &[1]);
+    /// tracer.on_spill(0, 2, 512, 0);
+    /// assert_eq!(tracer.probe(0).spilled_bytes(), 512);
+    /// ```
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Spilled blocks this operator read back (partition joins, run
+    /// merges).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["join".to_owned()], &[1]);
+    /// tracer.on_spill(0, 0, 0, 3);
+    /// assert_eq!(tracer.probe(0).spill_reads(), 3);
+    /// ```
+    pub fn spill_reads(&self) -> u64 {
+        self.spill_reads.load(Ordering::Relaxed)
     }
 
     /// Summed busy (run-quantum) time across this operator's workers.
@@ -287,6 +337,7 @@ impl OperatorProbe {
             input_tuples: self.input_tuples(),
             output_tuples: self.output_tuples(),
             batches_skipped: self.batches_skipped(),
+            spilled_blocks: self.spilled_blocks(),
         }
     }
 
@@ -462,6 +513,32 @@ impl LiveTracer {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Hook: a worker of `op` performed spill I/O — `blocks` compressed
+    /// blocks totalling `bytes` were written past the memory budget and
+    /// `reads` previously spilled blocks were read back (the executor
+    /// drains the [`crate::OutputCollector`] spill counters here after
+    /// each run quantum).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["join".to_owned()], &[1]);
+    /// tracer.on_spill(0, 4, 1_024, 2);
+    /// assert_eq!(tracer.probe(0).spilled_blocks(), 4);
+    /// assert_eq!(tracer.probe(0).spilled_bytes(), 1_024);
+    /// assert_eq!(tracer.probe(0).spill_reads(), 2);
+    /// ```
+    pub fn on_spill(&self, op: usize, blocks: u64, bytes: u64, reads: u64) {
+        if blocks == 0 && bytes == 0 && reads == 0 {
+            return;
+        }
+        let probe = &self.probes[op];
+        probe.spilled_blocks.fetch_add(blocks, Ordering::Relaxed);
+        probe.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        probe.spill_reads.fetch_add(reads, Ordering::Relaxed);
+    }
+
     /// Hook: a producer found a mailbox of `op` full and yielded.
     ///
     /// # Examples
@@ -622,6 +699,49 @@ impl LiveTracer {
     /// ```
     pub fn total_batches_skipped(&self) -> u64 {
         self.probes.iter().map(OperatorProbe::batches_skipped).sum()
+    }
+
+    /// Total spilled blocks across all operators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["a".to_owned(), "b".to_owned()], &[1, 1]);
+    /// tracer.on_spill(0, 2, 64, 1);
+    /// tracer.on_spill(1, 3, 96, 0);
+    /// assert_eq!(tracer.total_spilled_blocks(), 5);
+    /// ```
+    pub fn total_spilled_blocks(&self) -> u64 {
+        self.probes.iter().map(OperatorProbe::spilled_blocks).sum()
+    }
+
+    /// Total compressed bytes spilled across all operators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["a".to_owned()], &[1]);
+    /// tracer.on_spill(0, 2, 64, 0);
+    /// assert_eq!(tracer.total_spilled_bytes(), 64);
+    /// ```
+    pub fn total_spilled_bytes(&self) -> u64 {
+        self.probes.iter().map(OperatorProbe::spilled_bytes).sum()
+    }
+
+    /// Total spilled-block read-backs across all operators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scriptflow_workflow::trace_live::LiveTracer;
+    /// let tracer = LiveTracer::new(vec!["a".to_owned()], &[1]);
+    /// tracer.on_spill(0, 0, 0, 4);
+    /// assert_eq!(tracer.total_spill_reads(), 4);
+    /// ```
+    pub fn total_spill_reads(&self) -> u64 {
+        self.probes.iter().map(OperatorProbe::spill_reads).sum()
     }
 
     /// Total backpressure stalls across all operators.
@@ -803,6 +923,23 @@ mod tests {
         assert_eq!(t.total_batches_skipped(), 7);
         let (_, snaps) = t.snapshot();
         assert_eq!(snaps[0].batches_skipped, 3);
+    }
+
+    #[test]
+    fn spill_counts_accumulate_and_total() {
+        let t = tracer();
+        t.on_spill(0, 2, 128, 1);
+        t.on_spill(0, 1, 64, 2);
+        t.on_spill(1, 0, 0, 0); // no-op fast path
+        assert_eq!(t.probe(0).spilled_blocks(), 3);
+        assert_eq!(t.probe(0).spilled_bytes(), 192);
+        assert_eq!(t.probe(0).spill_reads(), 3);
+        assert_eq!(t.total_spilled_blocks(), 3);
+        assert_eq!(t.total_spilled_bytes(), 192);
+        assert_eq!(t.total_spill_reads(), 3);
+        let (_, snaps) = t.snapshot();
+        assert_eq!(snaps[0].spilled_blocks, 3);
+        assert_eq!(snaps[1].spilled_blocks, 0);
     }
 
     #[test]

@@ -42,11 +42,20 @@ CHAOS_RETRIES=0 cargo test -q --test service_chaos -- --test-threads=1
 echo "==> service chaos suite, retries enabled (the storm parks on the timer, neighbors drain)"
 CHAOS_RETRIES=1 cargo test -q --test service_chaos -- --test-threads=1
 
+echo "==> spill chaos suite, retries disabled (faults mid-spill must drain cleanly)"
+CHAOS_RETRIES=0 cargo test -q --test spill_chaos -- --test-threads=1
+
+echo "==> spill chaos suite, retries enabled (replay over spilled partitions is exactly-once)"
+CHAOS_RETRIES=1 cargo test -q --test spill_chaos -- --test-threads=1
+
 echo "==> backend parity, row batches (paper engine)"
 SCRIPTFLOW_BATCH_MODE=row cargo test -q --test backend_parity
 
 echo "==> backend parity, columnar batches (identical rows required)"
 SCRIPTFLOW_BATCH_MODE=columnar cargo test -q --test backend_parity
+
+echo "==> backend parity, tiny memory budget (blocking operators spill, rows unchanged)"
+SCRIPTFLOW_MEM_BUDGET=1024 cargo test -q --test backend_parity
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> engine throughput bench (quick)"
@@ -64,6 +73,15 @@ assert columnar, "no columnar measurement rows in BENCH_engine.json"
 skipped = sum(r.get("batchesSkipped", 0) for r in columnar)
 assert skipped > 0, "columnar rows report zero skipped batches"
 print(f"columnar rows: {len(columnar)}, batches skipped: {skipped}")
+
+budgeted = [r for r in rows if r.get("memoryBudget")]
+assert budgeted, "no budgeted spill_join rows in BENCH_engine.json"
+spilled = sum(r.get("spilledBlocks", 0) for r in budgeted)
+assert spilled > 0, "budgeted rows report zero spilled blocks"
+unbounded = [r for r in rows if r["workload"] == "spill_join" and not r.get("memoryBudget")]
+assert all(r.get("spilledBlocks", 0) == 0 for r in unbounded), \
+    "unbounded spill_join rows must not spill"
+print(f"budgeted rows: {len(budgeted)}, blocks spilled: {spilled}")
 PY
     else
         grep -q '"batchLayout": *"columnar"' BENCH_engine.json || {
@@ -102,6 +120,9 @@ fi
 
 echo "==> multi-tenant isolation experiment (noisy vs quiet tenant, shared pool)"
 cargo run --release -p scriptflow-bench --bin repro -- service
+
+echo "==> bounded-memory experiment (KGE past RAM: unbounded vs tiny budget)"
+cargo run --release -p scriptflow-bench --bin repro -- fig13-spill
 
 echo "==> repro on both backends (fig12a + probe-scale task comparison)"
 cargo run --release -p scriptflow-bench --bin repro -- fig12a --backend both

@@ -12,10 +12,17 @@
 //! check with the columnar batch path enabled. `ci.sh` runs it in both
 //! modes; results must be identical because the columnar path only
 //! changes the batch layout, never the rows.
+//!
+//! It also honours `SCRIPTFLOW_MEM_BUDGET` (bytes): when set, every
+//! blocking operator runs under that per-operator memory budget, so the
+//! join-bearing tasks spill their build sides to the compressed block
+//! store mid-parity-check. Rows must still be identical — spilling is a
+//! memory-management decision, never a data decision.
 
 use std::collections::BTreeSet;
 
 use scriptflow::core::{BackendKind, Calibration};
+use scriptflow::simcluster::Language;
 use scriptflow::tasks::dice::{self, DiceParams};
 use scriptflow::tasks::gotta::{self, GottaParams};
 use scriptflow::tasks::kge::{self, KgeParams};
@@ -25,12 +32,20 @@ use scriptflow::workflow::OperatorState;
 
 /// The calibration under test: `SCRIPTFLOW_BATCH_MODE=columnar` flips
 /// the engine to columnar edge batches, anything else (including unset)
-/// keeps the paper's row engine.
+/// keeps the paper's row engine. `SCRIPTFLOW_MEM_BUDGET=<bytes>` caps
+/// every blocking operator's in-memory state on top of either mode.
 fn calibration() -> Calibration {
-    match std::env::var("SCRIPTFLOW_BATCH_MODE").as_deref() {
+    let mut cal = match std::env::var("SCRIPTFLOW_BATCH_MODE").as_deref() {
         Ok("columnar") => Calibration::paper_columnar(),
         _ => Calibration::paper(),
+    };
+    if let Ok(raw) = std::env::var("SCRIPTFLOW_MEM_BUDGET") {
+        cal.wf_memory_budget = Some(
+            raw.parse()
+                .expect("SCRIPTFLOW_MEM_BUDGET must be a byte count"),
+        );
     }
+    cal
 }
 
 fn operator_set(run: &BackendRun) -> BTreeSet<String> {
@@ -115,6 +130,81 @@ fn kge_backends_agree() {
     assert_parity("kge", |kind| {
         kge::workflow::run_workflow_on(&KgeParams::new(600, 1), &cal, kind).expect("KGE runs")
     });
+}
+
+/// Direct unbounded-vs-tiny-budget parity, independent of the env
+/// knobs: for every paper task on both backends, a memory budget far
+/// below the blocking operators' working set must change no output row
+/// — and on the join-bearing tasks (DICE, KGE) it must actually force
+/// spills, while the unbounded run never touches the block store.
+#[test]
+fn tiny_budget_changes_no_rows_on_any_task() {
+    let unbounded = Calibration::paper();
+    let mut tiny = Calibration::paper();
+    tiny.wf_memory_budget = Some(1 << 10);
+    let tasks: [(&str, bool, Box<dyn Fn(&Calibration, BackendKind) -> BackendRun>); 4] = [
+        (
+            "dice",
+            true,
+            Box::new(|cal, k| {
+                dice::workflow::run_workflow_on(&DiceParams::new(6, 2), cal, k).expect("DICE runs")
+            }),
+        ),
+        (
+            "wef",
+            false,
+            Box::new(|cal, k| {
+                wef::workflow::run_workflow_on(&WefParams::new(40), cal, k).expect("WEF runs")
+            }),
+        ),
+        (
+            "gotta",
+            false,
+            Box::new(|cal, k| {
+                gotta::workflow::run_workflow_on(&GottaParams::new(1, 1), cal, k)
+                    .expect("GOTTA runs")
+            }),
+        ),
+        (
+            // The Scala join pipeline routes the embedding join through
+            // the standalone HashJoinOp — the operator that grace-
+            // partitions under a budget (the default fused UDF join
+            // holds its own state and never spills).
+            "kge",
+            true,
+            Box::new(|cal, k| {
+                let p = KgeParams::new(300, 1)
+                    .with_fusion(3)
+                    .with_join_language(Language::Scala);
+                kge::workflow::run_workflow_on(&p, cal, k).expect("KGE runs")
+            }),
+        ),
+    ];
+    for (task, has_join, run_on) in &tasks {
+        for kind in [BackendKind::Sim, BackendKind::Live] {
+            let full = run_on(&unbounded, kind);
+            let capped = run_on(&tiny, kind);
+            // TaskRun::output is already sorted.
+            assert_eq!(
+                full.run.output, capped.run.output,
+                "{task}/{kind}: a memory budget must not change task results"
+            );
+            assert_eq!(
+                full.spilled_blocks, 0,
+                "{task}/{kind}: the unbounded engine never spills"
+            );
+            if *has_join {
+                assert!(
+                    capped.spilled_blocks > 0,
+                    "{task}/{kind}: the tiny budget must force the join build side to spill"
+                );
+                assert!(
+                    capped.spilled_bytes > 0,
+                    "{task}/{kind}: spilled blocks carry compressed bytes"
+                );
+            }
+        }
+    }
 }
 
 /// Direct row-vs-columnar parity, independent of `SCRIPTFLOW_BATCH_MODE`:

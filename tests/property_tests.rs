@@ -7,7 +7,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use scriptflow::datakit::codec::{from_csv, from_jsonl, to_csv, to_jsonl, Json};
 use scriptflow::datakit::{
-    Batch, CmpOp, ColumnarBatch, DataFrame, DataType, HashKey, MergeHow, Schema, Tuple, Value,
+    Batch, BlockAppender, CmpOp, ColumnarBatch, CompressedBlock, DataFrame, DataType, HashKey,
+    MergeHow, Schema, Tuple, Value,
 };
 use scriptflow::mlkit::kge::{EmbeddingTable, KgeScorer};
 use scriptflow::workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
@@ -319,6 +320,72 @@ proptest! {
         let tuples = cb.to_tuples();
         let back = ColumnarBatch::from_tuples(schema, &tuples);
         prop_assert_eq!(back.to_rows(), values);
+    }
+
+    /// The compressed block store is lossless and its manifest honest:
+    /// seal → decode is the identity for arbitrary nullable rows split
+    /// into arbitrary block sizes, and the sealed segment's merged
+    /// min/max/null statistics agree with a direct fold over the same
+    /// rows.
+    #[test]
+    fn blockstore_roundtrip_and_manifest_stats(
+        rows in prop::collection::vec(
+            (prop::option::of(-1000i64..1000), prop::option::of("[a-z]{0,6}")),
+            1..80,
+        ),
+        chunk in 1usize..16,
+    ) {
+        let schema = Schema::of(&[("i", DataType::Int), ("s", DataType::Str)]);
+        let values: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|(i, s)| {
+                vec![
+                    i.map_or(Value::Null, Value::Int),
+                    s.clone().map_or(Value::Null, Value::Str),
+                ]
+            })
+            .collect();
+
+        let mut app = BlockAppender::new();
+        for chunk_rows in values.chunks(chunk) {
+            let cb = ColumnarBatch::from_rows(schema.clone(), chunk_rows.to_vec()).unwrap();
+            // Per-block roundtrip: encode → compress → decompress →
+            // decode is the identity.
+            let block = CompressedBlock::seal(&cb);
+            prop_assert_eq!(block.decode().unwrap().to_rows(), chunk_rows.to_vec());
+            app.append(&cb);
+        }
+        let seg = app.seal();
+
+        // Whole-segment roundtrip preserves rows in append order.
+        let mut decoded: Vec<Vec<Value>> = Vec::new();
+        for b in seg.blocks() {
+            decoded.extend(b.decode().unwrap().to_rows());
+        }
+        prop_assert_eq!(&decoded, &values);
+
+        // Manifest totals vs direct folds.
+        let m = seg.manifest();
+        prop_assert_eq!(m.row_count, values.len() as u64);
+        prop_assert_eq!(m.block_count, seg.blocks().len() as u64);
+        prop_assert_eq!(
+            m.compressed_bytes,
+            seg.blocks().iter().map(|b| b.compressed_bytes() as u64).sum::<u64>()
+        );
+
+        // Merged column statistics vs a direct fold over the rows.
+        let int_nulls = values.iter().filter(|r| r[0] == Value::Null).count() as u64;
+        let ints: Vec<i64> = rows.iter().filter_map(|(i, _)| *i).collect();
+        let col = m.column_stats(0).expect("non-empty segment has stats");
+        prop_assert_eq!(col.null_count, int_nulls);
+        match (&col.min, &col.max) {
+            (Some(Value::Int(lo)), Some(Value::Int(hi))) => {
+                prop_assert_eq!(*lo, *ints.iter().min().unwrap());
+                prop_assert_eq!(*hi, *ints.iter().max().unwrap());
+            }
+            (None, None) => prop_assert!(ints.is_empty()),
+            other => prop_assert!(false, "inconsistent int stats: {:?}", other),
+        }
     }
 
     /// Schema join + tuple concat always produce conforming tuples.
