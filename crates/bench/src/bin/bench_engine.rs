@@ -25,7 +25,8 @@ use scriptflow_datakit::codec::Json;
 use scriptflow_datakit::{Batch, CmpOp, DataType, Schema, Value};
 use scriptflow_workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp};
 use scriptflow_workflow::{
-    EngineConfig, ExecMode, PartitionStrategy, RunMetrics, TraceJson, Workflow, WorkflowBuilder,
+    EngineConfig, ExecMode, PartitionStrategy, ResultCache, RunMetrics, TraceJson, Workflow,
+    WorkflowBuilder,
 };
 
 fn int_batch(n: i64) -> Batch {
@@ -151,6 +152,7 @@ fn operators_json(metrics: &RunMetrics) -> Json {
                     ("outputTuples".into(), Json::Int(m.output_tuples as i64)),
                     ("batchesSkipped".into(), Json::Int(m.batches_skipped as i64)),
                     ("spilledBlocks".into(), Json::Int(m.spilled_blocks as i64)),
+                    ("cacheHits".into(), Json::Int(m.cache_hits as i64)),
                     ("busySecs".into(), Json::Float(m.busy.as_secs_f64())),
                     ("state".into(), Json::Str(m.state.label().into())),
                 ])
@@ -225,6 +227,47 @@ fn measure(
         ));
     }
     Json::Object(fields)
+}
+
+/// The incremental re-execution acceptance workload: the same DAG run
+/// twice on the pooled executor against one shared result cache. The
+/// cold leg computes everything and publishes sealed segments
+/// (`cacheHits == 0`, `cachePublished > 0`); the warm leg serves its
+/// frontier from the cache (`cacheHits > 0`) and skips the rest.
+fn measure_edit_rerun(parallelism: usize, tuples: i64) -> Vec<Json> {
+    let cache = Arc::new(ResultCache::new());
+    let exec = backend::live_executor(backend::LIVE_BATCH).with_result_cache(cache);
+    let mut out = Vec::new();
+    for leg in ["cold", "warm"] {
+        let wf = filter_pipeline(tuples, parallelism);
+        let start = Instant::now();
+        let res = exec.run(&wf).expect("bench workflow must run");
+        let secs = start.elapsed().as_secs_f64();
+        let pool = res.pool.as_ref().expect("pooled run reports pool stats");
+        println!(
+            "{:>16}  {:>8}  leg={leg:<4}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>3} hits  {:>3} misses  {:>9} bytes published",
+            "edit_rerun",
+            "pooled",
+            secs * 1e3,
+            pool.cache_hits,
+            pool.cache_misses,
+            res.cache_published,
+        );
+        out.push(Json::Object(vec![
+            ("workload".into(), Json::Str("edit_rerun".into())),
+            ("mode".into(), Json::Str("pooled".into())),
+            ("leg".into(), Json::Str(leg.into())),
+            ("parallelism".into(), Json::Int(parallelism as i64)),
+            ("tuples".into(), Json::Int(tuples)),
+            ("elapsed_secs".into(), Json::Float(secs)),
+            ("cacheHits".into(), Json::Int(pool.cache_hits as i64)),
+            ("cacheMisses".into(), Json::Int(pool.cache_misses as i64)),
+            ("cacheBytes".into(), Json::Int(pool.cache_bytes as i64)),
+            ("cachePublished".into(), Json::Int(res.cache_published as i64)),
+            ("operators".into(), operators_json(&res.metrics)),
+        ]));
+    }
+    out
 }
 
 /// A virtual-clock reference point for one workload: the same DAG run
@@ -348,6 +391,9 @@ fn main() {
                 || spill_join(spill_n, 4),
             ));
         }
+        // Incremental re-execution acceptance pair: cold run publishes,
+        // warm rerun of the identical DAG serves from sealed segments.
+        configs.extend(measure_edit_rerun(4, n));
     }
 
     let doc = Json::Object(vec![

@@ -8,6 +8,7 @@
 //! cargo run --release -p scriptflow-bench --bin repro --fault    # §III-A fault comparison
 //! cargo run --release -p scriptflow-bench --bin repro --service  # multi-tenant isolation
 //! cargo run --release -p scriptflow-bench --bin repro --spill    # bounded-memory extension
+//! cargo run --release -p scriptflow-bench --bin repro --cache    # incremental edit-rerun
 //! cargo run --release -p scriptflow-bench --bin repro --csv     # + artifacts/*.csv
 //! cargo run --release -p scriptflow-bench --bin repro fig12a --backend both
 //! ```
@@ -23,7 +24,8 @@
 use scriptflow_bench::{backend, render_side_by_side};
 use scriptflow_core::{BackendChoice, BackendKind, Calibration, Table};
 use scriptflow_study::{
-    ablation_registry, conclusions, fault_registry, registry, service_registry, spill_registry,
+    ablation_registry, conclusions, fault_registry, incremental_registry, registry,
+    service_registry, spill_registry,
 };
 use scriptflow_tasks::dice::{self, DiceParams};
 use scriptflow_tasks::gotta::{self, GottaParams};
@@ -109,6 +111,7 @@ fn main() {
     let want_fault = args.iter().any(|a| a == "--fault");
     let want_service = args.iter().any(|a| a == "--service");
     let want_spill = args.iter().any(|a| a == "--spill");
+    let want_cache = args.iter().any(|a| a == "--cache");
     let want_csv = args.iter().any(|a| a == "--csv");
     let backend_flag = match backend::parse_backend_flag(&args) {
         Ok(flag) => flag,
@@ -186,6 +189,16 @@ fn main() {
     if want_spill || filter.iter().any(|f| f.as_str() == "fig13-spill") {
         println!("\n#################### BOUNDED MEMORY (spill) ####################\n");
         for e in spill_registry().experiments() {
+            let meta = e.meta();
+            let measured = e.run_on(choice);
+            let paper = e.paper_reference();
+            println!("{}", render_side_by_side(&meta, &measured, &paper));
+        }
+    }
+
+    if want_cache || filter.iter().any(|f| f.as_str() == "edit-rerun") {
+        println!("\n#################### INCREMENTAL RE-EXECUTION ####################\n");
+        for e in incremental_registry().experiments() {
             let meta = e.meta();
             let measured = e.run_on(choice);
             let paper = e.paper_reference();

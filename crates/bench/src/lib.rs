@@ -38,17 +38,22 @@ pub mod backend {
 
     /// An [`ExecBackend`] of `kind`, wired the way the bench binaries
     /// use it (the live side gets [`live_executor`] plus the config's
-    /// retry policy, columnar flag and memory budget — the only other
-    /// [`EngineConfig`] knobs with a wall-clock analogue).
+    /// retry policy, columnar flag, memory budget and result cache —
+    /// the only other [`EngineConfig`] knobs with a wall-clock
+    /// analogue).
     pub fn engine_of(kind: BackendKind, config: EngineConfig) -> ExecBackend {
         match kind {
             BackendKind::Sim => ExecBackend::sim(config),
-            BackendKind::Live => ExecBackend::from_live(
-                live_executor(config.batch_size.max(1))
+            BackendKind::Live => {
+                let mut exec = live_executor(config.batch_size.max(1))
                     .with_retry(config.retry.clone())
                     .with_columnar(config.columnar)
-                    .with_memory_budget(config.memory_budget),
-            ),
+                    .with_memory_budget(config.memory_budget);
+                if let Some(cache) = config.result_cache.clone() {
+                    exec = exec.with_result_cache(cache);
+                }
+                ExecBackend::from_live(exec)
+            }
         }
     }
 

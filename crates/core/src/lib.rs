@@ -23,19 +23,24 @@
 //!   executor) that experiment configs and CLI flags thread down to the
 //!   task drivers,
 //! * [`calibration`] — the single home of every tunable cost constant
-//!   used by the task implementations.
+//!   used by the task implementations,
+//! * [`fingerprint`] — the stable content-hashing vocabulary behind
+//!   incremental re-execution (operator memoization keyed by
+//!   [`fingerprint::OpFingerprint`]).
 
 #![warn(missing_docs)]
 
 pub mod backend;
 pub mod calibration;
 pub mod experiment;
+pub mod fingerprint;
 pub mod metrics;
 pub mod paradigm;
 pub mod report;
 
 pub use backend::{BackendChoice, BackendKind};
 pub use calibration::Calibration;
+pub use fingerprint::{Fingerprinter, OpFingerprint};
 pub use experiment::{Artifact, Experiment, ExperimentMeta, Registry};
 pub use metrics::{ExecutionMetrics, RunReport};
 pub use paradigm::Paradigm;

@@ -20,6 +20,7 @@ pub mod fault_tolerance;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod incremental;
 pub mod observability;
 pub mod report;
 pub mod sensitivity;
@@ -92,6 +93,15 @@ pub fn spill_registry() -> Registry {
     r
 }
 
+/// The incremental re-execution suite (engine extension of §III-B's
+/// edit-and-rerun affordance: fingerprinted operator memoization; not a
+/// numbered artifact, so it stays out of [`registry`]).
+pub fn incremental_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(incremental::EditRerun));
+    r
+}
+
 /// The ablation suite (not paper artifacts; they explain them).
 pub fn ablation_registry() -> Registry {
     let mut r = Registry::new();
@@ -151,5 +161,12 @@ mod tests {
         let r = spill_registry();
         assert_eq!(r.experiments().len(), 1);
         assert!(r.by_id("fig13-spill").is_some());
+    }
+
+    #[test]
+    fn incremental_registry_is_populated() {
+        let r = incremental_registry();
+        assert_eq!(r.experiments().len(), 1);
+        assert!(r.by_id("edit-rerun").is_some());
     }
 }

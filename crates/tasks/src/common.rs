@@ -83,6 +83,15 @@ pub struct BackendRun {
     pub spilled_blocks: u64,
     /// Compressed bytes across all spilled blocks.
     pub spilled_bytes: u64,
+    /// Operators served from the result cache (0 unless the
+    /// calibration enables the cache and the run was warm).
+    pub cache_hits: u64,
+    /// Cacheable operators computed fresh (0 with the cache off).
+    pub cache_misses: u64,
+    /// Compressed bytes replayed from cached segments.
+    pub cache_bytes: u64,
+    /// Compressed bytes sealed into the cache by this run.
+    pub cache_published: u64,
 }
 
 impl BackendRun {
@@ -98,6 +107,10 @@ impl BackendRun {
             batches_skipped: engine.batches_skipped,
             spilled_blocks: engine.spilled_blocks,
             spilled_bytes: engine.spilled_bytes,
+            cache_hits: engine.cache_hits,
+            cache_misses: engine.cache_misses,
+            cache_bytes: engine.cache_bytes,
+            cache_published: engine.cache_published,
         }
     }
 

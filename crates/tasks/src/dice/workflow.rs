@@ -23,8 +23,8 @@ use scriptflow_datakit::{DataType, Schema, Tuple, Value};
 use scriptflow_simcluster::ClusterSpec;
 use scriptflow_workflow::ops::{FilterOp, HashJoinOp, ScanOp, SinkOp, StatefulUdfOp, UdfOp};
 use scriptflow_workflow::{
-    CostProfile, EngineConfig, ExecBackend, PartitionStrategy, WorkflowBuilder, WorkflowError,
-    WorkflowResult,
+    CostProfile, EngineConfig, ExecBackend, PartitionStrategy, ResultCache, WorkflowBuilder,
+    WorkflowError, WorkflowResult,
 };
 
 use super::{row_fingerprint, DiceParams};
@@ -335,6 +335,11 @@ pub fn engine_config(cal: &Calibration) -> EngineConfig {
         memory_budget: cal.wf_memory_budget,
         spill_write_per_block: cal.wf_spill_write_per_block,
         spill_read_per_block: cal.wf_spill_read_per_block,
+        // A fresh per-run cache: records and publishes, but never hits.
+        // Warm reruns come from `run_workflow_cached`, which shares one
+        // cache across invocations.
+        result_cache: cal.wf_result_cache.then(|| Arc::new(ResultCache::new())),
+        cache_read_per_block: cal.wf_cache_read_per_block,
         ..EngineConfig::default()
     }
 }
@@ -350,11 +355,32 @@ pub fn run_workflow_on(
     cal: &Calibration,
     kind: BackendKind,
 ) -> WorkflowResult<BackendRun> {
+    run_with_config(params, cal, kind, engine_config(cal))
+}
+
+/// Run DICE serving and recording through a shared result cache; warm
+/// reruns replay unedited operators from sealed segments.
+pub fn run_workflow_cached(
+    params: &DiceParams,
+    cal: &Calibration,
+    kind: BackendKind,
+    cache: &Arc<ResultCache>,
+) -> WorkflowResult<BackendRun> {
+    let config = engine_config(cal).with_result_cache(cache.clone());
+    run_with_config(params, cal, kind, config)
+}
+
+fn run_with_config(
+    params: &DiceParams,
+    cal: &Calibration,
+    kind: BackendKind,
+    config: EngineConfig,
+) -> WorkflowResult<BackendRun> {
     let (wf, handle) = build_dice_workflow(params, cal)?;
     let operator_count = wf.operator_count();
     let total_workers = wf.total_workers();
 
-    let engine = ExecBackend::of_kind(kind, engine_config(cal)).run(&wf, &handle)?;
+    let engine = ExecBackend::of_kind(kind, config).run(&wf, &handle)?;
 
     let output: Vec<String> = engine
         .rows

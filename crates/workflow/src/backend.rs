@@ -108,6 +108,18 @@ pub struct EngineRun {
     pub spilled_bytes: u64,
     /// Spilled blocks read back (partition joins, run merges).
     pub spill_reads: u64,
+    /// Operators served straight from the result cache, summed across
+    /// the DAG (0 unless [`EngineConfig::result_cache`] is set and a
+    /// prior run published the fingerprint).
+    pub cache_hits: u64,
+    /// Operators that ran under a result cache, missed, and recorded
+    /// their output for publication.
+    pub cache_misses: u64,
+    /// Compressed bytes decoded from the cache to serve the hits.
+    pub cache_bytes: u64,
+    /// Compressed bytes this run added to the cache (0 for dirty runs —
+    /// only fault-free, retry-free runs publish).
+    pub cache_published: u64,
 }
 
 impl EngineRun {
@@ -137,16 +149,18 @@ impl ExecBackend {
     }
 
     /// Pooled live backend reusing `config`'s edge batch size, retry
-    /// policy, columnar flag, and memory budget (the only
+    /// policy, columnar flag, memory budget, and result cache (the only
     /// [`EngineConfig`] knobs with a live analogue; virtual cost model
     /// fields have no wall-clock meaning).
     pub fn live(config: &EngineConfig) -> Self {
-        ExecBackend::Live(
-            LiveExecutor::new(config.batch_size.max(1))
-                .with_retry(config.retry.clone())
-                .with_columnar(config.columnar)
-                .with_memory_budget(config.memory_budget),
-        )
+        let mut exec = LiveExecutor::new(config.batch_size.max(1))
+            .with_retry(config.retry.clone())
+            .with_columnar(config.columnar)
+            .with_memory_budget(config.memory_budget);
+        if let Some(cache) = config.result_cache.clone() {
+            exec = exec.with_result_cache(cache);
+        }
+        ExecBackend::Live(exec)
     }
 
     /// Backend for a [`BackendKind`], the single selection point the
@@ -223,6 +237,10 @@ impl ExecBackend {
                         .sum(),
                     spilled_bytes: res.metrics.operators.iter().map(|m| m.spilled_bytes).sum(),
                     spill_reads: res.metrics.operators.iter().map(|m| m.spill_reads).sum(),
+                    cache_hits: res.metrics.operators.iter().map(|m| m.cache_hits).sum(),
+                    cache_misses: res.metrics.operators.iter().map(|m| m.cache_misses).sum(),
+                    cache_bytes: res.metrics.operators.iter().map(|m| m.cache_bytes).sum(),
+                    cache_published: res.cache_published,
                     metrics: res.metrics,
                     trace: res.trace,
                     pool: None,
@@ -242,6 +260,10 @@ impl ExecBackend {
                     spilled_blocks: res.pool.as_ref().map_or(0, |p| p.spilled_blocks),
                     spilled_bytes: res.pool.as_ref().map_or(0, |p| p.spilled_bytes),
                     spill_reads: res.pool.as_ref().map_or(0, |p| p.spill_reads),
+                    cache_hits: res.pool.as_ref().map_or(0, |p| p.cache_hits),
+                    cache_misses: res.pool.as_ref().map_or(0, |p| p.cache_misses),
+                    cache_bytes: res.pool.as_ref().map_or(0, |p| p.cache_bytes),
+                    cache_published: res.cache_published,
                     metrics: res.metrics,
                     trace: res.trace,
                     retries_attempted: res.pool.as_ref().map_or(0, |p| p.retries_attempted),
@@ -491,6 +513,44 @@ mod tests {
             assert!(bounded.spill_reads > 0, "{kind}");
             let m = bounded.metrics.by_name("join").unwrap();
             assert_eq!(m.spilled_blocks, bounded.spilled_blocks, "{kind}");
+        }
+    }
+
+    #[test]
+    fn result_cache_serves_warm_reruns_on_both_backends() {
+        use crate::cache::ResultCache;
+        for kind in BackendKind::ALL {
+            let cache = Arc::new(ResultCache::new());
+            let config = || EngineConfig::default().with_result_cache(cache.clone());
+            let key = |r: &EngineRun| {
+                let mut v: Vec<String> = r.rows.iter().map(|t| t.to_string()).collect();
+                v.sort();
+                v
+            };
+
+            let (wf, handle) = build_wf(100);
+            let cold = ExecBackend::of_kind(kind, config()).run(&wf, &handle).unwrap();
+            assert_eq!(cold.cache_hits, 0, "{kind}: cold run cannot hit");
+            assert!(cold.cache_misses > 0, "{kind}: cold run must record");
+            assert!(cold.cache_published > 0, "{kind}: clean cold run publishes");
+
+            // A separately built but content-identical workflow hits.
+            let (wf2, handle2) = build_wf(100);
+            let warm = ExecBackend::of_kind(kind, config())
+                .run(&wf2, &handle2)
+                .unwrap();
+            assert!(warm.cache_hits > 0, "{kind}: warm rerun must hit");
+            assert!(warm.cache_bytes > 0, "{kind}: hits decode real bytes");
+            assert_eq!(warm.cache_published, 0, "{kind}: nothing new to publish");
+            assert_eq!(key(&cold), key(&warm), "{kind}: hit must reproduce rows");
+
+            // Cache off (default config): same rows, no counters.
+            let (wf3, handle3) = build_wf(100);
+            let off = ExecBackend::of_kind(kind, EngineConfig::default())
+                .run(&wf3, &handle3)
+                .unwrap();
+            assert_eq!(off.cache_hits + off.cache_misses + off.cache_published, 0);
+            assert_eq!(key(&off), key(&warm), "{kind}: cache must not change rows");
         }
     }
 

@@ -1,0 +1,706 @@
+//! Fingerprint-keyed result cache: incremental re-execution across
+//! edits, backends, and tenants.
+//!
+//! Every built [`Workflow`] node carries a Merkle-style
+//! [`OpFingerprint`] — a content address of "this operator's spec plus
+//! everything upstream of it". The [`ResultCache`] maps fingerprints to
+//! sealed operator outputs, stored as compressed block-store
+//! [`Segment`]s (the same representation the spill path uses), so a
+//! cached result costs compressed bytes, not live tuples.
+//!
+//! Execution is cache-aware through **planning**, not through changes to
+//! either engine's inner loop. [`prepare`] rewrites a workflow before it
+//! runs:
+//!
+//! * a needed node whose fingerprint has a sealed entry is **served** —
+//!   replaced by a [`CacheReplayOp`] source that decodes the segment and
+//!   emits the recorded rows (the simulator charges
+//!   [`EngineConfig::cache_read_per_block`] per decoded block via the
+//!   replay op's setup cost);
+//! * nodes upstream of only served/unneeded consumers are **skipped** —
+//!   dropped from the plan entirely, the "recompute only the edited
+//!   cone" effect;
+//! * everything else is **computed**; cacheable computed nodes are
+//!   wrapped in a [`RecordingFactory`] that tees their emitted rows into
+//!   a [`CacheRecording`] for publication.
+//!
+//! Recordings are published only by [`commit_recordings`], and the
+//! executors call it only after a run completes **cleanly** — no faults
+//! injected, no retries spent. A faulted quantum replays its held input,
+//! which would tee rows twice; discarding the whole recording set is the
+//! write-then-rename discipline that keeps partial or duplicated output
+//! out of the cache (pinned by `tests/cache_chaos.rs`).
+//!
+//! [`EngineConfig::cache_read_per_block`]: crate::EngineConfig
+//! [`EngineConfig::result_cache`]: crate::EngineConfig
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use scriptflow_core::fingerprint::OpFingerprint;
+use scriptflow_datakit::blockstore::{BlockAppender, Segment};
+use scriptflow_datakit::{ColumnarBatch, Schema, SchemaRef, Tuple};
+use scriptflow_simcluster::SimDuration;
+
+use crate::cost::CostProfile;
+use crate::dag::{OpId, Workflow, WorkflowBuilder};
+use crate::operator::{
+    Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
+use crate::spill::SPILL_BLOCK_ROWS;
+
+/// One sealed cache entry: an operator's complete output multiset as a
+/// compressed segment, plus the counters telemetry reports when the
+/// entry is served.
+#[derive(Debug)]
+pub struct CacheEntry {
+    segment: Segment,
+    rows: u64,
+    blocks: u64,
+    bytes: u64,
+}
+
+impl CacheEntry {
+    fn seal(schema: &SchemaRef, tuples: &[Tuple]) -> CacheEntry {
+        let mut app = BlockAppender::new();
+        for chunk in tuples.chunks(SPILL_BLOCK_ROWS) {
+            let batch = ColumnarBatch::from_tuples(schema.clone(), chunk);
+            app.append(&batch);
+        }
+        let segment = app.seal();
+        let m = segment.manifest();
+        CacheEntry {
+            rows: m.row_count,
+            blocks: m.block_count,
+            bytes: m.compressed_bytes,
+            segment,
+        }
+    }
+
+    /// Rows recorded in this entry.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Compressed blocks backing this entry.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Compressed bytes backing this entry.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Decode the full output multiset back into tuples, in recorded
+    /// order.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.rows as usize);
+        for block in self.segment.blocks() {
+            let batch = block
+                .decode()
+                .expect("sealed cache blocks always round-trip");
+            out.extend(batch.to_tuples());
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<u128, Arc<CacheEntry>>,
+    bytes: u64,
+}
+
+/// A process-wide result cache, shareable across runs, backends, and
+/// (via the service layer) tenants.
+///
+/// The cache never evicts on its own: its footprint is the sum of its
+/// sealed segments' compressed bytes, and the multi-tenant service
+/// bounds growth with per-tenant cache budgets
+/// ([`crate::TenantQuota::with_cache_budget`]).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// The sealed entry for `fp`, if one has been published.
+    pub fn lookup(&self, fp: OpFingerprint) -> Option<Arc<CacheEntry>> {
+        self.inner.lock().unwrap().entries.get(&fp.0).cloned()
+    }
+
+    /// Seal `tuples` under `fp` and return the compressed bytes added.
+    ///
+    /// Idempotent: publishing a fingerprint that already has an entry is
+    /// a no-op returning 0 — first writer wins, which is what
+    /// single-flight needs when two tenants race the same prefix.
+    pub fn publish(&self, fp: OpFingerprint, schema: &SchemaRef, tuples: &[Tuple]) -> u64 {
+        // Seal outside the lock; insertion re-checks for a racing writer.
+        let entry = CacheEntry::seal(schema, tuples);
+        let bytes = entry.bytes;
+        let mut inner = self.inner.lock().unwrap();
+        if inner.entries.contains_key(&fp.0) {
+            return 0;
+        }
+        inner.entries.insert(fp.0, Arc::new(entry));
+        inner.bytes += bytes;
+        bytes
+    }
+
+    /// Total compressed bytes held.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Number of sealed entries held.
+    pub fn entries(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+}
+
+/// A cache-hit stand-in: a source operator that replays one sealed
+/// [`CacheEntry`] under the served operator's original name and schema.
+///
+/// The simulator charges the read cost of a hit through the replay op's
+/// one-time setup — `cache_read_per_block × blocks` on a single worker —
+/// so serving a segment costs virtual time proportional to its size
+/// without any event-loop changes.
+pub struct CacheReplayOp {
+    name: String,
+    schema: SchemaRef,
+    entry: Arc<CacheEntry>,
+    read_per_block: SimDuration,
+}
+
+impl CacheReplayOp {
+    fn new(
+        name: &str,
+        schema: SchemaRef,
+        entry: Arc<CacheEntry>,
+        read_per_block: SimDuration,
+    ) -> Self {
+        CacheReplayOp {
+            name: name.to_owned(),
+            schema,
+            entry,
+            read_per_block,
+        }
+    }
+}
+
+/// Replay sources never receive tuples (mirrors the scan instance).
+struct CacheReplayInstance;
+
+impl Operator for CacheReplayInstance {
+    fn on_tuple(
+        &mut self,
+        _tuple: Tuple,
+        _port: usize,
+        _out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        Err(WorkflowError::OperatorFailed {
+            operator: "<cache-replay>".into(),
+            message: "cache replay sources do not accept input".into(),
+        })
+    }
+}
+
+impl OperatorFactory for CacheReplayOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> usize {
+        0
+    }
+
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        debug_assert!(inputs.is_empty());
+        Ok((*self.schema).clone())
+    }
+
+    fn cost(&self) -> CostProfile {
+        CostProfile {
+            setup: self.read_per_block * self.entry.blocks,
+            per_tuple: SimDuration::ZERO,
+            per_tuple_ports: Vec::new(),
+            per_batch: SimDuration::ZERO,
+            ..CostProfile::default()
+        }
+    }
+
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(CacheReplayInstance)
+    }
+
+    fn source_partitions(&self, workers: usize) -> Option<Vec<Vec<Tuple>>> {
+        let mut parts: Vec<Vec<Tuple>> = (0..workers.max(1)).map(|_| Vec::new()).collect();
+        for (i, t) in self.entry.tuples().into_iter().enumerate() {
+            parts[i % workers.max(1)].push(t);
+        }
+        Some(parts)
+    }
+
+    fn cache_replay(&self) -> Option<(u64, u64)> {
+        Some((self.entry.blocks, self.entry.bytes))
+    }
+}
+
+/// The teed output of one cache-miss operator across all of its worker
+/// instances, awaiting publication on clean run completion.
+pub struct CacheRecording {
+    fingerprint: OpFingerprint,
+    schema: SchemaRef,
+    rows: Arc<Mutex<Vec<Tuple>>>,
+}
+
+/// Wraps a cache-miss operator's factory, teeing everything its
+/// instances emit into a shared [`CacheRecording`] buffer. Every other
+/// behaviour delegates, so a recorded operator runs (and costs) exactly
+/// like the bare one.
+pub struct RecordingFactory {
+    inner: Arc<dyn OperatorFactory>,
+    rows: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl RecordingFactory {
+    fn new(inner: Arc<dyn OperatorFactory>, rows: Arc<Mutex<Vec<Tuple>>>) -> Self {
+        RecordingFactory { inner, rows }
+    }
+}
+
+impl OperatorFactory for RecordingFactory {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn input_ports(&self) -> usize {
+        self.inner.input_ports()
+    }
+
+    fn output_schema(&self, inputs: &[SchemaRef]) -> WorkflowResult<Schema> {
+        self.inner.output_schema(inputs)
+    }
+
+    fn blocking_ports(&self) -> Vec<usize> {
+        self.inner.blocking_ports()
+    }
+
+    fn language(&self) -> scriptflow_simcluster::Language {
+        self.inner.language()
+    }
+
+    fn cost(&self) -> CostProfile {
+        self.inner.cost()
+    }
+
+    fn create(&self) -> Box<dyn Operator> {
+        Box::new(RecordingOp {
+            inner: self.inner.create(),
+            rows: Arc::clone(&self.rows),
+        })
+    }
+
+    fn source_partitions(&self, workers: usize) -> Option<Vec<Vec<Tuple>>> {
+        let parts = self.inner.source_partitions(workers)?;
+        // Called more than once per plan (DAG validation probes every
+        // source, then the executor chunks it): each call yields the
+        // operator's complete output, so replace rather than append.
+        let mut rows = self.rows.lock().unwrap();
+        rows.clear();
+        for p in &parts {
+            rows.extend(p.iter().cloned());
+        }
+        Some(parts)
+    }
+
+    fn shared_state_id(&self) -> Option<usize> {
+        self.inner.shared_state_id()
+    }
+
+    fn reset_shared_state(&self) {
+        self.inner.reset_shared_state()
+    }
+
+    fn fingerprint(&self) -> OpFingerprint {
+        self.inner.fingerprint()
+    }
+
+    fn commutative_inputs(&self) -> bool {
+        self.inner.commutative_inputs()
+    }
+
+    fn cache_recording(&self) -> bool {
+        true
+    }
+}
+
+/// Per-worker tee: runs the wrapped instance and copies whatever it
+/// emitted into the recording buffer.
+struct RecordingOp {
+    inner: Box<dyn Operator>,
+    rows: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl RecordingOp {
+    fn tee(&self, out: &OutputCollector, mark: usize) {
+        let emitted = out.emitted_since(mark);
+        if !emitted.is_empty() {
+            self.rows.lock().unwrap().extend_from_slice(emitted);
+        }
+    }
+}
+
+impl Operator for RecordingOp {
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.inner.set_memory_budget(bytes)
+    }
+
+    fn on_tuple(
+        &mut self,
+        tuple: Tuple,
+        port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        let mark = out.len();
+        self.inner.on_tuple(tuple, port, out)?;
+        self.tee(out, mark);
+        Ok(())
+    }
+
+    fn on_port_complete(&mut self, port: usize, out: &mut OutputCollector) -> WorkflowResult<()> {
+        let mark = out.len();
+        self.inner.on_port_complete(port, out)?;
+        self.tee(out, mark);
+        Ok(())
+    }
+
+    fn on_batch(
+        &mut self,
+        batch: &ColumnarBatch,
+        port: usize,
+        out: &mut OutputCollector,
+    ) -> WorkflowResult<()> {
+        let mark = out.len();
+        self.inner.on_batch(batch, port, out)?;
+        self.tee(out, mark);
+        Ok(())
+    }
+}
+
+/// How [`prepare`] disposed of one original node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeFate {
+    /// Runs in the plan (recorded when cacheable).
+    Computed,
+    /// Replaced by a [`CacheReplayOp`] serving a sealed entry.
+    Served,
+    /// Dropped: every consumer is served or itself skipped.
+    Skipped,
+}
+
+/// A cache-aware execution plan: the rewritten workflow plus everything
+/// the executor needs to account for and commit the run.
+pub struct CachePlan {
+    /// The workflow to actually execute (served nodes replaced, skipped
+    /// nodes dropped, cache-miss nodes recording).
+    pub wf: Workflow,
+    /// Pending recordings, to be published via [`commit_recordings`]
+    /// only on clean success.
+    pub recordings: Vec<CacheRecording>,
+    /// Nodes served from the cache.
+    pub hits: u64,
+    /// Cacheable nodes that ran and recorded.
+    pub misses: u64,
+    /// Compressed blocks decoded to serve the hits.
+    pub hit_blocks: u64,
+    /// Compressed bytes decoded to serve the hits.
+    pub hit_bytes: u64,
+}
+
+/// Plan `wf` against `cache`: classify every node as computed, served,
+/// or skipped (see the module docs) and rebuild the workflow
+/// accordingly. `read_per_block` is the virtual cost the simulator
+/// charges per decoded block when serving a hit.
+///
+/// An operator is *cacheable* when its worker instances are
+/// self-contained (no [`OperatorFactory::shared_state_id`] — a sink's
+/// rows live in shared state the cache must not alias) and it has at
+/// least one consumer to serve.
+pub fn prepare(wf: &Workflow, cache: &ResultCache, read_per_block: SimDuration) -> CachePlan {
+    let n = wf.ops().len();
+
+    let cacheable = |id: OpId| {
+        wf.op(id).factory.shared_state_id().is_none() && !wf.out_edges(id).is_empty()
+    };
+
+    // Classify in reverse topological order: sinks are always computed
+    // (their rows are the run's results); a non-sink is needed only if
+    // some consumer computes, and a needed node is served on a hit.
+    let mut fate = vec![NodeFate::Skipped; n];
+    let mut hit: Vec<Option<Arc<CacheEntry>>> = vec![None; n];
+    for &id in wf.topo_order().iter().rev() {
+        let consumers = wf.out_edges(id);
+        let needed = consumers.is_empty()
+            || consumers
+                .iter()
+                .any(|(_, e)| fate[e.to.0] == NodeFate::Computed);
+        if !needed {
+            continue;
+        }
+        if cacheable(id) {
+            if let Some(entry) = cache.lookup(wf.fingerprint(id)) {
+                hit[id.0] = Some(entry);
+                fate[id.0] = NodeFate::Served;
+                continue;
+            }
+        }
+        fate[id.0] = NodeFate::Computed;
+    }
+
+    // Rebuild, preserving original node order for deterministic ids.
+    let mut b = WorkflowBuilder::new();
+    let mut mapped: Vec<Option<OpId>> = vec![None; n];
+    let mut recordings = Vec::new();
+    let (mut hits, mut misses, mut hit_blocks, mut hit_bytes) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..n {
+        let id = OpId(i);
+        let node = wf.op(id);
+        match fate[i] {
+            NodeFate::Skipped => {}
+            NodeFate::Served => {
+                let entry = hit[i].clone().expect("served nodes carry their entry");
+                hits += 1;
+                hit_blocks += entry.blocks;
+                hit_bytes += entry.bytes;
+                let replay = CacheReplayOp::new(
+                    node.factory.name(),
+                    wf.schema(id).clone(),
+                    entry,
+                    read_per_block,
+                );
+                mapped[i] = Some(b.add(Arc::new(replay), 1));
+            }
+            NodeFate::Computed => {
+                let factory: Arc<dyn OperatorFactory> = if cacheable(id) {
+                    misses += 1;
+                    let rows = Arc::new(Mutex::new(Vec::new()));
+                    recordings.push(CacheRecording {
+                        fingerprint: wf.fingerprint(id),
+                        schema: wf.schema(id).clone(),
+                        rows: Arc::clone(&rows),
+                    });
+                    Arc::new(RecordingFactory::new(Arc::clone(&node.factory), rows))
+                } else {
+                    Arc::clone(&node.factory)
+                };
+                mapped[i] = Some(b.add(factory, node.parallelism));
+            }
+        }
+    }
+    for e in wf.edges() {
+        // Served consumers take no inputs; edges into skipped nodes
+        // vanish with them.
+        if fate[e.to.0] != NodeFate::Computed {
+            continue;
+        }
+        let from = mapped[e.from.0].expect("a computed node's inputs are never skipped");
+        let to = mapped[e.to.0].expect("computed nodes are in the plan");
+        b.connect(from, to, e.to_port, e.partition.clone());
+    }
+    let planned = b
+        .build()
+        .expect("replanning a validated workflow cannot fail");
+
+    CachePlan {
+        wf: planned,
+        recordings,
+        hits,
+        misses,
+        hit_blocks,
+        hit_bytes,
+    }
+}
+
+/// Publish every recording of a **cleanly** completed run and return
+/// the compressed bytes added. Callers must not commit after a run
+/// that saw faults or retries: a replayed quantum tees its held input's
+/// output twice, and this discard-on-dirty rule is what keeps partial
+/// or duplicated segments out of the cache.
+pub fn commit_recordings(recordings: &[CacheRecording], cache: &ResultCache) -> u64 {
+    let mut added = 0;
+    for r in recordings {
+        let rows = r.rows.lock().unwrap();
+        added += cache.publish(r.fingerprint, &r.schema, &rows);
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{FilterOp, ScanOp, SinkOp};
+    use crate::partition::PartitionStrategy;
+    use scriptflow_datakit::{Batch, CmpOp, DataType, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::of(&[("id", DataType::Int)])
+    }
+
+    fn rows(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::new(schema(), vec![Value::Int(i)]).unwrap())
+            .collect()
+    }
+
+    fn linear(n: i64) -> (Workflow, crate::ops::SinkHandle) {
+        let mut b = WorkflowBuilder::new();
+        let batch = Batch::from_rows(schema(), (0..n).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
+        let s = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+        let f = b.add(
+            Arc::new(FilterOp::cmp("filter", "id", CmpOp::Ge, Value::Int(0))),
+            2,
+        );
+        let sink_op = SinkOp::new("sink");
+        let handle = sink_op.handle();
+        let k = b.add(Arc::new(sink_op), 1);
+        b.connect(s, f, 0, PartitionStrategy::RoundRobin);
+        b.connect(f, k, 0, PartitionStrategy::Single);
+        (b.build().unwrap(), handle)
+    }
+
+    #[test]
+    fn publish_lookup_roundtrip_preserves_rows() {
+        let cache = ResultCache::new();
+        let schema = schema();
+        let fp = OpFingerprint(42);
+        let data = rows(700); // > one block
+        let bytes = cache.publish(fp, &schema, &data);
+        assert!(bytes > 0);
+        assert_eq!(cache.bytes(), bytes);
+        assert_eq!(cache.entries(), 1);
+        let entry = cache.lookup(fp).expect("published");
+        assert_eq!(entry.rows(), 700);
+        assert!(entry.blocks() >= 2, "block size is bounded");
+        let back: Vec<_> = entry.tuples().iter().map(|t| t.values().to_vec()).collect();
+        let want: Vec<_> = data.iter().map(|t| t.values().to_vec()).collect();
+        assert_eq!(back, want);
+        assert!(cache.lookup(OpFingerprint(43)).is_none());
+    }
+
+    #[test]
+    fn publish_is_idempotent_first_writer_wins() {
+        let cache = ResultCache::new();
+        let schema = schema();
+        let fp = OpFingerprint(7);
+        let first = cache.publish(fp, &schema, &rows(10));
+        assert!(first > 0);
+        assert_eq!(cache.publish(fp, &schema, &rows(10)), 0);
+        assert_eq!(cache.bytes(), first);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn cold_plan_records_everything_cacheable() {
+        let (wf, _) = linear(20);
+        let cache = ResultCache::new();
+        let plan = prepare(&wf, &cache, SimDuration::from_micros(900));
+        assert_eq!(plan.hits, 0);
+        // scan + filter are cacheable; the sink holds shared state.
+        assert_eq!(plan.misses, 2);
+        assert_eq!(plan.recordings.len(), 2);
+        assert_eq!(plan.wf.operator_count(), 3, "cold plan keeps every node");
+        assert!(plan.wf.op(OpId(0)).factory.cache_recording());
+        assert!(!plan.wf.op(OpId(2)).factory.cache_recording(), "sink bare");
+    }
+
+    #[test]
+    fn warm_plan_serves_the_deepest_hit_and_skips_its_cone() {
+        let (wf, _) = linear(20);
+        let cache = ResultCache::new();
+        // Seed the cache with the filter's output under its fingerprint.
+        let filter_id = wf.op_by_name("filter").unwrap();
+        cache.publish(
+            wf.fingerprint(filter_id),
+            wf.schema(filter_id),
+            &rows(20),
+        );
+        let plan = prepare(&wf, &cache, SimDuration::from_micros(900));
+        assert_eq!(plan.hits, 1);
+        assert_eq!(plan.misses, 0, "everything upstream of the hit skipped");
+        assert_eq!(
+            plan.wf.operator_count(),
+            2,
+            "scan is skipped; replay + sink remain"
+        );
+        let replay = plan.wf.op_by_name("filter").expect("replay keeps the name");
+        let (blocks, bytes) = plan.wf.op(replay).factory.cache_replay().unwrap();
+        assert!(blocks >= 1);
+        assert!(bytes > 0);
+        assert_eq!(plan.hit_blocks, blocks);
+        assert_eq!(plan.hit_bytes, bytes);
+        // The replay op charges its read through setup on one worker.
+        assert_eq!(
+            plan.wf.op(replay).factory.cost().setup,
+            SimDuration::from_micros(900) * blocks
+        );
+        assert_eq!(plan.wf.op(replay).parallelism, 1);
+    }
+
+    #[test]
+    fn commit_publishes_recorded_rows() {
+        let (wf, _) = linear(15);
+        let cache = ResultCache::new();
+        let plan = prepare(&wf, &cache, SimDuration::ZERO);
+        // Simulate the executors' tee (replacing whatever the DAG
+        // validation probe already captured).
+        let scan_rec = &plan.recordings[0];
+        {
+            let mut buf = scan_rec.rows.lock().unwrap();
+            buf.clear();
+            buf.extend(rows(15));
+        }
+        let added = commit_recordings(&plan.recordings[..1], &cache);
+        assert!(added > 0);
+        assert_eq!(cache.bytes(), added);
+        let entry = cache.lookup(wf.fingerprint(OpId(0))).unwrap();
+        assert_eq!(entry.rows(), 15);
+        // Re-committing adds nothing (idempotent publish).
+        assert_eq!(commit_recordings(&plan.recordings[..1], &cache), 0);
+    }
+
+    #[test]
+    fn recording_factory_tees_without_changing_output() {
+        let inner = Arc::new(FilterOp::cmp("f", "id", CmpOp::Lt, Value::Int(3)));
+        let rows_buf = Arc::new(Mutex::new(Vec::new()));
+        let rec = RecordingFactory::new(inner, Arc::clone(&rows_buf));
+        assert!(rec.cache_recording());
+        assert_eq!(rec.name(), "f");
+        let mut inst = rec.create();
+        let mut out = OutputCollector::new();
+        for t in rows(5) {
+            inst.on_tuple(t, 0, &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 3, "filter semantics unchanged");
+        assert_eq!(rows_buf.lock().unwrap().len(), 3, "teed exactly the output");
+    }
+
+    #[test]
+    fn empty_output_round_trips_as_empty_entry() {
+        let cache = ResultCache::new();
+        let schema = schema();
+        let fp = OpFingerprint(9);
+        assert_eq!(cache.publish(fp, &schema, &[]), 0);
+        let entry = cache.lookup(fp).unwrap();
+        assert_eq!(entry.rows(), 0);
+        assert_eq!(entry.blocks(), 0);
+        assert!(entry.tuples().is_empty());
+    }
+}

@@ -153,6 +153,21 @@ pub struct EngineConfig {
     /// Virtual time the simulator charges per compressed block read back
     /// from the spill store. Ignored when nothing spills.
     pub spill_read_per_block: SimDuration,
+    /// Fingerprint-keyed result cache for incremental re-execution, or
+    /// `None` (the default) for the memoization-free engines under which
+    /// every paper anchor is reproduced byte-identically. When set, both
+    /// executors consult the cache before running: operators whose
+    /// fingerprint (spec ⊕ upstream cone, Merkle-style) has a sealed
+    /// entry are *served* — replaced by a replay source reading the
+    /// cached segment — and the untouched cone upstream of them is
+    /// skipped entirely; cache-miss operators are recorded and published
+    /// back on clean completion. Share one cache across runs (or
+    /// tenants, via the service) to get edit-rerun memoization.
+    pub result_cache: Option<std::sync::Arc<crate::cache::ResultCache>>,
+    /// Virtual time the simulator charges per compressed block decoded
+    /// from a cached result segment when serving a hit. Ignored unless
+    /// [`EngineConfig::result_cache`] is set.
+    pub cache_read_per_block: SimDuration,
 }
 
 impl Default for EngineConfig {
@@ -170,6 +185,8 @@ impl Default for EngineConfig {
             memory_budget: None,
             spill_write_per_block: SimDuration::from_micros(2_500),
             spill_read_per_block: SimDuration::from_micros(1_200),
+            result_cache: None,
+            cache_read_per_block: SimDuration::from_micros(900),
         }
     }
 }
@@ -210,6 +227,13 @@ impl EngineConfig {
     /// [`EngineConfig::memory_budget`]).
     pub fn with_memory_budget(mut self, bytes: Option<usize>) -> Self {
         self.memory_budget = bytes;
+        self
+    }
+
+    /// Config serving and recording through `cache` (see
+    /// [`EngineConfig::result_cache`]).
+    pub fn with_result_cache(mut self, cache: std::sync::Arc<crate::cache::ResultCache>) -> Self {
+        self.result_cache = Some(cache);
         self
     }
 }
@@ -269,6 +293,19 @@ mod tests {
         );
         let cfg = EngineConfig::default().with_retry(RetryPolicy::attempts(3));
         assert_eq!(cfg.retry.policy_for("anything").max_attempts, 3);
+    }
+
+    #[test]
+    fn result_cache_defaults_off_and_builder_enables() {
+        let cfg = EngineConfig::default();
+        assert!(
+            cfg.result_cache.is_none(),
+            "default config must reproduce the memoization-free engines"
+        );
+        assert!(cfg.cache_read_per_block > SimDuration::ZERO);
+        let cache = std::sync::Arc::new(crate::cache::ResultCache::new());
+        let on = EngineConfig::default().with_result_cache(cache);
+        assert!(on.result_cache.is_some());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use scriptflow_core::fingerprint::{Fingerprinter, OpFingerprint};
 use scriptflow_datakit::SchemaRef;
 
 use crate::operator::{OperatorFactory, WorkflowError, WorkflowResult};
@@ -24,6 +25,7 @@ pub struct OpId(pub usize);
 pub struct EdgeId(pub usize);
 
 /// One operator node: a factory plus its configured parallelism.
+#[derive(Clone)]
 pub struct OpNode {
     /// Factory creating worker instances and describing the operator.
     pub factory: Arc<dyn OperatorFactory>,
@@ -44,14 +46,20 @@ pub struct Edge {
     pub partition: PartitionStrategy,
 }
 
-/// A validated workflow: operators, edges, propagated schemas, and a
-/// topological order.
+/// A validated workflow: operators, edges, propagated schemas,
+/// per-node content fingerprints, and a topological order.
+///
+/// `Clone` is shallow (factories are shared `Arc`s): the service layer
+/// clones workflows to re-plan cache-enabled submissions at dispatch
+/// time.
+#[derive(Clone)]
 pub struct Workflow {
     ops: Vec<OpNode>,
     edges: Vec<Edge>,
     schemas: Vec<SchemaRef>,
     partitioners: Vec<CompiledPartitioner>,
     topo: Vec<OpId>,
+    fingerprints: Vec<OpFingerprint>,
 }
 
 impl std::fmt::Debug for Workflow {
@@ -159,6 +167,26 @@ impl Workflow {
             .map(OpId)
             .find(|id| self.op(*id).factory.name() == name)
     }
+
+    /// The Merkle fingerprint of one operator: its spec digest folded
+    /// with the fingerprints of everything upstream (plus the routing
+    /// that feeds it). Equal fingerprints across workflows mean the
+    /// node computes the same output multiset — the result cache's key.
+    pub fn fingerprint(&self, id: OpId) -> OpFingerprint {
+        self.fingerprints[id.0]
+    }
+
+    /// All node fingerprints, indexed by [`OpId`].
+    pub fn fingerprints(&self) -> &[OpFingerprint] {
+        &self.fingerprints
+    }
+
+    /// A single fingerprint for the whole workflow: the unordered fold
+    /// of every node fingerprint. The service layer uses it to detect
+    /// concurrent identical submissions (single-flight).
+    pub fn workflow_fingerprint(&self) -> OpFingerprint {
+        OpFingerprint::fold_unordered(self.fingerprints.iter().copied())
+    }
 }
 
 /// Incremental workflow construction.
@@ -213,14 +241,14 @@ impl WorkflowBuilder {
             ));
         }
 
-        // Unique operator names (the GUI addresses operators by name).
+        // Unique operator names (the GUI addresses operators by name,
+        // and names participate in fingerprints): typed rejection.
         let mut names = HashSet::new();
         for node in &self.ops {
             if !names.insert(node.factory.name().to_owned()) {
-                return Err(WorkflowError::InvalidDag(format!(
-                    "duplicate operator name `{}`",
-                    node.factory.name()
-                )));
+                return Err(WorkflowError::DuplicateOperator {
+                    name: node.factory.name().to_owned(),
+                });
             }
         }
 
@@ -347,12 +375,47 @@ impl WorkflowBuilder {
             partitioners.push(compiled);
         }
 
+        // Merkle fingerprints, in topological order: each node's spec
+        // digest folded with the fingerprints of its inputs. Parallelism
+        // and edge routing are part of the digest — per-worker-stateful
+        // operators (distinct, join) can produce different multisets
+        // under different partitionings, so a cache must treat those as
+        // different computations. Commutative operators (union) fold
+        // their inputs order-independently: rewiring equivalent inputs
+        // onto different ports is not an edit.
+        let mut fingerprints = vec![OpFingerprint::ZERO; n];
+        for &op in &topo {
+            let node = &self.ops[op.0];
+            let mut h = Fingerprinter::new("node");
+            h.write_fingerprint(node.factory.fingerprint());
+            h.write_usize(node.parallelism);
+            let mut ins: Vec<&Edge> = self.edges.iter().filter(|e| e.to == op).collect();
+            ins.sort_by_key(|e| e.to_port);
+            if node.factory.commutative_inputs() {
+                let folded = OpFingerprint::fold_unordered(ins.iter().map(|e| {
+                    let mut link = Fingerprinter::new("link");
+                    link.write_fingerprint(fingerprints[e.from.0]);
+                    link.write_str(&e.partition.label());
+                    link.finish()
+                }));
+                h.write_fingerprint(folded);
+            } else {
+                for e in &ins {
+                    h.write_usize(e.to_port);
+                    h.write_fingerprint(fingerprints[e.from.0]);
+                    h.write_str(&e.partition.label());
+                }
+            }
+            fingerprints[op.0] = h.finish();
+        }
+
         Ok(Workflow {
             ops: self.ops,
             edges: self.edges,
             schemas,
             partitioners,
             topo,
+            fingerprints,
         })
     }
 }
@@ -431,12 +494,63 @@ mod tests {
     }
 
     #[test]
-    fn rejects_duplicate_names() {
+    fn rejects_duplicate_names_with_typed_error() {
         let mut b = WorkflowBuilder::new();
         b.add(scan("x", 1), 1);
         b.add(scan("x", 1), 1);
         let err = b.build().unwrap_err();
+        assert_eq!(err, WorkflowError::DuplicateOperator { name: "x".into() });
         assert!(err.to_string().contains("duplicate operator name"));
+    }
+
+    fn linear_fingerprints(n: i64, parallelism: usize) -> Vec<OpFingerprint> {
+        let mut b = WorkflowBuilder::new();
+        let s = b.add(scan("scan", n), 1);
+        let f = b.add(filter("filter"), parallelism);
+        let k = b.add(Arc::new(SinkOp::new("sink")), 1);
+        b.connect(s, f, 0, PartitionStrategy::RoundRobin);
+        b.connect(f, k, 0, PartitionStrategy::Single);
+        b.build().unwrap().fingerprints().to_vec()
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_builds() {
+        assert_eq!(linear_fingerprints(10, 2), linear_fingerprints(10, 2));
+    }
+
+    #[test]
+    fn upstream_edit_propagates_merkle_style() {
+        let a = linear_fingerprints(10, 2);
+        let b = linear_fingerprints(11, 2);
+        // The scan's content changed, so every node downstream of it
+        // (i.e. all of them) carries a new fingerprint.
+        for (x, y) in a.iter().zip(&b) {
+            assert_ne!(x, y);
+        }
+    }
+
+    #[test]
+    fn parallelism_is_part_of_the_fingerprint() {
+        let a = linear_fingerprints(10, 2);
+        let b = linear_fingerprints(10, 3);
+        assert_eq!(a[0], b[0], "the scan itself is unchanged");
+        assert_ne!(a[1], b[1], "the filter's worker count changed");
+        assert_ne!(a[2], b[2], "the sink consumes a different plan");
+    }
+
+    #[test]
+    fn workflow_clone_is_shallow_and_fingerprint_stable() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.add(scan("scan", 5), 1);
+        let k = b.add(Arc::new(SinkOp::new("sink")), 1);
+        b.connect(s, k, 0, PartitionStrategy::Single);
+        let wf = b.build().unwrap();
+        let c = wf.clone();
+        assert_eq!(wf.workflow_fingerprint(), c.workflow_fingerprint());
+        assert!(Arc::ptr_eq(
+            &wf.op(OpId(0)).factory,
+            &c.op(OpId(0)).factory
+        ));
     }
 
     #[test]

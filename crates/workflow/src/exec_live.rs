@@ -179,6 +179,15 @@ pub struct PoolStats {
     pub spilled_bytes: u64,
     /// Spilled blocks read back (partition joins, run merges).
     pub spill_reads: u64,
+    /// Operators served from the result cache — each served operator
+    /// counts once (0 unless [`LiveExecutor::with_result_cache`]).
+    pub cache_hits: u64,
+    /// Operators that ran under a result cache, missed, and recorded
+    /// their output for publication.
+    pub cache_misses: u64,
+    /// Compressed bytes decoded from the cache across all served
+    /// operators.
+    pub cache_bytes: u64,
 }
 
 /// Result of a live run.
@@ -215,6 +224,10 @@ pub struct LiveRunResult {
     /// least the terminal sample; interval samples require
     /// [`LiveExecutor::with_trace`]. Empty in thread-per-worker mode.
     pub trace: ProgressTrace,
+    /// Compressed bytes this run added to the result cache (0 without
+    /// [`LiveExecutor::with_result_cache`], and 0 for runs that faulted
+    /// or retried — only clean runs publish their recordings).
+    pub cache_published: u64,
 }
 
 /// The real-thread workflow executor.
@@ -248,6 +261,7 @@ pub struct LiveExecutor {
     retry: RetryConfig,
     columnar: bool,
     memory_budget: Option<usize>,
+    result_cache: Option<Arc<crate::cache::ResultCache>>,
 }
 
 impl Default for LiveExecutor {
@@ -278,6 +292,7 @@ impl LiveExecutor {
             retry: RetryConfig::default(),
             columnar: false,
             memory_budget: None,
+            result_cache: None,
         }
     }
 
@@ -463,6 +478,28 @@ impl LiveExecutor {
         self
     }
 
+    /// Memoize sealed operator outputs in `cache`, keyed by content
+    /// fingerprint (see [`crate::cache`]). Before a pooled run the
+    /// executor replans the DAG: fingerprints already in the cache are
+    /// served by replay sources and their unedited upstream cone is
+    /// skipped; misses run normally and record their output, published
+    /// to the cache when the run finishes cleanly (no faults, no
+    /// retries). `None` (the default) executes every operator.
+    /// Thread-per-worker mode ignores the cache.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use scriptflow_workflow::{LiveExecutor, ResultCache};
+    /// let exec = LiveExecutor::new(64).with_result_cache(Arc::new(ResultCache::new()));
+    /// # let _ = exec;
+    /// ```
+    pub fn with_result_cache(mut self, cache: Arc<crate::cache::ResultCache>) -> Self {
+        self.result_cache = Some(cache);
+        self
+    }
+
     /// Execute `wf`; blocks until completion.
     ///
     /// # Examples
@@ -531,7 +568,28 @@ impl LiveExecutor {
     /// ```
     pub fn run_observed(&self, wf: &Workflow) -> (ProgressTrace, WorkflowResult<LiveRunResult>) {
         match self.mode {
-            ExecMode::Pooled => self.run_pooled(wf),
+            ExecMode::Pooled => {
+                let Some(cache) = self.result_cache.clone() else {
+                    return self.run_pooled(wf);
+                };
+                // The replay-read charge only prices the simulator's
+                // virtual clock; live replay cost is real wall-clock.
+                let plan = crate::cache::prepare(wf, &cache, SimDuration::ZERO);
+                let (trace, result) = self.run_pooled(&plan.wf);
+                let result = result.map(|mut res| {
+                    // Publish only recordings from clean runs: a faulted
+                    // or replayed quantum may have teed partial output.
+                    let clean = res
+                        .pool
+                        .is_some_and(|p| p.faults_injected == 0 && p.retries_attempted == 0);
+                    if clean {
+                        res.cache_published =
+                            crate::cache::commit_recordings(&plan.recordings, &cache);
+                    }
+                    res
+                });
+                (trace, result)
+            }
             ExecMode::ThreadPerWorker => (ProgressTrace::default(), self.run_threads(wf)),
         }
     }
@@ -584,6 +642,7 @@ impl LiveExecutor {
             },
             pool: None,
             trace: ProgressTrace::default(),
+            cache_published: 0,
         }
     }
 }
@@ -592,18 +651,37 @@ fn makespan_of(elapsed: Duration) -> SimTime {
     SimTime::ZERO + SimDuration::from_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64)
 }
 
-/// `(name, language, parallelism)` per operator — everything metrics
-/// assembly needs from a workflow, captured so a run finalized long
-/// after submission (service mode) does not have to hold the DAG.
-pub(crate) fn ops_meta(wf: &Workflow) -> Vec<(String, Language, usize)> {
+/// Everything metrics assembly needs from one workflow node, captured
+/// so a run finalized long after submission (service mode) does not
+/// have to hold the DAG. Includes the planner's cache markers: a served
+/// operator's instances never execute, so its hit counters can only
+/// come from the factory, at capture time.
+pub(crate) struct OpMeta {
+    pub(crate) name: String,
+    pub(crate) language: Language,
+    pub(crate) workers: usize,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) cache_bytes: u64,
+}
+
+/// Capture an [`OpMeta`] per operator.
+pub(crate) fn ops_meta(wf: &Workflow) -> Vec<OpMeta> {
     wf.ops()
         .iter()
         .map(|n| {
-            (
-                n.factory.name().to_owned(),
-                n.factory.language(),
-                n.parallelism,
-            )
+            let (cache_hits, cache_bytes) = match n.factory.cache_replay() {
+                Some((_blocks, bytes)) => (1, bytes),
+                None => (0, 0),
+            };
+            OpMeta {
+                name: n.factory.name().to_owned(),
+                language: n.factory.language(),
+                workers: n.parallelism,
+                cache_hits,
+                cache_misses: u64::from(n.factory.cache_recording()),
+                cache_bytes,
+            }
         })
         .collect()
 }
@@ -612,25 +690,31 @@ pub(crate) fn ops_meta(wf: &Workflow) -> Vec<(String, Language, usize)> {
 /// Shared by the single-run pooled path and the multi-tenant service's
 /// per-run finalizer.
 pub(crate) fn assemble_live_result(
-    ops: &[(String, Language, usize)],
+    ops: &[OpMeta],
     total_workers: usize,
     elapsed: Duration,
     tracer: &LiveTracer,
-    pool: PoolStats,
+    mut pool: PoolStats,
     trace: ProgressTrace,
 ) -> LiveRunResult {
+    pool.cache_hits = ops.iter().map(|o| o.cache_hits).sum();
+    pool.cache_misses = ops.iter().map(|o| o.cache_misses).sum();
+    pool.cache_bytes = ops.iter().map(|o| o.cache_bytes).sum();
     let operators: Vec<OperatorMetrics> = ops
         .iter()
         .enumerate()
-        .map(|(i, (name, language, workers))| {
+        .map(|(i, meta)| {
             let probe = tracer.probe(i);
-            let mut m = OperatorMetrics::new(name.clone(), *language, *workers);
+            let mut m = OperatorMetrics::new(meta.name.clone(), meta.language, meta.workers);
             m.input_tuples = probe.input_tuples();
             m.output_tuples = probe.output_tuples();
             m.batches_skipped = probe.batches_skipped();
             m.spilled_blocks = probe.spilled_blocks();
             m.spilled_bytes = probe.spilled_bytes();
             m.spill_reads = probe.spill_reads();
+            m.cache_hits = meta.cache_hits;
+            m.cache_misses = meta.cache_misses;
+            m.cache_bytes = meta.cache_bytes;
             m.busy = probe.busy();
             m.state = probe.state();
             m
@@ -646,6 +730,7 @@ pub(crate) fn assemble_live_result(
         },
         pool: Some(pool),
         trace,
+        cache_published: 0,
     }
 }
 
@@ -971,6 +1056,12 @@ impl Pool {
             spilled_blocks: self.tracer.total_spilled_blocks(),
             spilled_bytes: self.tracer.total_spilled_bytes(),
             spill_reads: self.tracer.total_spill_reads(),
+            // Cache counters live on the planner's factory markers, not
+            // in the pool; `assemble_live_result` fills them from the
+            // captured OpMeta.
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_bytes: 0,
         }
     }
 

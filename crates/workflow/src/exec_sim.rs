@@ -89,6 +89,10 @@ pub struct SimRunResult {
     /// Workers that replayed at least one faulted quantum and still
     /// finished cleanly.
     pub retries_succeeded: u64,
+    /// Compressed bytes this run published into the result cache (0
+    /// without [`EngineConfig::result_cache`], or when a dirty run —
+    /// one that spent retries — discarded its recordings).
+    pub cache_published: u64,
 }
 
 /// Per-worker runtime state.
@@ -204,6 +208,7 @@ impl<'a> SimState<'a> {
                     output_tuples: m.output_tuples,
                     batches_skipped: m.batches_skipped,
                     spilled_blocks: m.spilled_blocks,
+                    cache_hits: m.cache_hits,
                 })
                 .collect();
             self.trace.samples.push((next, snaps));
@@ -804,7 +809,31 @@ impl SimExecutor {
     /// without [`SimExecutor::with_trace`]; this mirrors
     /// [`crate::exec_live::LiveExecutor::run_observed`], so the two
     /// executors present one observable surface.
+    ///
+    /// With [`EngineConfig::result_cache`] set, the workflow is first
+    /// re-planned against the cache ([`crate::cache::prepare`]): hits
+    /// are served from sealed segments (charged
+    /// [`EngineConfig::cache_read_per_block`] per decoded block),
+    /// unedited upstream cones are skipped, and on clean completion —
+    /// no retries spent — the run's recorded outputs are published back.
     pub fn run_observed(&self, wf: &Workflow) -> (ProgressTrace, WorkflowResult<SimRunResult>) {
+        let Some(cache) = self.config.result_cache.clone() else {
+            return self.run_observed_inner(wf);
+        };
+        let plan = crate::cache::prepare(wf, &cache, self.config.cache_read_per_block);
+        let (trace, res) = self.run_observed_inner(&plan.wf);
+        let res = res.map(|mut r| {
+            // Publish only a clean run: a replayed quantum tees its
+            // held batch's output twice, which must never be sealed.
+            if r.retries_attempted == 0 {
+                r.cache_published = crate::cache::commit_recordings(&plan.recordings, &cache);
+            }
+            r
+        });
+        (trace, res)
+    }
+
+    fn run_observed_inner(&self, wf: &Workflow) -> (ProgressTrace, WorkflowResult<SimRunResult>) {
         let machine_count = self.config.cluster.worker_count().max(1);
 
         // --- Static placement -------------------------------------------
@@ -899,7 +928,12 @@ impl SimExecutor {
         let metrics: Vec<OperatorMetrics> = wf
             .ops()
             .iter()
-            .map(|n| OperatorMetrics::new(n.factory.name(), n.factory.language(), n.parallelism))
+            .map(|n| {
+                let mut m =
+                    OperatorMetrics::new(n.factory.name(), n.factory.language(), n.parallelism);
+                m.prime_cache_counters(n.factory.as_ref());
+                m
+            })
             .collect();
 
         let op_remaining: Vec<usize> = wf.ops().iter().map(|n| n.parallelism).collect();
@@ -1006,6 +1040,7 @@ impl SimExecutor {
                 worker_timeline: state.timeline,
                 retries_attempted: state.retries_attempted,
                 retries_succeeded: state.retries_succeeded,
+                cache_published: 0,
             }),
         )
     }

@@ -53,6 +53,15 @@
 //!   and mailbox budgets, a bounded admission queue with explicit
 //!   rejection, and per-run fault/retry isolation (one tenant's retry
 //!   storm parks on a timer instead of sleeping a shared worker).
+//! * **Incremental re-execution** — every node carries a Merkle-style
+//!   content fingerprint (spec ⊕ upstream cone;
+//!   [`scriptflow_core::fingerprint`]), and an optional
+//!   [`cache::ResultCache`] memoizes sealed operator outputs as
+//!   compressed block-store segments keyed by fingerprint. With
+//!   [`EngineConfig::result_cache`] set, both executors serve cache
+//!   hits from their segments and skip the unedited cone upstream —
+//!   the workflow paradigm's answer to re-running a whole notebook
+//!   after a one-cell edit.
 //! * **One execution surface over both engines** — a
 //!   [`backend::ExecBackend`] selected from a
 //!   [`scriptflow_core::BackendKind`] runs the same built DAG on either
@@ -66,6 +75,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod cost;
 pub mod dag;
 pub mod exec_live;
@@ -84,6 +94,7 @@ pub mod trace;
 pub mod trace_live;
 
 pub use backend::{EngineRun, ExecBackend};
+pub use cache::{CacheEntry, CachePlan, ResultCache};
 pub use cost::{CostProfile, EngineConfig};
 pub use dag::{EdgeId, OpId, Workflow, WorkflowBuilder};
 pub use exec_live::{ExecMode, LiveExecutor, LiveRunResult, PoolStats};

@@ -110,6 +110,15 @@ pub struct OperatorMetrics {
     pub spilled_bytes: u64,
     /// Spilled blocks read back (partition joins, run merges).
     pub spill_reads: u64,
+    /// 1 when this operator was served from the result cache (it never
+    /// ran; a replay source emitted its sealed output). 0 otherwise.
+    pub cache_hits: u64,
+    /// 1 when this operator ran under a result cache, missed, and
+    /// recorded its output for publication. 0 otherwise.
+    pub cache_misses: u64,
+    /// Compressed bytes decoded from the cache to serve this operator
+    /// (non-zero only with [`OperatorMetrics::cache_hits`]).
+    pub cache_bytes: u64,
     /// Summed busy time across workers.
     pub busy: SimDuration,
     /// Current lifecycle state.
@@ -140,8 +149,26 @@ impl OperatorMetrics {
             spilled_blocks: 0,
             spilled_bytes: 0,
             spill_reads: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_bytes: 0,
             busy: SimDuration::ZERO,
             state: OperatorState::Initializing,
+        }
+    }
+
+    /// Prime the cache counters from the factory markers the planner
+    /// leaves on a cache-aware workflow (see [`crate::cache`]): a replay
+    /// factory is one hit (with its served bytes), a recording factory
+    /// is one miss. Both executors call this when initializing
+    /// per-operator telemetry, because a served operator's instances
+    /// never execute.
+    pub fn prime_cache_counters(&mut self, factory: &dyn crate::operator::OperatorFactory) {
+        if let Some((_blocks, bytes)) = factory.cache_replay() {
+            self.cache_hits = 1;
+            self.cache_bytes = bytes;
+        } else if factory.cache_recording() {
+            self.cache_misses = 1;
         }
     }
 }

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use scriptflow_datakit::{ColumnarBatch, DataError, Schema, SchemaRef, Tuple};
+use scriptflow_core::fingerprint::{Fingerprinter, OpFingerprint};
+use scriptflow_datakit::{ColumnarBatch, DataError, Schema, SchemaRef, Tuple, Value};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
@@ -20,6 +21,15 @@ pub type WorkflowResult<T> = Result<T, WorkflowError>;
 pub enum WorkflowError {
     /// The DAG is malformed (cycle, dangling edge, port mismatch...).
     InvalidDag(String),
+    /// Two operators share one display name. Typed apart from
+    /// [`WorkflowError::InvalidDag`] because collisions are actively
+    /// dangerous once fingerprinted memoization is in play: a name is
+    /// part of an operator's content address, and callers (the JSON spec
+    /// parser, the service) want to catch exactly this case.
+    DuplicateOperator {
+        /// The name claimed by more than one operator.
+        name: String,
+    },
     /// Schema propagation failed at an operator.
     SchemaError {
         /// The operator the error is reported at (§III-A).
@@ -47,6 +57,9 @@ impl fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WorkflowError::InvalidDag(msg) => write!(f, "invalid workflow: {msg}"),
+            WorkflowError::DuplicateOperator { name } => {
+                write!(f, "invalid workflow: duplicate operator name `{name}`")
+            }
             WorkflowError::SchemaError { operator, error } => {
                 write!(f, "schema error at operator `{operator}`: {error}")
             }
@@ -155,6 +168,14 @@ impl OutputCollector {
             std::mem::take(&mut self.spilled_bytes),
             std::mem::take(&mut self.spill_reads),
         )
+    }
+
+    /// The tuples emitted since `mark` (a value of
+    /// [`OutputCollector::len`] captured earlier). The result cache's
+    /// recording wrapper uses this to tee exactly what one inner call
+    /// produced.
+    pub fn emitted_since(&self, mark: usize) -> &[Tuple] {
+        &self.tuples[mark..]
     }
 
     /// Emit one tuple downstream.
@@ -295,6 +316,114 @@ pub trait OperatorFactory: Send + Sync {
     /// the "sink cleared per run" invariant for factories that report a
     /// [`OperatorFactory::shared_state_id`]. Default: nothing to reset.
     fn reset_shared_state(&self) {}
+
+    /// Stable content digest of this operator's **spec** — its
+    /// parameters and calibration-relevant configuration, but *not* its
+    /// inputs (the DAG builder folds upstream fingerprints in
+    /// Merkle-style on top of this).
+    ///
+    /// The default hashes the structural surface every factory exposes:
+    /// name, port count, blocking ports, language, and cost profile.
+    /// For closure-carrying operators (UDFs) that is the whole
+    /// observable spec — the Snakemake-style "rule name + config"
+    /// approximation, under which an edit must change the operator's
+    /// name or configuration to invalidate its cache entries.
+    /// Declarative operators override this to hash their full
+    /// parameters (predicates, key lists, scanned rows, ...).
+    fn fingerprint(&self) -> OpFingerprint {
+        spec_fingerprinter(self).finish()
+    }
+
+    /// True when this operator's input ports are interchangeable (a
+    /// union's are; a join's build/probe ports are not). The DAG builder
+    /// folds upstream fingerprints of commutative operators
+    /// order-independently, so rewiring equivalent inputs onto different
+    /// ports does not invalidate downstream cache entries.
+    fn commutative_inputs(&self) -> bool {
+        false
+    }
+
+    /// Result-cache replay marker: `Some((blocks, bytes))` when this
+    /// factory *is* a cache-hit stand-in serving a sealed segment of
+    /// `blocks` compressed blocks / `bytes` bytes instead of computing.
+    /// Executors read this when initializing per-operator telemetry —
+    /// a served operator's instances never execute, so hit counters
+    /// cannot flow through the [`OutputCollector`].
+    fn cache_replay(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Result-cache recording marker: true when this factory wraps a
+    /// cache-miss operator whose output is being recorded for later
+    /// publication. Executors read this when initializing per-operator
+    /// telemetry to count one miss per recorded operator — the dual of
+    /// [`OperatorFactory::cache_replay`].
+    fn cache_recording(&self) -> bool {
+        false
+    }
+}
+
+/// A [`Fingerprinter`] primed with the spec fields every operator
+/// factory shares: name, arity, blocking ports, language, and the full
+/// cost profile (calibration-relevant config — perturbing a calibrated
+/// constant must invalidate cached output computed under it).
+///
+/// Operator-specific [`OperatorFactory::fingerprint`] overrides start
+/// from this and append their own parameters.
+pub fn spec_fingerprinter(f: &(impl OperatorFactory + ?Sized)) -> Fingerprinter {
+    let mut h = Fingerprinter::new("op");
+    h.write_str(f.name());
+    h.write_usize(f.input_ports());
+    let blocking = f.blocking_ports();
+    h.write_usize(blocking.len());
+    for p in blocking {
+        h.write_usize(p);
+    }
+    h.write_str(&f.language().to_string());
+    let c = f.cost();
+    h.write_u64(c.setup.as_micros());
+    h.write_u64(c.per_tuple.as_micros());
+    h.write_usize(c.per_tuple_ports.len());
+    for (port, d) in &c.per_tuple_ports {
+        h.write_usize(*port);
+        h.write_u64(d.as_micros());
+    }
+    h.write_u64(c.per_batch.as_micros());
+    h.write_bool(c.malleable);
+    h.write_f64(c.malleable_utilization);
+    h.write_bool(c.colocate);
+    h.write_u64(c.warmup_extra.as_micros());
+    h.write_u64(c.warmup_tuples);
+    h.write_usize(c.warmup_port);
+    h
+}
+
+/// Hash one data value into a fingerprint, type-tagged so `Int(1)` and
+/// `Float(1.0)` (or `Str("1")`) never collide. Content-bearing
+/// operators (scans) use this to make their fingerprints follow their
+/// data.
+pub fn fingerprint_value(h: &mut Fingerprinter, v: &Value) {
+    match v {
+        Value::Null => h.write_str("∅"),
+        Value::Bool(b) => h.write_bool(*b),
+        Value::Int(x) => h.write_i64(*x),
+        Value::Float(x) => h.write_f64(*x),
+        Value::Str(s) => h.write_str(s),
+        Value::Bytes(b) => h.write_bytes(b),
+        Value::List(vs) => {
+            h.write_usize(vs.len());
+            for v in vs {
+                fingerprint_value(h, v);
+            }
+        }
+    }
+}
+
+/// Hash one tuple (schema + every value) into a fingerprint.
+pub fn fingerprint_tuple(h: &mut Fingerprinter, t: &Tuple) {
+    for v in t.values() {
+        fingerprint_value(h, v);
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +457,26 @@ mod tests {
             e.to_string(),
             "operator `Sentiment Analysis` failed: model blew up"
         );
+    }
+
+    #[test]
+    fn duplicate_operator_error_is_typed_and_descriptive() {
+        let e = WorkflowError::DuplicateOperator { name: "scan".into() };
+        assert!(e.to_string().contains("duplicate operator name `scan`"));
+        assert_ne!(e, WorkflowError::InvalidDag("duplicate".into()));
+    }
+
+    #[test]
+    fn value_fingerprints_are_type_tagged() {
+        let fp = |v: &Value| {
+            let mut h = Fingerprinter::new("t");
+            fingerprint_value(&mut h, v);
+            h.finish()
+        };
+        assert_ne!(fp(&Value::Int(1)), fp(&Value::Float(1.0)));
+        assert_ne!(fp(&Value::Int(1)), fp(&Value::Str("1".into())));
+        assert_ne!(fp(&Value::Null), fp(&Value::Str(String::new())));
+        assert_eq!(fp(&Value::Int(1)), fp(&Value::Int(1)));
     }
 
     #[test]

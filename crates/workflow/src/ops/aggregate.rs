@@ -10,8 +10,12 @@ use scriptflow_datakit::{
 };
 use scriptflow_simcluster::Language;
 
+use scriptflow_core::fingerprint::OpFingerprint;
+
 use crate::cost::CostProfile;
-use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+use crate::operator::{
+    spec_fingerprinter, Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
 use crate::spill::{read_segment, PartitionWriter, SPILL_FANOUT};
 
 /// One aggregation over a column.
@@ -564,6 +568,23 @@ impl OperatorFactory for AggregateOp {
             groups_bytes: 0,
             spill: None,
         })
+    }
+
+    fn fingerprint(&self) -> OpFingerprint {
+        let mut h = spec_fingerprinter(self);
+        h.write_usize(self.group_by.len());
+        for g in &self.group_by {
+            h.write_str(g);
+        }
+        h.write_usize(self.aggs.len());
+        for a in &self.aggs {
+            h.write_str(&format!("{a:?}"));
+        }
+        match self.memory_budget {
+            Some(b) => h.write_usize(b),
+            None => h.write_str("unbounded"),
+        }
+        h.finish()
     }
 }
 

@@ -10,8 +10,12 @@ use scriptflow_datakit::column::cmp_values;
 use scriptflow_datakit::{ColumnVec, ColumnarBatch, HashKey, Schema, SchemaRef, Tuple, Value};
 use scriptflow_simcluster::Language;
 
+use scriptflow_core::fingerprint::OpFingerprint;
+
 use crate::cost::CostProfile;
-use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+use crate::operator::{
+    spec_fingerprinter, Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
 use crate::spill::{tuple_footprint, PartitionWriter, SPILL_FANOUT, SPILL_MAX_DEPTH};
 
 /// Join semantics.
@@ -622,6 +626,23 @@ impl OperatorFactory for HashJoinOp {
             build_bytes: 0,
             spill: None,
         })
+    }
+
+    fn fingerprint(&self) -> OpFingerprint {
+        let mut h = spec_fingerprinter(self);
+        h.write_usize(self.build_keys.len());
+        for k in &self.build_keys {
+            h.write_str(k);
+        }
+        for k in &self.probe_keys {
+            h.write_str(k);
+        }
+        h.write_str(&format!("{:?}", self.join_type));
+        match self.memory_budget {
+            Some(b) => h.write_usize(b),
+            None => h.write_str("unbounded"),
+        }
+        h.finish()
     }
 }
 

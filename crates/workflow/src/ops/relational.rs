@@ -9,8 +9,13 @@ use scriptflow_datakit::{
 };
 use scriptflow_simcluster::Language;
 
+use scriptflow_core::fingerprint::OpFingerprint;
+
 use crate::cost::CostProfile;
-use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+use crate::operator::{
+    fingerprint_value, spec_fingerprinter, Operator, OperatorFactory, OutputCollector,
+    WorkflowError, WorkflowResult,
+};
 
 type Predicate = Arc<dyn Fn(&Tuple) -> DataResult<bool> + Send + Sync>;
 
@@ -210,6 +215,23 @@ impl OperatorFactory for FilterOp {
             cmp: self.cmp.clone(),
         })
     }
+
+    /// Structured comparisons hash their full predicate; opaque closure
+    /// filters fall back to the name-and-config digest (the closure's
+    /// body is unobservable).
+    fn fingerprint(&self) -> OpFingerprint {
+        let mut h = spec_fingerprinter(self);
+        match &self.cmp {
+            Some(cmp) => {
+                h.write_str("cmp");
+                h.write_str(&cmp.column);
+                h.write_str(&format!("{:?}", cmp.op));
+                fingerprint_value(&mut h, &cmp.literal);
+            }
+            None => h.write_str("closure"),
+        }
+        h.finish()
+    }
 }
 
 /// Keep only the named columns.
@@ -313,6 +335,15 @@ impl OperatorFactory for ProjectOp {
             out_schema: None,
         })
     }
+
+    fn fingerprint(&self) -> OpFingerprint {
+        let mut h = spec_fingerprinter(self);
+        h.write_usize(self.columns.len());
+        for c in &self.columns {
+            h.write_str(c);
+        }
+        h.finish()
+    }
 }
 
 /// Pass at most `n` tuples (per workflow — use parallelism 1).
@@ -362,6 +393,12 @@ impl OperatorFactory for LimitOp {
     }
     fn create(&self) -> Box<dyn Operator> {
         Box::new(LimitInstance { remaining: self.n })
+    }
+
+    fn fingerprint(&self) -> OpFingerprint {
+        let mut h = spec_fingerprinter(self);
+        h.write_usize(self.n);
+        h.finish()
     }
 }
 
@@ -431,6 +468,15 @@ impl OperatorFactory for DistinctOp {
             columns: self.columns.clone(),
             seen: HashSet::new(),
         })
+    }
+
+    fn fingerprint(&self) -> OpFingerprint {
+        let mut h = spec_fingerprinter(self);
+        h.write_usize(self.columns.len());
+        for c in &self.columns {
+            h.write_str(c);
+        }
+        h.finish()
     }
 }
 
@@ -538,6 +584,47 @@ mod tests {
         let mut out = OutputCollector::new();
         let err = inst.on_tuple(tuple(1), 0, &mut out).unwrap_err();
         assert!(err.to_string().contains("`f`"));
+    }
+
+    #[test]
+    fn fingerprints_track_every_parameter() {
+        // Filter: column, comparison op, and literal each matter.
+        let base = FilterOp::cmp("f", "id", CmpOp::Gt, Value::Int(5));
+        assert_eq!(
+            base.fingerprint(),
+            FilterOp::cmp("f", "id", CmpOp::Gt, Value::Int(5)).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            FilterOp::cmp("f", "other", CmpOp::Gt, Value::Int(5)).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            FilterOp::cmp("f", "id", CmpOp::Ge, Value::Int(5)).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            FilterOp::cmp("f", "id", CmpOp::Gt, Value::Int(6)).fingerprint()
+        );
+        // Closure filters hash distinctly from structured ones.
+        assert_ne!(
+            base.fingerprint(),
+            FilterOp::new("f", |_| Ok(true)).fingerprint()
+        );
+        // Project and distinct are keyed by their column lists.
+        assert_ne!(
+            ProjectOp::new("p", &["a", "b"]).fingerprint(),
+            ProjectOp::new("p", &["b", "a"]).fingerprint()
+        );
+        assert_ne!(
+            DistinctOp::new("d", &["a"]).fingerprint(),
+            DistinctOp::new("d", &["a", "b"]).fingerprint()
+        );
+        // Limit is keyed by n.
+        assert_ne!(
+            LimitOp::new("l", 2).fingerprint(),
+            LimitOp::new("l", 3).fingerprint()
+        );
     }
 
     #[test]

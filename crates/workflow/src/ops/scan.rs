@@ -1,10 +1,14 @@
 //! Source operator: emits a pre-materialized batch.
 
+use scriptflow_core::fingerprint::OpFingerprint;
 use scriptflow_datakit::{Batch, Schema, SchemaRef, Tuple};
 use scriptflow_simcluster::Language;
 
 use crate::cost::CostProfile;
-use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+use crate::operator::{
+    fingerprint_tuple, spec_fingerprinter, Operator, OperatorFactory, OutputCollector,
+    WorkflowError, WorkflowResult,
+};
 
 /// A source operator producing the tuples of a batch.
 ///
@@ -105,6 +109,18 @@ impl OperatorFactory for ScanOp {
         }
         Some(parts)
     }
+
+    /// A scan is content-addressed by its actual data: schema plus every
+    /// row, so editing the input invalidates the whole downstream cone.
+    fn fingerprint(&self) -> OpFingerprint {
+        let mut h = spec_fingerprinter(self);
+        h.write_str(&self.batch.schema().to_string());
+        h.write_usize(self.batch.len());
+        for t in self.batch.tuples() {
+            fingerprint_tuple(&mut h, t);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +152,23 @@ mod tests {
         assert_eq!(s.output_schema(&[]).unwrap().to_string(), "id: Int");
         assert_eq!(s.input_ports(), 0);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_follows_content() {
+        use crate::operator::OperatorFactory;
+        assert_eq!(scan(5).fingerprint(), scan(5).fingerprint());
+        assert_ne!(scan(5).fingerprint(), scan(6).fingerprint());
+        assert_ne!(
+            scan(5).fingerprint(),
+            scan(5).with_language(Language::Scala).fingerprint()
+        );
+        assert_ne!(
+            scan(5).fingerprint(),
+            scan(5)
+                .with_cost(CostProfile::per_tuple_micros(9))
+                .fingerprint()
+        );
     }
 
     #[test]

@@ -7,8 +7,12 @@ use scriptflow_datakit::blockstore::Segment;
 use scriptflow_datakit::{Schema, SchemaRef, Tuple, Value};
 use scriptflow_simcluster::Language;
 
+use scriptflow_core::fingerprint::OpFingerprint;
+
 use crate::cost::CostProfile;
-use crate::operator::{Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult};
+use crate::operator::{
+    spec_fingerprinter, Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
+};
 use crate::spill::{seal_run, tuple_footprint};
 
 /// Sort direction for one key column.
@@ -290,6 +294,20 @@ impl OperatorFactory for SortOp {
             budget_fixed: self.memory_budget.is_some(),
             runs: Vec::new(),
         })
+    }
+
+    fn fingerprint(&self) -> OpFingerprint {
+        let mut h = spec_fingerprinter(self);
+        h.write_usize(self.keys.len());
+        for (col, order) in &self.keys {
+            h.write_str(col);
+            h.write_str(&format!("{order:?}"));
+        }
+        match self.memory_budget {
+            Some(b) => h.write_usize(b),
+            None => h.write_str("unbounded"),
+        }
+        h.finish()
     }
 }
 

@@ -84,6 +84,12 @@ impl OperatorFactory for UnionOp {
     fn create(&self) -> Box<dyn Operator> {
         Box::new(UnionInstance)
     }
+
+    /// A union of the same inputs in a different port order produces the
+    /// same bag of rows, so its Merkle fold is order-independent.
+    fn commutative_inputs(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

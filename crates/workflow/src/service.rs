@@ -99,12 +99,14 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use scriptflow_simcluster::Language;
+use scriptflow_core::fingerprint::OpFingerprint;
+use scriptflow_simcluster::SimDuration;
 
+use crate::cache::{commit_recordings, prepare, CacheRecording, ResultCache};
 use crate::dag::Workflow;
 use crate::exec_live::{
-    assemble_live_result, build_tasks, default_pool_size, ops_meta, LiveRunResult, Pool, PoolStats,
-    QuantumScheduler, Task,
+    assemble_live_result, build_tasks, default_pool_size, ops_meta, LiveRunResult, OpMeta, Pool,
+    PoolStats, QuantumScheduler, Task,
 };
 use crate::fault::{CompiledFaults, FaultPlan};
 use crate::operator::{OperatorFactory, WorkflowError, WorkflowResult};
@@ -137,17 +139,19 @@ pub struct TenantQuota {
     max_in_flight: usize,
     mailbox_budget: usize,
     spill_budget: Option<u64>,
+    cache_budget: Option<u64>,
 }
 
 impl Default for TenantQuota {
     /// Weight 1, at most 8 in-flight submissions, 64-message mailboxes,
-    /// no spill-bytes ceiling.
+    /// no spill-bytes or cache-bytes ceiling.
     fn default() -> Self {
         TenantQuota {
             weight: 1,
             max_in_flight: 8,
             mailbox_budget: 64,
             spill_budget: None,
+            cache_budget: None,
         }
     }
 }
@@ -203,6 +207,23 @@ impl TenantQuota {
     /// The cumulative spill-bytes ceiling, if one is set.
     pub fn spill_budget(&self) -> Option<u64> {
         self.spill_budget
+    }
+
+    /// Ceiling on the compressed bytes this tenant's runs may *add* to
+    /// the service's shared [`ResultCache`] (see
+    /// [`RunOptions::with_result_cache`]). A tenant at or past the
+    /// ceiling has further submissions rejected with
+    /// [`SubmitError::CacheOverQuota`] — shared cache memory is a
+    /// budgeted resource, exactly like spill disk. `None` (the default)
+    /// leaves publication unmetered.
+    pub fn with_cache_budget(mut self, bytes: u64) -> Self {
+        self.cache_budget = Some(bytes);
+        self
+    }
+
+    /// The cumulative published-cache-bytes ceiling, if one is set.
+    pub fn cache_budget(&self) -> Option<u64> {
+        self.cache_budget
     }
 }
 
@@ -291,6 +312,7 @@ pub struct RunOptions {
     faults: Option<FaultPlan>,
     retry: RetryConfig,
     memory_budget: Option<usize>,
+    result_cache: bool,
 }
 
 impl RunOptions {
@@ -330,6 +352,19 @@ impl RunOptions {
         self
     }
 
+    /// Plan this run against the service's shared [`ResultCache`] (see
+    /// [`crate::cache`]): operator outputs already published under their
+    /// content fingerprints are served without recomputation, misses
+    /// record for publication when the run completes cleanly, and the
+    /// cache is shared across every tenant that opts in. Planning is
+    /// deferred to dispatch, so a submission identical to a run already
+    /// executing waits for it and is then served from what it published
+    /// (single-flight). Default off: the run executes every operator.
+    pub fn with_result_cache(mut self, enabled: bool) -> Self {
+        self.result_cache = enabled;
+        self
+    }
+
     fn batch_size(&self) -> usize {
         self.batch_size.unwrap_or(256)
     }
@@ -363,6 +398,18 @@ pub enum SubmitError {
         tenant: String,
         /// Compressed bytes the tenant's runs have spilled so far.
         spilled_bytes: u64,
+        /// The configured ceiling that was exhausted.
+        budget: u64,
+    },
+    /// The tenant's finished runs have already published at least its
+    /// [`TenantQuota::with_cache_budget`] ceiling of compressed bytes
+    /// into the shared result cache; new submissions are refused until
+    /// the quota is raised.
+    CacheOverQuota {
+        /// The over-quota tenant.
+        tenant: String,
+        /// Compressed bytes the tenant's runs have published so far.
+        cache_bytes: u64,
         /// The configured ceiling that was exhausted.
         budget: u64,
     },
@@ -400,6 +447,16 @@ impl fmt::Display for SubmitError {
                 write!(
                     f,
                     "tenant `{tenant}` over spill quota ({spilled_bytes} of {budget} bytes spilled)"
+                )
+            }
+            SubmitError::CacheOverQuota {
+                tenant,
+                cache_bytes,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` over cache quota ({cache_bytes} of {budget} bytes published)"
                 )
             }
             SubmitError::SinkBusy { operator } => {
@@ -580,6 +637,16 @@ pub struct TenantStats {
     /// memory budget (charged against
     /// [`TenantQuota::with_spill_budget`]).
     pub spilled_bytes: u64,
+    /// Operators this tenant's runs were served straight from the
+    /// shared result cache (each served operator counts once).
+    pub cache_hits: u64,
+    /// Operators that ran under the shared result cache, missed, and
+    /// recorded their output.
+    pub cache_misses: u64,
+    /// Compressed bytes this tenant's cleanly finished runs added to
+    /// the shared result cache (charged against
+    /// [`TenantQuota::with_cache_budget`]).
+    pub cache_published: u64,
 }
 
 /// Point-in-time service snapshot.
@@ -611,10 +678,30 @@ struct PendingRun {
     submitted: Instant,
     tasks: Vec<Task>,
     faults: Option<CompiledFaults>,
-    ops: Vec<(String, Language, usize)>,
+    ops: Vec<OpMeta>,
     total_workers: usize,
     factories: Vec<Arc<dyn OperatorFactory>>,
     sink_ids: Vec<usize>,
+    /// Present for cache-enabled submissions: task construction is
+    /// deferred to dispatch, so the plan sees every segment published
+    /// before the run starts — and an identical in-flight DAG holds
+    /// this submission back until its results are publishable
+    /// (single-flight).
+    cache: Option<CacheSubmission>,
+}
+
+/// Everything a cache-enabled submission needs to build its task set at
+/// dispatch time instead of at admission.
+struct CacheSubmission {
+    wf: Workflow,
+    batch_size: usize,
+    mailbox_budget: usize,
+    faults: Option<FaultPlan>,
+    retry: RetryConfig,
+    columnar: bool,
+    memory_budget: Option<usize>,
+    /// Whole-DAG content fingerprint — the single-flight dedup key.
+    workflow_fp: OpFingerprint,
 }
 
 /// A run executing on the shared pool.
@@ -632,9 +719,15 @@ struct ActiveRun {
     weight: u64,
     submitted: Instant,
     dispatched: Instant,
-    ops: Vec<(String, Language, usize)>,
+    ops: Vec<OpMeta>,
     total_workers: usize,
     sink_ids: Vec<usize>,
+    /// Cache-enabled runs: the whole-DAG fingerprint that holds
+    /// identical submissions in the admission queue while this run is
+    /// active.
+    cache_fp: Option<OpFingerprint>,
+    /// Recordings teed during the run, published on clean completion.
+    recordings: Vec<CacheRecording>,
 }
 
 struct Tenant {
@@ -664,6 +757,9 @@ struct Shared {
     max_active_runs: usize,
     queue_capacity: usize,
     default_quota: TenantQuota,
+    /// One result cache per service, shared by every tenant whose runs
+    /// opt in via [`RunOptions::with_result_cache`].
+    cache: Arc<ResultCache>,
 }
 
 impl QuantumScheduler for Shared {
@@ -695,12 +791,39 @@ impl Shared {
     /// Move a pending run onto the pool: clear factory-shared state
     /// (the "sink cleared per run" invariant), wire its core to this
     /// scheduler, and seed every task as ready.
-    fn dispatch(this: &Arc<Shared>, st: &mut SvcState, p: PendingRun) {
+    fn dispatch(this: &Arc<Shared>, st: &mut SvcState, mut p: PendingRun) {
+        // Cache-enabled submissions plan now, against everything
+        // published so far (including by the identical run that may
+        // have just finished and unblocked this one).
+        let mut cache_fp = None;
+        let mut recordings = Vec::new();
+        if let Some(cs) = p.cache.take() {
+            let plan = prepare(&cs.wf, &this.cache, SimDuration::ZERO);
+            // Faults naming a served/skipped operator have nothing to
+            // fire on; recompile against the plan and drop the rest.
+            p.faults = cs
+                .faults
+                .as_ref()
+                .and_then(|f| CompiledFaults::compile(f, &plan.wf).ok());
+            p.tasks = build_tasks(
+                &plan.wf,
+                cs.batch_size,
+                cs.mailbox_budget,
+                p.faults.as_ref(),
+                &cs.retry,
+                cs.columnar,
+                cs.memory_budget,
+            );
+            p.ops = ops_meta(&plan.wf);
+            p.total_workers = plan.wf.total_workers();
+            cache_fp = Some(cs.workflow_fp);
+            recordings = plan.recordings;
+        }
         for f in &p.factories {
             f.reset_shared_state();
         }
-        let names: Vec<String> = p.ops.iter().map(|(n, _, _)| n.clone()).collect();
-        let workers: Vec<usize> = p.ops.iter().map(|(_, _, w)| *w).collect();
+        let names: Vec<String> = p.ops.iter().map(|o| o.name.clone()).collect();
+        let workers: Vec<usize> = p.ops.iter().map(|o| o.workers).collect();
         let tracer = LiveTracer::new(names, &workers);
         let sched: Weak<dyn QuantumScheduler> = Arc::downgrade(this) as Weak<dyn QuantumScheduler>;
         let core = Arc::new(Pool::for_service(
@@ -734,7 +857,20 @@ impl Shared {
             ops: p.ops,
             total_workers: p.total_workers,
             sink_ids: p.sink_ids,
+            cache_fp,
+            recordings,
         });
+    }
+
+    /// True while an active cache-enabled run carries the same
+    /// whole-DAG fingerprint as pending `p` — dispatching now would
+    /// recompute work the active run is about to publish.
+    fn cache_blocked(active: &[ActiveRun], p: &PendingRun) -> bool {
+        p.cache.as_ref().is_some_and(|cs| {
+            active
+                .iter()
+                .any(|r| r.cache_fp == Some(cs.workflow_fp))
+        })
     }
 
     /// Assemble a drained run's report, settle tenant accounting, and
@@ -743,16 +879,32 @@ impl Shared {
         let trace = run.core.finish_trace(Vec::new());
         let err = run.core.take_error();
         let elapsed = run.dispatched.elapsed();
+        let pool_stats = run.core.stats();
+        // Publish recordings only from clean runs: a faulted or
+        // replayed quantum may have teed partial output (the same
+        // discipline as the solo executors).
+        let clean = err.is_none()
+            && pool_stats.faults_injected == 0
+            && pool_stats.retries_attempted == 0;
+        let published = if clean {
+            commit_recordings(&run.recordings, &self.cache)
+        } else {
+            0
+        };
         let result = match err {
             Some(e) => Err(e),
-            None => Ok(assemble_live_result(
-                &run.ops,
-                run.total_workers,
-                elapsed,
-                run.core.tracer(),
-                run.core.stats(),
-                trace.clone(),
-            )),
+            None => Ok({
+                let mut res = assemble_live_result(
+                    &run.ops,
+                    run.total_workers,
+                    elapsed,
+                    run.core.tracer(),
+                    pool_stats,
+                    trace.clone(),
+                );
+                res.cache_published = published;
+                res
+            }),
         };
         // Spill accounting comes from the tracer, not the result: a run
         // that failed after spilling still consumed the disk.
@@ -761,6 +913,9 @@ impl Shared {
             t.in_flight = t.in_flight.saturating_sub(1);
             t.stats.completed += 1;
             t.stats.spilled_bytes += run_spill;
+            t.stats.cache_hits += run.ops.iter().map(|o| o.cache_hits).sum::<u64>();
+            t.stats.cache_misses += run.ops.iter().map(|o| o.cache_misses).sum::<u64>();
+            t.stats.cache_published += published;
             if result.is_err() {
                 t.stats.failed += 1;
             }
@@ -806,8 +961,19 @@ impl Shared {
                 let run = st.active.swap_remove(pos);
                 self.finalize(&mut st, run);
                 while st.active.len() < self.max_active_runs {
-                    match st.admission.pop_front() {
-                        Some(p) => Shared::dispatch(&self, &mut st, p),
+                    // Skip (don't pop) submissions held back by an
+                    // identical active cache run.
+                    let next = {
+                        let active = &st.active;
+                        st.admission
+                            .iter()
+                            .position(|p| !Shared::cache_blocked(active, p))
+                    };
+                    match next {
+                        Some(i) => {
+                            let p = st.admission.remove(i).expect("position is in range");
+                            Shared::dispatch(&self, &mut st, p);
+                        }
                         None => break,
                     }
                 }
@@ -968,6 +1134,7 @@ impl WorkflowService {
             max_active_runs: config.max_active_runs.max(1),
             queue_capacity: config.queue_capacity,
             default_quota: config.default_quota,
+            cache: Arc::new(ResultCache::new()),
         });
         let workers = (0..pool_threads)
             .map(|i| {
@@ -1011,15 +1178,32 @@ impl WorkflowService {
                 })
                 .quota
         };
-        let tasks = build_tasks(
-            wf,
-            opts.batch_size(),
-            quota.mailbox_budget,
-            faults.as_ref(),
-            &opts.retry,
-            opts.columnar,
-            opts.memory_budget,
-        );
+        // Cache-enabled runs defer task construction to dispatch (the
+        // plan must see everything published before the run starts);
+        // everything else builds its tasks now, outside the lock.
+        let cache_sub = opts.result_cache.then(|| CacheSubmission {
+            wf: wf.clone(),
+            batch_size: opts.batch_size(),
+            mailbox_budget: quota.mailbox_budget,
+            faults: opts.faults.clone(),
+            retry: opts.retry.clone(),
+            columnar: opts.columnar,
+            memory_budget: opts.memory_budget,
+            workflow_fp: wf.workflow_fingerprint(),
+        });
+        let tasks = if cache_sub.is_some() {
+            Vec::new()
+        } else {
+            build_tasks(
+                wf,
+                opts.batch_size(),
+                quota.mailbox_budget,
+                faults.as_ref(),
+                &opts.retry,
+                opts.columnar,
+                opts.memory_budget,
+            )
+        };
         let ops = ops_meta(wf);
         let total_workers = wf.total_workers();
         let factories: Vec<Arc<dyn OperatorFactory>> =
@@ -1055,6 +1239,22 @@ impl WorkflowService {
                 });
             }
         }
+        // Same rule for shared-cache memory: a tenant whose runs have
+        // already published their ceiling stops admitting until raised.
+        let cache_bytes = st
+            .tenants
+            .get(tenant)
+            .map_or(0, |t| t.stats.cache_published);
+        if let Some(budget) = quota.cache_budget {
+            if cache_bytes >= budget {
+                Self::reject(&mut st, tenant);
+                return Err(SubmitError::CacheOverQuota {
+                    tenant: tenant.to_owned(),
+                    cache_bytes,
+                    budget,
+                });
+            }
+        }
         // Two concurrent runs appending into one shared buffer would
         // interleave rows; refuse the later submission explicitly.
         if let Some(&id) = sink_ids.iter().find(|id| {
@@ -1069,7 +1269,18 @@ impl WorkflowService {
             Self::reject(&mut st, tenant);
             return Err(SubmitError::SinkBusy { operator });
         }
-        let dispatch_now = st.active.len() < self.shared.max_active_runs;
+        // Single-flight: an identical cache-enabled DAG already active
+        // or queued means this submission waits and is served from what
+        // that run publishes, instead of computing the prefix twice.
+        let cache_held = cache_sub.as_ref().is_some_and(|cs| {
+            st.active.iter().any(|r| r.cache_fp == Some(cs.workflow_fp))
+                || st.admission.iter().any(|p| {
+                    p.cache
+                        .as_ref()
+                        .is_some_and(|q| q.workflow_fp == cs.workflow_fp)
+                })
+        });
+        let dispatch_now = !cache_held && st.active.len() < self.shared.max_active_runs;
         if !dispatch_now && st.admission.len() >= self.shared.queue_capacity {
             Self::reject(&mut st, tenant);
             return Err(SubmitError::QueueFull {
@@ -1098,6 +1309,7 @@ impl WorkflowService {
             total_workers,
             factories,
             sink_ids,
+            cache: cache_sub,
         };
         if dispatch_now {
             Shared::dispatch(&self.shared, &mut st, pending);
@@ -1143,6 +1355,13 @@ impl WorkflowService {
             .tenants
             .get(tenant)
             .map(|t| t.stats)
+    }
+
+    /// The service's shared result cache: one per service, populated by
+    /// runs submitted with [`RunOptions::with_result_cache`] and read by
+    /// every later cache-enabled submission regardless of tenant.
+    pub fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.shared.cache
     }
 
     /// Point-in-time service snapshot.
@@ -1280,6 +1499,85 @@ mod tests {
         assert_eq!(t0.submitted, 2);
         assert_eq!(t0.completed, 2);
         assert!(t0.quanta > 0);
+    }
+
+    #[test]
+    fn identical_cache_submissions_compute_shared_prefix_once() {
+        // Two tenants submit content-identical pipelines (separately
+        // built, each with its own sink buffer). With the shared result
+        // cache on, the second run is held until the first finishes
+        // (single-flight on the whole-DAG fingerprint), then served
+        // entirely from the segments the first run published.
+        let svc = WorkflowService::new(
+            ServiceConfig::default()
+                .with_pool_size(2)
+                .with_max_active_runs(4),
+        );
+        let (wf_a, handle_a) = chain(120, 2);
+        let (wf_b, handle_b) = chain(120, 2);
+        let opts = || RunOptions::default().with_result_cache(true);
+        let run_a = svc.submit("alice", &wf_a, opts()).unwrap();
+        let run_b = svc.submit("bob", &wf_b, opts()).unwrap();
+        let rep_a = run_a.wait();
+        let rep_b = run_b.wait();
+        let res_a = rep_a.result.expect("leader run is clean");
+        let res_b = rep_b.result.expect("follower run is clean");
+
+        // Both tenants get identical rows in their own sinks.
+        assert_eq!(handle_a.len(), 60);
+        assert_eq!(sorted_rows(&handle_a), sorted_rows(&handle_b));
+
+        // The leader computed and published; the follower was served.
+        let pool_a = res_a.pool.expect("pooled run");
+        let pool_b = res_b.pool.expect("pooled run");
+        assert!(pool_a.cache_misses > 0, "leader records the prefix");
+        assert_eq!(pool_a.cache_hits, 0, "nothing published before the leader");
+        assert!(res_a.cache_published > 0, "leader publishes on clean finish");
+        assert!(pool_b.cache_hits > 0, "follower is served from the cache");
+        assert_eq!(pool_b.cache_misses, 0, "follower recomputes nothing");
+        assert_eq!(res_b.cache_published, 0, "follower has nothing new");
+
+        // Tenant-labeled accounting matches.
+        let alice = svc.tenant_stats("alice").unwrap();
+        let bob = svc.tenant_stats("bob").unwrap();
+        assert!(alice.cache_misses > 0 && alice.cache_published > 0);
+        assert_eq!(alice.cache_hits, 0);
+        assert!(bob.cache_hits > 0);
+        assert_eq!(bob.cache_published, 0);
+        assert!(svc.result_cache().entries() > 0);
+    }
+
+    #[test]
+    fn cache_budget_rejects_after_ceiling_published() {
+        let svc = WorkflowService::new(ServiceConfig::default().with_pool_size(1));
+        svc.set_quota("t", TenantQuota::default().with_cache_budget(1));
+        assert_eq!(
+            TenantQuota::default().with_cache_budget(1).cache_budget(),
+            Some(1)
+        );
+        let (wf, _h) = chain(80, 1);
+        let report = svc
+            .submit("t", &wf, RunOptions::default().with_result_cache(true))
+            .unwrap()
+            .wait();
+        let published = report.result.expect("clean run").cache_published;
+        assert!(published > 1, "the run publishes past the 1-byte ceiling");
+        // The tenant is now over its cache quota: refused explicitly.
+        let (wf2, _h2) = chain(80, 1);
+        match svc.submit("t", &wf2, RunOptions::default()) {
+            Err(SubmitError::CacheOverQuota {
+                tenant,
+                cache_bytes,
+                budget: 1,
+            }) => {
+                assert_eq!(tenant, "t");
+                assert_eq!(cache_bytes, published);
+            }
+            other => panic!("expected CacheOverQuota, got {other:?}"),
+        }
+        // Other tenants are unaffected.
+        let (wf3, _h3) = chain(80, 1);
+        assert!(svc.submit("u", &wf3, RunOptions::default()).is_ok());
     }
 
     #[test]

@@ -125,7 +125,9 @@ pub fn build(doc: &Json) -> WorkflowResult<SpecWorkflow> {
             other => return Err(bad(format!("unknown operator type `{other}`"))),
         };
         if ids.insert(id.to_owned(), op_id).is_some() {
-            return Err(bad(format!("duplicate operator id `{id}`")));
+            return Err(WorkflowError::DuplicateOperator {
+                name: id.to_owned(),
+            });
         }
     }
 
@@ -484,6 +486,26 @@ mod tests {
         }"#
         )
         .contains("duplicate"));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_with_typed_error() {
+        let err = match parse(
+            r#"{
+            "operators": [
+                {"id": "s", "type": "InlineScan", "schema": [["a", "Int"]], "rows": []},
+                {"id": "s", "type": "Sink"}
+            ],
+            "links": []
+        }"#,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("duplicate ids must be rejected"),
+        };
+        match err {
+            WorkflowError::DuplicateOperator { name } => assert_eq!(name, "s"),
+            other => panic!("expected DuplicateOperator, got {other:?}"),
+        }
     }
 
     #[test]

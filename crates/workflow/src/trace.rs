@@ -33,6 +33,9 @@ pub struct OperatorSnapshot {
     /// Compressed blocks spilled so far under a memory budget (0 when
     /// the run is unbounded).
     pub spilled_blocks: u64,
+    /// Result-cache hits charged to the operator (1 when its output was
+    /// served from a sealed segment; 0 otherwise or with the cache off).
+    pub cache_hits: u64,
 }
 
 /// A sampled execution timeline.
@@ -160,6 +163,7 @@ impl TraceJson {
                             ("outputTuples".into(), Json::Int(s.output_tuples as i64)),
                             ("batchesSkipped".into(), Json::Int(s.batches_skipped as i64)),
                             ("spilledBlocks".into(), Json::Int(s.spilled_blocks as i64)),
+                            ("cacheHits".into(), Json::Int(s.cache_hits as i64)),
                         ])
                     })
                     .collect();
@@ -268,6 +272,7 @@ impl TraceJson {
     ///             output_tuples: 9,
     ///             batches_skipped: 0,
     ///             spilled_blocks: 0,
+    ///             cache_hits: 0,
     ///         }],
     ///     )],
     /// };
@@ -324,6 +329,8 @@ impl TraceJson {
                     batches_skipped: int(op, "batchesSkipped").unwrap_or(0).max(0) as u64,
                     // Likewise absent in pre-spill documents.
                     spilled_blocks: int(op, "spilledBlocks").unwrap_or(0).max(0) as u64,
+                    // Likewise absent in pre-cache documents.
+                    cache_hits: int(op, "cacheHits").unwrap_or(0).max(0) as u64,
                 });
             }
             out.samples.push((at, snaps));
@@ -344,6 +351,7 @@ mod tests {
             output_tuples: out,
             batches_skipped: 0,
             spilled_blocks: 0,
+            cache_hits: 0,
         }
     }
 
@@ -410,18 +418,21 @@ mod tests {
         let mut trace = sample_trace();
         trace.samples[1].1[0].batches_skipped = 7;
         trace.samples[1].1[0].spilled_blocks = 5;
+        trace.samples[1].1[0].cache_hits = 1;
         let text = TraceJson::from_trace(&trace).to_string_compact();
         assert!(text.contains("\"batchesSkipped\":7"));
         assert!(text.contains("\"spilledBlocks\":5"));
+        assert!(text.contains("\"cacheHits\":1"));
         let back = TraceJson::parse(&text).unwrap();
         assert_eq!(back.samples, trace.samples);
-        // Documents written before the columnar and spill paths carry
-        // neither key; they still parse, defaulting to 0.
+        // Documents written before the columnar, spill, and cache paths
+        // carry none of these keys; they still parse, defaulting to 0.
         let legacy = "{\"samples\":[{\"atMicros\":0,\"operators\":[{\"name\":\"x\",\
                       \"state\":\"Completed\",\"inputTuples\":3,\"outputTuples\":2}]}]}";
         let back = TraceJson::parse(legacy).unwrap();
         assert_eq!(back.samples[0].1[0].batches_skipped, 0);
         assert_eq!(back.samples[0].1[0].spilled_blocks, 0);
+        assert_eq!(back.samples[0].1[0].cache_hits, 0);
     }
 
     #[test]

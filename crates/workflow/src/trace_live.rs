@@ -338,6 +338,9 @@ impl OperatorProbe {
             output_tuples: self.output_tuples(),
             batches_skipped: self.batches_skipped(),
             spilled_blocks: self.spilled_blocks(),
+            // Live cache accounting rides on the planner's factory
+            // markers and surfaces through `PoolStats`, not the probes.
+            cache_hits: 0,
         }
     }
 

@@ -48,6 +48,15 @@ CHAOS_RETRIES=0 cargo test -q --test spill_chaos -- --test-threads=1
 echo "==> spill chaos suite, retries enabled (replay over spilled partitions is exactly-once)"
 CHAOS_RETRIES=1 cargo test -q --test spill_chaos -- --test-threads=1
 
+echo "==> cache chaos suite, retries disabled (faulted runs must never publish)"
+CHAOS_RETRIES=0 cargo test -q --test cache_chaos -- --test-threads=1
+
+echo "==> cache chaos suite, retries enabled (recovered runs withhold publication; clean runs publish)"
+CHAOS_RETRIES=1 cargo test -q --test cache_chaos -- --test-threads=1
+
+echo "==> fingerprint invalidation (spec edits invalidate; commutative rewires do not)"
+cargo test -q --test fingerprint_invalidation
+
 echo "==> backend parity, row batches (paper engine)"
 SCRIPTFLOW_BATCH_MODE=row cargo test -q --test backend_parity
 
@@ -56,6 +65,9 @@ SCRIPTFLOW_BATCH_MODE=columnar cargo test -q --test backend_parity
 
 echo "==> backend parity, tiny memory budget (blocking operators spill, rows unchanged)"
 SCRIPTFLOW_MEM_BUDGET=1024 cargo test -q --test backend_parity
+
+echo "==> backend parity, result cache armed (fingerprinted memoization, rows unchanged)"
+SCRIPTFLOW_RESULT_CACHE=1 cargo test -q --test backend_parity
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> engine throughput bench (quick)"
@@ -82,6 +94,16 @@ unbounded = [r for r in rows if r["workload"] == "spill_join" and not r.get("mem
 assert all(r.get("spilledBlocks", 0) == 0 for r in unbounded), \
     "unbounded spill_join rows must not spill"
 print(f"budgeted rows: {len(budgeted)}, blocks spilled: {spilled}")
+
+cold = [r for r in rows if r["workload"] == "edit_rerun" and r.get("leg") == "cold"]
+warm = [r for r in rows if r["workload"] == "edit_rerun" and r.get("leg") == "warm"]
+assert cold and warm, "no edit_rerun cold/warm legs in BENCH_engine.json"
+assert all(r.get("cacheHits", -1) == 0 for r in cold), "cold legs must not hit the cache"
+assert all(r.get("cachePublished", 0) > 0 for r in cold), "cold legs must publish segments"
+assert all(r.get("cacheHits", 0) > 0 for r in warm), "warm legs must serve from the cache"
+assert all(r.get("cachePublished", -1) == 0 for r in warm), "warm legs must republish nothing"
+print(f"edit_rerun legs: cold={len(cold)}, warm={len(warm)}, "
+      f"warm hits={sum(r['cacheHits'] for r in warm)}")
 PY
     else
         grep -q '"batchLayout": *"columnar"' BENCH_engine.json || {
@@ -123,6 +145,9 @@ cargo run --release -p scriptflow-bench --bin repro -- service
 
 echo "==> bounded-memory experiment (KGE past RAM: unbounded vs tiny budget)"
 cargo run --release -p scriptflow-bench --bin repro -- fig13-spill
+
+echo "==> incremental re-execution experiment (KGE cold vs warm vs edited rerun)"
+cargo run --release -p scriptflow-bench --bin repro -- edit-rerun
 
 echo "==> repro on both backends (fig12a + probe-scale task comparison)"
 cargo run --release -p scriptflow-bench --bin repro -- fig12a --backend both

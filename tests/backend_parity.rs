@@ -18,8 +18,14 @@
 //! join-bearing tasks spill their build sides to the compressed block
 //! store mid-parity-check. Rows must still be identical — spilling is a
 //! memory-management decision, never a data decision.
+//!
+//! And `SCRIPTFLOW_RESULT_CACHE=1` re-runs every parity check with the
+//! result cache armed (a fresh cache per run: all misses, full
+//! recording). Fingerprinted memoization must never change a row —
+//! caching is a scheduling decision, never a data decision.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use scriptflow::core::{BackendKind, Calibration};
 use scriptflow::simcluster::Language;
@@ -28,12 +34,13 @@ use scriptflow::tasks::gotta::{self, GottaParams};
 use scriptflow::tasks::kge::{self, KgeParams};
 use scriptflow::tasks::wef::{self, WefParams};
 use scriptflow::tasks::BackendRun;
-use scriptflow::workflow::OperatorState;
+use scriptflow::workflow::{OperatorState, ResultCache};
 
 /// The calibration under test: `SCRIPTFLOW_BATCH_MODE=columnar` flips
 /// the engine to columnar edge batches, anything else (including unset)
 /// keeps the paper's row engine. `SCRIPTFLOW_MEM_BUDGET=<bytes>` caps
-/// every blocking operator's in-memory state on top of either mode.
+/// every blocking operator's in-memory state on top of either mode, and
+/// `SCRIPTFLOW_RESULT_CACHE=1` arms the fingerprinted result cache.
 fn calibration() -> Calibration {
     let mut cal = match std::env::var("SCRIPTFLOW_BATCH_MODE").as_deref() {
         Ok("columnar") => Calibration::paper_columnar(),
@@ -44,6 +51,9 @@ fn calibration() -> Calibration {
             raw.parse()
                 .expect("SCRIPTFLOW_MEM_BUDGET must be a byte count"),
         );
+    }
+    if std::env::var("SCRIPTFLOW_RESULT_CACHE").is_ok_and(|v| v == "1") {
+        cal.wf_result_cache = true;
     }
     cal
 }
@@ -264,5 +274,92 @@ fn columnar_mode_changes_no_rows_on_any_task() {
             c.seconds(),
             r.seconds()
         );
+    }
+}
+
+/// Direct cold-vs-warm cache parity, independent of
+/// `SCRIPTFLOW_RESULT_CACHE`: for every paper task on both backends, a
+/// cold run against a shared [`ResultCache`] must publish (all misses),
+/// the warm rerun must serve its frontier from sealed segments (hits,
+/// nothing republished) — and neither may change a single row relative
+/// to the cache-free run.
+#[test]
+fn warm_cache_rerun_changes_no_rows_on_any_task() {
+    let cal = Calibration::paper();
+    let tasks: [(&str, Box<dyn Fn(BackendKind, Option<&Arc<ResultCache>>) -> BackendRun>); 4] = [
+        (
+            "dice",
+            Box::new(|k, cache| {
+                let p = DiceParams::new(6, 2);
+                match cache {
+                    Some(c) => dice::workflow::run_workflow_cached(&p, &cal, k, c),
+                    None => dice::workflow::run_workflow_on(&p, &cal, k),
+                }
+                .expect("DICE runs")
+            }),
+        ),
+        (
+            "wef",
+            Box::new(|k, cache| {
+                let p = WefParams::new(40);
+                match cache {
+                    Some(c) => wef::workflow::run_workflow_cached(&p, &cal, k, c),
+                    None => wef::workflow::run_workflow_on(&p, &cal, k),
+                }
+                .expect("WEF runs")
+            }),
+        ),
+        (
+            "gotta",
+            Box::new(|k, cache| {
+                let p = GottaParams::new(1, 1);
+                match cache {
+                    Some(c) => gotta::workflow::run_workflow_cached(&p, &cal, k, c),
+                    None => gotta::workflow::run_workflow_on(&p, &cal, k),
+                }
+                .expect("GOTTA runs")
+            }),
+        ),
+        (
+            "kge",
+            Box::new(|k, cache| {
+                let p = KgeParams::new(300, 1);
+                match cache {
+                    Some(c) => kge::workflow::run_workflow_cached(&p, &cal, k, c),
+                    None => kge::workflow::run_workflow_on(&p, &cal, k),
+                }
+                .expect("KGE runs")
+            }),
+        ),
+    ];
+    for (task, run_on) in &tasks {
+        for kind in [BackendKind::Sim, BackendKind::Live] {
+            let baseline = run_on(kind, None);
+            let cache = Arc::new(ResultCache::new());
+            let cold = run_on(kind, Some(&cache));
+            let warm = run_on(kind, Some(&cache));
+            // TaskRun::output is already sorted.
+            assert_eq!(
+                baseline.run.output, cold.run.output,
+                "{task}/{kind}: a recording cold run must not change task results"
+            );
+            assert_eq!(
+                baseline.run.output, warm.run.output,
+                "{task}/{kind}: a served warm rerun must not change task results"
+            );
+            assert_eq!(cold.cache_hits, 0, "{task}/{kind}: an empty cache cannot hit");
+            assert!(
+                cold.cache_published > 0,
+                "{task}/{kind}: the cold run must publish sealed segments"
+            );
+            assert!(
+                warm.cache_hits > 0,
+                "{task}/{kind}: the warm rerun must serve from the cache"
+            );
+            assert_eq!(
+                warm.cache_published, 0,
+                "{task}/{kind}: a fully-warm rerun republishes nothing"
+            );
+        }
     }
 }

@@ -1,0 +1,179 @@
+//! Chaos suite for the result-cache publication path: seeded faults
+//! landing while cache-missing operators are recording their output must
+//! never let a partial segment reach the shared cache. Publication is
+//! all-or-nothing — recordings commit only after a run finishes with
+//! zero faults and zero retries — so a faulted run (recovered or not)
+//! leaves the cache byte-for-byte untouched, and the first clean run
+//! afterwards publishes sealed segments that warm reruns replay with
+//! rows identical to the cache-free baseline.
+//!
+//! CI (`scripts/ci.sh`) runs this suite under both `CHAOS_RETRIES`
+//! legs: the seed sweep arms its own budgets, while
+//! [`cache_chaos_retries_env_matrix`] checks the leg-specific halves.
+
+use std::sync::Arc;
+
+use scriptflow::datakit::{Batch, CmpOp, DataType, Schema, Value};
+use scriptflow::workflow::ops::{FilterOp, ScanOp, SinkHandle, SinkOp};
+use scriptflow::workflow::{
+    FaultPlan, LiveExecutor, PartitionStrategy, ResultCache, RetryConfig, RetryPolicy, Workflow,
+    WorkflowBuilder,
+};
+
+const ROWS: i64 = 300;
+
+/// scan → keep (faultable) → trim → sink, with seed-perturbed data and
+/// thresholds so the 32-seed sweep exercises different row mixes. Both
+/// filters are cacheable (pure, non-sink); the fault always lands on
+/// `keep`, mid-recording.
+fn pipeline(seed: u64) -> (Workflow, SinkHandle) {
+    let shift = (seed % 13) as i64;
+    let schema = Schema::of(&[("id", DataType::Int)]);
+    let batch = Batch::from_rows(
+        schema,
+        (0..ROWS).map(|i| vec![Value::Int((i * 7 + shift) % 211)]).collect(),
+    )
+    .expect("rows conform");
+    let mut b = WorkflowBuilder::new();
+    let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+    let keep = b.add(
+        Arc::new(FilterOp::cmp("keep", "id", CmpOp::Ge, Value::Int(10 + shift))),
+        2,
+    );
+    let trim = b.add(
+        Arc::new(FilterOp::cmp("trim", "id", CmpOp::Le, Value::Int(190 - shift))),
+        1,
+    );
+    let sink_op = SinkOp::new("sink");
+    let handle = sink_op.handle();
+    let sink = b.add(Arc::new(sink_op), 1);
+    b.connect(scan, keep, 0, PartitionStrategy::RoundRobin);
+    b.connect(keep, trim, 0, PartitionStrategy::RoundRobin);
+    b.connect(trim, sink, 0, PartitionStrategy::Single);
+    (b.build().expect("cache chaos pipeline is a valid DAG"), handle)
+}
+
+fn sorted_rows(h: &SinkHandle) -> Vec<String> {
+    let mut rows: Vec<String> = h.results().iter().map(|t| format!("{t:?}")).collect();
+    rows.sort();
+    rows
+}
+
+fn executor(cache: &Arc<ResultCache>) -> LiveExecutor {
+    LiveExecutor::new(16)
+        .with_pool_size(1)
+        .with_result_cache(cache.clone())
+}
+
+/// Cache-free baseline row multiset for one seed.
+fn baseline_rows(seed: u64) -> Vec<String> {
+    let (wf, h) = pipeline(seed);
+    LiveExecutor::new(16)
+        .with_pool_size(1)
+        .run(&wf)
+        .expect("cache-free baseline succeeds");
+    sorted_rows(&h)
+}
+
+/// The tentpole sweep: 32 seeds × {panic, kill} landing on `keep` while
+/// it records for publication. Unrecovered faults fail the run, a
+/// retry-armed rerun recovers it — and in *both* cases the cache stays
+/// empty, because dirty runs never commit their recordings. Only the
+/// clean run that follows publishes, and its segments serve a warm
+/// rerun with rows identical to the cache-free baseline.
+#[test]
+fn faults_mid_recording_never_publish_partial_segments_across_32_seeds() {
+    for seed in 0..32u64 {
+        let clean = baseline_rows(seed);
+        let at = 5 + seed % ((ROWS as u64) / 2);
+        let plan = |kind: &str| match kind {
+            "panic" => FaultPlan::new(seed).panic_at("keep", at),
+            _ => FaultPlan::new(seed).kill_worker("keep", at),
+        };
+        let kind = if seed % 2 == 0 { "panic" } else { "kill" };
+        let cache = Arc::new(ResultCache::new());
+
+        // Unrecovered fault: the run fails; nothing may be published.
+        let (wf, _h) = pipeline(seed);
+        let (_trace, result) = executor(&cache).with_faults(plan(kind)).run_observed(&wf);
+        result.expect_err("no retry budget: the fault fails the run");
+        assert_eq!(cache.entries(), 0, "seed {seed} {kind}@{at}: failed run published");
+        assert_eq!(cache.bytes(), 0, "seed {seed} {kind}@{at}: failed run leaked bytes");
+
+        // Recovered fault: the run succeeds, but it was dirty — the
+        // replayed quanta could have double-recorded, so publication is
+        // withheld.
+        let (wf, h) = pipeline(seed);
+        let (_trace, result) = executor(&cache)
+            .with_faults(plan(kind))
+            .with_retry(RetryConfig::uniform(RetryPolicy::default()))
+            .run_observed(&wf);
+        let res = result.unwrap_or_else(|e| panic!("seed {seed} {kind}@{at}: {e}"));
+        let stats = res.pool.expect("pooled mode reports stats");
+        assert!(
+            stats.faults_injected > 0,
+            "seed {seed} {kind}@{at}: the fault must actually fire"
+        );
+        assert_eq!(sorted_rows(&h), clean, "seed {seed} {kind}@{at}: recovered rows");
+        assert_eq!(res.cache_published, 0, "seed {seed} {kind}@{at}: dirty run published");
+        assert_eq!(cache.entries(), 0, "seed {seed} {kind}@{at}: dirty run leaked entries");
+
+        // First clean run publishes sealed segments...
+        let (wf, h) = pipeline(seed);
+        let (_trace, result) = executor(&cache).run_observed(&wf);
+        let res = result.unwrap_or_else(|e| panic!("seed {seed}: clean run: {e}"));
+        assert_eq!(sorted_rows(&h), clean, "seed {seed}: clean rows");
+        assert!(res.cache_published > 0, "seed {seed}: clean run must publish");
+        assert!(cache.entries() > 0, "seed {seed}: cache populated");
+
+        // ...and a warm rerun serves them with identical rows.
+        let (wf, h) = pipeline(seed);
+        let (_trace, result) = executor(&cache).run_observed(&wf);
+        let res = result.unwrap_or_else(|e| panic!("seed {seed}: warm run: {e}"));
+        let stats = res.pool.expect("pooled mode reports stats");
+        assert!(stats.cache_hits > 0, "seed {seed}: warm rerun must hit");
+        assert_eq!(sorted_rows(&h), clean, "seed {seed}: served rows are byte-identical");
+    }
+}
+
+/// Leg-specific behaviour under the CI `CHAOS_RETRIES` matrix. The
+/// disabled leg pins that an explicit `disabled()` policy behaves like
+/// no policy — the kill fails the run and publishes nothing. The armed
+/// leg proves a recovered kill still publishes nothing, and that the
+/// clean run afterwards does.
+#[test]
+fn cache_chaos_retries_env_matrix() {
+    let armed = std::env::var("CHAOS_RETRIES").is_ok_and(|v| v == "1");
+    let seed = 17u64;
+    let cache = Arc::new(ResultCache::new());
+    if !armed {
+        for retry in [Some(RetryConfig::uniform(RetryPolicy::disabled())), None] {
+            let (wf, _h) = pipeline(seed);
+            let mut exec = executor(&cache).with_faults(FaultPlan::new(seed).kill_worker("keep", 30));
+            if let Some(r) = retry {
+                exec = exec.with_retry(r);
+            }
+            let (_trace, result) = exec.run_observed(&wf);
+            result.expect_err("disabled leg: the kill fails the run");
+        }
+        assert_eq!(cache.entries(), 0, "disabled leg: nothing published");
+        assert_eq!(cache.bytes(), 0, "disabled leg: no bytes leaked");
+        return;
+    }
+    let clean = baseline_rows(seed);
+    let (wf, h) = pipeline(seed);
+    let (_trace, result) = executor(&cache)
+        .with_faults(FaultPlan::new(seed).kill_worker("keep", 30))
+        .with_retry(RetryConfig::uniform(RetryPolicy::default()))
+        .run_observed(&wf);
+    let res = result.unwrap_or_else(|e| panic!("armed leg: {e}"));
+    assert_eq!(sorted_rows(&h), clean, "armed leg: zero lost rows");
+    assert_eq!(res.cache_published, 0, "armed leg: recovered run must not publish");
+    assert_eq!(cache.entries(), 0, "armed leg: cache untouched by the dirty run");
+
+    let (wf, h) = pipeline(seed);
+    let (_trace, result) = executor(&cache).run_observed(&wf);
+    let res = result.unwrap_or_else(|e| panic!("armed leg clean run: {e}"));
+    assert_eq!(sorted_rows(&h), clean, "armed leg: clean rows");
+    assert!(res.cache_published > 0, "armed leg: clean run publishes");
+}
