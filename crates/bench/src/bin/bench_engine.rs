@@ -233,17 +233,26 @@ fn measure(
 /// twice on the pooled executor against one shared result cache. The
 /// cold leg computes everything and publishes sealed segments
 /// (`cacheHits == 0`, `cachePublished > 0`); the warm leg serves its
-/// frontier from the cache (`cacheHits > 0`) and skips the rest.
+/// frontier from the cache (`cacheHits > 0`) and skips the rest. A
+/// third, budgeted leg replays the cold run against a cache whose byte
+/// budget sits just under what the cold leg published, so committing
+/// must evict (`cacheEvictions > 0`) and the byte identity
+/// `cacheLiveBytes == cachePublished − cacheEvictedBytes` holds —
+/// `scripts/ci.sh`'s bench smoke asserts both.
 fn measure_edit_rerun(parallelism: usize, tuples: i64) -> Vec<Json> {
     let cache = Arc::new(ResultCache::new());
     let exec = backend::live_executor(backend::LIVE_BATCH).with_result_cache(cache);
     let mut out = Vec::new();
+    let mut cold_published = 0u64;
     for leg in ["cold", "warm"] {
         let wf = filter_pipeline(tuples, parallelism);
         let start = Instant::now();
         let res = exec.run(&wf).expect("bench workflow must run");
         let secs = start.elapsed().as_secs_f64();
         let pool = res.pool.as_ref().expect("pooled run reports pool stats");
+        if leg == "cold" {
+            cold_published = res.cache_published;
+        }
         println!(
             "{:>16}  {:>8}  leg={leg:<4}  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>3} hits  {:>3} misses  {:>9} bytes published",
             "edit_rerun",
@@ -267,6 +276,45 @@ fn measure_edit_rerun(parallelism: usize, tuples: i64) -> Vec<Json> {
             ("operators".into(), operators_json(&res.metrics)),
         ]));
     }
+    // Budgeted leg: a fresh cache one byte short of holding the whole
+    // cold publish, so the commit's cost-aware eviction must fire.
+    let budget = cold_published.saturating_sub(1).max(1);
+    let cache = Arc::new(ResultCache::new().with_byte_budget(budget));
+    let exec =
+        backend::live_executor(backend::LIVE_BATCH).with_result_cache(Arc::clone(&cache));
+    let wf = filter_pipeline(tuples, parallelism);
+    let start = Instant::now();
+    let res = exec.run(&wf).expect("bench workflow must run");
+    let secs = start.elapsed().as_secs_f64();
+    let pool = res.pool.as_ref().expect("pooled run reports pool stats");
+    println!(
+        "{:>16}  {:>8}  leg=budg  p={parallelism}  {tuples:>8} tuples  {:>10.3} ms  {:>3} evictions  {:>9} live / {:>9} budget bytes",
+        "edit_rerun",
+        "pooled",
+        secs * 1e3,
+        pool.cache_evictions,
+        cache.bytes(),
+        budget,
+    );
+    out.push(Json::Object(vec![
+        ("workload".into(), Json::Str("edit_rerun".into())),
+        ("mode".into(), Json::Str("pooled".into())),
+        ("leg".into(), Json::Str("budgeted".into())),
+        ("parallelism".into(), Json::Int(parallelism as i64)),
+        ("tuples".into(), Json::Int(tuples)),
+        ("elapsed_secs".into(), Json::Float(secs)),
+        ("cacheHits".into(), Json::Int(pool.cache_hits as i64)),
+        ("cacheMisses".into(), Json::Int(pool.cache_misses as i64)),
+        ("cacheBudget".into(), Json::Int(budget as i64)),
+        ("cachePublished".into(), Json::Int(res.cache_published as i64)),
+        ("cacheEvictions".into(), Json::Int(pool.cache_evictions as i64)),
+        ("cacheLiveBytes".into(), Json::Int(cache.bytes() as i64)),
+        (
+            "cacheEvictedBytes".into(),
+            Json::Int(cache.evicted_bytes() as i64),
+        ),
+        ("operators".into(), operators_json(&res.metrics)),
+    ]));
     out
 }
 

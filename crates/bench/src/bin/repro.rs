@@ -8,7 +8,8 @@
 //! cargo run --release -p scriptflow-bench --bin repro --fault    # §III-A fault comparison
 //! cargo run --release -p scriptflow-bench --bin repro --service  # multi-tenant isolation
 //! cargo run --release -p scriptflow-bench --bin repro --spill    # bounded-memory extension
-//! cargo run --release -p scriptflow-bench --bin repro --cache    # incremental edit-rerun
+//! cargo run --release -p scriptflow-bench --bin repro --cache    # incremental edit-rerun + edit-loop
+//! cargo run --release -p scriptflow-bench --bin repro edit-loop  # cross-session edit loop only
 //! cargo run --release -p scriptflow-bench --bin repro --csv     # + artifacts/*.csv
 //! cargo run --release -p scriptflow-bench --bin repro fig12a --backend both
 //! ```
@@ -196,10 +197,19 @@ fn main() {
         }
     }
 
-    if want_cache || filter.iter().any(|f| f.as_str() == "edit-rerun") {
+    if want_cache
+        || filter
+            .iter()
+            .any(|f| f.as_str() == "edit-rerun" || f.as_str() == "edit-loop")
+    {
         println!("\n#################### INCREMENTAL RE-EXECUTION ####################\n");
         for e in incremental_registry().experiments() {
             let meta = e.meta();
+            // `repro edit-loop` runs just that experiment; `--cache`
+            // runs the whole suite (mirrors the ablation filtering).
+            if !want_cache && !filter.iter().any(|f| meta.id == f.as_str()) {
+                continue;
+            }
             let measured = e.run_on(choice);
             let paper = e.paper_reference();
             println!("{}", render_side_by_side(&meta, &measured, &paper));

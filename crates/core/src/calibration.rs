@@ -154,6 +154,12 @@ pub struct Calibration {
     /// cache hit serves an operator's sealed output. Inert while
     /// `wf_result_cache` is false.
     pub wf_cache_read_per_block: SimDuration,
+    /// Byte budget for the result cache; `None` (the paper fit and the
+    /// default) leaves it unbounded. When set, the cache evicts
+    /// big-and-cheap-to-recompute entries first (cost-aware, priced by
+    /// this calibration's per-operator cost model). Inert while
+    /// `wf_result_cache` is false.
+    pub wf_cache_byte_budget: Option<u64>,
 }
 
 impl Calibration {
@@ -207,6 +213,7 @@ impl Calibration {
             wf_spill_read_per_block: SimDuration::from_micros(1_200),
             wf_result_cache: false,
             wf_cache_read_per_block: SimDuration::from_micros(900),
+            wf_cache_byte_budget: None,
         }
     }
 

@@ -470,6 +470,244 @@ impl Segment {
     pub fn is_empty(&self) -> bool {
         self.manifest.row_count == 0
     }
+
+    /// Serialize the segment — schema, manifest, blocks, statistics —
+    /// into a self-contained byte image ending in an FNV-1a checksum.
+    /// [`Segment::decode`] inverts it exactly; any mutation of the image
+    /// (truncation, bit flips, a forged manifest count) fails decoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.manifest.compressed_bytes as usize + 256);
+        out.extend_from_slice(SEGMENT_MAGIC);
+        let schema = self
+            .blocks
+            .first()
+            .map(|b| b.schema().clone())
+            .unwrap_or_else(crate::schema::Schema::empty);
+        encode_schema(&schema, &mut out);
+        out.extend_from_slice(&self.manifest.block_count.to_le_bytes());
+        out.extend_from_slice(&self.manifest.row_count.to_le_bytes());
+        out.extend_from_slice(&self.manifest.raw_bytes.to_le_bytes());
+        out.extend_from_slice(&self.manifest.compressed_bytes.to_le_bytes());
+        encode_opt_stats(self.manifest.stats.as_ref(), &mut out);
+        for block in &self.blocks {
+            out.extend_from_slice(&(block.rows as u32).to_le_bytes());
+            out.extend_from_slice(&(block.raw_bytes as u32).to_le_bytes());
+            out.extend_from_slice(&(block.data.len() as u32).to_le_bytes());
+            out.extend_from_slice(&block.data);
+            encode_opt_stats(Some(&block.stats), &mut out);
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parse a byte image produced by [`Segment::encode`], validating the
+    /// trailing checksum, the magic header, and every cross-count (block
+    /// count, row sums, byte sums) against the embedded manifest. Returns
+    /// a [`DataError::Decode`] on any mismatch — callers treat that as a
+    /// cache miss, never a panic.
+    pub fn decode(buf: &[u8]) -> DataResult<Segment> {
+        if buf.len() < SEGMENT_MAGIC.len() + 8 {
+            return Err(decode_err("segment image too short"));
+        }
+        let (body, sum_bytes) = buf.split_at(buf.len() - 8);
+        let want = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+        if fnv1a64(body) != want {
+            return Err(decode_err("segment checksum mismatch"));
+        }
+        let mut pos = 0;
+        if take(body, &mut pos, SEGMENT_MAGIC.len())? != SEGMENT_MAGIC {
+            return Err(decode_err("bad segment magic"));
+        }
+        let schema = decode_schema(body, &mut pos)?;
+        let block_count = take_u64(body, &mut pos)?;
+        let row_count = take_u64(body, &mut pos)?;
+        let raw_bytes = take_u64(body, &mut pos)?;
+        let compressed_bytes = take_u64(body, &mut pos)?;
+        let stats = decode_opt_stats(body, &mut pos, schema.arity())?;
+        // Never trust the manifest's count for preallocation: cap by what
+        // the remaining bytes could plausibly hold (each block needs at
+        // least its 12-byte header).
+        let cap = (block_count as usize).min(body.len().saturating_sub(pos) / 12 + 1);
+        let mut blocks = Vec::with_capacity(cap);
+        let (mut rows_sum, mut raw_sum, mut comp_sum) = (0u64, 0u64, 0u64);
+        for _ in 0..block_count {
+            let rows = take_u32(body, &mut pos)?;
+            let block_raw = take_u32(body, &mut pos)?;
+            let data_len = take_u32(body, &mut pos)?;
+            let data = take(body, &mut pos, data_len)?.to_vec();
+            let bstats = decode_opt_stats(body, &mut pos, schema.arity())?
+                .ok_or_else(|| decode_err("block missing statistics"))?;
+            rows_sum += rows as u64;
+            raw_sum += block_raw as u64;
+            comp_sum += data.len() as u64;
+            blocks.push(CompressedBlock {
+                schema: schema.clone(),
+                rows,
+                raw_bytes: block_raw,
+                data,
+                stats: bstats,
+            });
+        }
+        if pos != body.len() {
+            return Err(decode_err("trailing bytes after last block"));
+        }
+        if rows_sum != row_count || raw_sum != raw_bytes || comp_sum != compressed_bytes {
+            return Err(decode_err(format!(
+                "segment manifest disagrees with blocks: rows {rows_sum}/{row_count}, \
+                 raw {raw_sum}/{raw_bytes}, compressed {comp_sum}/{compressed_bytes}"
+            )));
+        }
+        Ok(Segment {
+            manifest: SegmentManifest {
+                block_count,
+                row_count,
+                raw_bytes,
+                compressed_bytes,
+                stats,
+            },
+            blocks,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment persistence codec
+// ---------------------------------------------------------------------------
+
+/// Magic + version prefix of an encoded segment image.
+const SEGMENT_MAGIC: &[u8] = b"SFSEG1";
+
+/// FNV-1a over `bytes` — the trailing integrity checksum of an encoded
+/// segment. Deterministic and dependency-free, like the rest of the
+/// codec.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize) -> DataResult<u64> {
+    let b = take(buf, pos, 8)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn dtype_tag(dt: crate::value::DataType) -> u8 {
+    use crate::value::DataType::*;
+    match dt {
+        Null => TAG_NULL,
+        Bool => TAG_BOOL,
+        Int => TAG_INT,
+        Float => TAG_FLOAT,
+        Str => TAG_STR,
+        Bytes => TAG_BYTES,
+        List => TAG_LIST,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> DataResult<crate::value::DataType> {
+    use crate::value::DataType::*;
+    Ok(match tag {
+        TAG_NULL => Null,
+        TAG_BOOL => Bool,
+        TAG_INT => Int,
+        TAG_FLOAT => Float,
+        TAG_STR => Str,
+        TAG_BYTES => Bytes,
+        TAG_LIST => List,
+        other => return Err(decode_err(format!("unknown dtype tag {other}"))),
+    })
+}
+
+fn encode_schema(schema: &SchemaRef, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(schema.arity() as u32).to_le_bytes());
+    for f in schema.fields() {
+        out.extend_from_slice(&(f.name().len() as u32).to_le_bytes());
+        out.extend_from_slice(f.name().as_bytes());
+        out.push(dtype_tag(f.dtype()));
+    }
+}
+
+fn decode_schema(buf: &[u8], pos: &mut usize) -> DataResult<SchemaRef> {
+    let arity = take_u32(buf, pos)?;
+    let mut fields = Vec::with_capacity(arity.min(4096));
+    for _ in 0..arity {
+        let len = take_u32(buf, pos)?;
+        let name = std::str::from_utf8(take(buf, pos, len)?)
+            .map_err(|_| decode_err("invalid utf-8 in field name"))?
+            .to_owned();
+        let dtype = dtype_from_tag(take(buf, pos, 1)?[0])?;
+        fields.push(crate::schema::Field::new(name, dtype));
+    }
+    crate::schema::Schema::new(fields)
+        .map(std::sync::Arc::new)
+        .map_err(|e| decode_err(format!("invalid persisted schema: {e}")))
+}
+
+fn encode_opt_value(v: Option<&Value>, out: &mut Vec<u8>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            encode_value(v, out);
+        }
+    }
+}
+
+fn decode_opt_value(buf: &[u8], pos: &mut usize) -> DataResult<Option<Value>> {
+    match take(buf, pos, 1)?[0] {
+        0 => Ok(None),
+        1 => Ok(Some(decode_value(buf, pos)?)),
+        other => Err(decode_err(format!("bad option tag {other}"))),
+    }
+}
+
+fn encode_opt_stats(stats: Option<&BatchStats>, out: &mut Vec<u8>) {
+    let Some(stats) = stats else {
+        out.push(0);
+        return;
+    };
+    out.push(1);
+    out.extend_from_slice(&(stats.columns.len() as u32).to_le_bytes());
+    for c in &stats.columns {
+        encode_opt_value(c.min.as_ref(), out);
+        encode_opt_value(c.max.as_ref(), out);
+        out.extend_from_slice(&c.null_count.to_le_bytes());
+    }
+}
+
+fn decode_opt_stats(
+    buf: &[u8],
+    pos: &mut usize,
+    arity: usize,
+) -> DataResult<Option<BatchStats>> {
+    match take(buf, pos, 1)?[0] {
+        0 => Ok(None),
+        1 => {
+            let cols = take_u32(buf, pos)?;
+            if cols != arity {
+                return Err(decode_err(format!(
+                    "statistics cover {cols} columns, schema has {arity}"
+                )));
+            }
+            let mut columns = Vec::with_capacity(cols.min(4096));
+            for _ in 0..cols {
+                let min = decode_opt_value(buf, pos)?;
+                let max = decode_opt_value(buf, pos)?;
+                let null_count = take_u64(buf, pos)?;
+                columns.push(ColStats {
+                    min,
+                    max,
+                    null_count,
+                });
+            }
+            Ok(Some(BatchStats { columns }))
+        }
+        other => Err(decode_err(format!("bad stats tag {other}"))),
+    }
 }
 
 #[cfg(test)]
@@ -622,6 +860,55 @@ mod tests {
         assert!(seg.is_empty());
         assert_eq!(seg.manifest().block_count, 0);
         assert!(seg.manifest().stats.is_none());
+    }
+
+    #[test]
+    fn segment_image_roundtrips_blocks_manifest_and_stats() {
+        let mut app = BlockAppender::new();
+        app.append(&batch(&[(5, "m", 1.0), (9, "z", 2.0)]));
+        app.append(&batch(&[(1, "a", -3.0)]));
+        let seg = app.seal();
+        let image = seg.encode();
+        let back = Segment::decode(&image).unwrap();
+        let (m, n) = (seg.manifest(), back.manifest());
+        assert_eq!(m.block_count, n.block_count);
+        assert_eq!(m.row_count, n.row_count);
+        assert_eq!(m.raw_bytes, n.raw_bytes);
+        assert_eq!(m.compressed_bytes, n.compressed_bytes);
+        assert_eq!(m.column_stats(0).unwrap(), n.column_stats(0).unwrap());
+        for (a, b) in seg.blocks().iter().zip(back.blocks()) {
+            assert_eq!(a.decode().unwrap().to_rows(), b.decode().unwrap().to_rows());
+            assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn empty_segment_image_roundtrips() {
+        let image = BlockAppender::new().seal().encode();
+        let back = Segment::decode(&image).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.manifest().block_count, 0);
+    }
+
+    #[test]
+    fn segment_decode_rejects_every_single_byte_corruption() {
+        let mut app = BlockAppender::new();
+        app.append(&batch(&[(5, "m", 1.0), (9, "z", 2.0)]));
+        let image = app.seal().encode();
+        // Truncations at every length.
+        for cut in 0..image.len() {
+            assert!(
+                Segment::decode(&image[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+        // Bit flips at every position (checksum catches body flips; a
+        // flipped checksum byte mismatches the clean body).
+        for i in 0..image.len() {
+            let mut bad = image.clone();
+            bad[i] ^= 0x40;
+            assert!(Segment::decode(&bad).is_err(), "flip at byte {i} must not decode");
+        }
     }
 
     #[test]

@@ -66,6 +66,35 @@ impl LineageGraph {
         &self.edges[cell]
     }
 
+    /// Cells that (directly) read what `cell` writes.
+    pub fn dependents(&self, cell: usize) -> Vec<usize> {
+        (0..self.cells)
+            .filter(|&i| self.edges[i].contains(&cell))
+            .collect()
+    }
+
+    /// The stale cone of an edit: every cell downstream (transitively)
+    /// of any edited cell, plus the edited cells themselves, in
+    /// document order. This is the minimal rerun set a lineage-aware
+    /// notebook needs after the edit — the script-paradigm counterpart
+    /// of the workflow engine's fingerprint-invalidated operators.
+    pub fn stale_after_edit(&self, edited: &[usize]) -> Vec<usize> {
+        let mut stale = vec![false; self.cells];
+        for &c in edited {
+            if c < self.cells {
+                stale[c] = true;
+            }
+        }
+        // Edges point backwards, so one forward document-order sweep
+        // propagates staleness transitively.
+        for i in 0..self.cells {
+            if !stale[i] && self.edges[i].iter().any(|&d| stale[d]) {
+                stale[i] = true;
+            }
+        }
+        (0..self.cells).filter(|&i| stale[i]).collect()
+    }
+
     /// A valid top-to-bottom order always exists (edges point backwards);
     /// return it (just document order).
     pub fn document_order(&self) -> Vec<usize> {
@@ -158,6 +187,49 @@ mod tests {
         let g = LineageGraph::from_notebook(&nb);
         let issues = g.audit(&nb, &[0, 1]);
         assert_eq!(issues, vec![LineageIssue::NeverExecuted { cell: 2 }]);
+    }
+
+    #[test]
+    fn dependents_inverts_deps() {
+        let nb = fig8_notebook();
+        let g = LineageGraph::from_notebook(&nb);
+        assert_eq!(g.dependents(0), vec![1, 2]);
+        assert!(g.dependents(1).is_empty());
+        assert!(g.dependents(2).is_empty());
+    }
+
+    #[test]
+    fn stale_cone_is_the_transitive_downstream_closure() {
+        // load -> clean -> {train, report}; edit clean ⇒ rerun 1,2,3
+        // but never 0 (its output is still valid).
+        let mut nb = Notebook::new("cone");
+        nb.push(Cell::new("load", "d = load()", |_| Ok(())).writes(&["d"]));
+        nb.push(
+            Cell::new("clean", "c = clean(d)", |_| Ok(()))
+                .reads(&["d"])
+                .writes(&["c"]),
+        );
+        nb.push(
+            Cell::new("train", "m = fit(c)", |_| Ok(()))
+                .reads(&["c"])
+                .writes(&["m"]),
+        );
+        nb.push(Cell::new("report", "report(m)", |_| Ok(())).reads(&["m"]));
+        let g = LineageGraph::from_notebook(&nb);
+        assert_eq!(g.stale_after_edit(&[1]), vec![1, 2, 3]);
+        assert_eq!(g.stale_after_edit(&[3]), vec![3]);
+        assert_eq!(g.stale_after_edit(&[0]), vec![0, 1, 2, 3]);
+        assert!(g.stale_after_edit(&[]).is_empty());
+        // Out-of-range edits are ignored rather than panicking.
+        assert!(g.stale_after_edit(&[99]).is_empty());
+    }
+
+    #[test]
+    fn stale_cone_skips_independent_branches() {
+        let nb = fig8_notebook();
+        let g = LineageGraph::from_notebook(&nb);
+        // Editing Sentiment_Analysis leaves Load and Write valid.
+        assert_eq!(g.stale_after_edit(&[1]), vec![1]);
     }
 
     #[test]

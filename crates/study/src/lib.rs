@@ -99,6 +99,7 @@ pub fn spill_registry() -> Registry {
 pub fn incremental_registry() -> Registry {
     let mut r = Registry::new();
     r.register(Box::new(incremental::EditRerun));
+    r.register(Box::new(incremental::EditLoop));
     r
 }
 
@@ -166,7 +167,8 @@ mod tests {
     #[test]
     fn incremental_registry_is_populated() {
         let r = incremental_registry();
-        assert_eq!(r.experiments().len(), 1);
+        assert_eq!(r.experiments().len(), 2);
         assert!(r.by_id("edit-rerun").is_some());
+        assert!(r.by_id("edit-loop").is_some());
     }
 }

@@ -92,6 +92,9 @@ pub struct BackendRun {
     pub cache_bytes: u64,
     /// Compressed bytes sealed into the cache by this run.
     pub cache_published: u64,
+    /// Entries evicted by the cache's byte budget while this run's
+    /// recordings were committed (0 with the cache unbounded).
+    pub cache_evictions: u64,
 }
 
 impl BackendRun {
@@ -111,6 +114,7 @@ impl BackendRun {
             cache_misses: engine.cache_misses,
             cache_bytes: engine.cache_bytes,
             cache_published: engine.cache_published,
+            cache_evictions: engine.cache_evictions,
         }
     }
 

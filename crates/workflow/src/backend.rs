@@ -120,6 +120,9 @@ pub struct EngineRun {
     /// Compressed bytes this run added to the cache (0 for dirty runs —
     /// only fault-free, retry-free runs publish).
     pub cache_published: u64,
+    /// Entries the cache's byte budget evicted while this run's
+    /// recordings were committed (0 when the cache is unbounded).
+    pub cache_evictions: u64,
 }
 
 impl EngineRun {
@@ -241,6 +244,12 @@ impl ExecBackend {
                     cache_misses: res.metrics.operators.iter().map(|m| m.cache_misses).sum(),
                     cache_bytes: res.metrics.operators.iter().map(|m| m.cache_bytes).sum(),
                     cache_published: res.cache_published,
+                    cache_evictions: res
+                        .metrics
+                        .operators
+                        .iter()
+                        .map(|m| m.cache_evictions)
+                        .sum(),
                     metrics: res.metrics,
                     trace: res.trace,
                     pool: None,
@@ -264,6 +273,7 @@ impl ExecBackend {
                     cache_misses: res.pool.as_ref().map_or(0, |p| p.cache_misses),
                     cache_bytes: res.pool.as_ref().map_or(0, |p| p.cache_bytes),
                     cache_published: res.cache_published,
+                    cache_evictions: res.pool.as_ref().map_or(0, |p| p.cache_evictions),
                     metrics: res.metrics,
                     trace: res.trace,
                     retries_attempted: res.pool.as_ref().map_or(0, |p| p.retries_attempted),

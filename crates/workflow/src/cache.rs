@@ -1,5 +1,6 @@
 //! Fingerprint-keyed result cache: incremental re-execution across
-//! edits, backends, and tenants.
+//! edits, backends, tenants, and — with a persistent root — process
+//! restarts.
 //!
 //! Every built [`Workflow`] node carries a Merkle-style
 //! [`OpFingerprint`] — a content address of "this operator's spec plus
@@ -31,11 +32,44 @@
 //! write-then-rename discipline that keeps partial or duplicated output
 //! out of the cache (pinned by `tests/cache_chaos.rs`).
 //!
+//! # Bounded growth: cost-aware eviction
+//!
+//! [`ResultCache::with_byte_budget`] caps the cache's compressed
+//! footprint. When a publish would exceed the budget, victims are chosen
+//! by `bytes × recompute-cheapness`: each entry carries the calibrated
+//! recompute cost of the operator that produced it
+//! (`setup + per_tuple × rows`, straight from the operator's
+//! [`CostProfile`], whose constants come from `core::calibration`), and
+//! the entry with the highest `bytes / recompute-cost` ratio goes first
+//! — large, cheap-to-recompute scan/filter outputs are evicted while
+//! expensive transformer-stage outputs are kept. Ties break by insertion
+//! order, so the same publish sequence under the same budget always
+//! evicts the same victims. `ResultCache::bytes()` never exceeds the
+//! budget after a publish returns.
+//!
+//! # Durability: the on-disk segment root
+//!
+//! [`ResultCache::persistent`] roots the cache in a directory (exposed
+//! to tools via the `SCRIPTFLOW_CACHE_DIR` environment variable and
+//! [`ResultCache::from_env`]). Every published entry is also written as
+//! `<fingerprint>.seg` — a checksummed [`Segment::encode`] image — and
+//! indexed by a `MANIFEST` file mapping fingerprints to row/block/byte
+//! counts, recompute cost, and owner. Both writes are
+//! write-temp-then-rename, mirroring the in-memory no-partial-
+//! publication invariant: a crash mid-publish never exposes a partial
+//! entry. Reopening the directory serves the same sealed rows to a new
+//! process; a corrupt or truncated entry (checksum, magic, count, or
+//! manifest mismatch) degrades to a cache miss — the bad file and its
+//! manifest line are dropped, never surfaced as an error.
+//!
 //! [`EngineConfig::cache_read_per_block`]: crate::EngineConfig
 //! [`EngineConfig::result_cache`]: crate::EngineConfig
+//! [`CostProfile`]: crate::cost::CostProfile
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use scriptflow_core::fingerprint::OpFingerprint;
 use scriptflow_datakit::blockstore::{BlockAppender, Segment};
@@ -48,6 +82,18 @@ use crate::operator::{
     Operator, OperatorFactory, OutputCollector, WorkflowError, WorkflowResult,
 };
 use crate::spill::SPILL_BLOCK_ROWS;
+
+/// Lock `m`, recovering from a poisoned mutex instead of propagating the
+/// panic. Cache state is seal-once — entries are inserted whole and
+/// never mutated in place, and recording buffers are rebuilt from marks
+/// on every tee — so the state behind a poisoned lock is still
+/// consistent and `into_inner` is safe. Without this, a panic fault
+/// landing while a recording sink holds its buffer lock poisons the
+/// mutex and cascades panics into every unrelated tenant sharing the
+/// service cache.
+fn recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One sealed cache entry: an operator's complete output multiset as a
 /// compressed segment, plus the counters telemetry reports when the
@@ -77,6 +123,17 @@ impl CacheEntry {
         }
     }
 
+    /// Wrap a decoded persisted segment (already checksum-validated).
+    fn from_segment(segment: Segment) -> CacheEntry {
+        let m = segment.manifest();
+        CacheEntry {
+            rows: m.row_count,
+            blocks: m.block_count,
+            bytes: m.compressed_bytes,
+            segment,
+        }
+    }
+
     /// Rows recorded in this entry.
     pub fn rows(&self) -> u64 {
         self.rows
@@ -95,7 +152,11 @@ impl CacheEntry {
     /// Decode the full output multiset back into tuples, in recorded
     /// order.
     pub fn tuples(&self) -> Vec<Tuple> {
-        let mut out = Vec::with_capacity(self.rows as usize);
+        // The manifest row count is advisory — for a persisted entry it
+        // is untrusted input — so preallocate no more than the decoded
+        // blocks can actually hold.
+        let decoded: usize = self.segment.blocks().iter().map(|b| b.rows()).sum();
+        let mut out = Vec::with_capacity((self.rows as usize).min(decoded));
         for block in self.segment.blocks() {
             let batch = block
                 .decode()
@@ -106,61 +167,535 @@ impl CacheEntry {
     }
 }
 
+/// Where a stored entry's payload currently lives.
+#[derive(Debug)]
+enum Slot {
+    /// Decoded and resident.
+    Loaded(Arc<CacheEntry>),
+    /// On disk only (a persistent cache after reopen); loaded — and
+    /// validated against the manifest counts — on first lookup.
+    Disk,
+}
+
+/// Bookkeeping for one cache entry. The counts are authoritative (the
+/// eviction policy and the byte ledger run off them even while the
+/// payload is still on disk); a loaded slot's segment must agree with
+/// them or the entry is dropped as corrupt.
+#[derive(Debug)]
+struct Stored {
+    slot: Slot,
+    /// Insertion order, the deterministic eviction tie-breaker.
+    seq: u64,
+    rows: u64,
+    blocks: u64,
+    bytes: u64,
+    /// Calibrated cost of recomputing this output, in virtual
+    /// microseconds (`setup + per_tuple × rows` of the producing
+    /// operator).
+    cost_micros: u64,
+    /// Publishing tenant, if the service layer attributed one.
+    owner: Option<String>,
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
-    entries: HashMap<u128, Arc<CacheEntry>>,
+    entries: HashMap<u128, Stored>,
     bytes: u64,
+    budget: Option<u64>,
+    seq: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+    owner_bytes: HashMap<String, u64>,
+}
+
+/// What one [`ResultCache::publish_costed`] call did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Compressed bytes added (0 when the fingerprint already had an
+    /// entry — first writer wins — or the entry was not admitted).
+    pub added: u64,
+    /// False when the entry alone exceeds the byte budget and was
+    /// rejected outright.
+    pub admitted: bool,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Compressed bytes those victims released.
+    pub evicted_bytes: u64,
 }
 
 /// A process-wide result cache, shareable across runs, backends, and
 /// (via the service layer) tenants.
 ///
-/// The cache never evicts on its own: its footprint is the sum of its
-/// sealed segments' compressed bytes, and the multi-tenant service
-/// bounds growth with per-tenant cache budgets
-/// ([`crate::TenantQuota::with_cache_budget`]).
+/// Unbounded by default; [`ResultCache::with_byte_budget`] turns on
+/// cost-aware eviction, and [`ResultCache::persistent`] roots the cache
+/// in a directory that survives the process (see the module docs).
 #[derive(Debug, Default)]
 pub struct ResultCache {
     inner: Mutex<CacheInner>,
+    disk: Option<DiskStore>,
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, unbounded, in-memory cache.
     pub fn new() -> Self {
         ResultCache::default()
     }
 
-    /// The sealed entry for `fp`, if one has been published.
+    /// Cap the cache at `bytes` compressed bytes, evicting by
+    /// `bytes × recompute-cheapness` (see the module docs).
+    pub fn with_byte_budget(self, bytes: u64) -> Self {
+        self.set_byte_budget(Some(bytes));
+        self
+    }
+
+    /// Install (or clear) the byte budget, evicting immediately if the
+    /// current footprint exceeds the new cap.
+    pub fn set_byte_budget(&self, bytes: Option<u64>) {
+        let mut inner = recover(&self.inner);
+        inner.budget = bytes;
+        let swept = evict_to_budget(&mut inner, self.disk.as_ref(), None);
+        if swept.0 > 0 {
+            self.sync_manifest(&inner);
+        }
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_budget(&self) -> Option<u64> {
+        recover(&self.inner).budget
+    }
+
+    /// Open (or create) a cache rooted at `dir`. Entries published here
+    /// are also written as checksummed segment files and indexed by a
+    /// `MANIFEST`, so reopening the same directory — in this process or
+    /// the next — serves the same sealed rows. Stale temp files from a
+    /// crashed publish are swept on open; a corrupt manifest degrades to
+    /// an empty cache.
+    pub fn persistent(dir: impl AsRef<Path>) -> io::Result<ResultCache> {
+        let disk = DiskStore {
+            dir: dir.as_ref().to_path_buf(),
+        };
+        std::fs::create_dir_all(&disk.dir)?;
+        disk.sweep_temp_files();
+        let mut inner = disk.load_manifest();
+        // Do not trust manifest lines whose segment file is missing.
+        let CacheInner {
+            entries,
+            bytes,
+            owner_bytes,
+            ..
+        } = &mut inner;
+        entries.retain(|fp, stored| {
+            let ok = disk.entry_path(*fp).is_file();
+            if !ok {
+                *bytes = bytes.saturating_sub(stored.bytes);
+                credit_owner(owner_bytes, stored.owner.as_deref(), stored.bytes);
+            }
+            ok
+        });
+        Ok(ResultCache {
+            inner: Mutex::new(inner),
+            disk: Some(disk),
+        })
+    }
+
+    /// The persistent cache named by `SCRIPTFLOW_CACHE_DIR`, if the
+    /// variable is set and the directory is usable.
+    pub fn from_env() -> Option<ResultCache> {
+        let dir = std::env::var_os("SCRIPTFLOW_CACHE_DIR")?;
+        ResultCache::persistent(dir).ok()
+    }
+
+    /// The cache a calibrated run asks for: persistent when
+    /// `SCRIPTFLOW_CACHE_DIR` is set (in-memory otherwise), bounded when
+    /// the calibration carries a byte budget.
+    pub fn for_run(budget: Option<u64>) -> Arc<ResultCache> {
+        let cache = ResultCache::from_env().unwrap_or_default();
+        Arc::new(match budget {
+            Some(b) => cache.with_byte_budget(b),
+            None => cache,
+        })
+    }
+
+    /// The sealed entry for `fp`, if one has been published (and, for a
+    /// persistent cache, still decodes cleanly — a corrupt or truncated
+    /// segment file is dropped here and reported as a miss).
     pub fn lookup(&self, fp: OpFingerprint) -> Option<Arc<CacheEntry>> {
-        self.inner.lock().unwrap().entries.get(&fp.0).cloned()
+        let mut inner = recover(&self.inner);
+        let stored = inner.entries.get(&fp.0)?;
+        if let Slot::Loaded(entry) = &stored.slot {
+            return Some(Arc::clone(entry));
+        }
+        let (rows, blocks, bytes) = (stored.rows, stored.blocks, stored.bytes);
+        let disk = self
+            .disk
+            .as_ref()
+            .expect("disk slots exist only in persistent caches");
+        match disk.load_entry(fp.0, rows, blocks, bytes) {
+            Ok(entry) => {
+                let entry = Arc::new(entry);
+                if let Some(stored) = inner.entries.get_mut(&fp.0) {
+                    stored.slot = Slot::Loaded(Arc::clone(&entry));
+                }
+                Some(entry)
+            }
+            Err(_) => {
+                // Corrupt, truncated, or forged: degrade to a miss.
+                if let Some(stored) = inner.entries.remove(&fp.0) {
+                    inner.bytes = inner.bytes.saturating_sub(stored.bytes);
+                    credit_owner(&mut inner.owner_bytes, stored.owner.as_deref(), stored.bytes);
+                }
+                disk.remove_entry(fp.0);
+                self.sync_manifest(&inner);
+                None
+            }
+        }
     }
 
     /// Seal `tuples` under `fp` and return the compressed bytes added.
     ///
     /// Idempotent: publishing a fingerprint that already has an entry is
     /// a no-op returning 0 — first writer wins, which is what
-    /// single-flight needs when two tenants race the same prefix.
+    /// single-flight needs when two tenants race the same prefix. The
+    /// entry carries no recompute cost, so under a budget it is treated
+    /// as maximally cheap; use [`ResultCache::publish_costed`] to keep
+    /// expensive outputs resident.
     pub fn publish(&self, fp: OpFingerprint, schema: &SchemaRef, tuples: &[Tuple]) -> u64 {
+        self.publish_costed(fp, schema, tuples, SimDuration::ZERO, None)
+            .added
+    }
+
+    /// Seal `tuples` under `fp`, attributing the entry to `owner` and
+    /// recording `recompute_cost` (the calibrated cost of re-running the
+    /// producing operator) for the eviction policy. Under a byte budget
+    /// this evicts cheapest-per-byte victims until the cache fits; the
+    /// just-published entry is never its own victim, but an entry larger
+    /// than the whole budget is rejected (`admitted: false`).
+    pub fn publish_costed(
+        &self,
+        fp: OpFingerprint,
+        schema: &SchemaRef,
+        tuples: &[Tuple],
+        recompute_cost: SimDuration,
+        owner: Option<&str>,
+    ) -> PublishOutcome {
         // Seal outside the lock; insertion re-checks for a racing writer.
         let entry = CacheEntry::seal(schema, tuples);
         let bytes = entry.bytes;
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = recover(&self.inner);
         if inner.entries.contains_key(&fp.0) {
-            return 0;
+            return PublishOutcome {
+                added: 0,
+                admitted: true,
+                evictions: 0,
+                evicted_bytes: 0,
+            };
         }
-        inner.entries.insert(fp.0, Arc::new(entry));
+        if inner.budget.is_some_and(|b| bytes > b) {
+            return PublishOutcome {
+                added: 0,
+                admitted: false,
+                evictions: 0,
+                evicted_bytes: 0,
+            };
+        }
+        let entry = Arc::new(entry);
+        inner.seq += 1;
+        let seq = inner.seq;
+        if let Some(disk) = &self.disk {
+            // Atomic publish: the segment image lands under its final
+            // name only via rename, so a crash mid-write leaves a temp
+            // file (swept on reopen), never a partial entry.
+            let _ = disk.write_entry(fp.0, &entry.segment.encode());
+        }
+        inner.entries.insert(
+            fp.0,
+            Stored {
+                rows: entry.rows,
+                blocks: entry.blocks,
+                bytes,
+                slot: Slot::Loaded(entry),
+                seq,
+                cost_micros: recompute_cost.as_micros(),
+                owner: owner.map(str::to_owned),
+            },
+        );
         inner.bytes += bytes;
-        bytes
+        if let Some(owner) = owner {
+            *inner.owner_bytes.entry(owner.to_owned()).or_default() += bytes;
+        }
+        let (evictions, evicted_bytes) =
+            evict_to_budget(&mut inner, self.disk.as_ref(), Some(fp.0));
+        self.sync_manifest(&inner);
+        PublishOutcome {
+            added: bytes,
+            admitted: true,
+            evictions,
+            evicted_bytes,
+        }
     }
 
-    /// Total compressed bytes held.
+    /// Rewrite the on-disk manifest to match `inner` (no-op for
+    /// in-memory caches). Write errors are swallowed: the in-memory
+    /// cache stays correct, and at worst a reopen misses entries.
+    fn sync_manifest(&self, inner: &CacheInner) {
+        if let Some(disk) = &self.disk {
+            let _ = disk.write_manifest(inner);
+        }
+    }
+
+    /// Total compressed bytes held (never exceeds the byte budget after
+    /// a publish returns).
     pub fn bytes(&self) -> u64 {
-        self.inner.lock().unwrap().bytes
+        recover(&self.inner).bytes
     }
 
     /// Number of sealed entries held.
     pub fn entries(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        recover(&self.inner).entries.len()
+    }
+
+    /// Entries evicted since the cache was created.
+    pub fn evictions(&self) -> u64 {
+        recover(&self.inner).evictions
+    }
+
+    /// Compressed bytes released by eviction since the cache was
+    /// created (`bytes() == Σ published − Σ evicted`, minus corrupt
+    /// entries dropped on load).
+    pub fn evicted_bytes(&self) -> u64 {
+        recover(&self.inner).evicted_bytes
+    }
+
+    /// Compressed bytes currently attributed to `owner` — publications
+    /// minus what eviction has since released, the figure tenant cache
+    /// quotas meter.
+    pub fn owner_bytes(&self, owner: &str) -> u64 {
+        recover(&self.inner)
+            .owner_bytes
+            .get(owner)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Fingerprints currently resident, sorted (a deterministic view
+    /// for eviction tests and debugging).
+    pub fn fingerprints(&self) -> Vec<OpFingerprint> {
+        let inner = recover(&self.inner);
+        let mut fps: Vec<u128> = inner.entries.keys().copied().collect();
+        fps.sort_unstable();
+        fps.into_iter().map(OpFingerprint).collect()
+    }
+}
+
+fn credit_owner(owner_bytes: &mut HashMap<String, u64>, owner: Option<&str>, bytes: u64) {
+    if let Some(owner) = owner {
+        if let Some(b) = owner_bytes.get_mut(owner) {
+            *b = b.saturating_sub(bytes);
+            if *b == 0 {
+                owner_bytes.remove(owner);
+            }
+        }
+    }
+}
+
+/// Evict until the footprint fits the budget, never touching `protect`
+/// (the entry just published). Victim order is by descending
+/// `bytes / recompute-cost` — the biggest, cheapest-to-recompute entry
+/// goes first — with insertion order then fingerprint as deterministic
+/// tie-breakers. Returns `(entries evicted, bytes released)`.
+fn evict_to_budget(
+    inner: &mut CacheInner,
+    disk: Option<&DiskStore>,
+    protect: Option<u128>,
+) -> (u64, u64) {
+    let Some(budget) = inner.budget else {
+        return (0, 0);
+    };
+    if inner.bytes <= budget {
+        return (0, 0);
+    }
+    // Integer scoring keeps victim choice exact and platform-independent:
+    // score = bytes × 1e6 / (1 + cost_micros), in u128 so it cannot
+    // overflow or round through floats.
+    let mut victims: Vec<(u128, u64, u128)> = inner
+        .entries
+        .iter()
+        .filter(|(fp, _)| Some(**fp) != protect)
+        .map(|(fp, s)| {
+            let score = (s.bytes as u128) * 1_000_000 / (1 + s.cost_micros as u128);
+            (score, s.seq, *fp)
+        })
+        .collect();
+    victims.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let (mut evicted, mut released) = (0u64, 0u64);
+    for (_, _, fp) in victims {
+        if inner.bytes <= budget {
+            break;
+        }
+        let Some(stored) = inner.entries.remove(&fp) else {
+            continue;
+        };
+        inner.bytes = inner.bytes.saturating_sub(stored.bytes);
+        inner.evictions += 1;
+        inner.evicted_bytes += stored.bytes;
+        credit_owner(&mut inner.owner_bytes, stored.owner.as_deref(), stored.bytes);
+        if let Some(disk) = disk {
+            disk.remove_entry(fp);
+        }
+        evicted += 1;
+        released += stored.bytes;
+    }
+    (evicted, released)
+}
+
+// ---------------------------------------------------------------------------
+// On-disk store
+// ---------------------------------------------------------------------------
+
+/// Header line of a cache manifest; bump the version on layout changes.
+const MANIFEST_HEADER: &str = "scriptflow-cache v1";
+
+/// The persistent root: `<fp:032x>.seg` segment images plus a `MANIFEST`
+/// index. All writes are write-temp-then-rename.
+#[derive(Debug)]
+struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    fn entry_path(&self, fp: u128) -> PathBuf {
+        self.dir.join(format!("{fp:032x}.seg"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("MANIFEST")
+    }
+
+    /// Remove temp files a crashed publish may have left behind.
+    fn sweep_temp_files(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for e in entries.flatten() {
+            if e.path().extension().is_some_and(|x| x == "tmp") {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    fn write_entry(&self, fp: u128, image: &[u8]) -> io::Result<()> {
+        self.write_atomic(&self.entry_path(fp), image)
+    }
+
+    fn remove_entry(&self, fp: u128) {
+        let _ = std::fs::remove_file(self.entry_path(fp));
+    }
+
+    /// Read, checksum-verify, and cross-validate one segment image
+    /// against the manifest's counts. Any disagreement is a decode
+    /// error, which the caller turns into a miss.
+    fn load_entry(&self, fp: u128, rows: u64, blocks: u64, bytes: u64) -> io::Result<CacheEntry> {
+        let image = std::fs::read(self.entry_path(fp))?;
+        let corrupt = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        let segment = Segment::decode(&image).map_err(|e| corrupt(&e.to_string()))?;
+        let m = segment.manifest();
+        if m.row_count != rows || m.block_count != blocks || m.compressed_bytes != bytes {
+            return Err(corrupt("segment disagrees with the cache manifest"));
+        }
+        Ok(CacheEntry::from_segment(segment))
+    }
+
+    /// Serialize the index: one `fp rows blocks bytes cost owner` line
+    /// per entry, fingerprint-sorted for deterministic images. The owner
+    /// field is the rest of the line (`-` for none), so tenant names may
+    /// contain spaces.
+    fn write_manifest(&self, inner: &CacheInner) -> io::Result<()> {
+        let mut lines: Vec<(u128, String)> = inner
+            .entries
+            .iter()
+            .map(|(fp, s)| {
+                (
+                    *fp,
+                    format!(
+                        "{fp:032x} {} {} {} {} {}\n",
+                        s.rows,
+                        s.blocks,
+                        s.bytes,
+                        s.cost_micros,
+                        s.owner.as_deref().unwrap_or("-")
+                    ),
+                )
+            })
+            .collect();
+        lines.sort_unstable_by_key(|(fp, _)| *fp);
+        let mut out = String::with_capacity(lines.len() * 64 + 32);
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        for (_, line) in lines {
+            out.push_str(&line);
+        }
+        self.write_atomic(&self.manifest_path(), out.as_bytes())
+    }
+
+    /// Parse the manifest into cache bookkeeping with every payload
+    /// still on disk. A missing manifest is an empty cache; a bad header
+    /// or a malformed line degrades by dropping what cannot be parsed.
+    fn load_manifest(&self) -> CacheInner {
+        let mut inner = CacheInner::default();
+        let Ok(text) = std::fs::read_to_string(self.manifest_path()) else {
+            return inner;
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return inner;
+        }
+        for line in lines {
+            let mut parts = line.splitn(6, ' ');
+            let Some(fp) = parts.next().and_then(|s| u128::from_str_radix(s, 16).ok())
+            else {
+                continue;
+            };
+            let Some(rows) = parts.next().and_then(|s| s.parse().ok()) else {
+                continue;
+            };
+            let Some(blocks) = parts.next().and_then(|s| s.parse().ok()) else {
+                continue;
+            };
+            let Some(bytes) = parts.next().and_then(|s| s.parse().ok()) else {
+                continue;
+            };
+            let Some(cost_micros) = parts.next().and_then(|s| s.parse().ok()) else {
+                continue;
+            };
+            let owner = match parts.next() {
+                Some("-") | None => None,
+                Some(o) => Some(o.to_owned()),
+            };
+            inner.seq += 1;
+            inner.bytes += bytes;
+            if let Some(o) = &owner {
+                *inner.owner_bytes.entry(o.clone()).or_default() += bytes;
+            }
+            inner.entries.insert(
+                fp,
+                Stored {
+                    slot: Slot::Disk,
+                    seq: inner.seq,
+                    rows,
+                    blocks,
+                    bytes,
+                    cost_micros,
+                    owner,
+                },
+            );
+        }
+        inner
     }
 }
 
@@ -253,10 +788,15 @@ impl OperatorFactory for CacheReplayOp {
 }
 
 /// The teed output of one cache-miss operator across all of its worker
-/// instances, awaiting publication on clean run completion.
+/// instances, awaiting publication on clean run completion. Carries the
+/// producing operator's calibrated cost profile so publication can
+/// price eviction correctly.
 pub struct CacheRecording {
     fingerprint: OpFingerprint,
     schema: SchemaRef,
+    name: String,
+    setup: SimDuration,
+    per_tuple: SimDuration,
     rows: Arc<Mutex<Vec<Tuple>>>,
 }
 
@@ -312,7 +852,7 @@ impl OperatorFactory for RecordingFactory {
         // Called more than once per plan (DAG validation probes every
         // source, then the executor chunks it): each call yields the
         // operator's complete output, so replace rather than append.
-        let mut rows = self.rows.lock().unwrap();
+        let mut rows = recover(&self.rows);
         rows.clear();
         for p in &parts {
             rows.extend(p.iter().cloned());
@@ -352,7 +892,7 @@ impl RecordingOp {
     fn tee(&self, out: &OutputCollector, mark: usize) {
         let emitted = out.emitted_since(mark);
         if !emitted.is_empty() {
-            self.rows.lock().unwrap().extend_from_slice(emitted);
+            recover(&self.rows).extend_from_slice(emitted);
         }
     }
 }
@@ -491,9 +1031,13 @@ pub fn prepare(wf: &Workflow, cache: &ResultCache, read_per_block: SimDuration) 
                 let factory: Arc<dyn OperatorFactory> = if cacheable(id) {
                     misses += 1;
                     let rows = Arc::new(Mutex::new(Vec::new()));
+                    let cost = node.factory.cost();
                     recordings.push(CacheRecording {
                         fingerprint: wf.fingerprint(id),
                         schema: wf.schema(id).clone(),
+                        name: node.factory.name().to_owned(),
+                        setup: cost.setup,
+                        per_tuple: cost.per_tuple,
                         rows: Arc::clone(&rows),
                     });
                     Arc::new(RecordingFactory::new(Arc::clone(&node.factory), rows))
@@ -528,18 +1072,83 @@ pub fn prepare(wf: &Workflow, cache: &ResultCache, read_per_block: SimDuration) 
     }
 }
 
+/// What committing a run's recordings did, including which operators'
+/// publications triggered evictions (for per-operator telemetry).
+#[derive(Debug, Default)]
+pub struct CommitStats {
+    /// Compressed bytes added to the cache.
+    pub published: u64,
+    /// Entries evicted to admit this run's publications.
+    pub evictions: u64,
+    /// Compressed bytes those victims released.
+    pub evicted_bytes: u64,
+    /// Evictions attributed to each publishing operator, by name.
+    pub per_op: Vec<(String, u64)>,
+}
+
 /// Publish every recording of a **cleanly** completed run and return
 /// the compressed bytes added. Callers must not commit after a run
 /// that saw faults or retries: a replayed quantum tees its held input's
 /// output twice, and this discard-on-dirty rule is what keeps partial
 /// or duplicated segments out of the cache.
 pub fn commit_recordings(recordings: &[CacheRecording], cache: &ResultCache) -> u64 {
-    let mut added = 0;
+    commit_recordings_as(recordings, cache, None).published
+}
+
+/// [`commit_recordings`], attributing published bytes to `owner` (the
+/// service layer's tenant) and reporting eviction detail. Each entry is
+/// priced at the producing operator's calibrated recompute cost,
+/// `setup + per_tuple × rows`, so the eviction policy keeps expensive
+/// outputs resident.
+pub fn commit_recordings_as(
+    recordings: &[CacheRecording],
+    cache: &ResultCache,
+    owner: Option<&str>,
+) -> CommitStats {
+    let mut stats = CommitStats::default();
     for r in recordings {
-        let rows = r.rows.lock().unwrap();
-        added += cache.publish(r.fingerprint, &r.schema, &rows);
+        let rows = recover(&r.rows);
+        let cost = r.setup + r.per_tuple * rows.len() as u64;
+        let out = cache.publish_costed(r.fingerprint, &r.schema, &rows, cost, owner);
+        stats.published += out.added;
+        stats.evictions += out.evictions;
+        stats.evicted_bytes += out.evicted_bytes;
+        if out.evictions > 0 {
+            stats.per_op.push((r.name.clone(), out.evictions));
+        }
     }
-    added
+    stats
+}
+
+/// Fold a commit's eviction counts into a finished run's per-operator
+/// metrics, so `cacheEvictions` surfaces through the same telemetry
+/// spine as hits and misses. Shared by both executors and the service
+/// finalizer.
+pub(crate) fn apply_evictions_to_metrics(
+    stats: &CommitStats,
+    metrics: &mut crate::metrics::RunMetrics,
+) {
+    for (name, n) in &stats.per_op {
+        if let Some(m) = metrics.operators.iter_mut().find(|m| &m.name == name) {
+            m.cache_evictions += n;
+        }
+    }
+}
+
+/// Fold a commit's eviction counts into the trace's terminal sample —
+/// evictions happen at commit time, after the last sample was taken.
+pub(crate) fn apply_evictions_to_trace(
+    stats: &CommitStats,
+    trace: &mut crate::trace::ProgressTrace,
+) {
+    let Some((_, snaps)) = trace.samples.last_mut() else {
+        return;
+    };
+    for (name, n) in &stats.per_op {
+        if let Some(s) = snaps.iter_mut().find(|s| &s.name == name) {
+            s.cache_evictions += n;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +1185,15 @@ mod tests {
         (b.build().unwrap(), handle)
     }
 
+    fn temp_cache_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scriptflow-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn publish_lookup_roundtrip_preserves_rows() {
         let cache = ResultCache::new();
@@ -605,6 +1223,275 @@ mod tests {
         assert_eq!(cache.publish(fp, &schema, &rows(10)), 0);
         assert_eq!(cache.bytes(), first);
         assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn budget_caps_bytes_and_evicts_cheapest_per_byte_first() {
+        let schema = schema();
+        let unbounded = ResultCache::new();
+        let per_entry = unbounded.publish(OpFingerprint(1), &schema, &rows(100));
+        assert!(per_entry > 0);
+
+        // Room for exactly two same-sized entries.
+        let cache = ResultCache::new().with_byte_budget(per_entry * 2);
+        let expensive = SimDuration::from_micros(1_000_000);
+        let cheap = SimDuration::from_micros(10);
+        cache.publish_costed(OpFingerprint(1), &schema, &rows(100), expensive, None);
+        cache.publish_costed(OpFingerprint(2), &schema, &rows(100), cheap, None);
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.evictions(), 0);
+
+        // The third publish must evict — and the victim is the cheap
+        // entry, not the expensive one and not the newcomer.
+        let out =
+            cache.publish_costed(OpFingerprint(3), &schema, &rows(100), cheap, None);
+        assert!(out.admitted);
+        assert_eq!(out.evictions, 1);
+        assert_eq!(out.evicted_bytes, per_entry);
+        assert!(cache.bytes() <= per_entry * 2, "budget holds after publish");
+        assert!(cache.lookup(OpFingerprint(1)).is_some(), "expensive kept");
+        assert!(cache.lookup(OpFingerprint(2)).is_none(), "cheap evicted");
+        assert!(cache.lookup(OpFingerprint(3)).is_some(), "newcomer admitted");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.evicted_bytes(), per_entry);
+        assert_eq!(
+            cache.bytes(),
+            per_entry * 3 - cache.evicted_bytes(),
+            "byte ledger sums: Σ published − Σ evicted"
+        );
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_not_admitted() {
+        let schema = schema();
+        let cache = ResultCache::new().with_byte_budget(8);
+        let out = cache.publish_costed(
+            OpFingerprint(1),
+            &schema,
+            &rows(500),
+            SimDuration::ZERO,
+            None,
+        );
+        assert!(!out.admitted);
+        assert_eq!(out.added, 0);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_across_identical_sequences() {
+        let schema = schema();
+        let survivors = |budget_entries: u64| {
+            let probe = ResultCache::new();
+            let per_entry = probe.publish(OpFingerprint(0), &schema, &rows(64));
+            let cache = ResultCache::new().with_byte_budget(per_entry * budget_entries);
+            for i in 0..12u64 {
+                // Costs repeat so several entries tie on score; the seq
+                // tie-breaker must still make victim choice unique.
+                let cost = SimDuration::from_micros((i % 4) * 500);
+                cache.publish_costed(OpFingerprint(i as u128 + 1), &schema, &rows(64), cost, None);
+            }
+            (cache.fingerprints(), cache.evictions(), cache.bytes())
+        };
+        let a = survivors(3);
+        let b = survivors(3);
+        assert_eq!(a, b, "same sequence + budget → same victims");
+        assert!(a.1 > 0, "the sweep must actually evict");
+    }
+
+    #[test]
+    fn set_byte_budget_applies_eviction_immediately() {
+        let schema = schema();
+        let cache = ResultCache::new();
+        for i in 0..4u128 {
+            cache.publish_costed(
+                OpFingerprint(i + 1),
+                &schema,
+                &rows(64),
+                SimDuration::from_micros(i as u64 * 100),
+                None,
+            );
+        }
+        let total = cache.bytes();
+        assert_eq!(cache.evictions(), 0);
+        cache.set_byte_budget(Some(total / 2));
+        assert!(cache.bytes() <= total / 2, "shrinking the budget evicts now");
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn owner_accounting_credits_evicted_entries() {
+        let schema = schema();
+        let probe = ResultCache::new();
+        let per_entry = probe.publish(OpFingerprint(0), &schema, &rows(64));
+        let cache = ResultCache::new().with_byte_budget(per_entry * 2);
+        cache.publish_costed(
+            OpFingerprint(1),
+            &schema,
+            &rows(64),
+            SimDuration::ZERO,
+            Some("alice"),
+        );
+        cache.publish_costed(
+            OpFingerprint(2),
+            &schema,
+            &rows(64),
+            SimDuration::from_micros(9999),
+            Some("bob"),
+        );
+        assert_eq!(cache.owner_bytes("alice"), per_entry);
+        assert_eq!(cache.owner_bytes("bob"), per_entry);
+        // Alice's cheap entry is the victim; her balance is credited.
+        cache.publish_costed(
+            OpFingerprint(3),
+            &schema,
+            &rows(64),
+            SimDuration::from_micros(9999),
+            Some("bob"),
+        );
+        assert_eq!(cache.owner_bytes("alice"), 0);
+        assert_eq!(cache.owner_bytes("bob"), per_entry * 2);
+        // The single-flight follower republished the same fingerprint:
+        // idempotent publish charges it nothing.
+        let out = cache.publish_costed(
+            OpFingerprint(3),
+            &schema,
+            &rows(64),
+            SimDuration::from_micros(9999),
+            Some("carol"),
+        );
+        assert_eq!(out.added, 0);
+        assert_eq!(cache.owner_bytes("carol"), 0);
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers_instead_of_cascading() {
+        let cache = Arc::new(ResultCache::new());
+        let schema = schema();
+        cache.publish(OpFingerprint(1), &schema, &rows(10));
+        let c2 = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.inner.lock().unwrap();
+            panic!("poison the cache lock mid-critical-section");
+        })
+        .join();
+        assert!(cache.inner.is_poisoned(), "the panic must poison the lock");
+        // Every accessor still works: state is seal-once, so recovery
+        // via into_inner observes a consistent cache.
+        assert_eq!(cache.entries(), 1);
+        assert!(cache.lookup(OpFingerprint(1)).is_some());
+        assert!(cache.publish(OpFingerprint(2), &schema, &rows(5)) > 0);
+        assert_eq!(cache.entries(), 2);
+    }
+
+    #[test]
+    fn poisoned_recording_buffer_recovers() {
+        let (wf, _) = linear(10);
+        let cache = ResultCache::new();
+        let plan = prepare(&wf, &cache, SimDuration::ZERO);
+        let rec = &plan.recordings[0];
+        {
+            let mut buf = recover(&rec.rows);
+            buf.clear();
+            buf.extend(rows(10));
+        }
+        let rows_arc = Arc::clone(&rec.rows);
+        let _ = std::thread::spawn(move || {
+            let _guard = rows_arc.lock().unwrap();
+            panic!("poison the recording buffer, as a sink panic would");
+        })
+        .join();
+        assert!(rec.rows.is_poisoned());
+        // Commit still publishes the teed rows.
+        let added = commit_recordings(&plan.recordings[..1], &cache);
+        assert!(added > 0);
+        assert_eq!(cache.lookup(wf.fingerprint(OpId(0))).unwrap().rows(), 10);
+    }
+
+    #[test]
+    fn persistent_cache_reopens_with_identical_rows() {
+        let dir = temp_cache_dir("reopen");
+        let schema = schema();
+        let data = rows(700);
+        let bytes = {
+            let cache = ResultCache::persistent(&dir).unwrap();
+            cache.publish(OpFingerprint(42), &schema, &data)
+        };
+        assert!(bytes > 0);
+        // A brand-new cache object over the same root: same entry, same
+        // bytes, same rows.
+        let cache = ResultCache::persistent(&dir).unwrap();
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.bytes(), bytes);
+        let entry = cache.lookup(OpFingerprint(42)).expect("served from disk");
+        assert_eq!(entry.rows(), 700);
+        let back: Vec<_> = entry.tuples().iter().map(|t| t.values().to_vec()).collect();
+        let want: Vec<_> = data.iter().map(|t| t.values().to_vec()).collect();
+        assert_eq!(back, want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_persisted_entry_degrades_to_a_miss() {
+        let dir = temp_cache_dir("corrupt");
+        let schema = schema();
+        {
+            let cache = ResultCache::persistent(&dir).unwrap();
+            cache.publish(OpFingerprint(7), &schema, &rows(100));
+        }
+        let seg = dir.join(format!("{:032x}.seg", 7u128));
+        let mut image = std::fs::read(&seg).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x55;
+        std::fs::write(&seg, &image).unwrap();
+        let cache = ResultCache::persistent(&dir).unwrap();
+        assert_eq!(cache.entries(), 1, "manifest still lists the entry");
+        assert!(cache.lookup(OpFingerprint(7)).is_none(), "corruption is a miss");
+        assert_eq!(cache.entries(), 0, "the bad entry is dropped");
+        assert_eq!(cache.bytes(), 0, "its bytes are released");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_persisted_entry_degrades_to_a_miss() {
+        let dir = temp_cache_dir("truncate");
+        let schema = schema();
+        {
+            let cache = ResultCache::persistent(&dir).unwrap();
+            cache.publish(OpFingerprint(9), &schema, &rows(100));
+        }
+        let seg = dir.join(format!("{:032x}.seg", 9u128));
+        let image = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &image[..image.len() / 3]).unwrap();
+        let cache = ResultCache::persistent(&dir).unwrap();
+        assert!(cache.lookup(OpFingerprint(9)).is_none());
+        assert_eq!(cache.bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_opens_as_an_empty_cache() {
+        let dir = temp_cache_dir("badmanifest");
+        {
+            let cache = ResultCache::persistent(&dir).unwrap();
+            cache.publish(OpFingerprint(1), &schema(), &rows(10));
+        }
+        std::fs::write(dir.join("MANIFEST"), b"not a manifest\n").unwrap();
+        let cache = ResultCache::persistent(&dir).unwrap();
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_cache_sweeps_stale_temp_files_on_open() {
+        let dir = temp_cache_dir("tmpsweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join(format!("{:032x}.tmp", 5u128));
+        std::fs::write(&stale, b"half-written").unwrap();
+        let _cache = ResultCache::persistent(&dir).unwrap();
+        assert!(!stale.exists(), "crashed-publish temp files are swept");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -674,6 +1561,22 @@ mod tests {
         assert_eq!(entry.rows(), 15);
         // Re-committing adds nothing (idempotent publish).
         assert_eq!(commit_recordings(&plan.recordings[..1], &cache), 0);
+    }
+
+    #[test]
+    fn commit_prices_entries_at_the_operators_calibrated_cost() {
+        let (wf, _) = linear(15);
+        let cache = ResultCache::new();
+        let plan = prepare(&wf, &cache, SimDuration::ZERO);
+        // Every recording carries the factory's cost profile, captured
+        // at plan time.
+        for (r, name) in plan.recordings.iter().zip(["scan", "filter"]) {
+            assert_eq!(r.name, name);
+            let id = wf.op_by_name(name).unwrap();
+            let cost = wf.op(id).factory.cost();
+            assert_eq!(r.setup, cost.setup);
+            assert_eq!(r.per_tuple, cost.per_tuple);
+        }
     }
 
     #[test]

@@ -188,6 +188,10 @@ pub struct PoolStats {
     /// Compressed bytes decoded from the cache across all served
     /// operators.
     pub cache_bytes: u64,
+    /// Cache entries evicted when this run's recordings were committed
+    /// (0 unless the cache has a byte budget and this run's publications
+    /// displaced earlier entries).
+    pub cache_evictions: u64,
 }
 
 /// Result of a live run.
@@ -575,7 +579,7 @@ impl LiveExecutor {
                 // The replay-read charge only prices the simulator's
                 // virtual clock; live replay cost is real wall-clock.
                 let plan = crate::cache::prepare(wf, &cache, SimDuration::ZERO);
-                let (trace, result) = self.run_pooled(&plan.wf);
+                let (mut trace, result) = self.run_pooled(&plan.wf);
                 let result = result.map(|mut res| {
                     // Publish only recordings from clean runs: a faulted
                     // or replayed quantum may have teed partial output.
@@ -583,8 +587,15 @@ impl LiveExecutor {
                         .pool
                         .is_some_and(|p| p.faults_injected == 0 && p.retries_attempted == 0);
                     if clean {
-                        res.cache_published =
-                            crate::cache::commit_recordings(&plan.recordings, &cache);
+                        let stats =
+                            crate::cache::commit_recordings_as(&plan.recordings, &cache, None);
+                        res.cache_published = stats.published;
+                        if let Some(pool) = res.pool.as_mut() {
+                            pool.cache_evictions = stats.evictions;
+                        }
+                        crate::cache::apply_evictions_to_metrics(&stats, &mut res.metrics);
+                        crate::cache::apply_evictions_to_trace(&stats, &mut res.trace);
+                        crate::cache::apply_evictions_to_trace(&stats, &mut trace);
                     }
                     res
                 });
@@ -1062,6 +1073,9 @@ impl Pool {
             cache_hits: 0,
             cache_misses: 0,
             cache_bytes: 0,
+            // Evictions happen at commit time, after the pool is done;
+            // the committing caller sets them.
+            cache_evictions: 0,
         }
     }
 

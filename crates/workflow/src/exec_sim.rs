@@ -209,6 +209,7 @@ impl<'a> SimState<'a> {
                     batches_skipped: m.batches_skipped,
                     spilled_blocks: m.spilled_blocks,
                     cache_hits: m.cache_hits,
+                    cache_evictions: m.cache_evictions,
                 })
                 .collect();
             self.trace.samples.push((next, snaps));
@@ -821,12 +822,19 @@ impl SimExecutor {
             return self.run_observed_inner(wf);
         };
         let plan = crate::cache::prepare(wf, &cache, self.config.cache_read_per_block);
-        let (trace, res) = self.run_observed_inner(&plan.wf);
+        let (mut trace, res) = self.run_observed_inner(&plan.wf);
         let res = res.map(|mut r| {
             // Publish only a clean run: a replayed quantum tees its
             // held batch's output twice, which must never be sealed.
             if r.retries_attempted == 0 {
-                r.cache_published = crate::cache::commit_recordings(&plan.recordings, &cache);
+                let stats = crate::cache::commit_recordings_as(&plan.recordings, &cache, None);
+                r.cache_published = stats.published;
+                // Evictions happen at commit, after the last sample:
+                // fold them into the metrics and the terminal sample of
+                // both trace copies.
+                crate::cache::apply_evictions_to_metrics(&stats, &mut r.metrics);
+                crate::cache::apply_evictions_to_trace(&stats, &mut r.trace);
+                crate::cache::apply_evictions_to_trace(&stats, &mut trace);
             }
             r
         });

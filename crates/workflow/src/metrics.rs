@@ -119,6 +119,10 @@ pub struct OperatorMetrics {
     /// Compressed bytes decoded from the cache to serve this operator
     /// (non-zero only with [`OperatorMetrics::cache_hits`]).
     pub cache_bytes: u64,
+    /// Cache entries evicted to admit this operator's published output
+    /// (non-zero only when the run's cache has a byte budget and this
+    /// operator's publication displaced earlier entries).
+    pub cache_evictions: u64,
     /// Summed busy time across workers.
     pub busy: SimDuration,
     /// Current lifecycle state.
@@ -152,6 +156,7 @@ impl OperatorMetrics {
             cache_hits: 0,
             cache_misses: 0,
             cache_bytes: 0,
+            cache_evictions: 0,
             busy: SimDuration::ZERO,
             state: OperatorState::Initializing,
         }

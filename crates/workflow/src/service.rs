@@ -102,7 +102,10 @@ use parking_lot::{Condvar, Mutex};
 use scriptflow_core::fingerprint::OpFingerprint;
 use scriptflow_simcluster::SimDuration;
 
-use crate::cache::{commit_recordings, prepare, CacheRecording, ResultCache};
+use crate::cache::{
+    apply_evictions_to_metrics, apply_evictions_to_trace, commit_recordings_as, prepare,
+    CacheRecording, CommitStats, ResultCache,
+};
 use crate::dag::Workflow;
 use crate::exec_live::{
     assemble_live_result, build_tasks, default_pool_size, ops_meta, LiveRunResult, OpMeta, Pool,
@@ -242,12 +245,13 @@ impl TenantQuota {
 ///     .with_default_quota(TenantQuota::default().with_weight(2));
 /// # let _ = cfg;
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     pool_size: Option<usize>,
     max_active_runs: usize,
     queue_capacity: usize,
     default_quota: TenantQuota,
+    result_cache: Option<Arc<ResultCache>>,
 }
 
 impl Default for ServiceConfig {
@@ -259,6 +263,7 @@ impl Default for ServiceConfig {
             max_active_runs: 4,
             queue_capacity: 16,
             default_quota: TenantQuota::default(),
+            result_cache: None,
         }
     }
 }
@@ -287,6 +292,14 @@ impl ServiceConfig {
     /// [`WorkflowService::set_quota`].
     pub fn with_default_quota(mut self, quota: TenantQuota) -> Self {
         self.default_quota = quota;
+        self
+    }
+
+    /// Serve cache-enabled runs from `cache` instead of a fresh
+    /// in-memory one — e.g. a budgeted [`ResultCache::with_byte_budget`]
+    /// or a [`ResultCache::persistent`] store that outlives the service.
+    pub fn with_result_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.result_cache = Some(cache);
         self
     }
 }
@@ -647,6 +660,11 @@ pub struct TenantStats {
     /// the shared result cache (charged against
     /// [`TenantQuota::with_cache_budget`]).
     pub cache_published: u64,
+    /// Entries the shared cache's byte budget evicted while this
+    /// tenant's recordings were committed. Evicted bytes are credited
+    /// back to their owning tenant's live footprint, so these no longer
+    /// count against [`TenantQuota::with_cache_budget`].
+    pub cache_evictions: u64,
 }
 
 /// Point-in-time service snapshot.
@@ -876,21 +894,23 @@ impl Shared {
     /// Assemble a drained run's report, settle tenant accounting, and
     /// publish it to the seat.
     fn finalize(&self, st: &mut SvcState, run: ActiveRun) {
-        let trace = run.core.finish_trace(Vec::new());
+        let mut trace = run.core.finish_trace(Vec::new());
         let err = run.core.take_error();
         let elapsed = run.dispatched.elapsed();
         let pool_stats = run.core.stats();
         // Publish recordings only from clean runs: a faulted or
         // replayed quantum may have teed partial output (the same
-        // discipline as the solo executors).
+        // discipline as the solo executors). Entries are charged to the
+        // submitting tenant so quota accounting can track live bytes.
         let clean = err.is_none()
             && pool_stats.faults_injected == 0
             && pool_stats.retries_attempted == 0;
-        let published = if clean {
-            commit_recordings(&run.recordings, &self.cache)
+        let commit = if clean {
+            commit_recordings_as(&run.recordings, &self.cache, Some(&run.tenant))
         } else {
-            0
+            CommitStats::default()
         };
+        apply_evictions_to_trace(&commit, &mut trace);
         let result = match err {
             Some(e) => Err(e),
             None => Ok({
@@ -902,7 +922,12 @@ impl Shared {
                     pool_stats,
                     trace.clone(),
                 );
-                res.cache_published = published;
+                res.cache_published = commit.published;
+                apply_evictions_to_metrics(&commit, &mut res.metrics);
+                apply_evictions_to_trace(&commit, &mut res.trace);
+                if let Some(pool) = res.pool.as_mut() {
+                    pool.cache_evictions = commit.evictions;
+                }
                 res
             }),
         };
@@ -915,7 +940,8 @@ impl Shared {
             t.stats.spilled_bytes += run_spill;
             t.stats.cache_hits += run.ops.iter().map(|o| o.cache_hits).sum::<u64>();
             t.stats.cache_misses += run.ops.iter().map(|o| o.cache_misses).sum::<u64>();
-            t.stats.cache_published += published;
+            t.stats.cache_published += commit.published;
+            t.stats.cache_evictions += commit.evictions;
             if result.is_err() {
                 t.stats.failed += 1;
             }
@@ -1134,7 +1160,9 @@ impl WorkflowService {
             max_active_runs: config.max_active_runs.max(1),
             queue_capacity: config.queue_capacity,
             default_quota: config.default_quota,
-            cache: Arc::new(ResultCache::new()),
+            cache: config
+                .result_cache
+                .unwrap_or_else(|| Arc::new(ResultCache::new())),
         });
         let workers = (0..pool_threads)
             .map(|i| {
@@ -1239,12 +1267,11 @@ impl WorkflowService {
                 });
             }
         }
-        // Same rule for shared-cache memory: a tenant whose runs have
-        // already published their ceiling stops admitting until raised.
-        let cache_bytes = st
-            .tenants
-            .get(tenant)
-            .map_or(0, |t| t.stats.cache_published);
+        // Same rule for shared-cache memory, but charged on the
+        // tenant's *live* footprint: bytes the budget has since evicted
+        // (or dropped as corrupt) are credited back, so a tenant whose
+        // old entries aged out can keep submitting.
+        let cache_bytes = self.shared.cache.owner_bytes(tenant);
         if let Some(budget) = quota.cache_budget {
             if cache_bytes >= budget {
                 Self::reject(&mut st, tenant);
@@ -1578,6 +1605,81 @@ mod tests {
         // Other tenants are unaffected.
         let (wf3, _h3) = chain(80, 1);
         assert!(svc.submit("u", &wf3, RunOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn evicted_entries_stop_counting_against_the_cache_quota() {
+        // The quota gate charges the tenant's *live* cache footprint.
+        // Once the shared cache's byte budget evicts the tenant's
+        // entries, the bytes are credited back and the tenant may
+        // submit again — cumulative published history does not pin the
+        // tenant over quota forever.
+        let cache = Arc::new(ResultCache::new());
+        let svc = WorkflowService::new(
+            ServiceConfig::default()
+                .with_pool_size(1)
+                .with_result_cache(Arc::clone(&cache)),
+        );
+        let (wf, _h) = chain(80, 1);
+        let published = svc
+            .submit("t", &wf, RunOptions::default().with_result_cache(true))
+            .unwrap()
+            .wait()
+            .result
+            .expect("clean run")
+            .cache_published;
+        assert!(published > 0);
+        assert_eq!(cache.owner_bytes("t"), published);
+
+        // A ceiling at the live footprint refuses the next submission.
+        svc.set_quota("t", TenantQuota::default().with_cache_budget(published));
+        let (wf2, _h2) = chain(80, 1);
+        match svc.submit("t", &wf2, RunOptions::default()) {
+            Err(SubmitError::CacheOverQuota { cache_bytes, .. }) => {
+                assert_eq!(cache_bytes, published)
+            }
+            other => panic!("expected CacheOverQuota, got {other:?}"),
+        }
+
+        // Shrinking the shared budget evicts the tenant's entries
+        // between submissions; the freed bytes no longer count.
+        cache.set_byte_budget(Some(0));
+        assert_eq!(cache.owner_bytes("t"), 0);
+        assert!(cache.evictions() > 0);
+        let (wf3, _h3) = chain(80, 1);
+        assert!(svc.submit("t", &wf3, RunOptions::default()).is_ok());
+        // Cumulative history is untouched — only the live charge moved.
+        assert_eq!(svc.tenant_stats("t").unwrap().cache_published, published);
+    }
+
+    #[test]
+    fn single_flight_follower_is_not_double_charged() {
+        // Two identical cache-enabled submissions from one tenant: the
+        // follower's commit re-publishes the same fingerprints, which
+        // the cache treats as idempotent no-ops — the tenant's live
+        // footprint is charged once, not twice.
+        let cache = Arc::new(ResultCache::new());
+        let svc = WorkflowService::new(
+            ServiceConfig::default()
+                .with_pool_size(2)
+                .with_max_active_runs(4)
+                .with_result_cache(Arc::clone(&cache)),
+        );
+        let (wf_a, handle_a) = chain(120, 2);
+        let (wf_b, handle_b) = chain(120, 2);
+        let opts = || RunOptions::default().with_result_cache(true);
+        let run_a = svc.submit("t", &wf_a, opts()).unwrap();
+        let run_b = svc.submit("t", &wf_b, opts()).unwrap();
+        let res_a = run_a.wait().result.expect("leader run is clean");
+        let res_b = run_b.wait().result.expect("follower run is clean");
+        assert_eq!(sorted_rows(&handle_a), sorted_rows(&handle_b));
+        assert!(res_a.cache_published > 0);
+        assert_eq!(res_b.cache_published, 0, "follower adds nothing");
+        assert_eq!(
+            cache.owner_bytes("t"),
+            res_a.cache_published,
+            "live footprint is the leader's publish, charged once"
+        );
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct OperatorSnapshot {
     /// Result-cache hits charged to the operator (1 when its output was
     /// served from a sealed segment; 0 otherwise or with the cache off).
     pub cache_hits: u64,
+    /// Cache entries evicted to admit this operator's published output
+    /// (0 unless the run's cache has a byte budget; set on the terminal
+    /// sample when the run commits).
+    pub cache_evictions: u64,
 }
 
 /// A sampled execution timeline.
@@ -164,6 +168,7 @@ impl TraceJson {
                             ("batchesSkipped".into(), Json::Int(s.batches_skipped as i64)),
                             ("spilledBlocks".into(), Json::Int(s.spilled_blocks as i64)),
                             ("cacheHits".into(), Json::Int(s.cache_hits as i64)),
+                            ("cacheEvictions".into(), Json::Int(s.cache_evictions as i64)),
                         ])
                     })
                     .collect();
@@ -273,6 +278,7 @@ impl TraceJson {
     ///             batches_skipped: 0,
     ///             spilled_blocks: 0,
     ///             cache_hits: 0,
+    ///             cache_evictions: 0,
     ///         }],
     ///     )],
     /// };
@@ -331,6 +337,8 @@ impl TraceJson {
                     spilled_blocks: int(op, "spilledBlocks").unwrap_or(0).max(0) as u64,
                     // Likewise absent in pre-cache documents.
                     cache_hits: int(op, "cacheHits").unwrap_or(0).max(0) as u64,
+                    // Likewise absent in pre-eviction documents.
+                    cache_evictions: int(op, "cacheEvictions").unwrap_or(0).max(0) as u64,
                 });
             }
             out.samples.push((at, snaps));
@@ -352,6 +360,7 @@ mod tests {
             batches_skipped: 0,
             spilled_blocks: 0,
             cache_hits: 0,
+            cache_evictions: 0,
         }
     }
 
@@ -419,10 +428,12 @@ mod tests {
         trace.samples[1].1[0].batches_skipped = 7;
         trace.samples[1].1[0].spilled_blocks = 5;
         trace.samples[1].1[0].cache_hits = 1;
+        trace.samples[1].1[0].cache_evictions = 2;
         let text = TraceJson::from_trace(&trace).to_string_compact();
         assert!(text.contains("\"batchesSkipped\":7"));
         assert!(text.contains("\"spilledBlocks\":5"));
         assert!(text.contains("\"cacheHits\":1"));
+        assert!(text.contains("\"cacheEvictions\":2"));
         let back = TraceJson::parse(&text).unwrap();
         assert_eq!(back.samples, trace.samples);
         // Documents written before the columnar, spill, and cache paths
@@ -433,6 +444,7 @@ mod tests {
         assert_eq!(back.samples[0].1[0].batches_skipped, 0);
         assert_eq!(back.samples[0].1[0].spilled_blocks, 0);
         assert_eq!(back.samples[0].1[0].cache_hits, 0);
+        assert_eq!(back.samples[0].1[0].cache_evictions, 0);
     }
 
     #[test]

@@ -339,8 +339,10 @@ impl OperatorProbe {
             batches_skipped: self.batches_skipped(),
             spilled_blocks: self.spilled_blocks(),
             // Live cache accounting rides on the planner's factory
-            // markers and surfaces through `PoolStats`, not the probes.
+            // markers and surfaces through `PoolStats`, not the probes;
+            // evictions land on the terminal sample at commit time.
             cache_hits: 0,
+            cache_evictions: 0,
         }
     }
 

@@ -69,6 +69,17 @@ SCRIPTFLOW_MEM_BUDGET=1024 cargo test -q --test backend_parity
 echo "==> backend parity, result cache armed (fingerprinted memoization, rows unchanged)"
 SCRIPTFLOW_RESULT_CACHE=1 cargo test -q --test backend_parity
 
+echo "==> cache eviction suite (byte budget is a hard ceiling; cost-aware victims)"
+cargo test -q --test cache_eviction
+
+echo "==> persistent cache: cold publish, process exit, warm from disk in a new process"
+CACHE_DIR="$(mktemp -d)"
+SCRIPTFLOW_CACHE_DIR="$CACHE_DIR" SCRIPTFLOW_CACHE_EXPECT=cold \
+    cargo test -q --test cache_persistence -- --test-threads=1
+SCRIPTFLOW_CACHE_DIR="$CACHE_DIR" SCRIPTFLOW_CACHE_EXPECT=warm \
+    cargo test -q --test cache_persistence -- --test-threads=1
+rm -rf "$CACHE_DIR"
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> engine throughput bench (quick)"
     BENCH_ENGINE_QUICK=1 cargo run --release -p scriptflow-bench --bin bench_engine
@@ -104,6 +115,15 @@ assert all(r.get("cacheHits", 0) > 0 for r in warm), "warm legs must serve from 
 assert all(r.get("cachePublished", -1) == 0 for r in warm), "warm legs must republish nothing"
 print(f"edit_rerun legs: cold={len(cold)}, warm={len(warm)}, "
       f"warm hits={sum(r['cacheHits'] for r in warm)}")
+
+budg = [r for r in rows if r["workload"] == "edit_rerun" and r.get("leg") == "budgeted"]
+assert budg, "no budgeted edit_rerun legs in BENCH_engine.json"
+for r in budg:
+    assert r.get("cacheEvictions", 0) > 0, f"budgeted leg reports zero evictions: {r}"
+    assert r["cacheLiveBytes"] <= r["cacheBudget"], f"budget exceeded: {r}"
+    assert r["cacheLiveBytes"] == r["cachePublished"] - r["cacheEvictedBytes"], \
+        f"byte ledger does not sum (live != published - evicted): {r}"
+print(f"budgeted legs: {len(budg)}, evictions={sum(r['cacheEvictions'] for r in budg)}")
 PY
     else
         grep -q '"batchLayout": *"columnar"' BENCH_engine.json || {
@@ -148,6 +168,9 @@ cargo run --release -p scriptflow-bench --bin repro -- fig13-spill
 
 echo "==> incremental re-execution experiment (KGE cold vs warm vs edited rerun)"
 cargo run --release -p scriptflow-bench --bin repro -- edit-rerun
+
+echo "==> cross-session edit loop (persistent cache restarts vs notebook stale-cone reruns)"
+cargo run --release -p scriptflow-bench --bin repro -- edit-loop
 
 echo "==> repro on both backends (fig12a + probe-scale task comparison)"
 cargo run --release -p scriptflow-bench --bin repro -- fig12a --backend both

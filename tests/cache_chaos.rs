@@ -136,6 +136,53 @@ fn faults_mid_recording_never_publish_partial_segments_across_32_seeds() {
     }
 }
 
+/// Poison-safety regression: a run whose worker panics *mid-recording*
+/// must leave the shared cache usable, not poisoned. Before the cache
+/// recovered from [`std::sync::PoisonError`], the panicked run could
+/// leave the shared `Mutex` poisoned and every later `.lock().unwrap()`
+/// — lookups, publishes, even `bytes()` — cascaded the panic across
+/// every run sharing the cache. Now the failed run is the only
+/// casualty: the same `Arc` keeps accepting publishes and serving warm
+/// reruns, and its accessors answer.
+#[test]
+fn panicked_recording_run_leaves_the_shared_cache_usable() {
+    let seed = 23u64;
+    let clean = baseline_rows(seed);
+    let cache = Arc::new(ResultCache::new());
+
+    // Several panic runs in a row — each unwinds a worker while `keep`
+    // is recording for publication against the shared cache.
+    for at in [10u64, 40, 80] {
+        let (wf, _h) = pipeline(seed);
+        let (_trace, result) = executor(&cache)
+            .with_faults(FaultPlan::new(seed).panic_at("keep", at))
+            .run_observed(&wf);
+        result.expect_err("no retry budget: the panic fails the run");
+    }
+
+    // Every accessor still answers on the same shared value.
+    assert_eq!(cache.entries(), 0);
+    assert_eq!(cache.bytes(), 0);
+    assert_eq!(cache.evictions(), 0);
+    cache.set_byte_budget(Some(u64::MAX));
+    cache.set_byte_budget(None);
+
+    // And the cache still does its job: a clean run publishes, a warm
+    // rerun is served with baseline rows.
+    let (wf, h) = pipeline(seed);
+    let (_trace, result) = executor(&cache).run_observed(&wf);
+    let res = result.expect("clean run succeeds on the shared cache");
+    assert!(res.cache_published > 0, "clean run publishes after the panics");
+    assert_eq!(sorted_rows(&h), clean);
+
+    let (wf, h) = pipeline(seed);
+    let (_trace, result) = executor(&cache).run_observed(&wf);
+    let res = result.expect("warm run succeeds on the shared cache");
+    let stats = res.pool.expect("pooled mode reports stats");
+    assert!(stats.cache_hits > 0, "warm rerun served after the panics");
+    assert_eq!(sorted_rows(&h), clean, "served rows are byte-identical");
+}
+
 /// Leg-specific behaviour under the CI `CHAOS_RETRIES` matrix. The
 /// disabled leg pins that an explicit `disabled()` policy behaves like
 /// no policy — the kill fails the run and publishes nothing. The armed

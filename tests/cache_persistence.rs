@@ -1,0 +1,222 @@
+//! Integration suite for the result cache's on-disk persistence: a
+//! "process restart" (a fresh [`ResultCache::persistent`] over the same
+//! directory) serves warm reruns with rows byte-identical to a
+//! cache-free run and `cache_hits > 0`; corrupt or truncated segment
+//! files degrade to a miss (the run recomputes and republishes, rows
+//! unchanged); and an env-gated leg lets `scripts/ci.sh` drive the same
+//! round trip across two real OS processes sharing one
+//! `SCRIPTFLOW_CACHE_DIR`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use scriptflow::core::BackendKind;
+use scriptflow::datakit::{Batch, CmpOp, DataType, Schema, SchemaRef, Value};
+use scriptflow::workflow::ops::{FilterOp, ScanOp, SinkHandle, SinkOp};
+use scriptflow::workflow::{
+    EngineConfig, ExecBackend, PartitionStrategy, ResultCache, Workflow, WorkflowBuilder,
+};
+
+const ROWS: i64 = 350;
+
+fn schema() -> SchemaRef {
+    Schema::of(&[("id", DataType::Int)])
+}
+
+fn pipeline() -> (Workflow, SinkHandle) {
+    let batch = Batch::from_rows(
+        schema(),
+        (0..ROWS).map(|i| vec![Value::Int(i * 11 % 251)]).collect(),
+    )
+    .expect("rows conform");
+    let mut b = WorkflowBuilder::new();
+    let scan = b.add(Arc::new(ScanOp::new("scan", batch)), 1);
+    let keep = b.add(
+        Arc::new(FilterOp::cmp("keep", "id", CmpOp::Ge, Value::Int(12))),
+        2,
+    );
+    let sink_op = SinkOp::new("sink");
+    let handle = sink_op.handle();
+    let sink = b.add(Arc::new(sink_op), 1);
+    b.connect(scan, keep, 0, PartitionStrategy::RoundRobin);
+    b.connect(keep, sink, 0, PartitionStrategy::Single);
+    (b.build().expect("valid DAG"), handle)
+}
+
+fn sorted_rows(h: &SinkHandle) -> Vec<String> {
+    let mut rows: Vec<String> = h.results().iter().map(|t| format!("{t:?}")).collect();
+    rows.sort();
+    rows
+}
+
+fn baseline_rows() -> Vec<String> {
+    let (wf, h) = pipeline();
+    ExecBackend::of_kind(BackendKind::Live, EngineConfig::default())
+        .run_detached(&wf)
+        .expect("cache-free baseline");
+    sorted_rows(&h)
+}
+
+fn cached_backend(cache: &Arc<ResultCache>) -> ExecBackend {
+    ExecBackend::of_kind(
+        BackendKind::Live,
+        EngineConfig::default().with_result_cache(Arc::clone(cache)),
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "scriptflow-persist-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Acceptance pin: publish, "restart" (reopen the directory with a
+/// fresh cache value — nothing carried over in memory), and the warm
+/// rerun is served off disk with rows identical to the cache-free run.
+#[test]
+fn restart_serves_warm_reruns_byte_identical_from_disk() {
+    let dir = temp_dir("restart");
+    let baseline = baseline_rows();
+
+    let session1 = Arc::new(ResultCache::persistent(&dir).expect("open store"));
+    let (wf, h) = pipeline();
+    let cold = cached_backend(&session1)
+        .run_detached(&wf)
+        .expect("cold run");
+    assert!(cold.cache_published > 0, "cold run seals segments to disk");
+    assert_eq!(sorted_rows(&h), baseline);
+    drop(session1);
+
+    let session2 = Arc::new(ResultCache::persistent(&dir).expect("reopen store"));
+    assert!(session2.entries() > 0, "manifest restored the entries");
+    let (wf, h) = pipeline();
+    let warm = cached_backend(&session2)
+        .run_detached(&wf)
+        .expect("warm run");
+    assert!(warm.cache_hits > 0, "restarted rerun is served from disk");
+    assert_eq!(warm.cache_published, 0, "nothing new to publish");
+    assert_eq!(sorted_rows(&h), baseline, "served rows are byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corruption fuzz over every persisted segment file: flip a byte in
+/// one, truncate another, and the reopened cache treats each damaged
+/// entry as a miss — the rerun recomputes, produces baseline rows, and
+/// republishes fresh segments.
+#[test]
+fn corrupt_and_truncated_segments_degrade_to_misses() {
+    let dir = temp_dir("corrupt");
+    let baseline = baseline_rows();
+    {
+        let cache = Arc::new(ResultCache::persistent(&dir).expect("open store"));
+        let (wf, _h) = pipeline();
+        let cold = cached_backend(&cache).run_detached(&wf).expect("cold run");
+        assert!(cold.cache_published > 0);
+    }
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect();
+    segs.sort();
+    assert!(segs.len() >= 2, "expected segments for scan and keep");
+    // Damage every file a different way: byte flip, truncation, empty.
+    for (i, path) in segs.iter().enumerate() {
+        let mut bytes = std::fs::read(path).expect("segment readable");
+        match i % 3 {
+            0 => {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x55;
+            }
+            1 => bytes.truncate(bytes.len() / 3),
+            _ => bytes.clear(),
+        }
+        std::fs::write(path, &bytes).expect("rewrite damaged segment");
+    }
+
+    let cache = Arc::new(ResultCache::persistent(&dir).expect("reopen store"));
+    let (wf, h) = pipeline();
+    let rerun = cached_backend(&cache).run_detached(&wf).expect("rerun");
+    assert_eq!(rerun.cache_hits, 0, "damaged entries must not serve");
+    assert!(rerun.cache_misses > 0, "every operator recomputes");
+    assert!(rerun.cache_published > 0, "fresh segments are republished");
+    assert_eq!(sorted_rows(&h), baseline, "recomputed rows are identical");
+
+    // The repaired store now serves again.
+    let (wf, h) = pipeline();
+    let warm = cached_backend(&cache).run_detached(&wf).expect("warm run");
+    assert!(warm.cache_hits > 0);
+    assert_eq!(sorted_rows(&h), baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store written by a *budgeted* persistent cache restarts with only
+/// the surviving entries — evicted segments are gone from disk too.
+#[test]
+fn budgeted_store_restarts_with_only_surviving_entries() {
+    let dir = temp_dir("budgeted");
+    let cold_published = {
+        let probe = Arc::new(ResultCache::new());
+        let (wf, _h) = pipeline();
+        cached_backend(&probe)
+            .run_detached(&wf)
+            .expect("probe run")
+            .cache_published
+    };
+    let budget = cold_published - 1;
+    let (live_bytes, survivors) = {
+        let cache = Arc::new(
+            ResultCache::persistent(&dir)
+                .expect("open store")
+                .with_byte_budget(budget),
+        );
+        let (wf, _h) = pipeline();
+        let run = cached_backend(&cache).run_detached(&wf).expect("cold run");
+        assert!(run.cache_evictions > 0, "tight budget evicts at commit");
+        (cache.bytes(), cache.fingerprints())
+    };
+    let reopened = ResultCache::persistent(&dir).expect("reopen store");
+    assert_eq!(reopened.bytes(), live_bytes);
+    assert_eq!(reopened.fingerprints(), survivors);
+    for fp in survivors {
+        assert!(reopened.lookup(fp).is_some(), "survivor decodes off disk");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cross-process leg, driven by `scripts/ci.sh`: with
+/// `SCRIPTFLOW_CACHE_DIR` pointing at a shared directory, the first
+/// process (`SCRIPTFLOW_CACHE_EXPECT=cold`) publishes, the second
+/// (`SCRIPTFLOW_CACHE_EXPECT=warm`) must be served from what the dead
+/// process left on disk. A no-op without the env vars.
+#[test]
+fn cross_process_round_trip_when_env_directed() {
+    let Some(dir) = std::env::var_os("SCRIPTFLOW_CACHE_DIR") else {
+        return;
+    };
+    let expect = std::env::var("SCRIPTFLOW_CACHE_EXPECT").unwrap_or_default();
+    if expect != "cold" && expect != "warm" {
+        return;
+    }
+    let baseline = baseline_rows();
+    let cache = Arc::new(ResultCache::persistent(&dir).expect("open shared store"));
+    let (wf, h) = pipeline();
+    let run = cached_backend(&cache).run_detached(&wf).expect("run");
+    assert_eq!(sorted_rows(&h), baseline, "{expect} leg rows");
+    match expect.as_str() {
+        "cold" => {
+            assert!(run.cache_published > 0, "cold process must publish");
+            assert_eq!(run.cache_hits, 0, "store was empty");
+        }
+        _ => {
+            assert!(
+                run.cache_hits > 0,
+                "warm process must be served from the segments the first process persisted"
+            );
+            assert_eq!(run.cache_published, 0, "nothing new to publish");
+        }
+    }
+}
